@@ -1,0 +1,245 @@
+//! Chain replication [125] — the data-layer topology of Corfu and FuzzyLog,
+//! used as a latency comparison point.
+//!
+//! A write enters at the **head**, propagates node by node to the **tail**,
+//! and is acknowledged by the tail; reads are served by the tail. With `r`
+//! replicas a write therefore crosses `r` sequential network hops before the
+//! ack, whereas FlexLog's client broadcasts to all replicas in parallel
+//! (§5.2) — the latency difference the paper calls out for FuzzyLog's
+//! partitions (§3.2).
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use flexlog_simnet::{Endpoint, Network, NodeId, RecvError};
+
+/// Chain messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ChainMsg {
+    /// Client → head (then node → successor): store `value` under `key`.
+    Write {
+        key: u64,
+        value: Vec<u8>,
+        client: NodeId,
+        req: u64,
+    },
+    /// Tail → client: write fully replicated.
+    WriteAck { req: u64 },
+    /// Client → tail: read `key`.
+    Read { key: u64, req: u64 },
+    /// Tail → client.
+    ReadResp { req: u64, value: Option<Vec<u8>> },
+    Shutdown,
+}
+
+/// One chain node; knows only its successor.
+pub struct ChainNode {
+    successor: Option<NodeId>,
+}
+
+impl ChainNode {
+    pub fn new(successor: Option<NodeId>) -> Self {
+        ChainNode { successor }
+    }
+
+    /// Runs until shutdown. The tail (no successor) acks writes and serves
+    /// reads.
+    pub fn run(self, ep: Endpoint<ChainMsg>) {
+        let mut store: HashMap<u64, Vec<u8>> = HashMap::new();
+        loop {
+            match ep.recv() {
+                Ok((_, ChainMsg::Write { key, value, client, req })) => {
+                    store.insert(key, value.clone());
+                    match self.successor {
+                        Some(next) => {
+                            let _ = ep.send(next, ChainMsg::Write { key, value, client, req });
+                        }
+                        None => {
+                            // Tail: the write is fully replicated.
+                            let _ = ep.send(client, ChainMsg::WriteAck { req });
+                        }
+                    }
+                }
+                Ok((from, ChainMsg::Read { key, req })) => {
+                    let _ = ep.send(
+                        from,
+                        ChainMsg::ReadResp {
+                            req,
+                            value: store.get(&key).cloned(),
+                        },
+                    );
+                }
+                Ok((_, ChainMsg::Shutdown)) | Err(RecvError::Disconnected) => return,
+                Ok(_) => {}
+                Err(RecvError::Timeout) => {}
+            }
+        }
+    }
+}
+
+/// A running chain.
+pub struct Chain {
+    pub nodes: Vec<NodeId>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    control: Endpoint<ChainMsg>,
+}
+
+impl Chain {
+    /// Starts a chain of `r` nodes: `nodes[0]` is the head, the last is the
+    /// tail.
+    pub fn start(net: &Network<ChainMsg>, r: usize) -> Self {
+        assert!(r >= 1);
+        let nodes: Vec<NodeId> = (0..r).map(|i| NodeId::named(8, i as u64)).collect();
+        let mut threads = Vec::new();
+        for (i, &id) in nodes.iter().enumerate() {
+            let successor = nodes.get(i + 1).copied();
+            let node = ChainNode::new(successor);
+            let ep = net.register(id);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("chain-{i}"))
+                    .spawn(move || node.run(ep))
+                    .expect("spawn chain node"),
+            );
+        }
+        let control = net.register(NodeId::named(9, 0));
+        Chain {
+            nodes,
+            threads,
+            control,
+        }
+    }
+
+    pub fn head(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    pub fn tail(&self) -> NodeId {
+        *self.nodes.last().expect("non-empty chain")
+    }
+
+    /// Blocking client write through the whole chain.
+    pub fn write(
+        ep: &Endpoint<ChainMsg>,
+        head: NodeId,
+        key: u64,
+        value: &[u8],
+        req: u64,
+        timeout: Duration,
+    ) -> Result<(), RecvError> {
+        let _ = ep.send(
+            head,
+            ChainMsg::Write {
+                key,
+                value: value.to_vec(),
+                client: ep.id(),
+                req,
+            },
+        );
+        let deadline = Instant::now() + timeout;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(RecvError::Timeout);
+            }
+            if let (_, ChainMsg::WriteAck { req: r }) = ep.recv_timeout(left)? {
+                if r == req {
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Blocking client read from the tail.
+    pub fn read(
+        ep: &Endpoint<ChainMsg>,
+        tail: NodeId,
+        key: u64,
+        req: u64,
+        timeout: Duration,
+    ) -> Result<Option<Vec<u8>>, RecvError> {
+        let _ = ep.send(tail, ChainMsg::Read { key, req });
+        let deadline = Instant::now() + timeout;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(RecvError::Timeout);
+            }
+            if let (_, ChainMsg::ReadResp { req: r, value }) = ep.recv_timeout(left)? {
+                if r == req {
+                    return Ok(value);
+                }
+            }
+        }
+    }
+
+    pub fn shutdown(self) {
+        for &n in &self.nodes {
+            let _ = self.control.send(n, ChainMsg::Shutdown);
+        }
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexlog_simnet::{LinkConfig, NetConfig};
+
+    const T: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn write_reaches_tail_and_read_sees_it() {
+        let net = Network::instant();
+        let chain = Chain::start(&net, 3);
+        let ep = net.register(NodeId::named(NodeId::CLASS_CLIENT, 1));
+        Chain::write(&ep, chain.head(), 7, b"value", 1, T).unwrap();
+        let v = Chain::read(&ep, chain.tail(), 7, 2, T).unwrap();
+        assert_eq!(v.unwrap(), b"value");
+        assert_eq!(Chain::read(&ep, chain.tail(), 8, 3, T).unwrap(), None);
+        chain.shutdown();
+    }
+
+    #[test]
+    fn single_node_chain_works() {
+        let net = Network::instant();
+        let chain = Chain::start(&net, 1);
+        let ep = net.register(NodeId::named(NodeId::CLASS_CLIENT, 1));
+        Chain::write(&ep, chain.head(), 1, b"x", 1, T).unwrap();
+        assert_eq!(Chain::read(&ep, chain.tail(), 1, 2, T).unwrap().unwrap(), b"x");
+        chain.shutdown();
+    }
+
+    #[test]
+    fn chain_latency_grows_with_length() {
+        // With a real link delay, a length-4 chain write must take ≈2× a
+        // length-2 chain write (the sequential-hop cost the paper contrasts
+        // with FlexLog's parallel broadcast).
+        let delay = Duration::from_millis(2);
+        let measure = |r: usize| {
+            let net = Network::new(NetConfig {
+                link: LinkConfig::slow(delay),
+                seed: Some(1),
+            });
+            let chain = Chain::start(&net, r);
+            let ep = net.register(NodeId::named(NodeId::CLASS_CLIENT, 1));
+            // Warm up.
+            Chain::write(&ep, chain.head(), 0, b"w", 0, T).unwrap();
+            let start = Instant::now();
+            for i in 1..=5u64 {
+                Chain::write(&ep, chain.head(), i, b"v", i, T).unwrap();
+            }
+            let elapsed = start.elapsed();
+            chain.shutdown();
+            elapsed
+        };
+        let short = measure(2);
+        let long = measure(4);
+        assert!(
+            long > short + delay * 5,
+            "longer chain must cost ≥ 2 extra hops per write: {short:?} vs {long:?}"
+        );
+    }
+}

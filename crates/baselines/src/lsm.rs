@@ -1,0 +1,660 @@
+//! A miniature LSM storage engine on the simulated SSD — the "Boki
+//! (RocksDB)" storage baseline of Figures 5–7.
+//!
+//! Boki's storage layer is RocksDB with the write-ahead log enabled: every
+//! write hits the WAL, durability comes from `fsync`, reads hit the
+//! memtable and then SST files on flash. The paper attributes Boki's ~10×
+//! storage gap to exactly those "sync syscalls to synchronize the OS's
+//! write buffer with the SSD". This engine reproduces that cost structure:
+//!
+//! * **WAL** — one SSD block per write, group-committed: `fsync` every
+//!   `wal_sync_every` writes (1 = synchronous durability per write);
+//! * **memtable** — a sorted map flushed to an SST when it exceeds its
+//!   byte budget;
+//! * **SSTs** — immutable runs of `block_size` data blocks with an
+//!   in-memory sparse index; a point read touches exactly one block;
+//! * **size-tiered compaction** — when the run count passes the threshold,
+//!   all runs merge into one (newest value wins, tombstones drop);
+//! * **recovery** — a manifest block names the live SSTs and WAL segment;
+//!   [`Db::recover`] rebuilds indexes from the blocks and replays the WAL.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use flexlog_pm::{ClockMode, DeviceClock, SsdDevice, SsdError};
+
+const NS_WAL: u128 = 1 << 96;
+const NS_SST: u128 = 2 << 96;
+const MANIFEST: u128 = 3 << 96;
+/// Tombstone marker in the on-disk length field.
+const TOMBSTONE: u32 = u32::MAX;
+
+fn wal_block(seg: u64, entry: u64) -> u128 {
+    NS_WAL | ((seg as u128) << 32) | entry as u128
+}
+
+fn sst_block(sst: u64, block: u32) -> u128 {
+    NS_SST | ((sst as u128) << 32) | block as u128
+}
+
+/// LSM configuration.
+#[derive(Clone, Debug)]
+pub struct LsmConfig {
+    /// Memtable byte budget before flushing (RocksDB default: 64 MiB; the
+    /// benchmarks use the paper's configuration, tests something tiny).
+    pub memtable_limit: usize,
+    /// SST data block size.
+    pub block_size: usize,
+    /// Number of runs that triggers a full merge.
+    pub compaction_threshold: usize,
+    /// Group-commit size: fsync the WAL every N writes.
+    pub wal_sync_every: usize,
+    /// Device latency accounting.
+    pub clock: ClockMode,
+}
+
+impl Default for LsmConfig {
+    fn default() -> Self {
+        LsmConfig {
+            memtable_limit: 1 << 20,
+            block_size: 4096,
+            compaction_threshold: 4,
+            wal_sync_every: 8,
+            clock: ClockMode::Off,
+        }
+    }
+}
+
+impl LsmConfig {
+    /// The paper's benchmark configuration: 64 MiB memtable, WAL enabled.
+    /// Like db_bench's default (`sync=false`), WAL writes land in the page
+    /// cache and are fsynced in groups by the engine.
+    pub fn boki() -> Self {
+        LsmConfig {
+            memtable_limit: 64 << 20,
+            wal_sync_every: 32,
+            ..Default::default()
+        }
+    }
+}
+
+/// Errors from DB operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LsmError {
+    /// Underlying device error.
+    Ssd(SsdError),
+    /// Corrupt manifest or SST during recovery.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for LsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LsmError::Ssd(e) => write!(f, "ssd: {e}"),
+            LsmError::Corrupt(what) => write!(f, "corrupt {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LsmError {}
+
+impl From<SsdError> for LsmError {
+    fn from(e: SsdError) -> Self {
+        LsmError::Ssd(e)
+    }
+}
+
+struct SstMeta {
+    id: u64,
+    /// Sparse index: first key of each data block, in block order.
+    index: Vec<Vec<u8>>,
+}
+
+struct DbInner {
+    memtable: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    memtable_bytes: usize,
+    wal_seg: u64,
+    wal_entries: u64,
+    wal_unsynced: usize,
+    /// Newest run first.
+    ssts: Vec<SstMeta>,
+    next_sst: u64,
+}
+
+/// Operation counters.
+#[derive(Debug, Default)]
+pub struct LsmStats {
+    pub puts: AtomicU64,
+    pub gets: AtomicU64,
+    pub memtable_hits: AtomicU64,
+    pub sst_hits: AtomicU64,
+    pub flushes: AtomicU64,
+    pub compactions: AtomicU64,
+    pub wal_syncs: AtomicU64,
+}
+
+/// In-memory engine work for a point lookup (skiplist traversal, bloom
+/// checks — RocksDB memtable gets cost ~0.5–1 µs).
+const MEMTABLE_GET_NS: u64 = 600;
+
+/// See module docs.
+pub struct Db {
+    ssd: Arc<SsdDevice>,
+    inner: Mutex<DbInner>,
+    config: LsmConfig,
+    clock: DeviceClock,
+    pub stats: LsmStats,
+}
+
+impl Db {
+    /// Creates a fresh database.
+    pub fn create(config: LsmConfig) -> Self {
+        let clock = DeviceClock::new(config.clock);
+        let ssd = Arc::new(SsdDevice::new(clock));
+        Db {
+            ssd,
+            inner: Mutex::new(DbInner {
+                memtable: BTreeMap::new(),
+                memtable_bytes: 0,
+                wal_seg: 0,
+                wal_entries: 0,
+                wal_unsynced: 0,
+                ssts: Vec::new(),
+                next_sst: 0,
+            }),
+            config,
+            clock,
+            stats: LsmStats::default(),
+        }
+    }
+
+    /// Recovers a database from a crashed SSD: loads the manifest, rebuilds
+    /// SST indexes from their blocks, replays the WAL into the memtable.
+    pub fn recover(ssd: Arc<SsdDevice>, config: LsmConfig) -> Result<Self, LsmError> {
+        let (wal_seg, sst_ids) = match ssd.read_block(MANIFEST) {
+            Ok(m) => decode_manifest(&m)?,
+            Err(SsdError::NotFound(_)) => (0, Vec::new()),
+        };
+        let mut ssts = Vec::new();
+        let mut next_sst = 0;
+        for (id, blocks) in sst_ids {
+            next_sst = next_sst.max(id + 1);
+            let mut index = Vec::with_capacity(blocks as usize);
+            for b in 0..blocks {
+                let data = ssd.read_block(sst_block(id, b))?;
+                let first = decode_entries(&data)
+                    .next()
+                    .ok_or(LsmError::Corrupt("empty sst block"))?
+                    .0;
+                index.push(first);
+            }
+            ssts.push(SstMeta { id, index });
+        }
+        // Replay WAL entries of the live segment in order.
+        let mut memtable = BTreeMap::new();
+        let mut memtable_bytes = 0usize;
+        let mut entry = 0u64;
+        loop {
+            match ssd.read_block(wal_block(wal_seg, entry)) {
+                Ok(data) => {
+                    if let Some((k, v)) = decode_entries(&data).next() {
+                        memtable_bytes += k.len() + v.as_ref().map_or(0, |v| v.len());
+                        memtable.insert(k, v);
+                    }
+                    entry += 1;
+                }
+                Err(SsdError::NotFound(_)) => break,
+            }
+        }
+        let clock = DeviceClock::new(config.clock);
+        Ok(Db {
+            ssd,
+            inner: Mutex::new(DbInner {
+                memtable,
+                memtable_bytes,
+                wal_seg,
+                wal_entries: entry,
+                wal_unsynced: 0,
+                ssts,
+                next_sst,
+            }),
+            config,
+            clock,
+            stats: LsmStats::default(),
+        })
+    }
+
+    /// Inserts (or overwrites) `key`.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<(), LsmError> {
+        self.write(key, Some(value))
+    }
+
+    /// Deletes `key` (tombstone).
+    pub fn delete(&self, key: &[u8]) -> Result<(), LsmError> {
+        self.write(key, None)
+    }
+
+    fn write(&self, key: &[u8], value: Option<&[u8]>) -> Result<(), LsmError> {
+        let mut inner = self.inner.lock();
+        // 1. WAL first (durability before visibility).
+        let entry = encode_entry(key, value);
+        let block = wal_block(inner.wal_seg, inner.wal_entries);
+        self.ssd.write_block(block, &entry);
+        inner.wal_entries += 1;
+        inner.wal_unsynced += 1;
+        if inner.wal_unsynced >= self.config.wal_sync_every {
+            self.ssd.fsync();
+            inner.wal_unsynced = 0;
+            self.stats.wal_syncs.fetch_add(1, Ordering::Relaxed);
+        }
+        // 2. Memtable.
+        inner.memtable_bytes += key.len() + value.map_or(0, |v| v.len());
+        inner.memtable.insert(key.to_vec(), value.map(|v| v.to_vec()));
+        self.stats.puts.fetch_add(1, Ordering::Relaxed);
+        // 3. Flush + compaction.
+        if inner.memtable_bytes >= self.config.memtable_limit {
+            self.flush_locked(&mut inner)?;
+            if inner.ssts.len() > self.config.compaction_threshold {
+                self.compact_locked(&mut inner)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, LsmError> {
+        let inner = self.inner.lock();
+        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        self.clock.consume(MEMTABLE_GET_NS);
+        if let Some(v) = inner.memtable.get(key) {
+            self.stats.memtable_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(v.clone());
+        }
+        for sst in &inner.ssts {
+            // Sparse index: the candidate block is the last one whose first
+            // key is ≤ key.
+            let block = match sst.index.partition_point(|first| first.as_slice() <= key) {
+                0 => continue, // key below this run's range
+                n => (n - 1) as u32,
+            };
+            let data = self.ssd.read_block(sst_block(sst.id, block))?;
+            for (k, v) in decode_entries(&data) {
+                if k == key {
+                    self.stats.sst_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(v);
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Full ordered scan (merges memtable and every run, newest wins).
+    pub fn scan(&self) -> Result<Vec<(Vec<u8>, Vec<u8>)>, LsmError> {
+        let inner = self.inner.lock();
+        let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+        // Oldest first so newer layers overwrite.
+        for sst in inner.ssts.iter().rev() {
+            for b in 0..sst.index.len() as u32 {
+                let data = self.ssd.read_block(sst_block(sst.id, b))?;
+                for (k, v) in decode_entries(&data) {
+                    merged.insert(k, v);
+                }
+            }
+        }
+        for (k, v) in &inner.memtable {
+            merged.insert(k.clone(), v.clone());
+        }
+        Ok(merged
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .collect())
+    }
+
+    /// Forces a memtable flush (tests / shutdown).
+    pub fn flush(&self) -> Result<(), LsmError> {
+        let mut inner = self.inner.lock();
+        if inner.memtable.is_empty() {
+            return Ok(());
+        }
+        self.flush_locked(&mut inner)
+    }
+
+    /// Number of SST runs (tests).
+    pub fn sst_runs(&self) -> usize {
+        self.inner.lock().ssts.len()
+    }
+
+    /// The underlying device (crash injection).
+    pub fn device(&self) -> &Arc<SsdDevice> {
+        &self.ssd
+    }
+
+    fn flush_locked(&self, inner: &mut DbInner) -> Result<(), LsmError> {
+        let id = inner.next_sst;
+        inner.next_sst += 1;
+        let entries: Vec<(Vec<u8>, Option<Vec<u8>>)> = std::mem::take(&mut inner.memtable)
+            .into_iter()
+            .collect();
+        inner.memtable_bytes = 0;
+        let index = self.write_sst(id, &entries)?;
+        inner.ssts.insert(0, SstMeta { id, index });
+        // New WAL segment; the old one is superseded by the SST.
+        let old_seg = inner.wal_seg;
+        let old_entries = inner.wal_entries;
+        inner.wal_seg += 1;
+        inner.wal_entries = 0;
+        inner.wal_unsynced = 0;
+        self.write_manifest(inner);
+        self.ssd.fsync();
+        for e in 0..old_entries {
+            self.ssd.delete_block(wal_block(old_seg, e));
+        }
+        self.ssd.fsync();
+        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn compact_locked(&self, inner: &mut DbInner) -> Result<(), LsmError> {
+        // Merge every run, newest wins; tombstones drop out entirely.
+        let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+        for sst in inner.ssts.iter().rev() {
+            for b in 0..sst.index.len() as u32 {
+                let data = self.ssd.read_block(sst_block(sst.id, b))?;
+                for (k, v) in decode_entries(&data) {
+                    merged.insert(k, v);
+                }
+            }
+        }
+        let entries: Vec<(Vec<u8>, Option<Vec<u8>>)> = merged
+            .into_iter()
+            .filter(|(_, v)| v.is_some())
+            .collect();
+        let id = inner.next_sst;
+        inner.next_sst += 1;
+        let index = self.write_sst(id, &entries)?;
+        let old: Vec<SstMeta> = std::mem::take(&mut inner.ssts);
+        inner.ssts = vec![SstMeta { id, index }];
+        self.write_manifest(inner);
+        self.ssd.fsync();
+        for sst in old {
+            for b in 0..sst.index.len() as u32 {
+                self.ssd.delete_block(sst_block(sst.id, b));
+            }
+        }
+        self.ssd.fsync();
+        self.stats.compactions.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Writes sorted `entries` as SST `id`; returns the sparse index.
+    fn write_sst(
+        &self,
+        id: u64,
+        entries: &[(Vec<u8>, Option<Vec<u8>>)],
+    ) -> Result<Vec<Vec<u8>>, LsmError> {
+        let mut index = Vec::new();
+        let mut block_no: u32 = 0;
+        let mut buf: Vec<u8> = Vec::with_capacity(self.config.block_size);
+        let mut first_in_block: Option<Vec<u8>> = None;
+        for (k, v) in entries {
+            let e = encode_entry(k, v.as_deref());
+            if !buf.is_empty() && buf.len() + e.len() > self.config.block_size {
+                self.ssd.write_block(sst_block(id, block_no), &buf);
+                index.push(first_in_block.take().expect("non-empty block"));
+                block_no += 1;
+                buf.clear();
+            }
+            if first_in_block.is_none() {
+                first_in_block = Some(k.clone());
+            }
+            buf.extend_from_slice(&e);
+        }
+        if !buf.is_empty() {
+            self.ssd.write_block(sst_block(id, block_no), &buf);
+            index.push(first_in_block.take().expect("non-empty block"));
+        }
+        Ok(index)
+    }
+
+    fn write_manifest(&self, inner: &DbInner) {
+        let mut m = Vec::new();
+        m.extend_from_slice(&inner.wal_seg.to_le_bytes());
+        m.extend_from_slice(&(inner.ssts.len() as u32).to_le_bytes());
+        for sst in &inner.ssts {
+            m.extend_from_slice(&sst.id.to_le_bytes());
+            m.extend_from_slice(&(sst.index.len() as u32).to_le_bytes());
+        }
+        self.ssd.write_block(MANIFEST, &m);
+    }
+}
+
+fn encode_entry(key: &[u8], value: Option<&[u8]>) -> Vec<u8> {
+    let vlen = value.map_or(TOMBSTONE, |v| v.len() as u32);
+    let mut e = Vec::with_capacity(8 + key.len() + value.map_or(0, |v| v.len()));
+    e.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    e.extend_from_slice(&vlen.to_le_bytes());
+    e.extend_from_slice(key);
+    if let Some(v) = value {
+        e.extend_from_slice(v);
+    }
+    e
+}
+
+/// Iterates `[klen][vlen][key][value]` entries in a buffer.
+fn decode_entries(buf: &[u8]) -> impl Iterator<Item = (Vec<u8>, Option<Vec<u8>>)> + '_ {
+    let mut off = 0usize;
+    std::iter::from_fn(move || {
+        if off + 8 > buf.len() {
+            return None;
+        }
+        let klen = u32::from_le_bytes(buf[off..off + 4].try_into().ok()?) as usize;
+        let vlen_raw = u32::from_le_bytes(buf[off + 4..off + 8].try_into().ok()?);
+        off += 8;
+        let key = buf.get(off..off + klen)?.to_vec();
+        off += klen;
+        let value = if vlen_raw == TOMBSTONE {
+            None
+        } else {
+            let v = buf.get(off..off + vlen_raw as usize)?.to_vec();
+            off += vlen_raw as usize;
+            Some(v)
+        };
+        Some((key, value))
+    })
+}
+
+fn decode_manifest(m: &[u8]) -> Result<(u64, Vec<(u64, u32)>), LsmError> {
+    if m.len() < 12 {
+        return Err(LsmError::Corrupt("manifest"));
+    }
+    let wal_seg = u64::from_le_bytes(m[0..8].try_into().unwrap());
+    let count = u32::from_le_bytes(m[8..12].try_into().unwrap()) as usize;
+    let mut ssts = Vec::with_capacity(count);
+    let mut off = 12;
+    for _ in 0..count {
+        if off + 12 > m.len() {
+            return Err(LsmError::Corrupt("manifest sst entry"));
+        }
+        let id = u64::from_le_bytes(m[off..off + 8].try_into().unwrap());
+        let blocks = u32::from_le_bytes(m[off + 8..off + 12].try_into().unwrap());
+        ssts.push((id, blocks));
+        off += 12;
+    }
+    Ok((wal_seg, ssts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> LsmConfig {
+        LsmConfig {
+            memtable_limit: 1024,
+            block_size: 256,
+            compaction_threshold: 3,
+            wal_sync_every: 1,
+            clock: ClockMode::Off,
+        }
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let db = Db::create(tiny());
+        db.put(b"alpha", b"1").unwrap();
+        db.put(b"beta", b"2").unwrap();
+        assert_eq!(db.get(b"alpha").unwrap().unwrap(), b"1");
+        assert_eq!(db.get(b"beta").unwrap().unwrap(), b"2");
+        assert_eq!(db.get(b"gamma").unwrap(), None);
+    }
+
+    #[test]
+    fn overwrite_wins() {
+        let db = Db::create(tiny());
+        db.put(b"k", b"v1").unwrap();
+        db.put(b"k", b"v2").unwrap();
+        assert_eq!(db.get(b"k").unwrap().unwrap(), b"v2");
+    }
+
+    #[test]
+    fn delete_hides_key() {
+        let db = Db::create(tiny());
+        db.put(b"k", b"v").unwrap();
+        db.delete(b"k").unwrap();
+        assert_eq!(db.get(b"k").unwrap(), None);
+    }
+
+    #[test]
+    fn reads_span_memtable_and_ssts() {
+        let db = Db::create(tiny());
+        for i in 0..100u32 {
+            db.put(format!("key{i:04}").as_bytes(), &[i as u8; 32]).unwrap();
+        }
+        assert!(db.sst_runs() > 0, "flushes must have happened");
+        for i in 0..100u32 {
+            assert_eq!(
+                db.get(format!("key{i:04}").as_bytes()).unwrap().unwrap(),
+                vec![i as u8; 32],
+                "key{i}"
+            );
+        }
+    }
+
+    #[test]
+    fn tombstone_survives_flush() {
+        let db = Db::create(tiny());
+        db.put(b"dead", b"x").unwrap();
+        db.flush().unwrap();
+        db.delete(b"dead").unwrap();
+        db.flush().unwrap();
+        assert_eq!(db.get(b"dead").unwrap(), None, "tombstone must mask the SST value");
+    }
+
+    #[test]
+    fn compaction_bounds_run_count() {
+        let db = Db::create(tiny());
+        for i in 0..400u32 {
+            db.put(format!("k{:03}", i % 50).as_bytes(), &[0u8; 40]).unwrap();
+        }
+        assert!(
+            db.sst_runs() <= 4,
+            "compaction must bound runs, got {}",
+            db.sst_runs()
+        );
+        assert!(db.stats.compactions.load(Ordering::Relaxed) > 0);
+        for i in 0..50u32 {
+            assert!(db.get(format!("k{i:03}").as_bytes()).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn scan_is_sorted_and_deduped() {
+        let db = Db::create(tiny());
+        for i in (0..40u32).rev() {
+            db.put(format!("k{i:02}").as_bytes(), b"v").unwrap();
+        }
+        db.put(b"k00", b"latest").unwrap();
+        db.delete(b"k01").unwrap();
+        let scan = db.scan().unwrap();
+        assert_eq!(scan.len(), 39);
+        assert_eq!(scan[0].0, b"k00");
+        assert_eq!(scan[0].1, b"latest");
+        assert!(scan.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn synced_writes_survive_crash() {
+        let db = Db::create(tiny());
+        for i in 0..30u32 {
+            db.put(format!("c{i:02}").as_bytes(), &[i as u8]).unwrap();
+        }
+        let ssd = Arc::clone(db.device());
+        drop(db);
+        ssd.crash();
+        let db2 = Db::recover(ssd, tiny()).unwrap();
+        for i in 0..30u32 {
+            assert_eq!(
+                db2.get(format!("c{i:02}").as_bytes()).unwrap().unwrap(),
+                vec![i as u8],
+                "key c{i}"
+            );
+        }
+    }
+
+    #[test]
+    fn unsynced_tail_lost_on_crash() {
+        let cfg = LsmConfig {
+            wal_sync_every: 100, // group commit: nothing synced yet
+            memtable_limit: 1 << 20,
+            ..tiny()
+        };
+        let db = Db::create(cfg.clone());
+        db.put(b"volatile", b"x").unwrap();
+        let ssd = Arc::clone(db.device());
+        drop(db);
+        ssd.crash();
+        let db2 = Db::recover(ssd, cfg).unwrap();
+        assert_eq!(
+            db2.get(b"volatile").unwrap(),
+            None,
+            "unsynced WAL entries must not survive"
+        );
+    }
+
+    #[test]
+    fn recovery_after_flush_and_more_writes() {
+        let db = Db::create(tiny());
+        for i in 0..60u32 {
+            db.put(format!("f{i:02}").as_bytes(), &[1u8; 30]).unwrap();
+        }
+        db.put(b"post-flush", b"tail").unwrap();
+        let ssd = Arc::clone(db.device());
+        drop(db);
+        ssd.crash();
+        let db2 = Db::recover(ssd, tiny()).unwrap();
+        assert_eq!(db2.get(b"post-flush").unwrap().unwrap(), b"tail");
+        assert_eq!(db2.get(b"f05").unwrap().unwrap(), vec![1u8; 30]);
+        // And the recovered DB keeps working.
+        db2.put(b"after", b"recovery").unwrap();
+        assert_eq!(db2.get(b"after").unwrap().unwrap(), b"recovery");
+    }
+
+    #[test]
+    fn wal_group_commit_reduces_syncs() {
+        let grouped = Db::create(LsmConfig {
+            wal_sync_every: 10,
+            ..tiny()
+        });
+        let eager = Db::create(tiny()); // sync_every = 1
+        for i in 0..20u32 {
+            grouped.put(&i.to_le_bytes(), b"v").unwrap();
+            eager.put(&i.to_le_bytes(), b"v").unwrap();
+        }
+        let g = grouped.stats.wal_syncs.load(Ordering::Relaxed);
+        let e = eager.stats.wal_syncs.load(Ordering::Relaxed);
+        assert!(g < e, "group commit must fsync less: {g} vs {e}");
+    }
+}

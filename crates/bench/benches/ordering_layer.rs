@@ -1,0 +1,91 @@
+//! Criterion microbenches of the ordering layer: order-request latency for
+//! a single sequencer, a root+leaf tree, and the Paxos counter baseline —
+//! the Figure 4 comparison as steady-state microbenchmarks (instant network
+//! so the protocol cost itself is visible).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use flexlog_baselines::paxos::{PaxosCounter, ProposerMode};
+use flexlog_ordering::{request_order, OrderMsg, OrderingService, RoleId, TreeSpec};
+use flexlog_simnet::{Network, NodeId};
+use flexlog_types::{ColorId, FunctionId, Token};
+
+const COLOR: ColorId = ColorId(1);
+const RETRY: Duration = Duration::from_secs(2);
+
+fn order_request(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_order_request");
+    group.sample_size(50);
+
+    // Single sequencer (FlexLog-P shape).
+    {
+        let net: Network<OrderMsg> = Network::instant();
+        let spec = TreeSpec::single(&[COLOR]);
+        let h = OrderingService::start(&net, &spec, &Default::default());
+        let ep = net.register(NodeId::named(NodeId::CLASS_CLIENT, 1));
+        let mut i = 0u32;
+        group.bench_function("flexlog_single_sequencer", |b| {
+            b.iter(|| {
+                i += 1;
+                request_order(
+                    &ep,
+                    &h.directory,
+                    RoleId(0),
+                    COLOR,
+                    Token::new(FunctionId(1), i),
+                    1,
+                    RETRY,
+                )
+                .unwrap()
+            })
+        });
+        h.shutdown(&net);
+    }
+
+    // Root + leaf (total ordering through the tree).
+    {
+        let net: Network<OrderMsg> = Network::instant();
+        let spec = TreeSpec::root_and_leaves(&[COLOR], &[vec![]]);
+        let h = OrderingService::start(&net, &spec, &Default::default());
+        let ep = net.register(NodeId::named(NodeId::CLASS_CLIENT, 1));
+        let mut i = 0u32;
+        group.bench_function("flexlog_root_plus_leaf", |b| {
+            b.iter(|| {
+                i += 1;
+                request_order(
+                    &ep,
+                    &h.directory,
+                    RoleId(1),
+                    COLOR,
+                    Token::new(FunctionId(1), i),
+                    1,
+                    RETRY,
+                )
+                .unwrap()
+            })
+        });
+        h.shutdown(&net);
+    }
+
+    // Multi-Paxos counter (Boki/Scalog ordering abstraction).
+    {
+        let net = Network::instant();
+        let svc =
+            PaxosCounter::start(&net, 1, 3, ProposerMode::Multi, Duration::from_micros(1));
+        let ep = net.register(NodeId::named(NodeId::CLASS_CLIENT, 1));
+        let mut i = 0u64;
+        group.bench_function("paxos_counter", |b| {
+            b.iter(|| {
+                i += 1;
+                PaxosCounter::next(&ep, svc.proposer_nodes[0], i, 1, RETRY).unwrap()
+            })
+        });
+        svc.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, order_request);
+criterion_main!(benches);

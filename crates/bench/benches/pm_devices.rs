@@ -1,0 +1,84 @@
+//! Criterion microbenches of the PM substrate: device access at the three
+//! Figure-1 latency classes, plus the transactional pool and the
+//! crash-consistent log (software-path cost, latency model disabled).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+use flexlog_pm::{DeviceClock, LatencyModel, PmDevice, PmDeviceConfig, PmLog, PmLogConfig, PmPool};
+
+fn device_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_device_1k");
+    group.sample_size(30);
+    for (name, model) in [
+        ("pm_bypass", LatencyModel::pm_bypass()),
+        ("pm_syscall", LatencyModel::pm_syscall()),
+        ("ssd", LatencyModel::ssd()),
+    ] {
+        let dev = PmDevice::new(PmDeviceConfig {
+            capacity: 1 << 20,
+            latency: model,
+            clock: DeviceClock::spin(),
+        });
+        let data = vec![0xA5u8; 1024];
+        group.bench_with_input(BenchmarkId::new("write", name), &dev, |b, dev| {
+            b.iter(|| dev.write(0, &data).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("read", name), &dev, |b, dev| {
+            b.iter(|| dev.read(0, 1024).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn pool_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pm_pool");
+    group.sample_size(30);
+    let pool = PmPool::create(Arc::new(PmDevice::new(PmDeviceConfig {
+        capacity: 256 << 20,
+        ..Default::default()
+    })));
+    let value = vec![0x7Bu8; 1024];
+    let mut key = 0u128;
+    group.bench_function("transactional_put_1k", |b| {
+        b.iter(|| {
+            // Bounded key space so compaction can reclaim overwrites.
+            key = (key + 1) % 16_384;
+            pool.put(key, &value).unwrap();
+        })
+    });
+    pool.put(1, &value).unwrap();
+    group.bench_function("get_1k", |b| b.iter(|| pool.get(1).unwrap()));
+    group.finish();
+}
+
+fn log_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pm_log");
+    group.sample_size(30);
+    let log = PmLog::create(
+        Arc::new(PmDevice::new(PmDeviceConfig {
+            capacity: 256 << 20,
+            ..Default::default()
+        })),
+        PmLogConfig::default(),
+    );
+    let payload = vec![0x11u8; 1024];
+    let mut since_trim = 0u64;
+    group.bench_function("append_1k", |b| {
+        b.iter(|| {
+            // Trim periodically so the log stays bounded across criterion's
+            // millions of iterations (the paper's Trim API in its intended
+            // role).
+            since_trim += 1;
+            if since_trim == 16_384 {
+                log.trim_front(log.tail().saturating_sub(16)).unwrap();
+                since_trim = 0;
+            }
+            log.append(&payload).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, device_latency, pool_ops, log_ops);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion microbenches of the two storage engines (Figures 5–7 shape):
+//! the FlexLog PM-backed storage server vs the mini-LSM ("Boki/RocksDB").
+//! Latency models off — this measures the software path; the figure
+//! binaries measure modelled device time.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use flexlog_baselines::lsm::{Db, LsmConfig};
+use flexlog_pm::ClockMode;
+use flexlog_storage::{StorageConfig, StorageServer};
+use flexlog_types::{ColorId, Epoch, FunctionId, SeqNum, Token};
+
+const COLOR: ColorId = ColorId(1);
+
+fn storage_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_storage_1k");
+    group.sample_size(30);
+    let value = vec![0x99u8; 1024];
+
+    // FlexLog storage tier: KV write (import) + read.
+    {
+        let server = Arc::new(StorageServer::new(StorageConfig {
+            pm_capacity: 512 << 20,
+            pm_watermark: 400 << 20,
+            cache_capacity: 16 << 20,
+            clock: ClockMode::Off,
+            ..Default::default()
+        }));
+        let mut i = 0u32;
+        let mut epoch = 1u32;
+        group.bench_function("flexlog_pm_write", |b| {
+            b.iter(|| {
+                // Fresh SNs, but trim each full epoch so the live set (and
+                // the PM pool) stay bounded across criterion's iterations.
+                i += 1;
+                if i == 65_536 {
+                    server
+                        .trim(COLOR, SeqNum::new(Epoch(epoch), u32::MAX))
+                        .unwrap();
+                    epoch += 1;
+                    i = 1;
+                }
+                server
+                    .import(
+                        COLOR,
+                        SeqNum::new(Epoch(epoch), i),
+                        Token::new(FunctionId(epoch), i),
+                        &value,
+                    )
+                    .unwrap()
+            })
+        });
+        // Probe far above any epoch the write bench trimmed through.
+        let probe_sn = SeqNum::new(Epoch(u32::MAX), 1);
+        server
+            .import(COLOR, probe_sn, Token::new(FunctionId(u32::MAX), 1), &value)
+            .unwrap();
+        group.bench_function("flexlog_pm_read", |b| {
+            b.iter(|| server.get(COLOR, probe_sn).unwrap())
+        });
+    }
+
+    // Mini-LSM: put + get.
+    {
+        let db = Db::create(LsmConfig {
+            clock: ClockMode::Off,
+            ..LsmConfig::boki()
+        });
+        let mut i = 0u64;
+        group.bench_function("boki_lsm_write", |b| {
+            b.iter(|| {
+                i = (i + 1) % 65_536;
+                db.put(&i.to_le_bytes(), &value).unwrap()
+            })
+        });
+        db.put(b"probe", &value).unwrap();
+        group.bench_function("boki_lsm_read", |b| b.iter(|| db.get(b"probe").unwrap()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, storage_paths);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Design-choice ablations (batching interval, cache size, tree depth).
+//! Pass `--quick` for a fast smoke run.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for t in flexlog_bench::experiments::ablation::run(quick) {
+        t.print();
+    }
+}

@@ -1,0 +1,7 @@
+//! Reproduces the paper's fig10. Pass `--quick` for a fast smoke run.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for t in flexlog_bench::experiments::fig10::run(quick) {
+        t.print();
+    }
+}

@@ -1,0 +1,7 @@
+//! Reproduces the paper's fig7 (storage-engine comparison). `--quick` for a smoke run.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let tables = flexlog_bench::experiments::fig5to7::run(quick);
+    let idx = match "fig7" { "fig5" => 0, "fig6" => 1, _ => 2 };
+    tables[idx].print();
+}

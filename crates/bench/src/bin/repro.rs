@@ -1,0 +1,24 @@
+//! Runs the complete reproduction suite: every table and figure of the
+//! paper's evaluation, in order. Pass `--quick` for a fast smoke run.
+use flexlog_bench::experiments as exp;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("FlexLog reproduction suite (quick={quick})\n");
+    let suites: Vec<(&str, fn(bool) -> Vec<flexlog_bench::Table>)> = vec![
+        ("Table 1", exp::table1::run),
+        ("Figure 1", exp::fig1::run),
+        ("Figure 4", exp::fig4::run),
+        ("Figures 5-7", exp::fig5to7::run),
+        ("Figure 8", exp::fig8::run),
+        ("Figure 9", exp::fig9::run),
+        ("Figure 10", exp::fig10::run),
+        ("Figure 11", exp::fig11::run),
+    ];
+    for (name, run) in suites {
+        eprintln!("... running {name}");
+        for t in run(quick) {
+            t.print();
+        }
+    }
+}

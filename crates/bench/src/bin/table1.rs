@@ -1,0 +1,7 @@
+//! Reproduces the paper's table1. Pass `--quick` for a fast smoke run.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for t in flexlog_bench::experiments::table1::run(quick) {
+        t.print();
+    }
+}

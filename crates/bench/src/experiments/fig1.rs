@@ -1,0 +1,129 @@
+//! Figure 1 — storage latency for read and write operations vs block size.
+//!
+//! Paper setup: average latency of reads/writes at block sizes 64 B–8 KiB
+//! for (i) PM via kernel bypass (`pmem_*`), (ii) PM via OS syscalls
+//! (`*_syscall`) and (iii) SSD file I/O (`fileio_*`). Expected shape:
+//! `pmem < syscall < fileio` at every size, PM ≈ 10× faster than SSD, and
+//! kernel bypass ≈ 100× faster than file I/O.
+//!
+//! Here each access path is a [`PmDevice`] carrying the corresponding
+//! calibrated latency model in spin-clock mode, so the reported numbers are
+//! measured wall time.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use flexlog_pm::{DeviceClock, LatencyModel, PmDevice, PmDeviceConfig};
+
+use crate::Table;
+
+pub const BLOCK_SIZES: [usize; 8] = [64, 128, 256, 512, 1024, 2048, 4096, 8192];
+
+/// Measured mean read/write latency (ns) per path and block size.
+pub struct Fig1Row {
+    pub block: usize,
+    pub pmem_read: u64,
+    pub syscall_read: u64,
+    pub fileio_read: u64,
+    pub pmem_write: u64,
+    pub syscall_write: u64,
+    pub fileio_write: u64,
+}
+
+fn device(model: LatencyModel) -> Arc<PmDevice> {
+    Arc::new(PmDevice::new(PmDeviceConfig {
+        capacity: 1 << 20,
+        latency: model,
+        clock: DeviceClock::spin(),
+    }))
+}
+
+fn measure(dev: &PmDevice, block: usize, iters: usize) -> (u64, u64) {
+    let data = vec![0xA5u8; block];
+    // Warm-up.
+    dev.write(0, &data).expect("in range");
+    let _ = dev.read(0, block);
+
+    let start = Instant::now();
+    for i in 0..iters {
+        let off = (i % 64) * block % (dev.capacity() - block);
+        dev.write(off, &data).expect("in range");
+    }
+    let write_ns = start.elapsed().as_nanos() as u64 / iters as u64;
+
+    let start = Instant::now();
+    for i in 0..iters {
+        let off = (i % 64) * block % (dev.capacity() - block);
+        let _ = dev.read(off, block).expect("in range");
+    }
+    let read_ns = start.elapsed().as_nanos() as u64 / iters as u64;
+    (read_ns, write_ns)
+}
+
+/// Runs the experiment, returning raw rows.
+pub fn measure_all(quick: bool) -> Vec<Fig1Row> {
+    let iters = if quick { 50 } else { 400 };
+    let pm = device(LatencyModel::pm_bypass());
+    let sys = device(LatencyModel::pm_syscall());
+    let ssd = device(LatencyModel::ssd());
+    BLOCK_SIZES
+        .iter()
+        .map(|&block| {
+            let (pm_r, pm_w) = measure(&pm, block, iters);
+            let (sy_r, sy_w) = measure(&sys, block, iters);
+            let (fs_r, fs_w) = measure(&ssd, block, iters);
+            Fig1Row {
+                block,
+                pmem_read: pm_r,
+                syscall_read: sy_r,
+                fileio_read: fs_r,
+                pmem_write: pm_w,
+                syscall_write: sy_w,
+                fileio_write: fs_w,
+            }
+        })
+        .collect()
+}
+
+pub fn run(quick: bool) -> Vec<Table> {
+    let rows = measure_all(quick);
+    let mut t = Table::new(
+        "Figure 1: storage latency (ns) for read/write vs block size",
+        &[
+            "block(B)",
+            "pmem_read",
+            "read_syscall",
+            "fileio_read",
+            "pmem_write",
+            "write_syscall",
+            "fileio_write",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.block.to_string(),
+            r.pmem_read.to_string(),
+            r.syscall_read.to_string(),
+            r.fileio_read.to_string(),
+            r.pmem_write.to_string(),
+            r.syscall_write.to_string(),
+            r.fileio_write.to_string(),
+        ]);
+    }
+    let mut s = Table::new(
+        "Figure 1 shape check (64 B blocks)",
+        &["ratio", "value", "paper"],
+    );
+    let first = &rows[0];
+    s.row(vec![
+        "fileio_read / syscall_read".into(),
+        format!("{:.1}x", first.fileio_read as f64 / first.syscall_read as f64),
+        "~10x (PM vs SSD)".into(),
+    ]);
+    s.row(vec![
+        "fileio_read / pmem_read".into(),
+        format!("{:.1}x", first.fileio_read as f64 / first.pmem_read as f64),
+        "~100x (bypass vs file IO)".into(),
+    ]);
+    vec![t, s]
+}

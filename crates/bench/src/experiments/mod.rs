@@ -1,0 +1,13 @@
+//! One module per paper table/figure. Every experiment exposes
+//! `run(quick: bool) -> Vec<Table>`; `quick` shrinks sample counts so the
+//! full suite stays tractable in CI (the binaries default to full runs).
+
+pub mod ablation;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig4;
+pub mod fig5to7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;

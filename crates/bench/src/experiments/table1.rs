@@ -1,0 +1,50 @@
+//! Table 1 — share of CPU time two serverless functions spend in storage
+//! syscalls (video processing and gzip compression, FunctionBench-style).
+//!
+//! The paper reports ≈41 % (video) and ≈48 % (gzip) of CPU time inside
+//! `open`/`read`/`write`/`fstat`/`close` on local storage. Here both
+//! workloads do real compute over synthetic data against the instrumented
+//! [`flexlog_faas::LocalFs`], so the shares below are measured end to end.
+
+use flexlog_faas::{gzip_like, video_pipeline, LocalFs, WorkloadReport};
+
+use crate::Table;
+
+/// Runs both workloads and returns their reports.
+pub fn measure_all(quick: bool) -> (WorkloadReport, WorkloadReport) {
+    let (frames, frame_bytes, blocks, block_bytes) = if quick {
+        (8, 3 * 4096, 16, 4096)
+    } else {
+        (96, 3 * 4096, 192, 4096)
+    };
+    let fs_video = LocalFs::new();
+    let video = video_pipeline(&fs_video, frames, frame_bytes);
+    let fs_gzip = LocalFs::new();
+    let gzip = gzip_like(&fs_gzip, blocks, block_bytes);
+    (video, gzip)
+}
+
+pub fn run(quick: bool) -> Vec<Table> {
+    let (video, gzip) = measure_all(quick);
+    let (video_shares, video_total) = video.table1_column();
+    let (gzip_shares, gzip_total) = gzip.table1_column();
+
+    let mut t = Table::new(
+        "Table 1: % of CPU time in storage syscalls (paper: video ~41%, gzip ~48%)",
+        &["syscall", "Video processing", "Gzip compression"],
+    );
+    for (i, (name, v)) in video_shares.iter().enumerate() {
+        let g = gzip_shares[i].1;
+        t.row(vec![
+            name.to_string(),
+            format!("{v:.1}%"),
+            format!("{g:.1}%"),
+        ]);
+    }
+    t.row(vec![
+        "Total".into(),
+        format!("{video_total:.1}%"),
+        format!("{gzip_total:.1}%"),
+    ]);
+    vec![t]
+}

@@ -1,0 +1,26 @@
+//! # flexlog-bench
+//!
+//! The reproduction harness for every table and figure in the FlexLog
+//! paper's evaluation (§9). Each experiment is a library function returning
+//! structured rows plus a binary that prints them; `cargo run -p
+//! flexlog-bench --release --bin <exp>` regenerates one experiment, and the
+//! `repro` binary runs the full suite. See `EXPERIMENTS.md` at the
+//! workspace root for paper-vs-measured numbers.
+//!
+//! | target  | paper artifact |
+//! |---------|----------------|
+//! | `table1`| Table 1 — storage-syscall share of serverless functions |
+//! | `fig1`  | Figure 1 — storage latency vs block size (PM / syscall / SSD) |
+//! | `fig4`  | Figure 4 — ordering-layer latency + throughput vs Boki/Paxos |
+//! | `fig5`  | Figure 5 — storage throughput vs record size |
+//! | `fig6`  | Figure 6 — storage throughput vs threads |
+//! | `fig7`  | Figure 7 — storage throughput vs R/W ratio |
+//! | `fig8`  | Figure 8 — latency vs replication factor |
+//! | `fig9`  | Figure 9 — ordering throughput vs leaf sequencers |
+//! | `fig10` | Figure 10 — recovery time vs records to recover |
+//! | `fig11` | Figure 11 — latency vs throughput, 3 vs 6 shards |
+
+pub mod experiments;
+pub mod report;
+
+pub use report::{fmt_duration, fmt_ops, Series, Table};

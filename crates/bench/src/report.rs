@@ -1,0 +1,174 @@
+//! Small reporting helpers: aligned tables and latency statistics.
+
+use std::time::Duration;
+
+/// A printable table with a title, column headers and string rows.
+pub struct Table {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// A latency sample series with summary statistics.
+#[derive(Clone, Debug, Default)]
+pub struct Series {
+    samples: Vec<Duration>,
+}
+
+impl Series {
+    pub fn new() -> Self {
+        Series::default()
+    }
+
+    pub fn push(&mut self, d: Duration) {
+        self.samples.push(d);
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    pub fn mean(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.iter().sum::<Duration>() / self.samples.len() as u32
+    }
+
+    pub fn percentile(&self, p: f64) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut s = self.samples.clone();
+        s.sort_unstable();
+        let idx = ((s.len() as f64 - 1.0) * p / 100.0).round() as usize;
+        s[idx.min(s.len() - 1)]
+    }
+
+    pub fn min(&self) -> Duration {
+        self.samples.iter().min().copied().unwrap_or_default()
+    }
+
+    pub fn max(&self) -> Duration {
+        self.samples.iter().max().copied().unwrap_or_default()
+    }
+}
+
+/// Human-friendly duration (ns/µs/ms adaptive).
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1} us", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Human-friendly ops/sec.
+pub fn fmt_ops(ops_per_sec: f64) -> String {
+    if ops_per_sec >= 1_000_000.0 {
+        format!("{:.2} Mops/s", ops_per_sec / 1_000_000.0)
+    } else if ops_per_sec >= 1_000.0 {
+        format!("{:.1} Kops/s", ops_per_sec / 1_000.0)
+    } else {
+        format!("{ops_per_sec:.0} ops/s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["a", "bbbb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let r = t.render();
+        assert!(r.contains("demo"));
+        assert!(r.contains("bbbb"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn table_rejects_bad_rows() {
+        let mut t = Table::new("demo", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn series_statistics() {
+        let mut s = Series::new();
+        for ms in [1u64, 2, 3, 4, 100] {
+            s.push(Duration::from_millis(ms));
+        }
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.mean(), Duration::from_millis(22));
+        assert_eq!(s.percentile(50.0), Duration::from_millis(3));
+        assert_eq!(s.min(), Duration::from_millis(1));
+        assert_eq!(s.max(), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(fmt_ops(2_500_000.0), "2.50 Mops/s");
+        assert_eq!(fmt_ops(1_500.0), "1.5 Kops/s");
+    }
+}

@@ -1,0 +1,223 @@
+//! Whole-deployment assembly and fault injection.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use flexlog_ordering::{Directory, OrderingHandle, OrderingService, RoleId, TreeSpec};
+use flexlog_replication::{
+    ClientConfig, ClusterMsg, DataLayerHandle, DataLayerService, DataLayerSpec, FlexLogClient,
+    ReplicaConfig,
+};
+use flexlog_simnet::{NetConfig, Network, NodeId};
+use flexlog_storage::StorageConfig;
+use flexlog_types::{ColorId, FunctionId, ShardId};
+
+use crate::{ColorAdmin, FlexLog};
+
+/// Declarative description of a FlexLog deployment.
+#[derive(Clone)]
+pub struct ClusterSpec {
+    /// Leaf sequencers under the root (0 = a single root sequencer orders
+    /// everything and shards attach to it directly).
+    pub leaves: usize,
+    /// Shards attached to each leaf (or to the root when `leaves == 0`).
+    pub shards_per_leaf: usize,
+    /// Replicas per shard (paper default 3).
+    pub replication_factor: usize,
+    /// Backups per sequencer position (the paper's 2f; 0 disables
+    /// fail-over machinery for benchmarks).
+    pub backups_per_sequencer: usize,
+    /// Network characteristics.
+    pub net: NetConfig,
+    /// Per-replica storage stack configuration.
+    pub storage: StorageConfig,
+    /// Sequencer batching interval (paper default 1 µs).
+    pub batch_interval: Duration,
+    /// Failure-detection bound Δ.
+    pub delta: Duration,
+    /// Client retransmit period / overall deadline.
+    pub client_retry: Duration,
+    pub client_deadline: Duration,
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        ClusterSpec {
+            leaves: 0,
+            shards_per_leaf: 1,
+            replication_factor: 3,
+            backups_per_sequencer: 0,
+            net: NetConfig::instant(),
+            storage: StorageConfig::default(),
+            batch_interval: Duration::from_micros(1),
+            delta: Duration::from_millis(100),
+            client_retry: Duration::from_millis(150),
+            client_deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+impl ClusterSpec {
+    /// The paper's minimal linearizable setup: one root sequencer, one
+    /// shard of 3 replicas (§9.2).
+    pub fn single_shard() -> Self {
+        ClusterSpec::default()
+    }
+
+    /// Root + `leaves` leaf sequencers, `shards_per_leaf` shards each —
+    /// the standard scalable topology (§9.3).
+    pub fn tree(leaves: usize, shards_per_leaf: usize) -> Self {
+        ClusterSpec {
+            leaves,
+            shards_per_leaf,
+            ..Default::default()
+        }
+    }
+}
+
+/// A running FlexLog deployment.
+pub struct FlexLogCluster {
+    net: Network<ClusterMsg>,
+    directory: Directory,
+    admin: ColorAdmin,
+    data: DataLayerHandle,
+    ordering: OrderingHandle<ClusterMsg>,
+    spec: ClusterSpec,
+    next_client: AtomicU64,
+}
+
+impl FlexLogCluster {
+    /// Builds and starts every component of `spec`.
+    pub fn start(spec: ClusterSpec) -> Self {
+        let net: Network<ClusterMsg> = Network::new(spec.net.clone());
+        let directory = Directory::new();
+
+        // --- data layer -------------------------------------------------
+        let leaf_roles: Vec<RoleId> = if spec.leaves == 0 {
+            vec![RoleId(0)]
+        } else {
+            (1..=spec.leaves as u32).map(RoleId).collect()
+        };
+        let n_shards = spec.shards_per_leaf * leaf_roles.len();
+        let mut data_spec =
+            DataLayerSpec::uniform(n_shards, spec.replication_factor, &leaf_roles);
+        data_spec.replica = ReplicaConfig {
+            storage: spec.storage.clone(),
+            read_hold: Duration::from_millis(10),
+            oreq_resend: spec.delta,
+            sync_timeout: spec.delta * 5,
+            ..Default::default()
+        };
+        let data = DataLayerService::start(&net, &directory, &data_spec);
+
+        // --- ordering layer ----------------------------------------------
+        let mut tree = if spec.leaves == 0 {
+            TreeSpec::single(&[])
+        } else {
+            TreeSpec::root_and_leaves(&[], &vec![Vec::new(); spec.leaves])
+        };
+        tree.backups_per_position = spec.backups_per_sequencer;
+        tree.batch_interval = spec.batch_interval;
+        tree.delta = spec.delta;
+        tree.heartbeat_interval = (spec.delta / 5).max(Duration::from_millis(5));
+        tree.election_window = spec.delta / 2;
+        let ordering = OrderingService::start_with_directory(
+            &net,
+            &tree,
+            &data.replicas_by_leaf_role(),
+            directory.clone(),
+        );
+
+        // --- colors -------------------------------------------------------
+        // Region shards: a leaf's region = its own shards; the root's
+        // region = every shard.
+        let mut region_shards: HashMap<RoleId, Vec<ShardId>> = HashMap::new();
+        let all: Vec<ShardId> = data.topology.all_shards().iter().map(|s| s.id).collect();
+        region_shards.insert(RoleId(0), all.clone());
+        for role in &leaf_roles {
+            let shards: Vec<ShardId> = data
+                .topology
+                .all_shards()
+                .iter()
+                .filter(|s| s.leaf == *role)
+                .map(|s| s.id)
+                .collect();
+            region_shards.insert(*role, shards);
+        }
+        let admin = ColorAdmin::new(tree.registry.clone(), data.topology.clone(), region_shards);
+        // Master region: owned by the root, stored anywhere.
+        admin.register_master(RoleId(0), all);
+
+        FlexLogCluster {
+            net,
+            directory,
+            admin,
+            data,
+            ordering,
+            spec,
+            next_client: AtomicU64::new(1),
+        }
+    }
+
+    /// A new client handle (a "serverless function" talking to the log).
+    pub fn handle(&self) -> FlexLog {
+        let id = self.next_client.fetch_add(1, Ordering::Relaxed);
+        let ep = self.net.register(NodeId::named(NodeId::CLASS_CLIENT, id));
+        let client = FlexLogClient::new(
+            ep,
+            self.data.topology.clone(),
+            ClientConfig {
+                fid: FunctionId(id as u32),
+                retry: self.spec.client_retry,
+                deadline: self.spec.client_deadline,
+            },
+        );
+        FlexLog::new(client, self.admin.clone())
+    }
+
+    /// Color administration (shared with every handle).
+    pub fn colors(&self) -> &ColorAdmin {
+        &self.admin
+    }
+
+    /// The cluster's network (latency/partition injection).
+    pub fn network(&self) -> &Network<ClusterMsg> {
+        &self.net
+    }
+
+    /// The role directory (who currently leads each sequencer position).
+    pub fn directory(&self) -> &Directory {
+        &self.directory
+    }
+
+    /// Data-layer handle (replica crash/restart, storage stats).
+    pub fn data(&self) -> &DataLayerHandle {
+        &self.data
+    }
+
+    /// Ordering-layer handle (sequencer crash, stats).
+    pub fn ordering(&self) -> &OrderingHandle<ClusterMsg> {
+        &self.ordering
+    }
+
+    /// Leaf sequencer roles in this deployment.
+    pub fn leaf_roles(&self) -> Vec<RoleId> {
+        if self.spec.leaves == 0 {
+            vec![RoleId(0)]
+        } else {
+            (1..=self.spec.leaves as u32).map(RoleId).collect()
+        }
+    }
+
+    /// Convenience: create a color under the master region.
+    pub fn add_color(&self, color: ColorId) -> Result<(), crate::ColorError> {
+        self.admin.add_color(color, ColorId::MASTER)
+    }
+
+    /// Stops every node and joins all threads.
+    pub fn shutdown(self) {
+        self.data.shutdown();
+        self.ordering.shutdown(&self.net);
+    }
+}

@@ -1,0 +1,396 @@
+//! Durable objects over the shared log — the §5.1 "high-level data
+//! structures, e.g., Durable Objects" use case, in the style of Tango [48]:
+//! an in-memory object whose every mutation is an appended log record, so
+//! the object is durable, fault-tolerant and shareable between serverless
+//! functions by construction.
+//!
+//! [`DurableMap`] is the canonical such object: a string-keyed map.
+//!
+//! * **Mutations** append `PUT`/`DEL` records to the object's color; the
+//!   color's total order is the object's serialization order (last writer
+//!   wins deterministically on every replica of the state).
+//! * **Reads** first [`DurableMap::sync`] — replay records past the local
+//!   cursor — giving read-your-writes plus monotonic cross-function reads.
+//! * **Checkpoints** append a snapshot record and [`FlexLog::trim`] the
+//!   prefix it covers, bounding replay cost exactly the way the paper's
+//!   Trim API is meant to be used (§6.2).
+
+use std::collections::HashMap;
+
+use flexlog_types::{ColorId, SeqNum};
+
+use crate::{ClientError, ColorError, FlexLog};
+
+const TAG_PUT: u8 = 1;
+const TAG_DEL: u8 = 2;
+const TAG_CKPT: u8 = 3;
+const MAGIC: &[u8; 4] = b"DOB1";
+
+/// See module docs.
+pub struct DurableMap {
+    handle: FlexLog,
+    color: ColorId,
+    /// Highest SN applied to `state`.
+    cursor: SeqNum,
+    state: HashMap<String, Vec<u8>>,
+}
+
+impl DurableMap {
+    /// Creates the object's color (under `parent`) and an empty map.
+    pub fn create(
+        mut handle: FlexLog,
+        color: ColorId,
+        parent: ColorId,
+    ) -> Result<Self, ColorError> {
+        handle.add_color(color, parent)?;
+        Ok(DurableMap {
+            handle,
+            color,
+            cursor: SeqNum::ZERO,
+            state: HashMap::new(),
+        })
+    }
+
+    /// Attaches to an existing object and replays its whole history.
+    pub fn attach(handle: FlexLog, color: ColorId) -> Result<Self, ClientError> {
+        let mut map = DurableMap {
+            handle,
+            color,
+            cursor: SeqNum::ZERO,
+            state: HashMap::new(),
+        };
+        map.sync()?;
+        Ok(map)
+    }
+
+    /// The object's color.
+    pub fn color(&self) -> ColorId {
+        self.color
+    }
+
+    /// Durably sets `key` (visible to every function sharing the color).
+    pub fn set(&mut self, key: &str, value: &[u8]) -> Result<SeqNum, ClientError> {
+        let rec = encode_put(key, value);
+        let sn = self.handle.append(&rec, self.color)?;
+        // Catch up through our own write so reads-after-writes hold even
+        // if other writers interleaved.
+        self.sync()?;
+        Ok(sn)
+    }
+
+    /// Durably removes `key`.
+    pub fn delete(&mut self, key: &str) -> Result<SeqNum, ClientError> {
+        let mut rec = Vec::with_capacity(5 + key.len());
+        rec.extend_from_slice(MAGIC);
+        rec.push(TAG_DEL);
+        rec.extend_from_slice(key.as_bytes());
+        let sn = self.handle.append(&rec, self.color)?;
+        self.sync()?;
+        Ok(sn)
+    }
+
+    /// Replays every record past the local cursor into the in-memory state.
+    pub fn sync(&mut self) -> Result<(), ClientError> {
+        let records = self.handle.subscribe_from(self.color, self.cursor)?;
+        for r in records {
+            self.apply(&r.payload);
+            self.cursor = self.cursor.max(r.sn);
+        }
+        Ok(())
+    }
+
+    /// Reads `key` from the synced state (call [`DurableMap::sync`] first
+    /// for cross-function freshness; own writes are always visible).
+    pub fn get(&self, key: &str) -> Option<&[u8]> {
+        self.state.get(key).map(|v| v.as_slice())
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// True when no key is set.
+    pub fn is_empty(&self) -> bool {
+        self.state.is_empty()
+    }
+
+    /// All keys, sorted (for deterministic iteration).
+    pub fn keys(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.state.keys().map(|s| s.as_str()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Writes a checkpoint record holding the full state and trims every
+    /// record before it: replay cost for future attachers becomes O(state)
+    /// instead of O(history).
+    pub fn checkpoint(&mut self) -> Result<SeqNum, ClientError> {
+        self.sync()?;
+        let rec = encode_ckpt(&self.state);
+        let ckpt_sn = self.handle.append(&rec, self.color)?;
+        self.cursor = self.cursor.max(ckpt_sn);
+        // Trim everything strictly before the checkpoint. SNs are dense
+        // per color only between failovers, so trim at (counter - 1) of
+        // the checkpoint's own SN.
+        if ckpt_sn.counter() > 1 {
+            let before = SeqNum::new(ckpt_sn.epoch(), ckpt_sn.counter() - 1);
+            self.handle.trim(before, self.color)?;
+        }
+        Ok(ckpt_sn)
+    }
+
+    /// Releases the wrapped handle.
+    pub fn into_handle(self) -> FlexLog {
+        self.handle
+    }
+
+    fn apply(&mut self, payload: &[u8]) {
+        match decode(payload) {
+            Some(Record::Put(k, v)) => {
+                self.state.insert(k, v);
+            }
+            Some(Record::Del(k)) => {
+                self.state.remove(&k);
+            }
+            Some(Record::Ckpt(full)) => {
+                self.state = full;
+            }
+            None => {
+                // Foreign record on the object's color: ignore (the color
+                // may be shared with other uses; durable objects only apply
+                // their own records).
+            }
+        }
+    }
+}
+
+enum Record {
+    Put(String, Vec<u8>),
+    Del(String),
+    Ckpt(HashMap<String, Vec<u8>>),
+}
+
+fn encode_put(key: &str, value: &[u8]) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(9 + key.len() + value.len());
+    rec.extend_from_slice(MAGIC);
+    rec.push(TAG_PUT);
+    rec.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    rec.extend_from_slice(key.as_bytes());
+    rec.extend_from_slice(value);
+    rec
+}
+
+fn encode_ckpt(state: &HashMap<String, Vec<u8>>) -> Vec<u8> {
+    let mut rec = Vec::new();
+    rec.extend_from_slice(MAGIC);
+    rec.push(TAG_CKPT);
+    rec.extend_from_slice(&(state.len() as u32).to_le_bytes());
+    let mut keys: Vec<&String> = state.keys().collect();
+    keys.sort();
+    for k in keys {
+        let v = &state[k];
+        rec.extend_from_slice(&(k.len() as u32).to_le_bytes());
+        rec.extend_from_slice(k.as_bytes());
+        rec.extend_from_slice(&(v.len() as u32).to_le_bytes());
+        rec.extend_from_slice(v);
+    }
+    rec
+}
+
+fn decode(payload: &[u8]) -> Option<Record> {
+    if payload.len() < 5 || &payload[..4] != MAGIC {
+        return None;
+    }
+    let tag = payload[4];
+    let body = &payload[5..];
+    match tag {
+        TAG_PUT => {
+            let klen = u32::from_le_bytes(body.get(0..4)?.try_into().ok()?) as usize;
+            let key = String::from_utf8(body.get(4..4 + klen)?.to_vec()).ok()?;
+            let value = body.get(4 + klen..)?.to_vec();
+            Some(Record::Put(key, value))
+        }
+        TAG_DEL => {
+            let key = String::from_utf8(body.to_vec()).ok()?;
+            Some(Record::Del(key))
+        }
+        TAG_CKPT => {
+            let count = u32::from_le_bytes(body.get(0..4)?.try_into().ok()?) as usize;
+            let mut off = 4usize;
+            let mut state = HashMap::with_capacity(count);
+            for _ in 0..count {
+                let klen =
+                    u32::from_le_bytes(body.get(off..off + 4)?.try_into().ok()?) as usize;
+                off += 4;
+                let key = String::from_utf8(body.get(off..off + klen)?.to_vec()).ok()?;
+                off += klen;
+                let vlen =
+                    u32::from_le_bytes(body.get(off..off + 4)?.try_into().ok()?) as usize;
+                off += 4;
+                let value = body.get(off..off + vlen)?.to_vec();
+                off += vlen;
+                state.insert(key, value);
+            }
+            Some(Record::Ckpt(state))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClusterSpec, FlexLogCluster};
+
+    const OBJ: ColorId = ColorId(60);
+
+    #[test]
+    fn set_get_roundtrip() {
+        let cluster = FlexLogCluster::start(ClusterSpec::single_shard());
+        let mut map = DurableMap::create(cluster.handle(), OBJ, ColorId::MASTER).unwrap();
+        map.set("alpha", b"1").unwrap();
+        map.set("beta", b"2").unwrap();
+        assert_eq!(map.get("alpha"), Some(b"1".as_slice()));
+        assert_eq!(map.get("beta"), Some(b"2".as_slice()));
+        assert_eq!(map.get("gamma"), None);
+        assert_eq!(map.keys(), vec!["alpha", "beta"]);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn overwrite_and_delete() {
+        let cluster = FlexLogCluster::start(ClusterSpec::single_shard());
+        let mut map = DurableMap::create(cluster.handle(), OBJ, ColorId::MASTER).unwrap();
+        map.set("k", b"v1").unwrap();
+        map.set("k", b"v2").unwrap();
+        assert_eq!(map.get("k"), Some(b"v2".as_slice()));
+        map.delete("k").unwrap();
+        assert_eq!(map.get("k"), None);
+        assert!(map.is_empty());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn state_is_shared_between_functions() {
+        let cluster = FlexLogCluster::start(ClusterSpec::single_shard());
+        let mut writer = DurableMap::create(cluster.handle(), OBJ, ColorId::MASTER).unwrap();
+        writer.set("shared", b"hello").unwrap();
+
+        // A second function attaches and sees the state.
+        let mut reader = DurableMap::attach(cluster.handle(), OBJ).unwrap();
+        assert_eq!(reader.get("shared"), Some(b"hello".as_slice()));
+
+        // Later writes become visible after sync.
+        writer.set("shared", b"updated").unwrap();
+        assert_eq!(reader.get("shared"), Some(b"hello".as_slice()), "stale before sync");
+        reader.sync().unwrap();
+        assert_eq!(reader.get("shared"), Some(b"updated".as_slice()));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn checkpoint_compacts_history() {
+        let cluster = FlexLogCluster::start(ClusterSpec::single_shard());
+        let mut map = DurableMap::create(cluster.handle(), OBJ, ColorId::MASTER).unwrap();
+        for i in 0..20 {
+            map.set("counter", format!("{i}").as_bytes()).unwrap();
+        }
+        map.checkpoint().unwrap();
+
+        // The log now holds (at most) the checkpoint record plus nothing
+        // older; a fresh attacher replays O(state) records.
+        let mut probe = cluster.handle();
+        let log = probe.subscribe(OBJ).unwrap();
+        assert!(
+            log.len() <= 2,
+            "history must be trimmed to the checkpoint, got {} records",
+            log.len()
+        );
+        let reader = DurableMap::attach(probe_handle(&cluster), OBJ).unwrap();
+        assert_eq!(reader.get("counter"), Some(b"19".as_slice()));
+        cluster.shutdown();
+    }
+
+    fn probe_handle(cluster: &FlexLogCluster) -> crate::FlexLog {
+        cluster.handle()
+    }
+
+    #[test]
+    fn checkpoint_then_more_writes() {
+        let cluster = FlexLogCluster::start(ClusterSpec::single_shard());
+        let mut map = DurableMap::create(cluster.handle(), OBJ, ColorId::MASTER).unwrap();
+        map.set("a", b"1").unwrap();
+        map.checkpoint().unwrap();
+        map.set("b", b"2").unwrap();
+        map.delete("a").unwrap();
+
+        let reader = DurableMap::attach(cluster.handle(), OBJ).unwrap();
+        assert_eq!(reader.get("a"), None);
+        assert_eq!(reader.get("b"), Some(b"2".as_slice()));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn concurrent_writers_converge() {
+        let cluster = FlexLogCluster::start(ClusterSpec::single_shard());
+        let seed = DurableMap::create(cluster.handle(), OBJ, ColorId::MASTER).unwrap();
+        drop(seed);
+
+        let mut handles = Vec::new();
+        for w in 0..3 {
+            let h = cluster.handle();
+            handles.push(std::thread::spawn(move || {
+                let mut m = DurableMap::attach(h, OBJ).unwrap();
+                for i in 0..5 {
+                    m.set(&format!("w{w}-k{i}"), b"x").unwrap();
+                    m.set("contended", format!("{w}").as_bytes()).unwrap();
+                }
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+        // All readers converge to the same state (the color's total order).
+        let a = DurableMap::attach(cluster.handle(), OBJ).unwrap();
+        let b = DurableMap::attach(cluster.handle(), OBJ).unwrap();
+        assert_eq!(a.len(), 16, "15 distinct keys + the contended one");
+        assert_eq!(a.keys(), b.keys());
+        assert_eq!(a.get("contended"), b.get("contended"));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn foreign_records_are_ignored() {
+        let cluster = FlexLogCluster::start(ClusterSpec::single_shard());
+        let mut map = DurableMap::create(cluster.handle(), OBJ, ColorId::MASTER).unwrap();
+        map.set("real", b"1").unwrap();
+        // Someone else appends a non-object record to the same color.
+        let mut other = cluster.handle();
+        other.append(b"not a durable-object record", OBJ).unwrap();
+        let mut reader = DurableMap::attach(cluster.handle(), OBJ).unwrap();
+        reader.sync().unwrap();
+        assert_eq!(reader.len(), 1);
+        assert_eq!(reader.get("real"), Some(b"1".as_slice()));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn encode_decode_roundtrips() {
+        match decode(&encode_put("key", b"value")) {
+            Some(Record::Put(k, v)) => {
+                assert_eq!(k, "key");
+                assert_eq!(v, b"value");
+            }
+            _ => panic!("put roundtrip failed"),
+        }
+        let mut state = HashMap::new();
+        state.insert("a".to_string(), b"1".to_vec());
+        state.insert("b".to_string(), vec![0u8; 100]);
+        match decode(&encode_ckpt(&state)) {
+            Some(Record::Ckpt(s)) => assert_eq!(s, state),
+            _ => panic!("ckpt roundtrip failed"),
+        }
+        assert!(decode(b"garbage").is_none());
+    }
+}

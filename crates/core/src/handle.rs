@@ -1,0 +1,100 @@
+//! The per-function FlexLog handle: the FlexLog-API of Table 2.
+
+use flexlog_replication::{ClientError, FlexLogClient};
+use flexlog_types::{ColorId, CommittedRecord, FunctionId, SeqNum};
+
+use crate::{ColorAdmin, ColorError};
+
+/// A serverless function's handle to the shared log.
+///
+/// Owns a [`FlexLogClient`] (the protocol machinery of §6) plus the shared
+/// [`ColorAdmin`] so `AddColor` works directly from application code, as in
+/// the paper's Listing 1.
+pub struct FlexLog {
+    client: FlexLogClient,
+    admin: ColorAdmin,
+}
+
+impl FlexLog {
+    pub(crate) fn new(client: FlexLogClient, admin: ColorAdmin) -> Self {
+        FlexLog { client, admin }
+    }
+
+    /// This handle's function id (token namespace).
+    pub fn fid(&self) -> FunctionId {
+        self.client.fid()
+    }
+
+    /// `Append(r[], c)`: appends records to the log of color `c`, returning
+    /// the SN of the last record once **every** replica of the chosen shard
+    /// has committed.
+    pub fn append_batch(
+        &mut self,
+        records: &[Vec<u8>],
+        color: ColorId,
+    ) -> Result<SeqNum, ClientError> {
+        self.client.append(color, records)
+    }
+
+    /// Single-record convenience form of [`FlexLog::append_batch`].
+    pub fn append(&mut self, record: &[u8], color: ColorId) -> Result<SeqNum, ClientError> {
+        self.client.append(color, &[record.to_vec()])
+    }
+
+    /// `Read(SN, c)`: the record stored under `sn` in the `c`-colored log,
+    /// or `None` if no record holds that SN (a hole, trimmed, or never
+    /// written).
+    pub fn read(&mut self, sn: SeqNum, color: ColorId) -> Result<Option<Vec<u8>>, ClientError> {
+        self.client.read(color, sn)
+    }
+
+    /// `Subscribe(c)`: all records of the `c`-colored log, in SN order.
+    pub fn subscribe(&mut self, color: ColorId) -> Result<Vec<CommittedRecord>, ClientError> {
+        self.client.subscribe(color)
+    }
+
+    /// Incremental subscribe: records with SN strictly above `from`.
+    pub fn subscribe_from(
+        &mut self,
+        color: ColorId,
+        from: SeqNum,
+    ) -> Result<Vec<CommittedRecord>, ClientError> {
+        self.client.subscribe_from(color, from)
+    }
+
+    /// `Trim(SN, c)`: garbage-collects all records with SN ≤ `sn`; returns
+    /// the remaining `[head, tail]` span.
+    pub fn trim(
+        &mut self,
+        sn: SeqNum,
+        color: ColorId,
+    ) -> Result<(Option<SeqNum>, Option<SeqNum>), ClientError> {
+        self.client.trim(color, sn)
+    }
+
+    /// `AddColor(c, c_p)`: creates the `c`-colored log with `c_p` as its
+    /// parent region.
+    pub fn add_color(&mut self, color: ColorId, parent: ColorId) -> Result<(), ColorError> {
+        self.admin.add_color(color, parent)
+    }
+
+    /// The tail (highest SN) of a color, if it has any records — a cheap
+    /// way to wait for producers (reads the subscribe path).
+    pub fn tail(&mut self, color: ColorId) -> Result<Option<SeqNum>, ClientError> {
+        Ok(self.client.subscribe(color)?.last().map(|r| r.sn))
+    }
+
+    /// Atomic multi-color append (§6.4): all record sets commit in their
+    /// target colors, or none does.
+    pub fn multi_append(
+        &mut self,
+        sets: &[(ColorId, Vec<Vec<u8>>)],
+    ) -> Result<(), ClientError> {
+        self.client.multi_append(sets)
+    }
+
+    /// Color administration (existence checks, hierarchy inspection).
+    pub fn colors(&self) -> &ColorAdmin {
+        &self.admin
+    }
+}

@@ -1,0 +1,238 @@
+//! Coordination primitives on the log (§5.1 "Applications can also express
+//! causality by implementing synchronization primitives, i.e., locks and
+//! barriers").
+//!
+//! Both primitives are plain append/subscribe users of one color, so they
+//! inherit the log's fault tolerance — a crashed participant's records are
+//! still there after recovery.
+
+use std::time::{Duration, Instant};
+
+use flexlog_types::ColorId;
+
+use crate::{ClientError, FlexLog};
+
+/// A `parties`-way barrier: every participant appends an arrival record to
+/// the barrier color; `wait` completes when all arrivals are visible. This
+/// is exactly the map-reduce recipe of §5.1 (mappers append final records
+/// to the black log; reducers wait for all of them).
+pub struct Barrier {
+    color: ColorId,
+    parties: usize,
+    generation: u64,
+}
+
+impl Barrier {
+    /// A barrier for `parties` participants on `color` (the color must
+    /// already exist).
+    pub fn new(color: ColorId, parties: usize) -> Self {
+        Barrier {
+            color,
+            parties,
+            generation: 0,
+        }
+    }
+
+    /// Appends this participant's arrival record.
+    pub fn arrive(&self, handle: &mut FlexLog, participant: u32) -> Result<(), ClientError> {
+        let rec = encode_arrival(self.generation, participant);
+        handle.append(&rec, self.color)?;
+        Ok(())
+    }
+
+    /// Blocks until all `parties` arrivals of the current generation are
+    /// visible, or `timeout` elapses (returns false).
+    pub fn wait(&self, handle: &mut FlexLog, timeout: Duration) -> Result<bool, ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let log = handle.subscribe(self.color)?;
+            let mut seen = std::collections::HashSet::new();
+            for r in &log {
+                if let Some((generation, participant)) = decode_arrival(&r.payload) {
+                    if generation == self.generation {
+                        seen.insert(participant);
+                    }
+                }
+            }
+            if seen.len() >= self.parties {
+                return Ok(true);
+            }
+            if Instant::now() >= deadline {
+                return Ok(false);
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Moves to the next barrier generation (reuse across phases).
+    pub fn next_generation(&mut self) {
+        self.generation += 1;
+    }
+}
+
+fn encode_arrival(generation: u64, participant: u32) -> Vec<u8> {
+    let mut v = Vec::with_capacity(16);
+    v.extend_from_slice(b"BAR1");
+    v.extend_from_slice(&generation.to_le_bytes());
+    v.extend_from_slice(&participant.to_le_bytes());
+    v
+}
+
+fn decode_arrival(v: &[u8]) -> Option<(u64, u32)> {
+    if v.len() != 16 || &v[..4] != b"BAR1" {
+        return None;
+    }
+    Some((
+        u64::from_le_bytes(v[4..12].try_into().ok()?),
+        u32::from_le_bytes(v[12..16].try_into().ok()?),
+    ))
+}
+
+/// Errors from lock operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockError {
+    /// The lock was not acquired within the timeout.
+    Timeout,
+    /// Underlying log error.
+    Client(ClientError),
+}
+
+impl From<ClientError> for LockError {
+    fn from(e: ClientError) -> Self {
+        LockError::Client(e)
+    }
+}
+
+impl std::fmt::Display for LockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LockError::Timeout => write!(f, "lock acquisition timed out"),
+            LockError::Client(e) => write!(f, "log error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+/// A fair distributed lock on one color: acquirers append request records;
+/// the holder is the oldest request without a matching release (the log's
+/// total order is the ticket queue — a ZooKeeper-style recipe [76]).
+pub struct DistributedLock {
+    color: ColorId,
+}
+
+/// An acquired lock (release explicitly; there is no drop-release because
+/// releasing requires a handle).
+pub struct LockGuard {
+    color: ColorId,
+    ticket: u64,
+}
+
+impl DistributedLock {
+    /// A lock living on `color` (must already exist).
+    pub fn new(color: ColorId) -> Self {
+        DistributedLock { color }
+    }
+
+    /// Appends an acquire record and waits until it is the oldest
+    /// unreleased one.
+    pub fn acquire(
+        &self,
+        handle: &mut FlexLog,
+        owner: u32,
+        timeout: Duration,
+    ) -> Result<LockGuard, LockError> {
+        // The ticket is the SN counter of our acquire record: unique and
+        // totally ordered by the color's sequencer.
+        let deadline = Instant::now() + timeout;
+        let sn = handle.append(&encode_lock(b"ACQ1", owner, 0), self.color)?;
+        let ticket = sn.0;
+        loop {
+            let log = handle.subscribe(self.color)?;
+            let mut released = std::collections::HashSet::new();
+            for r in &log {
+                if let Some((kind, _owner, t)) = decode_lock(&r.payload) {
+                    if kind == *b"REL1" {
+                        released.insert(t);
+                    }
+                }
+            }
+            // Oldest unreleased acquire wins.
+            let holder = log.iter().find_map(|r| {
+                let (kind, _owner, _) = decode_lock(&r.payload)?;
+                if kind == *b"ACQ1" && !released.contains(&r.sn.0) {
+                    Some(r.sn.0)
+                } else {
+                    None
+                }
+            });
+            if holder == Some(ticket) {
+                return Ok(LockGuard {
+                    color: self.color,
+                    ticket,
+                });
+            }
+            if Instant::now() >= deadline {
+                // Abandon the ticket so it cannot block later acquirers.
+                handle.append(&encode_lock(b"REL1", owner, ticket), self.color)?;
+                return Err(LockError::Timeout);
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+impl LockGuard {
+    /// Releases the lock by appending the matching release record.
+    pub fn release(self, handle: &mut FlexLog) -> Result<(), ClientError> {
+        handle.append(&encode_lock(b"REL1", 0, self.ticket), self.color)?;
+        Ok(())
+    }
+
+    /// The guard's ticket (diagnostics).
+    pub fn ticket(&self) -> u64 {
+        self.ticket
+    }
+}
+
+fn encode_lock(kind: &[u8; 4], owner: u32, ticket: u64) -> Vec<u8> {
+    let mut v = Vec::with_capacity(16);
+    v.extend_from_slice(kind);
+    v.extend_from_slice(&owner.to_le_bytes());
+    v.extend_from_slice(&ticket.to_le_bytes());
+    v
+}
+
+fn decode_lock(v: &[u8]) -> Option<([u8; 4], u32, u64)> {
+    if v.len() != 16 {
+        return None;
+    }
+    let kind: [u8; 4] = v[..4].try_into().ok()?;
+    if kind != *b"ACQ1" && kind != *b"REL1" {
+        return None;
+    }
+    Some((
+        kind,
+        u32::from_le_bytes(v[4..8].try_into().ok()?),
+        u64::from_le_bytes(v[8..16].try_into().ok()?),
+    ))
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn arrival_roundtrip() {
+        let enc = encode_arrival(3, 7);
+        assert_eq!(decode_arrival(&enc), Some((3, 7)));
+        assert_eq!(decode_arrival(b"junk"), None);
+    }
+
+    #[test]
+    fn lock_record_roundtrip() {
+        let enc = encode_lock(b"ACQ1", 2, 99);
+        assert_eq!(decode_lock(&enc), Some((*b"ACQ1", 2, 99)));
+        assert_eq!(decode_lock(&encode_arrival(1, 1)), None);
+    }
+}

@@ -1,0 +1,103 @@
+//! A durable message queue between serverless functions — the paper's
+//! Listing 1, in Rust.
+//!
+//! A queue is just a color: `enqueue` appends, `get` reads by index,
+//! `lookup` scans for an expected record. Because the color is totally
+//! ordered by its sequencer, consumers see one consistent queue order.
+
+use std::time::{Duration, Instant};
+
+use flexlog_types::{ColorId, SeqNum};
+
+use crate::{ClientError, FlexLog};
+
+/// See module docs.
+pub struct MessageQueue {
+    color: ColorId,
+    handle: FlexLog,
+    /// Cursor for incremental consumption.
+    cursor: SeqNum,
+}
+
+impl MessageQueue {
+    /// Creates the queue's color (under `parent`) and wraps the handle.
+    pub fn create(
+        mut handle: FlexLog,
+        color: ColorId,
+        parent: ColorId,
+    ) -> Result<Self, crate::ColorError> {
+        handle.add_color(color, parent)?;
+        Ok(MessageQueue {
+            color,
+            handle,
+            cursor: SeqNum::ZERO,
+        })
+    }
+
+    /// Attaches to an existing queue color.
+    pub fn attach(handle: FlexLog, color: ColorId) -> Self {
+        MessageQueue {
+            color,
+            handle,
+            cursor: SeqNum::ZERO,
+        }
+    }
+
+    /// The queue's color.
+    pub fn color(&self) -> ColorId {
+        self.color
+    }
+
+    /// Enqueues a record; returns its position (Listing 1 `Enqueue`).
+    pub fn enqueue(&mut self, record: &[u8]) -> Result<SeqNum, ClientError> {
+        self.handle.append(record, self.color)
+    }
+
+    /// Reads the record at position `idx` (Listing 1 `Get`).
+    pub fn get(&mut self, idx: SeqNum) -> Result<Option<Vec<u8>>, ClientError> {
+        self.handle.read(idx, self.color)
+    }
+
+    /// Scans the whole queue for `expected`; returns its position if
+    /// present (Listing 1 `getIdx`).
+    pub fn lookup(&mut self, expected: &[u8]) -> Result<Option<SeqNum>, ClientError> {
+        let log = self.handle.subscribe(self.color)?;
+        Ok(log
+            .into_iter()
+            .find(|r| r.payload == expected)
+            .map(|r| r.sn))
+    }
+
+    /// Polls [`MessageQueue::lookup`] until `expected` appears or `timeout`
+    /// elapses (Listing 1 `Func2`'s wait loop).
+    pub fn wait_for(
+        &mut self,
+        expected: &[u8],
+        timeout: Duration,
+    ) -> Result<Option<SeqNum>, ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(sn) = self.lookup(expected)? {
+                return Ok(Some(sn));
+            }
+            if Instant::now() >= deadline {
+                return Ok(None);
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Drains records the cursor has not seen yet, in order.
+    pub fn poll_new(&mut self) -> Result<Vec<(SeqNum, Vec<u8>)>, ClientError> {
+        let records = self.handle.subscribe_from(self.color, self.cursor)?;
+        if let Some(last) = records.last() {
+            self.cursor = last.sn;
+        }
+        Ok(records.into_iter().map(|r| (r.sn, r.payload)).collect())
+    }
+
+    /// Releases the wrapped handle.
+    pub fn into_handle(self) -> FlexLog {
+        self.handle
+    }
+}

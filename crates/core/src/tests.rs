@@ -1,0 +1,232 @@
+//! End-to-end tests of the public API on full clusters.
+
+use std::time::Duration;
+
+use flexlog_types::{ColorId, SeqNum};
+
+use crate::{Barrier, ClusterSpec, DistributedLock, FlexLogCluster, MessageQueue};
+
+const RED: ColorId = ColorId(10);
+const BLACK: ColorId = ColorId(11);
+
+#[test]
+fn single_shard_append_read() {
+    let cluster = FlexLogCluster::start(ClusterSpec::single_shard());
+    cluster.add_color(RED).unwrap();
+    let mut h = cluster.handle();
+    let sn = h.append(b"first", RED).unwrap();
+    assert_eq!(h.read(sn, RED).unwrap().unwrap(), b"first");
+    cluster.shutdown();
+}
+
+#[test]
+fn tree_cluster_routes_colors_to_leaves() {
+    // 2 leaves × 1 shard; a leaf-local color orders without the root.
+    let cluster = FlexLogCluster::start(ClusterSpec::tree(2, 1));
+    let leaf = cluster.leaf_roles()[0];
+    cluster.colors().add_color_at(RED, leaf).unwrap();
+    let mut h = cluster.handle();
+    let sn1 = h.append(b"a", RED).unwrap();
+    let sn2 = h.append(b"b", RED).unwrap();
+    assert!(sn2 > sn1);
+    assert_eq!(h.read(sn1, RED).unwrap().unwrap(), b"a");
+    // The root never issued SNs for this color.
+    use std::sync::atomic::Ordering;
+    assert_eq!(
+        cluster
+            .ordering()
+            .stats(flexlog_ordering::RoleId(0))
+            .sns_issued
+            .load(Ordering::Relaxed),
+        0
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn root_ordered_color_spans_all_leaves() {
+    let cluster = FlexLogCluster::start(ClusterSpec::tree(2, 1));
+    cluster.add_color(RED).unwrap(); // under master → root-owned
+    let mut h = cluster.handle();
+    let mut last = SeqNum::ZERO;
+    for i in 0..10u32 {
+        let sn = h.append(format!("g{i}").as_bytes(), RED).unwrap();
+        assert!(sn > last, "global total order across leaves");
+        last = sn;
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn add_color_api_from_handle() {
+    let cluster = FlexLogCluster::start(ClusterSpec::single_shard());
+    let mut h = cluster.handle();
+    h.add_color(RED, ColorId::MASTER).unwrap();
+    h.add_color(BLACK, RED).unwrap(); // nested region
+    assert_eq!(h.colors().parent(BLACK), Some(RED));
+    let sn = h.append(b"nested", BLACK).unwrap();
+    assert_eq!(h.read(sn, BLACK).unwrap().unwrap(), b"nested");
+    cluster.shutdown();
+}
+
+#[test]
+fn message_queue_between_two_functions() {
+    // Listing 1: Func1 appends data to the yellow log, creates the black
+    // queue and enqueues the data's SN; Func2 looks the entry up.
+    let cluster = FlexLogCluster::start(ClusterSpec::single_shard());
+    let yellow = ColorId(21);
+    let black = ColorId(22);
+    cluster.add_color(yellow).unwrap();
+
+    // Func1.
+    let mut f1 = cluster.handle();
+    let sn_y = f1.append(b"the data", yellow).unwrap();
+    let mut mq1 = MessageQueue::create(f1, black, ColorId::MASTER).unwrap();
+    mq1.enqueue(&sn_y.0.to_le_bytes()).unwrap();
+
+    // Func2.
+    let f2 = cluster.handle();
+    let mut mq2 = MessageQueue::attach(f2, black);
+    let found = mq2
+        .wait_for(&sn_y.0.to_le_bytes(), Duration::from_secs(5))
+        .unwrap();
+    assert!(found.is_some(), "Func2 must find the enqueued index");
+    // Follow the pointer back to the yellow log.
+    let mut h2 = mq2.into_handle();
+    assert_eq!(h2.read(sn_y, yellow).unwrap().unwrap(), b"the data");
+    cluster.shutdown();
+}
+
+#[test]
+fn queue_poll_new_is_incremental() {
+    let cluster = FlexLogCluster::start(ClusterSpec::single_shard());
+    let mut mq = MessageQueue::create(cluster.handle(), RED, ColorId::MASTER).unwrap();
+    mq.enqueue(b"one").unwrap();
+    mq.enqueue(b"two").unwrap();
+    let first = mq.poll_new().unwrap();
+    assert_eq!(first.len(), 2);
+    assert!(mq.poll_new().unwrap().is_empty(), "cursor advanced");
+    mq.enqueue(b"three").unwrap();
+    let next = mq.poll_new().unwrap();
+    assert_eq!(next.len(), 1);
+    assert_eq!(next[0].1, b"three");
+    cluster.shutdown();
+}
+
+#[test]
+fn barrier_synchronizes_parties() {
+    let cluster = FlexLogCluster::start(ClusterSpec::single_shard());
+    cluster.add_color(BLACK).unwrap();
+    let barrier = Barrier::new(BLACK, 3);
+
+    // Two arrive; the barrier must not pass yet.
+    let mut a = cluster.handle();
+    let mut b = cluster.handle();
+    barrier.arrive(&mut a, 1).unwrap();
+    barrier.arrive(&mut b, 2).unwrap();
+    assert!(!barrier.wait(&mut a, Duration::from_millis(200)).unwrap());
+
+    // Third arrival releases everyone.
+    let mut c = cluster.handle();
+    barrier.arrive(&mut c, 3).unwrap();
+    assert!(barrier.wait(&mut a, Duration::from_secs(5)).unwrap());
+    assert!(barrier.wait(&mut b, Duration::from_secs(5)).unwrap());
+    cluster.shutdown();
+}
+
+#[test]
+fn barrier_generations_are_independent() {
+    let cluster = FlexLogCluster::start(ClusterSpec::single_shard());
+    cluster.add_color(BLACK).unwrap();
+    let mut barrier = Barrier::new(BLACK, 2);
+    let mut a = cluster.handle();
+    let mut b = cluster.handle();
+    barrier.arrive(&mut a, 1).unwrap();
+    barrier.arrive(&mut b, 2).unwrap();
+    assert!(barrier.wait(&mut a, Duration::from_secs(5)).unwrap());
+    barrier.next_generation();
+    // Old arrivals must not satisfy the new generation.
+    assert!(!barrier.wait(&mut a, Duration::from_millis(200)).unwrap());
+    cluster.shutdown();
+}
+
+#[test]
+fn distributed_lock_mutual_exclusion() {
+    let cluster = FlexLogCluster::start(ClusterSpec::single_shard());
+    cluster.add_color(BLACK).unwrap();
+    let lock = DistributedLock::new(BLACK);
+
+    let mut a = cluster.handle();
+    let guard_a = lock.acquire(&mut a, 1, Duration::from_secs(5)).unwrap();
+
+    // A second acquirer times out while A holds the lock.
+    let mut b = cluster.handle();
+    assert!(matches!(
+        lock.acquire(&mut b, 2, Duration::from_millis(300)),
+        Err(crate::LockError::Timeout)
+    ));
+
+    // After release, B gets it.
+    guard_a.release(&mut a).unwrap();
+    let guard_b = lock.acquire(&mut b, 2, Duration::from_secs(5)).unwrap();
+    guard_b.release(&mut b).unwrap();
+    cluster.shutdown();
+}
+
+#[test]
+fn multi_append_through_handle() {
+    let cluster = FlexLogCluster::start(ClusterSpec::single_shard());
+    cluster.add_color(RED).unwrap();
+    cluster.add_color(BLACK).unwrap();
+    let mut h = cluster.handle();
+    h.multi_append(&[
+        (RED, vec![b"r1".to_vec()]),
+        (BLACK, vec![b"b1".to_vec(), b"b2".to_vec()]),
+    ])
+    .unwrap();
+    assert_eq!(h.subscribe(RED).unwrap().len(), 1);
+    assert_eq!(h.subscribe(BLACK).unwrap().len(), 2);
+    cluster.shutdown();
+}
+
+#[test]
+fn multi_tenant_colors_are_isolated() {
+    // §5.1 multi-tenancy: unrelated applications define distinct colors; no
+    // ordering relation exists between them and neither sees the other's
+    // data.
+    let cluster = FlexLogCluster::start(ClusterSpec::tree(2, 1));
+    let tenant_a = ColorId(31);
+    let tenant_b = ColorId(32);
+    cluster.colors().add_color_at(tenant_a, cluster.leaf_roles()[0]).unwrap();
+    cluster.colors().add_color_at(tenant_b, cluster.leaf_roles()[1]).unwrap();
+
+    let mut a = cluster.handle();
+    let mut b = cluster.handle();
+    for i in 0..5u32 {
+        a.append(format!("a{i}").as_bytes(), tenant_a).unwrap();
+        b.append(format!("b{i}").as_bytes(), tenant_b).unwrap();
+    }
+    let log_a = a.subscribe(tenant_a).unwrap();
+    let log_b = b.subscribe(tenant_b).unwrap();
+    assert_eq!(log_a.len(), 5);
+    assert_eq!(log_b.len(), 5);
+    assert!(log_a.iter().all(|r| r.payload.starts_with(b"a")));
+    assert!(log_b.iter().all(|r| r.payload.starts_with(b"b")));
+    cluster.shutdown();
+}
+
+#[test]
+fn trim_through_handle() {
+    let cluster = FlexLogCluster::start(ClusterSpec::single_shard());
+    cluster.add_color(RED).unwrap();
+    let mut h = cluster.handle();
+    let mut sns = Vec::new();
+    for i in 0..6u32 {
+        sns.push(h.append(format!("{i}").as_bytes(), RED).unwrap());
+    }
+    h.trim(sns[2], RED).unwrap();
+    assert_eq!(h.read(sns[0], RED).unwrap(), None);
+    assert_eq!(h.read(sns[3], RED).unwrap().unwrap(), b"3");
+    assert_eq!(h.subscribe(RED).unwrap().len(), 3);
+    cluster.shutdown();
+}

@@ -1,0 +1,26 @@
+//! # flexlog-faas
+//!
+//! A miniature serverless (FaaS) infrastructure in the shape of the paper's
+//! Figure 3, plus the profiled workloads behind Table 1.
+//!
+//! * [`platform`] — the compute tier: front-end servers authenticate and
+//!   route invocations ①, the orchestrator tracks cluster utilization ②,
+//!   the workers' manager picks a host and fetches the function's state
+//!   (its image) from FlexLog ③–④, and the function instance initializes
+//!   its runtime and runs user code against the shared log.
+//! * [`localfs`] — a syscall-shaped local filesystem over the simulated SSD
+//!   (`open`/`read`/`write`/`fstat`/`close`), instrumented per syscall.
+//! * [`workloads`] — the two FunctionBench-style functions the paper
+//!   profiles: a video-processing pipeline and a gzip-like compressor, both
+//!   doing real compute over synthetic data so the storage-time share of
+//!   Table 1 is *measured*, not assumed.
+
+pub mod localfs;
+pub mod platform;
+pub mod workloads;
+
+pub use localfs::{Fd, FsError, LocalFs, StorageProfile};
+pub use platform::{
+    DeployError, FaasPlatform, FunctionCode, InvocationError, InvocationRecord, InvokeCtx,
+};
+pub use workloads::{gzip_like, video_pipeline, WorkloadReport};

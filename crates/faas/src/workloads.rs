@@ -1,0 +1,299 @@
+//! The two FunctionBench-style workloads the paper profiles in Table 1:
+//! video processing and gzip compression. Both do *real* CPU work over
+//! synthetic inputs and *real* (simulated-latency) storage syscalls, so the
+//! reported storage-time share is measured end to end.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::localfs::{LocalFs, StorageProfile};
+
+/// Quantized cosine table for the 8-point integer DCT (×1024), indexed by
+/// `((2n+1)k) mod 32` quarter-period steps.
+static ICOS: [i32; 32] = [
+    1024, 1004, 946, 851, 724, 569, 392, 200, 0, -200, -392, -569, -724, -851, -946, -1004,
+    -1024, -1004, -946, -851, -724, -569, -392, -200, 0, 200, 392, 569, 724, 851, 946, 1004,
+];
+
+/// Result of one profiled workload run (a Table 1 column).
+#[derive(Clone, Debug)]
+pub struct WorkloadReport {
+    pub name: &'static str,
+    pub runtime: Duration,
+    pub profile: StorageProfile,
+}
+
+impl WorkloadReport {
+    /// Percentage of runtime in each storage syscall + the total row.
+    pub fn table1_column(&self) -> (Vec<(&'static str, f64)>, f64) {
+        (
+            self.profile.shares(self.runtime),
+            self.profile.total_share(self.runtime),
+        )
+    }
+}
+
+/// Video processing: FunctionBench's video workload extracts frames from a
+/// chunked input (one file per frame, as the splitter produces), applies a
+/// multi-pass pixel transform and keeps the encoded result in memory for
+/// upload — its syscall profile is dominated by `open`/`read`, with no
+/// `write` time (Table 1 reports write as N/A for this function).
+pub fn video_pipeline(fs: &LocalFs, frames: usize, frame_bytes: usize) -> WorkloadReport {
+    // Fixture: the pre-split frame files (not part of the profile).
+    let mut rng = StdRng::seed_from_u64(42);
+    for f in 0..frames {
+        let mut frame = vec![0u8; frame_bytes];
+        rng.fill(&mut frame[..]);
+        fs.put_file(&format!("/in/frames/{f:05}.raw"), frame);
+    }
+    fs.reset_profile();
+
+    let start = Instant::now();
+    let mut encoded = Vec::new();
+    for f in 0..frames {
+        let fd = fs.open(&format!("/in/frames/{f:05}.raw"));
+        let stat = fs.fstat(fd).expect("frame exists");
+        let frame = fs.read(fd, stat.size).expect("readable");
+        fs.close(fd).expect("open");
+
+        // Pass 1: RGB triplets → luminance with a gamma-ish curve.
+        let mut luma = Vec::with_capacity(frame.len() / 3 + 1);
+        for px in frame.chunks(3) {
+            let r = px[0] as u32;
+            let g = px.get(1).copied().unwrap_or(0) as u32;
+            let b = px.get(2).copied().unwrap_or(0) as u32;
+            let y = (299 * r + 587 * g + 114 * b) / 1000;
+            luma.push(((y * y) / 255).min(255) as u8);
+        }
+        // Pass 2: 1-D blur (cheap stand-in for the encoder's filtering).
+        let mut blurred = luma.clone();
+        for i in 1..luma.len().saturating_sub(1) {
+            blurred[i] =
+                ((luma[i - 1] as u32 + 2 * luma[i] as u32 + luma[i + 1] as u32) / 4) as u8;
+        }
+        // Pass 3: 8-point integer DCT per block — the encoder's transform
+        // stage, the genuinely compute-heavy part of video processing.
+        let mut coeffs = vec![0i32; blurred.len()];
+        for (bi, block) in blurred.chunks(8).enumerate() {
+            for (k, c) in coeffs[bi * 8..bi * 8 + block.len()].iter_mut().enumerate() {
+                let mut acc = 0i64;
+                for (n, &x) in block.iter().enumerate() {
+                    // Integer cosine table: cos((2n+1)kπ/16) scaled by 1024.
+                    let angle = ((2 * n + 1) * k) % 32;
+                    let cos_q = ICOS[angle];
+                    acc += x as i64 * cos_q as i64;
+                }
+                *c = (acc >> 10) as i32;
+            }
+        }
+        // Pass 4: quantize + delta-encode (what the entropy coder sees).
+        let mut prev = 0i32;
+        for &c in &coeffs {
+            let q = c / 16;
+            encoded.push((q - prev) as u8);
+            prev = q;
+        }
+    }
+    std::hint::black_box(&encoded);
+    let runtime = start.elapsed();
+    WorkloadReport {
+        name: "Video processing",
+        runtime,
+        profile: fs.profile(),
+    }
+}
+
+/// Gzip-like compression: compresses a directory of chunk files (the
+/// FunctionBench harness hands the function one file per input chunk),
+/// streaming the compressed output — real LZ77-style compression work, not
+/// a stub. Its syscall profile is open + write dominated like Table 1's
+/// gzip column.
+pub fn gzip_like(fs: &LocalFs, blocks: usize, block_bytes: usize) -> WorkloadReport {
+    // Fixture: compressible text-like chunk files.
+    let mut rng = StdRng::seed_from_u64(7);
+    let words: Vec<&[u8]> = vec![
+        b"serverless ", b"function ", b"storage ", b"log ", b"append ", b"read ", b"flex ",
+    ];
+    for b in 0..blocks {
+        let mut input = Vec::with_capacity(block_bytes);
+        while input.len() < block_bytes {
+            input.extend_from_slice(words[rng.gen_range(0..words.len())]);
+        }
+        input.truncate(block_bytes);
+        fs.put_file(&format!("/in/chunks/{b:05}.txt"), input);
+    }
+    fs.reset_profile();
+
+    let start = Instant::now();
+    let fd_out = fs.open("/out/data.gz");
+    for b in 0..blocks {
+        let fd_in = fs.open(&format!("/in/chunks/{b:05}.txt"));
+        let stat = fs.fstat(fd_in).expect("chunk exists");
+        let block = fs.read(fd_in, stat.size).expect("readable");
+        fs.close(fd_in).expect("open");
+        let compressed = compress_block(&block);
+        // gzip streams its output in small deflate-block writes.
+        for chunk in compressed.chunks(512) {
+            fs.write(fd_out, chunk).expect("writable");
+        }
+    }
+    fs.close(fd_out).expect("open");
+    let runtime = start.elapsed();
+    WorkloadReport {
+        name: "Gzip compression",
+        runtime,
+        profile: fs.profile(),
+    }
+}
+
+/// Greedy LZ77-style compressor with a 64-byte sliding window: emits
+/// literals and (distance, length) matches. Decompressible by
+/// [`decompress_block`]; used only for its CPU profile fidelity.
+pub fn compress_block(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 8);
+    let mut i = 0usize;
+    while i < data.len() {
+        let window_start = i.saturating_sub(64);
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        for cand in window_start..i {
+            let mut l = 0usize;
+            while i + l < data.len() && data[cand + l] == data[i + l] && l < 255 {
+                // Stay inside the already-emitted region for overlapping
+                // matches.
+                if cand + l >= i {
+                    break;
+                }
+                l += 1;
+            }
+            if l > best_len {
+                best_len = l;
+                best_dist = i - cand;
+            }
+        }
+        if best_len >= 4 {
+            out.push(0xFF); // match marker
+            out.push(best_dist as u8);
+            out.push(best_len as u8);
+            i += best_len;
+        } else {
+            // Literal (escape 0xFF).
+            if data[i] == 0xFF {
+                out.push(0xFF);
+                out.push(0);
+                out.push(0);
+            } else {
+                out.push(data[i]);
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Inverse of [`compress_block`].
+pub fn decompress_block(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 2);
+    let mut i = 0usize;
+    while i < data.len() {
+        if data[i] == 0xFF {
+            let dist = data[i + 1] as usize;
+            let len = data[i + 2] as usize;
+            if dist == 0 && len == 0 {
+                out.push(0xFF);
+            } else {
+                let start = out.len() - dist;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+            i += 3;
+        } else {
+            out.push(data[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compressor_roundtrips() {
+        let cases: Vec<Vec<u8>> = vec![
+            b"".to_vec(),
+            b"a".to_vec(),
+            b"abcabcabcabcabcabc".to_vec(),
+            vec![0xFF; 40],
+            b"the quick brown fox jumps over the lazy dog the quick brown fox".to_vec(),
+        ];
+        for case in cases {
+            let c = compress_block(&case);
+            assert_eq!(decompress_block(&c), case, "case {case:?}");
+        }
+    }
+
+    #[test]
+    fn compressor_shrinks_repetitive_input() {
+        let data = b"serverless serverless serverless serverless serverless ".repeat(10);
+        let c = compress_block(&data);
+        assert!(
+            c.len() < data.len() / 2,
+            "repetitive text must compress: {} -> {}",
+            data.len(),
+            c.len()
+        );
+    }
+
+    #[test]
+    fn video_pipeline_produces_profile_without_writes() {
+        let fs = LocalFs::new();
+        let report = video_pipeline(&fs, 4, 3 * 1024);
+        // Per-frame files: one open/fstat/read/close each, no writes
+        // (Table 1 reports write as N/A for the video function).
+        assert_eq!(report.profile.calls_of("open"), 4);
+        assert_eq!(report.profile.calls_of("read"), 4);
+        assert_eq!(report.profile.calls_of("close"), 4);
+        assert_eq!(report.profile.calls_of("write"), 0);
+        assert!(report.profile.total() > Duration::ZERO);
+        assert!(report.runtime >= report.profile.total());
+    }
+
+    #[test]
+    fn gzip_workload_produces_compressed_output() {
+        let fs = LocalFs::new();
+        let report = gzip_like(&fs, 4, 2048);
+        let out = fs.raw_contents("/out/data.gz").unwrap();
+        assert!(!out.is_empty());
+        assert!(out.len() < 4 * 2048, "output must actually compress");
+        let (_, total) = report.table1_column();
+        assert!(total > 0.0 && total <= 100.0);
+    }
+
+    #[test]
+    fn storage_share_is_substantial_for_both() {
+        // Table 1's claim: a large fraction (tens of percent) of these
+        // functions' time goes to storage syscalls.
+        let fs = LocalFs::new();
+        let video = video_pipeline(&fs, 8, 3 * 4096);
+        let fs2 = LocalFs::new();
+        let gzip = gzip_like(&fs2, 8, 4096);
+        for r in [&video, &gzip] {
+            let (_, total) = r.table1_column();
+            // The absolute share depends on the build profile: debug-mode
+            // compute is ~20× slower than release, deflating the storage
+            // share. The unit test only checks that storage time is
+            // visible; the table1 bench (release) reports the real shares.
+            assert!(
+                total > 2.0,
+                "{}: storage share suspiciously low: {total:.1}%",
+                r.name
+            );
+        }
+    }
+}

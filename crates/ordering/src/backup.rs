@@ -1,0 +1,285 @@
+//! Sequencer backup nodes and the election/promotion protocol (§5.2
+//! "Sequencer replication", §6.3 "Sequencer failures").
+//!
+//! Backups are **stateless** with respect to ordering: they replicate only
+//! the current epoch, never see OReqs, and add zero latency in normal
+//! operation. When heartbeats stop for Δ:
+//!
+//! 1. every live backup broadcasts a candidacy carrying its known epoch;
+//! 2. after an election window the highest (epoch, node-id) wins;
+//! 3. the winner bumps the epoch, replicates it to a majority of backups,
+//! 4. initializes all data-layer replicas of its region and waits for every
+//!    ack (guaranteeing the old leader's interrupted broadcasts are resolved
+//!    by the replicas' sync-phase before new SNs appear), and
+//! 5. installs itself in the directory and runs the sequencer loop.
+//!
+//! Losers go back to monitoring; if the winner dies mid-promotion the next
+//! timeout triggers a fresh election at a higher epoch.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use flexlog_simnet::{Endpoint, NodeId, RecvError};
+use flexlog_types::Epoch;
+
+use crate::msg::{OrderMsg, OrderWire};
+use crate::{Directory, SequencerConfig, SequencerNode};
+
+/// Configuration of a backup node.
+#[derive(Clone, Debug)]
+pub struct BackupConfig {
+    /// The sequencer position this backup protects — assumed on promotion.
+    pub sequencer: SequencerConfig,
+    /// The *other* backups of the same position.
+    pub peers: Vec<NodeId>,
+    /// Data-layer replicas that must acknowledge a new sequencer before it
+    /// serves (all replicas of the shards attached to this position).
+    pub replicas_to_init: Vec<NodeId>,
+    /// How long to collect candidacies before deciding.
+    pub election_window: Duration,
+}
+
+/// See module docs.
+pub struct BackupNode {
+    config: BackupConfig,
+    directory: Directory,
+    known_epoch: Epoch,
+    /// Live peer backups. A peer that becomes the leader (observed through
+    /// its heartbeats / epoch replication) leaves this set — it is no longer
+    /// part of the backup group, so later elections do not wait for it.
+    peers: Vec<NodeId>,
+}
+
+enum Phase {
+    Monitoring,
+    Electing { bids: Vec<(Epoch, NodeId)>, deadline: Instant },
+}
+
+impl BackupNode {
+    pub fn new(config: BackupConfig, directory: Directory) -> Self {
+        let peers = config.peers.clone();
+        BackupNode {
+            config,
+            directory,
+            known_epoch: Epoch(1),
+            peers,
+        }
+    }
+
+    fn note_leader(&mut self, leader: NodeId) {
+        self.peers.retain(|&p| p != leader);
+    }
+
+    /// Runs the backup loop. If this node wins an election it *becomes* the
+    /// sequencer on the same endpoint and only returns when that sequencer
+    /// stops.
+    pub fn run<W: OrderWire>(mut self, ep: Endpoint<W>) {
+        let delta = self.config.sequencer.delta;
+        let mut last_leader_sign = Instant::now();
+        let mut phase = Phase::Monitoring;
+
+        loop {
+            match ep.recv_timeout(delta / 4) {
+                Ok((from, wire)) => {
+                    let Some(msg) = wire.into_order() else { continue };
+                    match msg {
+                        OrderMsg::Shutdown => return,
+                        OrderMsg::Heartbeat { epoch } => {
+                            if epoch >= self.known_epoch {
+                                self.note_leader(from);
+                                self.known_epoch = epoch;
+                                last_leader_sign = Instant::now();
+                                phase = Phase::Monitoring;
+                                let _ = ep.send(
+                                    from,
+                                    W::from_order(OrderMsg::HeartbeatAck { epoch }),
+                                );
+                            }
+                            // Stale-epoch heartbeats get no ack: the old
+                            // leader starves of majorities and self-demotes.
+                        }
+                        OrderMsg::ReplicateEpoch { epoch } => {
+                            if epoch > self.known_epoch {
+                                self.known_epoch = epoch;
+                            }
+                            self.note_leader(from);
+                            last_leader_sign = Instant::now();
+                            let _ = ep.send(from, W::from_order(OrderMsg::EpochAck { epoch }));
+                        }
+                        OrderMsg::Candidacy { epoch, id } => {
+                            match &mut phase {
+                                Phase::Electing { bids, .. } => bids.push((epoch, id)),
+                                Phase::Monitoring => {
+                                    // A peer detected the failure first:
+                                    // join the election immediately.
+                                    let deadline =
+                                        Instant::now() + self.config.election_window;
+                                    let mut bids = vec![(self.known_epoch, ep.id()), (epoch, id)];
+                                    let _ = ep.broadcast(
+                                        &self.peers,
+                                        W::from_order(OrderMsg::Candidacy {
+                                            epoch: self.known_epoch,
+                                            id: ep.id(),
+                                        }),
+                                    );
+                                    bids.sort();
+                                    phase = Phase::Electing { bids, deadline };
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                Err(RecvError::Timeout) => {}
+                Err(RecvError::Disconnected) => return,
+            }
+
+            match &mut phase {
+                Phase::Monitoring => {
+                    if Instant::now() - last_leader_sign > delta {
+                        // Leader presumed dead: open an election.
+                        let _ = ep.broadcast(
+                            &self.peers,
+                            W::from_order(OrderMsg::Candidacy {
+                                epoch: self.known_epoch,
+                                id: ep.id(),
+                            }),
+                        );
+                        phase = Phase::Electing {
+                            bids: vec![(self.known_epoch, ep.id())],
+                            deadline: Instant::now() + self.config.election_window,
+                        };
+                    }
+                }
+                Phase::Electing { bids, deadline } => {
+                    if Instant::now() >= *deadline {
+                        // Highest (epoch, node-id) wins (§5.2).
+                        let winner = bids.iter().max().copied().expect("own bid present");
+                        let max_epoch = bids.iter().map(|&(e, _)| e).max().unwrap();
+                        if self.known_epoch < max_epoch {
+                            self.known_epoch = max_epoch;
+                        }
+                        if winner.1 == ep.id() {
+                            match self.promote(&ep) {
+                                Promotion::Became(seq) => {
+                                    // Transition in place: same node id, new
+                                    // role. Returns when the sequencer stops.
+                                    return (*seq).run(ep);
+                                }
+                                Promotion::Aborted => {
+                                    // Could not reach a majority: back to
+                                    // monitoring (maybe partitioned away).
+                                    last_leader_sign = Instant::now();
+                                    phase = Phase::Monitoring;
+                                }
+                                Promotion::Stop => return,
+                            }
+                        } else {
+                            // Give the winner time to promote; re-elect on
+                            // silence.
+                            last_leader_sign = Instant::now();
+                            phase = Phase::Monitoring;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Promotion: epoch bump → replicate to majority → init replicas →
+    /// serve. Returns `Aborted` if a majority of backups is unreachable.
+    fn promote<W: OrderWire>(&mut self, ep: &Endpoint<W>) -> Promotion {
+        let new_epoch = self.known_epoch.next();
+        let total_backups = self.peers.len() + 1; // peers + self
+        let acks_needed = (total_backups / 2 + 1).saturating_sub(1); // self counts
+
+        // Phase 1: replicate the epoch to a majority of backups.
+        if acks_needed > 0 {
+            let mut acked: HashSet<NodeId> = HashSet::new();
+            let mut attempts = 0;
+            'replicate: loop {
+                attempts += 1;
+                if attempts > 5 {
+                    return Promotion::Aborted;
+                }
+                let _ = ep.broadcast(
+                    &self.peers,
+                    W::from_order(OrderMsg::ReplicateEpoch { epoch: new_epoch }),
+                );
+                let deadline = Instant::now() + self.config.sequencer.delta;
+                while Instant::now() < deadline {
+                    match ep.recv_timeout(self.config.sequencer.delta / 4) {
+                        Ok((from, wire)) => match wire.into_order() {
+                            Some(OrderMsg::EpochAck { epoch }) if epoch == new_epoch => {
+                                acked.insert(from);
+                                if acked.len() >= acks_needed {
+                                    break 'replicate;
+                                }
+                            }
+                            Some(OrderMsg::Candidacy { .. }) => {
+                                // A competing election: our ReplicateEpoch
+                                // broadcast will settle it; ignore.
+                            }
+                            Some(OrderMsg::Shutdown) => return Promotion::Stop,
+                            _ => {}
+                        },
+                        Err(RecvError::Timeout) => {}
+                        Err(RecvError::Disconnected) => return Promotion::Stop,
+                    }
+                }
+            }
+        }
+        self.known_epoch = new_epoch;
+
+        // Phase 2: initialize the data-layer replicas and wait for *all*
+        // acks (§6.3 — guarantees a single active sequencer and that the
+        // replicas have completed the previous epoch's messages).
+        if !self.config.replicas_to_init.is_empty() {
+            let mut acked: HashSet<NodeId> = HashSet::new();
+            loop {
+                let _ = ep.broadcast(
+                    &self.config.replicas_to_init,
+                    W::from_order(OrderMsg::InitSequencer {
+                        role: self.config.sequencer.role,
+                        epoch: new_epoch,
+                    }),
+                );
+                let deadline = Instant::now() + self.config.sequencer.delta * 2;
+                while Instant::now() < deadline {
+                    match ep.recv_timeout(self.config.sequencer.delta / 4) {
+                        Ok((from, wire)) => match wire.into_order() {
+                            Some(OrderMsg::InitAck { epoch }) if epoch == new_epoch => {
+                                acked.insert(from);
+                            }
+                            Some(OrderMsg::Shutdown) => return Promotion::Stop,
+                            _ => {}
+                        },
+                        Err(RecvError::Timeout) => {}
+                        Err(RecvError::Disconnected) => return Promotion::Stop,
+                    }
+                    if acked.len() == self.config.replicas_to_init.len() {
+                        break;
+                    }
+                }
+                if acked.len() == self.config.replicas_to_init.len() {
+                    break;
+                }
+                // Replica failures block the new sequencer — availability is
+                // sacrificed for consistency (§4 fault model). Keep retrying.
+            }
+        }
+
+        // The promoted node leaves the backup group: the remaining peers are
+        // the new backup set it heartbeats.
+        let mut cfg = self.config.sequencer.clone();
+        cfg.backups = self.peers.clone();
+        let seq = SequencerNode::with_epoch(cfg, self.directory.clone(), new_epoch);
+        Promotion::Became(Box::new(seq))
+    }
+}
+
+enum Promotion {
+    Became(Box<SequencerNode>),
+    Aborted,
+    Stop,
+}

@@ -1,0 +1,87 @@
+//! Ordering-layer messages and the wire-embedding trait.
+
+use flexlog_simnet::NodeId;
+use flexlog_types::{ColorId, Epoch, SeqNum, Token};
+
+use crate::RoleId;
+
+/// Messages exchanged by sequencers, their backups, and the data layer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OrderMsg {
+    /// Order request from a replica (or measuring client) to a leaf
+    /// sequencer: assign `nrecords` consecutive SNs in `color` for the
+    /// append identified by `token`; broadcast the reply to `shard`
+    /// (Algorithm 1, line 19).
+    OReq {
+        color: ColorId,
+        token: Token,
+        nrecords: u32,
+        shard: Vec<NodeId>,
+    },
+    /// Aggregated request a sequencer forwards to its parent: `total` SNs
+    /// for `color`, identified by the child's `batch` id (§5.2).
+    AggReq {
+        color: ColorId,
+        batch: u64,
+        total: u32,
+    },
+    /// Reply to an [`OrderMsg::AggReq`]: the *last* SN of the assigned
+    /// range; the child distributes sub-ranges to its constituents.
+    AggResp { batch: u64, last_sn: SeqNum },
+    /// Ordering response broadcast by the leaf to all replicas of the
+    /// requesting shard: `last_sn` is the SN of the batch's final record.
+    OResp { token: Token, last_sn: SeqNum },
+
+    /// Leader → backups: replicate the epoch before serving (§5.2 Safety).
+    ReplicateEpoch { epoch: Epoch },
+    /// Backup → leader: epoch durably noted.
+    EpochAck { epoch: Epoch },
+    /// Leader → backups: liveness heartbeat.
+    Heartbeat { epoch: Epoch },
+    /// Backup → leader: heartbeat ack (the leader self-demotes without a
+    /// majority of these within Δ).
+    HeartbeatAck { epoch: Epoch },
+    /// Backup → peer backups: candidacy in an election. The highest
+    /// (epoch, node-id) wins (§5.2 "Sequencer replication").
+    Candidacy { epoch: Epoch, id: NodeId },
+
+    /// New leader → data-layer replicas: initialize against epoch `epoch`
+    /// before the leader serves (§6.3 "Sequencer failures").
+    InitSequencer { role: RoleId, epoch: Epoch },
+    /// Replica → new leader: initialization complete.
+    InitAck { epoch: Epoch },
+
+    /// Orderly shutdown (test harness).
+    Shutdown,
+}
+
+/// Embeds [`OrderMsg`] into an arbitrary network wire type, letting
+/// sequencer nodes run on a cluster-wide message enum they do not know.
+pub trait OrderWire: Send + Clone + 'static {
+    fn from_order(m: OrderMsg) -> Self;
+    fn into_order(self) -> Option<OrderMsg>;
+}
+
+impl OrderWire for OrderMsg {
+    fn from_order(m: OrderMsg) -> Self {
+        m
+    }
+    fn into_order(self) -> Option<OrderMsg> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_wire_roundtrips() {
+        let m = OrderMsg::OResp {
+            token: Token(7),
+            last_sn: SeqNum(9),
+        };
+        let w = OrderMsg::from_order(m.clone());
+        assert_eq!(w.into_order(), Some(m));
+    }
+}

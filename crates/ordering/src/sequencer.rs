@@ -1,0 +1,487 @@
+//! The sequencer node: leader logic of one position in the ordering tree.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use flexlog_simnet::{Endpoint, NodeId, RecvError};
+use flexlog_types::{ColorId, Epoch, SeqNum, Token};
+
+use crate::msg::{OrderMsg, OrderWire};
+use crate::{ColorRegistry, Directory, RoleId};
+
+/// Static configuration of a sequencer position (shared with its backups,
+/// which assume it on promotion).
+#[derive(Clone, Debug)]
+pub struct SequencerConfig {
+    /// Logical role in the tree.
+    pub role: RoleId,
+    /// Colors this sequencer is the ordering root for.
+    pub owned: HashSet<ColorId>,
+    /// Parent role (None at the tree root).
+    pub parent: Option<RoleId>,
+    /// Backup nodes replicating this sequencer's epoch.
+    pub backups: Vec<NodeId>,
+    /// OReq aggregation window (paper default: 1 µs).
+    pub batch_interval: Duration,
+    /// Heartbeat period towards the backups.
+    pub heartbeat_interval: Duration,
+    /// Failure-detection bound Δ.
+    pub delta: Duration,
+    /// Resend window for unanswered upstream requests.
+    pub resend_timeout: Duration,
+    /// Dynamic color ownership (AddColor); consulted in addition to
+    /// `owned`.
+    pub registry: ColorRegistry,
+}
+
+impl Default for SequencerConfig {
+    fn default() -> Self {
+        SequencerConfig {
+            role: RoleId(0),
+            owned: HashSet::new(),
+            parent: None,
+            backups: Vec::new(),
+            batch_interval: Duration::from_micros(1),
+            heartbeat_interval: Duration::from_millis(20),
+            delta: Duration::from_millis(150),
+            resend_timeout: Duration::from_millis(300),
+            registry: ColorRegistry::new(),
+        }
+    }
+}
+
+/// Modelled per-message handling costs (ns) on the paper's testbed — a Go
+/// gRPC server spends ~0.5–1.5 µs of CPU per message, plus per-record work
+/// distributing assigned ranges. These feed the `busy_ns` capacity metric
+/// used by the scalability experiments (Fig 9/11) where a single-CPU host
+/// cannot express multi-node parallelism in wall time.
+const HANDLE_OREQ_NS: u64 = 500;
+const HANDLE_PER_RECORD_NS: u64 = 800;
+const HANDLE_AGG_NS: u64 = 1_500;
+
+/// Counters exposed to benchmarks (shared, updated by the node thread).
+#[derive(Debug, Default)]
+pub struct SequencerStats {
+    /// Modelled busy time of this node (see the constants above).
+    pub busy_ns: AtomicU64,
+    /// Total sequence numbers issued by this node (only counts colors it
+    /// owns).
+    pub sns_issued: AtomicU64,
+    /// OReqs received from replicas/clients.
+    pub oreqs: AtomicU64,
+    /// Aggregated batches flushed (locally assigned or forwarded).
+    pub batches: AtomicU64,
+    /// Requests forwarded to the parent.
+    pub forwarded: AtomicU64,
+}
+
+/// A member of a pending batch, in arrival order.
+enum Constituent {
+    /// Direct OReq origin: reply goes to the shard's replicas.
+    Origin {
+        token: Token,
+        nrecords: u32,
+        shard: Vec<NodeId>,
+    },
+    /// A child sequencer's aggregated request.
+    Child { from: NodeId, batch: u64, total: u32 },
+}
+
+impl Constituent {
+    fn total(&self) -> u32 {
+        match self {
+            Constituent::Origin { nrecords, .. } => *nrecords,
+            Constituent::Child { total, .. } => *total,
+        }
+    }
+}
+
+struct ColorBuffer {
+    constituents: Vec<Constituent>,
+    total: u32,
+    opened_at: Instant,
+}
+
+struct PendingUp {
+    color: ColorId,
+    constituents: Vec<Constituent>,
+    total: u32,
+    sent_at: Instant,
+}
+
+/// Bounded memory for replayed child responses.
+const RESPONDED_CAP: usize = 100_000;
+
+/// See module docs.
+pub struct SequencerNode {
+    config: SequencerConfig,
+    directory: Directory,
+    epoch: Epoch,
+    counters: HashMap<ColorId, u32>,
+    seen_tokens: HashSet<Token>,
+    /// Replay cache: tokens already answered → their SN, so OReq resends
+    /// (e.g. from a replica that was partitioned during the OResp
+    /// broadcast) get the same answer re-broadcast instead of being
+    /// silently dropped.
+    answered_tokens: HashMap<Token, SeqNum>,
+    answered_order: VecDeque<Token>,
+    buffers: HashMap<ColorId, ColorBuffer>,
+    pending_up: HashMap<u64, PendingUp>,
+    next_batch: u64,
+    /// Replay cache: child batches already answered → their SN, so child
+    /// resends get the same answer instead of a new range.
+    responded: HashMap<(NodeId, u64), SeqNum>,
+    responded_order: VecDeque<(NodeId, u64)>,
+    stats: Arc<SequencerStats>,
+}
+
+impl SequencerNode {
+    /// Creates the initial sequencer of a role at epoch 1.
+    pub fn new(config: SequencerConfig, directory: Directory) -> Self {
+        Self::with_epoch(config, directory, Epoch(1))
+    }
+
+    /// Creates a sequencer resuming at a given epoch (promotion path).
+    pub fn with_epoch(config: SequencerConfig, directory: Directory, epoch: Epoch) -> Self {
+        SequencerNode {
+            config,
+            directory,
+            epoch,
+            counters: HashMap::new(),
+            seen_tokens: HashSet::new(),
+            answered_tokens: HashMap::new(),
+            answered_order: VecDeque::new(),
+            buffers: HashMap::new(),
+            pending_up: HashMap::new(),
+            next_batch: 1,
+            responded: HashMap::new(),
+            responded_order: VecDeque::new(),
+            stats: Arc::new(SequencerStats::default()),
+        }
+    }
+
+    /// Shared statistics handle.
+    pub fn stats(&self) -> Arc<SequencerStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// The epoch this node issues SNs in.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Runs the sequencer loop until shutdown, crash, or self-demotion.
+    /// Installs itself in the directory on entry.
+    pub fn run<W: OrderWire>(mut self, ep: Endpoint<W>) {
+        self.directory.set(self.config.role, ep.id());
+        let mut hb_last_sent = Instant::now() - self.config.heartbeat_interval;
+        let mut hb_acks: HashSet<NodeId> = HashSet::new();
+        let mut hb_last_majority = Instant::now();
+
+        loop {
+            // Only poll at the (microsecond-scale) batching interval while
+            // work is actually buffered or in flight; otherwise block for a
+            // coarse tick so an idle sequencer does not busy-spin a core.
+            // (pending_up progress is driven by incoming AggResps, which
+            // wake the recv — no need to poll for it.)
+            let busy = !self.buffers.is_empty();
+            let idle_tick = if self.config.backups.is_empty() {
+                Duration::from_millis(50)
+            } else {
+                self.config.heartbeat_interval / 2
+            };
+            let wait = if busy {
+                self.config.batch_interval.max(Duration::from_micros(1))
+            } else {
+                idle_tick.max(Duration::from_millis(1))
+            };
+            match ep.recv_timeout(wait) {
+                Ok((from, wire)) => {
+                    let Some(msg) = wire.into_order() else { continue };
+                    match msg {
+                        OrderMsg::Shutdown => return,
+                        OrderMsg::OReq {
+                            color,
+                            token,
+                            nrecords,
+                            shard,
+                        } => {
+                            self.stats.oreqs.fetch_add(1, Ordering::Relaxed);
+                            self.stats.busy_ns.fetch_add(
+                                HANDLE_OREQ_NS + HANDLE_PER_RECORD_NS * nrecords as u64,
+                                Ordering::Relaxed,
+                            );
+                            if !self.seen_tokens.insert(token) {
+                                // Idempotence (Alg 1 line 31) — but if this
+                                // token was already assigned, replay the
+                                // response so late/partitioned replicas can
+                                // still commit.
+                                if let Some(&sn) = self.answered_tokens.get(&token) {
+                                    let _ = ep.broadcast(
+                                        &shard,
+                                        W::from_order(OrderMsg::OResp {
+                                            token,
+                                            last_sn: sn,
+                                        }),
+                                    );
+                                }
+                                continue;
+                            }
+                            self.buffer(
+                                color,
+                                Constituent::Origin {
+                                    token,
+                                    nrecords,
+                                    shard,
+                                },
+                            );
+                        }
+                        OrderMsg::AggReq { color, batch, total } => {
+                            self.stats.busy_ns.fetch_add(HANDLE_AGG_NS, Ordering::Relaxed);
+                            if let Some(&sn) = self.responded.get(&(from, batch)) {
+                                // Child resend of an answered batch.
+                                let _ = ep.send(
+                                    from,
+                                    W::from_order(OrderMsg::AggResp { batch, last_sn: sn }),
+                                );
+                                continue;
+                            }
+                            self.buffer(color, Constituent::Child { from, batch, total });
+                        }
+                        OrderMsg::AggResp { batch, last_sn } => {
+                            self.stats.busy_ns.fetch_add(HANDLE_AGG_NS, Ordering::Relaxed);
+                            if let Some(p) = self.pending_up.remove(&batch) {
+                                self.distribute(&ep, p.constituents, last_sn, p.total);
+                            }
+                        }
+                        OrderMsg::HeartbeatAck { epoch } if epoch == self.epoch => {
+                            hb_acks.insert(from);
+                            if hb_acks.len() >= majority(self.config.backups.len()) {
+                                hb_last_majority = Instant::now();
+                                hb_acks.clear();
+                            }
+                        }
+                        // A backup (or old peer) probing with other control
+                        // traffic — a live leader ignores it; demotion only
+                        // ever happens through lost heartbeat majorities.
+                        _ => {}
+                    }
+                }
+                Err(RecvError::Timeout) => {}
+                Err(RecvError::Disconnected) => return,
+            }
+
+            self.flush_due(&ep);
+            self.resend_stale(&ep);
+
+            // Heartbeats + split-brain self-demotion (only with backups).
+            if !self.config.backups.is_empty() {
+                let now = Instant::now();
+                if now - hb_last_sent >= self.config.heartbeat_interval {
+                    let _ = ep.broadcast(
+                        &self.config.backups,
+                        W::from_order(OrderMsg::Heartbeat { epoch: self.epoch }),
+                    );
+                    hb_last_sent = now;
+                }
+                if now - hb_last_majority > self.config.delta * 3 {
+                    // Lost contact with a majority of backups: shut down so
+                    // two sequencers can never both serve (§5.2).
+                    self.directory.clear_if(self.config.role, ep.id());
+                    return;
+                }
+            }
+        }
+    }
+
+    fn buffer(&mut self, color: ColorId, c: Constituent) {
+        let total = c.total();
+        let buf = self.buffers.entry(color).or_insert_with(|| ColorBuffer {
+            constituents: Vec::new(),
+            total: 0,
+            opened_at: Instant::now(),
+        });
+        buf.constituents.push(c);
+        buf.total += total;
+    }
+
+    fn flush_due<W: OrderWire>(&mut self, ep: &Endpoint<W>) {
+        let now = Instant::now();
+        let due: Vec<ColorId> = self
+            .buffers
+            .iter()
+            .filter(|(_, b)| now - b.opened_at >= self.config.batch_interval)
+            .map(|(&c, _)| c)
+            .collect();
+        for color in due {
+            let Some(buf) = self.buffers.remove(&color) else { continue };
+            self.stats.batches.fetch_add(1, Ordering::Relaxed);
+            let owned = self.config.owned.contains(&color)
+                || self.config.registry.owner(color) == Some(self.config.role);
+            if owned {
+                // This node is the ordering root for the color: assign the
+                // whole range with one counter bump.
+                let counter = self.counters.entry(color).or_insert(0);
+                *counter += buf.total;
+                let last_sn = SeqNum::new(self.epoch, *counter);
+                self.stats
+                    .sns_issued
+                    .fetch_add(buf.total as u64, Ordering::Relaxed);
+                self.distribute(ep, buf.constituents, last_sn, buf.total);
+            } else {
+                // Forward one merged request to the parent.
+                let Some(parent_role) = self.config.parent else {
+                    // Misrouted OReq for a color nobody above owns: drop.
+                    continue;
+                };
+                let Some(parent) = self.directory.get(parent_role) else {
+                    // Parent currently unknown (fail-over window): re-buffer.
+                    self.buffers.insert(color, buf);
+                    continue;
+                };
+                let batch = self.next_batch;
+                self.next_batch += 1;
+                let _ = ep.send(
+                    parent,
+                    W::from_order(OrderMsg::AggReq {
+                        color,
+                        batch,
+                        total: buf.total,
+                    }),
+                );
+                self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                self.pending_up.insert(
+                    batch,
+                    PendingUp {
+                        color,
+                        constituents: buf.constituents,
+                        total: buf.total,
+                        sent_at: now,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Splits an assigned range `[last_sn - total + 1, last_sn]` across the
+    /// batch constituents in arrival order.
+    fn distribute<W: OrderWire>(
+        &mut self,
+        ep: &Endpoint<W>,
+        constituents: Vec<Constituent>,
+        last_sn: SeqNum,
+        total: u32,
+    ) {
+        let epoch = last_sn.epoch();
+        let mut cursor = last_sn.counter() - total + 1;
+        for c in constituents {
+            match c {
+                Constituent::Origin {
+                    token,
+                    nrecords,
+                    shard,
+                } => {
+                    let sub_last = SeqNum::new(epoch, cursor + nrecords - 1);
+                    let _ = ep.broadcast(
+                        &shard,
+                        W::from_order(OrderMsg::OResp {
+                            token,
+                            last_sn: sub_last,
+                        }),
+                    );
+                    self.remember_token(token, sub_last);
+                    cursor += nrecords;
+                }
+                Constituent::Child { from, batch, total } => {
+                    let sub_last = SeqNum::new(epoch, cursor + total - 1);
+                    let _ = ep.send(
+                        from,
+                        W::from_order(OrderMsg::AggResp {
+                            batch,
+                            last_sn: sub_last,
+                        }),
+                    );
+                    self.remember_response(from, batch, sub_last);
+                    cursor += total;
+                }
+            }
+        }
+        debug_assert_eq!(cursor, last_sn.counter() + 1, "range fully distributed");
+    }
+
+    fn remember_token(&mut self, token: Token, sn: SeqNum) {
+        self.answered_tokens.insert(token, sn);
+        self.answered_order.push_back(token);
+        while self.answered_order.len() > RESPONDED_CAP {
+            if let Some(t) = self.answered_order.pop_front() {
+                self.answered_tokens.remove(&t);
+            }
+        }
+    }
+
+    fn remember_response(&mut self, from: NodeId, batch: u64, sn: SeqNum) {
+        self.responded.insert((from, batch), sn);
+        self.responded_order.push_back((from, batch));
+        while self.responded_order.len() > RESPONDED_CAP {
+            if let Some(k) = self.responded_order.pop_front() {
+                self.responded.remove(&k);
+            }
+        }
+    }
+
+    fn resend_stale<W: OrderWire>(&mut self, ep: &Endpoint<W>) {
+        if self.pending_up.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        let Some(parent_role) = self.config.parent else { return };
+        let Some(parent) = self.directory.get(parent_role) else { return };
+        for (&batch, p) in self.pending_up.iter_mut() {
+            if now - p.sent_at >= self.config.resend_timeout {
+                let _ = ep.send(
+                    parent,
+                    W::from_order(OrderMsg::AggReq {
+                        color: p.color,
+                        batch,
+                        total: p.total,
+                    }),
+                );
+                p.sent_at = now;
+            }
+        }
+    }
+}
+
+/// Majority of a backup set of size `n` (e.g. 2 backups → 2? no: 2 → 2/2+... ).
+/// We require acknowledgements from ⌈n/2⌉ backups, which together with the
+/// leader itself forms a strict majority of the (leader + backups) group.
+fn majority(n: usize) -> usize {
+    n.div_ceil(2)
+}
+
+impl Directory {
+    /// Removes `role` only if `node` still holds it (demotion must not kick
+    /// out a successor that already took over).
+    pub fn clear_if(&self, role: RoleId, node: NodeId) {
+        // Fine-grained compare-and-clear via the underlying map.
+        if self.get(role) == Some(node) {
+            self.clear(role);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_thresholds() {
+        assert_eq!(majority(0), 0);
+        assert_eq!(majority(1), 1);
+        assert_eq!(majority(2), 1);
+        assert_eq!(majority(3), 2);
+        assert_eq!(majority(4), 2);
+    }
+}

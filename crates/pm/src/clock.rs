@@ -1,0 +1,161 @@
+//! Device time accounting.
+//!
+//! Every simulated device charges each operation its modelled latency via a
+//! [`DeviceClock`]. Three modes exist because the repository runs on a small
+//! host while reproducing experiments from a 12-core testbed:
+//!
+//! * [`ClockMode::Spin`] busy-waits for the modelled duration — real
+//!   wall-clock latency, used for the latency-shaped experiments (Fig 1, 8).
+//! * [`ClockMode::Virtual`] adds the duration to a **per-thread virtual
+//!   clock** — used for throughput/scaling experiments (Fig 5–7) where
+//!   busy-waiting on a 1-CPU host would flatten the thread-scaling shape.
+//!   Throughput is then `ops / max(per-thread virtual time)`.
+//! * [`ClockMode::Off`] disables accounting entirely (unit tests).
+
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+thread_local! {
+    static VIRTUAL_NS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Access to the calling thread's virtual device clock.
+pub mod virtual_time {
+    use super::VIRTUAL_NS;
+
+    /// Nanoseconds of device time this thread has consumed so far.
+    pub fn get() -> u64 {
+        VIRTUAL_NS.with(|c| c.get())
+    }
+
+    /// Resets this thread's virtual clock to zero and returns the previous
+    /// value. Benchmarks call this at the start of a measured section.
+    pub fn take() -> u64 {
+        VIRTUAL_NS.with(|c| c.replace(0))
+    }
+
+    pub(super) fn add(ns: u64) {
+        VIRTUAL_NS.with(|c| c.set(c.get().saturating_add(ns)));
+    }
+}
+
+/// How a device charges operation latency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ClockMode {
+    /// Busy-wait for the modelled duration (real latency).
+    Spin,
+    /// Account the duration on the calling thread's virtual clock.
+    Virtual,
+    /// No accounting.
+    #[default]
+    Off,
+}
+
+/// A device's latency clock. Cheap to copy; devices embed one.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeviceClock {
+    mode: ClockMode,
+}
+
+impl DeviceClock {
+    pub fn new(mode: ClockMode) -> Self {
+        DeviceClock { mode }
+    }
+
+    pub fn spin() -> Self {
+        Self::new(ClockMode::Spin)
+    }
+
+    pub fn virtual_clock() -> Self {
+        Self::new(ClockMode::Virtual)
+    }
+
+    pub fn off() -> Self {
+        Self::new(ClockMode::Off)
+    }
+
+    pub fn mode(&self) -> ClockMode {
+        self.mode
+    }
+
+    /// Charges `ns` nanoseconds of device time to the calling thread.
+    #[inline]
+    pub fn consume(&self, ns: u64) {
+        match self.mode {
+            ClockMode::Off => {}
+            ClockMode::Virtual => virtual_time::add(ns),
+            ClockMode::Spin => spin_for(Duration::from_nanos(ns)),
+        }
+    }
+}
+
+/// Busy-waits for `d`. Sub-millisecond waits spin on `Instant`; longer waits
+/// sleep most of the duration first to avoid hogging the CPU.
+#[inline]
+fn spin_for(d: Duration) {
+    let deadline = Instant::now() + d;
+    if d > Duration::from_millis(1) {
+        std::thread::sleep(d - Duration::from_micros(200));
+    }
+    while Instant::now() < deadline {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_mode_is_free() {
+        let c = DeviceClock::off();
+        let before = virtual_time::get();
+        c.consume(1_000_000);
+        assert_eq!(virtual_time::get(), before);
+    }
+
+    #[test]
+    fn virtual_mode_accumulates_per_thread() {
+        let c = DeviceClock::virtual_clock();
+        virtual_time::take();
+        c.consume(500);
+        c.consume(1500);
+        assert_eq!(virtual_time::get(), 2000);
+        assert_eq!(virtual_time::take(), 2000);
+        assert_eq!(virtual_time::get(), 0);
+    }
+
+    #[test]
+    fn virtual_clocks_are_thread_local() {
+        let c = DeviceClock::virtual_clock();
+        virtual_time::take();
+        c.consume(100);
+        let other = std::thread::spawn(|| {
+            // Fresh thread starts at zero.
+            assert_eq!(virtual_time::get(), 0);
+            DeviceClock::virtual_clock().consume(7);
+            virtual_time::get()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(other, 7);
+        assert_eq!(virtual_time::get(), 100);
+    }
+
+    #[test]
+    fn spin_mode_takes_real_time() {
+        let c = DeviceClock::spin();
+        let start = Instant::now();
+        c.consume(2_000_000); // 2 ms
+        assert!(start.elapsed() >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn virtual_saturates_instead_of_overflowing() {
+        let c = DeviceClock::virtual_clock();
+        virtual_time::take();
+        c.consume(u64::MAX);
+        c.consume(10);
+        assert_eq!(virtual_time::take(), u64::MAX);
+    }
+}

@@ -1,0 +1,392 @@
+//! The simulated persistent-memory device.
+//!
+//! [`PmDevice`] is a byte-addressable region with the *persistence boundary*
+//! semantics of real PM behind a CPU cache hierarchy:
+//!
+//! * [`PmDevice::write`] stores into a **volatile overlay** (the "CPU cache")
+//!   — visible to subsequent reads, but *not* yet durable;
+//! * [`PmDevice::persist`] (= `CLWB` + `SFENCE` in PMDK terms) copies a range
+//!   of the overlay onto the media, making it durable;
+//! * [`PmDevice::crash`] simulates a power failure: the overlay is discarded
+//!   and only persisted bytes survive. [`PmDevice::crash_torn`] additionally
+//!   models torn flushes at the 8-byte power-fail-atomicity granularity.
+//!
+//! Every operation charges its modelled latency (see [`LatencyModel`]) via
+//! the device's [`DeviceClock`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use rand::Rng;
+
+use crate::{DeviceClock, LatencyModel};
+
+/// Power-fail atomicity unit of PM hardware (8 bytes, like real Optane).
+pub const ATOMIC_UNIT: usize = 8;
+
+/// Configuration for a [`PmDevice`].
+#[derive(Clone, Debug)]
+pub struct PmDeviceConfig {
+    /// Device capacity in bytes.
+    pub capacity: usize,
+    /// Latency model (defaults to kernel-bypass PM).
+    pub latency: LatencyModel,
+    /// Latency accounting mode.
+    pub clock: DeviceClock,
+}
+
+impl Default for PmDeviceConfig {
+    fn default() -> Self {
+        PmDeviceConfig {
+            capacity: 16 << 20, // 16 MiB is plenty for the simulated logs
+            latency: LatencyModel::pm_bypass(),
+            clock: DeviceClock::off(),
+        }
+    }
+}
+
+/// Errors from device accesses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeviceError {
+    /// Access past the end of the device.
+    OutOfBounds { offset: usize, len: usize, capacity: usize },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfBounds { offset, len, capacity } => write!(
+                f,
+                "access [{offset}, {}) out of bounds (capacity {capacity})",
+                offset + len
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+struct Inner {
+    /// Durable state (what survives a crash).
+    media: Box<[u8]>,
+    /// Current state as seen by the CPU: media + unflushed writes.
+    working: Box<[u8]>,
+    /// Unflushed ranges (start → end), kept merged and non-overlapping.
+    dirty: BTreeMap<usize, usize>,
+}
+
+/// Counters exposed for tests and benchmarks.
+#[derive(Debug, Default)]
+pub struct DeviceStats {
+    pub reads: AtomicU64,
+    pub writes: AtomicU64,
+    pub bytes_read: AtomicU64,
+    pub bytes_written: AtomicU64,
+    pub persists: AtomicU64,
+}
+
+/// See module docs.
+pub struct PmDevice {
+    inner: Mutex<Inner>,
+    latency: LatencyModel,
+    clock: DeviceClock,
+    capacity: usize,
+    pub stats: DeviceStats,
+}
+
+impl PmDevice {
+    pub fn new(config: PmDeviceConfig) -> Self {
+        PmDevice {
+            inner: Mutex::new(Inner {
+                media: vec![0u8; config.capacity].into_boxed_slice(),
+                working: vec![0u8; config.capacity].into_boxed_slice(),
+                dirty: BTreeMap::new(),
+            }),
+            latency: config.latency,
+            clock: config.clock,
+            capacity: config.capacity,
+            stats: DeviceStats::default(),
+        }
+    }
+
+    /// A device with default capacity and no latency accounting.
+    pub fn for_testing() -> Self {
+        PmDevice::new(PmDeviceConfig::default())
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn check(&self, offset: usize, len: usize) -> Result<(), DeviceError> {
+        if offset.checked_add(len).map_or(true, |end| end > self.capacity) {
+            return Err(DeviceError::OutOfBounds {
+                offset,
+                len,
+                capacity: self.capacity,
+            });
+        }
+        Ok(())
+    }
+
+    /// Stores `data` at `offset` (volatile until persisted).
+    pub fn write(&self, offset: usize, data: &[u8]) -> Result<(), DeviceError> {
+        self.check(offset, data.len())?;
+        self.clock.consume(self.latency.write_ns(data.len()));
+        let mut inner = self.inner.lock();
+        inner.working[offset..offset + data.len()].copy_from_slice(data);
+        mark_dirty(&mut inner.dirty, offset, offset + data.len());
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at `offset` (sees unpersisted writes, like
+    /// a CPU load through the cache).
+    pub fn read(&self, offset: usize, len: usize) -> Result<Vec<u8>, DeviceError> {
+        self.check(offset, len)?;
+        self.clock.consume(self.latency.read_ns(len));
+        let inner = self.inner.lock();
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_read.fetch_add(len as u64, Ordering::Relaxed);
+        Ok(inner.working[offset..offset + len].to_vec())
+    }
+
+    /// Flushes `[offset, offset+len)` to the media and drains (CLWB+SFENCE):
+    /// on return those bytes are durable. Charges the flush+fence cost
+    /// (~150 ns base + per-cache-line work), like real Optane persists.
+    pub fn persist(&self, offset: usize, len: usize) -> Result<(), DeviceError> {
+        self.check(offset, len)?;
+        self.clock.consume(150 + (len as u64) / 32);
+        let mut inner = self.inner.lock();
+        let Inner { media, working, dirty } = &mut *inner;
+        media[offset..offset + len].copy_from_slice(&working[offset..offset + len]);
+        clear_dirty(dirty, offset, offset + len);
+        self.stats.persists.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Persists everything outstanding.
+    pub fn persist_all(&self) {
+        let mut inner = self.inner.lock();
+        let Inner { media, working, dirty } = &mut *inner;
+        for (&start, &end) in dirty.iter() {
+            media[start..end].copy_from_slice(&working[start..end]);
+        }
+        dirty.clear();
+        self.stats.persists.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total bytes currently dirty (unpersisted).
+    pub fn dirty_bytes(&self) -> usize {
+        self.inner.lock().dirty.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// Power failure: all unpersisted writes are lost; the working state is
+    /// reset to the media contents.
+    pub fn crash(&self) {
+        let mut inner = self.inner.lock();
+        let Inner { media, working, dirty } = &mut *inner;
+        working.copy_from_slice(media);
+        dirty.clear();
+    }
+
+    /// Power failure with torn flushes: each dirty 8-byte unit independently
+    /// survives with probability 1/2, modelling cache lines that happened to
+    /// be evicted (and the hardware's 8-byte atomicity). Used by
+    /// crash-consistency tests to attack the recovery paths.
+    pub fn crash_torn<R: Rng>(&self, rng: &mut R) {
+        let mut inner = self.inner.lock();
+        let Inner { media, working, dirty } = &mut *inner;
+        for (&start, &end) in dirty.iter() {
+            let mut unit = start - start % ATOMIC_UNIT;
+            while unit < end {
+                let lo = unit.max(start);
+                let hi = (unit + ATOMIC_UNIT).min(end);
+                if rng.gen_bool(0.5) {
+                    // This unit made it to the media before power was lost.
+                    media[lo..hi].copy_from_slice(&working[lo..hi]);
+                }
+                unit += ATOMIC_UNIT;
+            }
+        }
+        working.copy_from_slice(media);
+        dirty.clear();
+    }
+
+    /// Reads directly from the media, bypassing the overlay — what a fresh
+    /// boot would see. Charges no latency; used by recovery code and tests.
+    pub fn read_media(&self, offset: usize, len: usize) -> Result<Vec<u8>, DeviceError> {
+        self.check(offset, len)?;
+        let inner = self.inner.lock();
+        Ok(inner.media[offset..offset + len].to_vec())
+    }
+
+    /// The device's latency model (used by benchmarks to report modelled
+    /// costs without performing I/O).
+    pub fn latency_model(&self) -> LatencyModel {
+        self.latency
+    }
+}
+
+/// Inserts `[start, end)` into the merged dirty-range map.
+fn mark_dirty(dirty: &mut BTreeMap<usize, usize>, mut start: usize, mut end: usize) {
+    // Absorb any range that overlaps or is adjacent.
+    loop {
+        let overlapping: Vec<usize> = dirty
+            .range(..=end)
+            .filter(|(_, &e)| e >= start)
+            .map(|(&s, _)| s)
+            .collect();
+        if overlapping.is_empty() {
+            break;
+        }
+        for s in overlapping {
+            let e = dirty.remove(&s).expect("range present");
+            start = start.min(s);
+            end = end.max(e);
+        }
+    }
+    dirty.insert(start, end);
+}
+
+/// Removes `[start, end)` from the dirty map, splitting ranges as needed.
+fn clear_dirty(dirty: &mut BTreeMap<usize, usize>, start: usize, end: usize) {
+    let affected: Vec<(usize, usize)> = dirty
+        .range(..end)
+        .filter(|(_, &e)| e > start)
+        .map(|(&s, &e)| (s, e))
+        .collect();
+    for (s, e) in affected {
+        dirty.remove(&s);
+        if s < start {
+            dirty.insert(s, start);
+        }
+        if e > end {
+            dirty.insert(end, e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let dev = PmDevice::for_testing();
+        dev.write(100, b"hello").unwrap();
+        assert_eq!(dev.read(100, 5).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let dev = PmDevice::new(PmDeviceConfig {
+            capacity: 64,
+            ..Default::default()
+        });
+        assert!(dev.write(60, b"too long").is_err());
+        assert!(dev.read(64, 1).is_err());
+        assert!(dev.read(usize::MAX, 2).is_err()); // overflow-safe
+    }
+
+    #[test]
+    fn unpersisted_writes_lost_on_crash() {
+        let dev = PmDevice::for_testing();
+        dev.write(0, b"durable").unwrap();
+        dev.persist(0, 7).unwrap();
+        dev.write(100, b"volatile").unwrap();
+        dev.crash();
+        assert_eq!(dev.read(0, 7).unwrap(), b"durable");
+        assert_eq!(dev.read(100, 8).unwrap(), vec![0u8; 8]);
+    }
+
+    #[test]
+    fn persist_range_only_persists_that_range() {
+        let dev = PmDevice::for_testing();
+        dev.write(0, b"aaaa").unwrap();
+        dev.write(10, b"bbbb").unwrap();
+        dev.persist(0, 4).unwrap();
+        dev.crash();
+        assert_eq!(dev.read(0, 4).unwrap(), b"aaaa");
+        assert_eq!(dev.read(10, 4).unwrap(), vec![0u8; 4]);
+    }
+
+    #[test]
+    fn persist_all_flushes_everything() {
+        let dev = PmDevice::for_testing();
+        dev.write(0, b"x").unwrap();
+        dev.write(1000, b"y").unwrap();
+        assert!(dev.dirty_bytes() >= 2);
+        dev.persist_all();
+        assert_eq!(dev.dirty_bytes(), 0);
+        dev.crash();
+        assert_eq!(dev.read(0, 1).unwrap(), b"x");
+        assert_eq!(dev.read(1000, 1).unwrap(), b"y");
+    }
+
+    #[test]
+    fn reads_see_unpersisted_writes() {
+        let dev = PmDevice::for_testing();
+        dev.write(5, b"cache").unwrap();
+        assert_eq!(dev.read(5, 5).unwrap(), b"cache");
+        assert_eq!(dev.read_media(5, 5).unwrap(), vec![0u8; 5]);
+    }
+
+    #[test]
+    fn dirty_ranges_merge() {
+        let mut dirty = BTreeMap::new();
+        mark_dirty(&mut dirty, 0, 10);
+        mark_dirty(&mut dirty, 10, 20); // adjacent
+        mark_dirty(&mut dirty, 5, 15); // overlapping
+        assert_eq!(dirty.len(), 1);
+        assert_eq!(dirty.get(&0), Some(&20));
+        mark_dirty(&mut dirty, 30, 40);
+        assert_eq!(dirty.len(), 2);
+    }
+
+    #[test]
+    fn clear_dirty_splits_ranges() {
+        let mut dirty = BTreeMap::new();
+        mark_dirty(&mut dirty, 0, 100);
+        clear_dirty(&mut dirty, 40, 60);
+        assert_eq!(dirty.get(&0), Some(&40));
+        assert_eq!(dirty.get(&60), Some(&100));
+    }
+
+    #[test]
+    fn torn_crash_preserves_persisted_data() {
+        let dev = PmDevice::for_testing();
+        dev.write(0, &[7u8; 256]).unwrap();
+        dev.persist(0, 256).unwrap();
+        dev.write(512, &[9u8; 256]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        dev.crash_torn(&mut rng);
+        // Persisted range intact regardless of tearing.
+        assert_eq!(dev.read(0, 256).unwrap(), vec![7u8; 256]);
+        // Torn range: each 8-byte unit is either all-old or all-new.
+        let torn = dev.read(512, 256).unwrap();
+        for unit in torn.chunks(ATOMIC_UNIT) {
+            assert!(
+                unit.iter().all(|&b| b == 0) || unit.iter().all(|&b| b == 9),
+                "unit torn below atomicity granularity: {unit:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_track_operations() {
+        let dev = PmDevice::for_testing();
+        dev.write(0, b"ab").unwrap();
+        dev.read(0, 2).unwrap();
+        assert_eq!(dev.stats.writes.load(Ordering::Relaxed), 1);
+        assert_eq!(dev.stats.reads.load(Ordering::Relaxed), 1);
+        assert_eq!(dev.stats.bytes_written.load(Ordering::Relaxed), 2);
+    }
+}

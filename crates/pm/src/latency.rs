@@ -1,0 +1,133 @@
+//! Calibrated device latency models.
+//!
+//! The presets reproduce the paper's Figure 1 microbenchmark, which compares
+//! read/write latency as a function of block size for three access paths:
+//!
+//! * `pmem_*` — PM via kernel bypass (DAX-mapped, load/store);
+//! * `*_syscall` — the same PM behind `read(2)`/`write(2)`;
+//! * `fileio_*` — SSD through the filesystem.
+//!
+//! The paper reports PM up to **10×** faster than SSD and kernel-bypass up to
+//! **100×** faster than file I/O, with all curves growing with block size on
+//! a log-scale y axis from ~10³ to ~10⁵ ns. The preset constants are chosen
+//! to land in those bands (Optane read ≈ 170–300 ns, write ≈ 90–300 ns;
+//! syscall adds ≈ 1.5–2.5 µs of kernel overhead; NVMe SSD ≈ 20–80 µs).
+
+/// Affine latency model: `base + per_byte * len` nanoseconds, separately for
+/// reads and writes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencyModel {
+    pub read_base_ns: u64,
+    pub read_ns_per_byte: f64,
+    pub write_base_ns: u64,
+    pub write_ns_per_byte: f64,
+}
+
+impl LatencyModel {
+    /// Zero-cost model (unit tests).
+    pub fn zero() -> Self {
+        LatencyModel {
+            read_base_ns: 0,
+            read_ns_per_byte: 0.0,
+            write_base_ns: 0,
+            write_ns_per_byte: 0.0,
+        }
+    }
+
+    /// PM accessed with kernel bypass (DAX load/store): the paper's
+    /// `pmem_read` / `pmem_write` series.
+    pub fn pm_bypass() -> Self {
+        LatencyModel {
+            read_base_ns: 170,
+            read_ns_per_byte: 0.10,
+            write_base_ns: 90,
+            write_ns_per_byte: 0.13,
+        }
+    }
+
+    /// PM accessed through OS read/write syscalls: `read_syscall` /
+    /// `write_syscall`. Kernel crossing + copy dominates small blocks.
+    pub fn pm_syscall() -> Self {
+        LatencyModel {
+            read_base_ns: 1_800,
+            read_ns_per_byte: 0.35,
+            write_base_ns: 2_200,
+            write_ns_per_byte: 0.45,
+        }
+    }
+
+    /// SSD through the filesystem: `fileio_read` / `fileio_write`. The
+    /// write path includes the flash program cost; reads hit the device.
+    pub fn ssd() -> Self {
+        LatencyModel {
+            read_base_ns: 18_000,
+            read_ns_per_byte: 1.3,
+            write_base_ns: 24_000,
+            write_ns_per_byte: 2.2,
+        }
+    }
+
+    /// Read latency for a block of `len` bytes, in nanoseconds.
+    #[inline]
+    pub fn read_ns(&self, len: usize) -> u64 {
+        self.read_base_ns + (self.read_ns_per_byte * len as f64) as u64
+    }
+
+    /// Write latency for a block of `len` bytes, in nanoseconds.
+    #[inline]
+    pub fn write_ns(&self, len: usize) -> u64 {
+        self.write_base_ns + (self.write_ns_per_byte * len as f64) as u64
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure-1 orderings must hold at every block size the paper plots.
+    #[test]
+    fn figure1_orderings_hold() {
+        for sz in [64usize, 128, 256, 512, 1024, 2048, 4096, 8192] {
+            let pm = LatencyModel::pm_bypass();
+            let sys = LatencyModel::pm_syscall();
+            let ssd = LatencyModel::ssd();
+            assert!(pm.read_ns(sz) < sys.read_ns(sz), "pm < syscall reads @{sz}");
+            assert!(sys.read_ns(sz) < ssd.read_ns(sz), "syscall < ssd reads @{sz}");
+            assert!(pm.write_ns(sz) < sys.write_ns(sz), "pm < syscall writes @{sz}");
+            assert!(sys.write_ns(sz) < ssd.write_ns(sz), "syscall < ssd writes @{sz}");
+        }
+    }
+
+    /// PM ≈ 10× faster than SSD via syscalls; bypass ≈ 100× faster than
+    /// file I/O (the paper's headline ratios, small blocks).
+    #[test]
+    fn figure1_ratios_hold() {
+        let pm = LatencyModel::pm_bypass();
+        let sys = LatencyModel::pm_syscall();
+        let ssd = LatencyModel::ssd();
+        let r_sys_ssd = ssd.read_ns(64) as f64 / sys.read_ns(64) as f64;
+        assert!(r_sys_ssd >= 5.0, "syscall-PM should be ~10x faster than SSD, got {r_sys_ssd}");
+        let r_pm_ssd = ssd.read_ns(64) as f64 / pm.read_ns(64) as f64;
+        assert!(r_pm_ssd >= 50.0, "bypass-PM should be ~100x faster than file IO, got {r_pm_ssd}");
+    }
+
+    #[test]
+    fn latency_grows_with_block_size() {
+        let m = LatencyModel::ssd();
+        assert!(m.read_ns(8192) > m.read_ns(64));
+        assert!(m.write_ns(8192) > m.write_ns(64));
+    }
+
+    #[test]
+    fn zero_model_is_free() {
+        let m = LatencyModel::zero();
+        assert_eq!(m.read_ns(4096), 0);
+        assert_eq!(m.write_ns(4096), 0);
+    }
+}

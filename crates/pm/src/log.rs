@@ -1,0 +1,333 @@
+//! Crash-consistent append-only record log on persistent memory.
+//!
+//! [`PmLog`] is the "stateful log in PM" tier of a FlexLog replica (§5.2): a
+//! sequence of records addressed by a dense local sequence number, with a
+//! persistent head pointer so [`PmLog::trim_front`] (used by the Trim
+//! protocol and by SSD spilling) survives crashes. It layers sequential
+//! semantics over the transactional [`PmPool`], inheriting its
+//! crash-atomicity: an append is either fully durable or absent after a
+//! power failure.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::{PmDevice, PmPool, PoolError};
+
+/// Reserved pool key holding the persistent head pointer.
+const META_HEAD: u128 = u128::MAX;
+
+/// Configuration for a [`PmLog`].
+#[derive(Clone, Debug, Default)]
+pub struct PmLogConfig {
+    /// Upper bound on live entries before appends start failing with
+    /// [`PmLogError::Full`]; `None` = bounded only by the device.
+    pub max_entries: Option<usize>,
+}
+
+/// A record stored in the log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Dense local sequence number (not the FlexLog SN — replicas map
+    /// FlexLog SNs to log positions in the storage layer).
+    pub seq: u64,
+    pub payload: Vec<u8>,
+}
+
+/// Errors from log operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PmLogError {
+    /// Log reached its configured `max_entries`.
+    Full,
+    /// Underlying pool error.
+    Pool(PoolError),
+}
+
+impl fmt::Display for PmLogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmLogError::Full => write!(f, "pm log is full"),
+            PmLogError::Pool(e) => write!(f, "pool error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PmLogError {}
+
+impl From<PoolError> for PmLogError {
+    fn from(e: PoolError) -> Self {
+        PmLogError::Pool(e)
+    }
+}
+
+struct LogState {
+    head: u64,
+    tail: u64,
+}
+
+/// See module docs.
+pub struct PmLog {
+    pool: PmPool,
+    state: Mutex<LogState>,
+    config: PmLogConfig,
+}
+
+impl PmLog {
+    /// Creates a fresh log on a zeroed device.
+    pub fn create(device: Arc<PmDevice>, config: PmLogConfig) -> Self {
+        PmLog {
+            pool: PmPool::create(device),
+            state: Mutex::new(LogState { head: 0, tail: 0 }),
+            config,
+        }
+    }
+
+    /// Recovers a log from the device's durable state.
+    pub fn open(device: Arc<PmDevice>, config: PmLogConfig) -> Self {
+        let pool = PmPool::open(device);
+        let head = pool
+            .get(META_HEAD)
+            .map(|v| u64::from_le_bytes(v[..8].try_into().expect("head is 8 bytes")))
+            .unwrap_or(0);
+        let tail = pool
+            .keys()
+            .into_iter()
+            .filter(|&k| k != META_HEAD)
+            .map(|k| k as u64 + 1)
+            .max()
+            .unwrap_or(head);
+        PmLog {
+            pool,
+            state: Mutex::new(LogState { head, tail }),
+            config,
+        }
+    }
+
+    /// Appends a record, returning its sequence number. Durable on return.
+    pub fn append(&self, payload: &[u8]) -> Result<u64, PmLogError> {
+        let seq = {
+            let mut st = self.state.lock();
+            if let Some(max) = self.config.max_entries {
+                if (st.tail - st.head) as usize >= max {
+                    return Err(PmLogError::Full);
+                }
+            }
+            let seq = st.tail;
+            st.tail += 1;
+            seq
+        };
+        self.pool.put(seq as u128, payload)?;
+        Ok(seq)
+    }
+
+    /// Reads the record with sequence number `seq`, if present (not trimmed,
+    /// not past the tail).
+    pub fn get(&self, seq: u64) -> Option<Vec<u8>> {
+        {
+            let st = self.state.lock();
+            if seq < st.head || seq >= st.tail {
+                return None;
+            }
+        }
+        self.pool.get(seq as u128)
+    }
+
+    /// First live sequence number.
+    pub fn head(&self) -> u64 {
+        self.state.lock().head
+    }
+
+    /// Next sequence number to be assigned.
+    pub fn tail(&self) -> u64 {
+        self.state.lock().tail
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        let st = self.state.lock();
+        (st.tail - st.head) as usize
+    }
+
+    /// True if the log holds no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Deletes all records with `seq < new_head` and durably advances the
+    /// head pointer. Idempotent; trimming backwards is a no-op.
+    pub fn trim_front(&self, new_head: u64) -> Result<(), PmLogError> {
+        let mut st = self.state.lock();
+        if new_head <= st.head {
+            return Ok(());
+        }
+        let new_head = new_head.min(st.tail);
+        let mut tx = self.pool.begin();
+        for seq in st.head..new_head {
+            tx.delete(seq as u128);
+        }
+        tx.put(META_HEAD, &new_head.to_le_bytes());
+        tx.commit()?;
+        st.head = new_head;
+        Ok(())
+    }
+
+    /// Returns all live entries with `seq >= from`, in order.
+    pub fn iter_from(&self, from: u64) -> Vec<LogEntry> {
+        let (head, tail) = {
+            let st = self.state.lock();
+            (st.head, st.tail)
+        };
+        (from.max(head)..tail)
+            .filter_map(|seq| {
+                self.pool.get(seq as u128).map(|payload| LogEntry { seq, payload })
+            })
+            .collect()
+    }
+
+    /// The underlying device (crash injection in tests/benches).
+    pub fn device(&self) -> &Arc<PmDevice> {
+        self.pool.device()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PmDeviceConfig;
+
+    fn log() -> PmLog {
+        PmLog::create(Arc::new(PmDevice::for_testing()), PmLogConfig::default())
+    }
+
+    #[test]
+    fn append_assigns_dense_seqs() {
+        let l = log();
+        assert_eq!(l.append(b"a").unwrap(), 0);
+        assert_eq!(l.append(b"b").unwrap(), 1);
+        assert_eq!(l.append(b"c").unwrap(), 2);
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.get(1).unwrap(), b"b");
+    }
+
+    #[test]
+    fn get_out_of_range_is_none() {
+        let l = log();
+        l.append(b"x").unwrap();
+        assert_eq!(l.get(5), None);
+    }
+
+    #[test]
+    fn trim_front_removes_prefix() {
+        let l = log();
+        for i in 0..10u32 {
+            l.append(&i.to_le_bytes()).unwrap();
+        }
+        l.trim_front(4).unwrap();
+        assert_eq!(l.head(), 4);
+        assert_eq!(l.get(3), None);
+        assert_eq!(l.get(4).unwrap(), 4u32.to_le_bytes());
+        assert_eq!(l.len(), 6);
+    }
+
+    #[test]
+    fn trim_backwards_is_noop() {
+        let l = log();
+        for _ in 0..5 {
+            l.append(b"x").unwrap();
+        }
+        l.trim_front(3).unwrap();
+        l.trim_front(1).unwrap();
+        assert_eq!(l.head(), 3);
+    }
+
+    #[test]
+    fn trim_past_tail_clamps() {
+        let l = log();
+        l.append(b"x").unwrap();
+        l.trim_front(100).unwrap();
+        assert_eq!(l.head(), 1);
+        assert!(l.is_empty());
+        // Appends continue after a full trim.
+        assert_eq!(l.append(b"y").unwrap(), 1);
+    }
+
+    #[test]
+    fn survives_crash() {
+        let dev = Arc::new(PmDevice::for_testing());
+        let l = PmLog::create(Arc::clone(&dev), PmLogConfig::default());
+        for i in 0..20u32 {
+            l.append(&i.to_le_bytes()).unwrap();
+        }
+        l.trim_front(5).unwrap();
+        dev.crash();
+        let l2 = PmLog::open(dev, PmLogConfig::default());
+        assert_eq!(l2.head(), 5);
+        assert_eq!(l2.tail(), 20);
+        assert_eq!(l2.get(4), None);
+        assert_eq!(l2.get(10).unwrap(), 10u32.to_le_bytes());
+        // Appends resume at the recovered tail.
+        assert_eq!(l2.append(b"new").unwrap(), 20);
+    }
+
+    #[test]
+    fn iter_from_returns_ordered_entries() {
+        let l = log();
+        for i in 0..10u32 {
+            l.append(&i.to_le_bytes()).unwrap();
+        }
+        l.trim_front(2).unwrap();
+        let entries = l.iter_from(0);
+        assert_eq!(entries.len(), 8);
+        assert_eq!(entries[0].seq, 2);
+        assert_eq!(entries[7].seq, 9);
+        let mid = l.iter_from(7);
+        assert_eq!(mid.len(), 3);
+        assert_eq!(mid[0].seq, 7);
+    }
+
+    #[test]
+    fn bounded_log_reports_full() {
+        let l = PmLog::create(
+            Arc::new(PmDevice::for_testing()),
+            PmLogConfig {
+                max_entries: Some(2),
+            },
+        );
+        l.append(b"1").unwrap();
+        l.append(b"2").unwrap();
+        assert_eq!(l.append(b"3"), Err(PmLogError::Full));
+        // Trimming frees capacity.
+        l.trim_front(1).unwrap();
+        l.append(b"3").unwrap();
+    }
+
+    #[test]
+    fn empty_log_recovers_empty() {
+        let dev = Arc::new(PmDevice::for_testing());
+        let l = PmLog::create(Arc::clone(&dev), PmLogConfig::default());
+        drop(l);
+        dev.crash();
+        let l2 = PmLog::open(dev, PmLogConfig::default());
+        assert!(l2.is_empty());
+        assert_eq!(l2.tail(), 0);
+    }
+
+    #[test]
+    fn heavy_append_trim_cycles_with_small_device() {
+        let dev = Arc::new(PmDevice::new(PmDeviceConfig {
+            capacity: 256 * 1024,
+            ..Default::default()
+        }));
+        let l = PmLog::create(dev, PmLogConfig::default());
+        let payload = vec![0x5A; 512];
+        for round in 0..20u64 {
+            for _ in 0..50 {
+                l.append(&payload).unwrap();
+            }
+            l.trim_front(round * 50 + 40).unwrap();
+        }
+        assert_eq!(l.tail(), 1000);
+        assert!(l.len() <= 60);
+    }
+}

@@ -1,0 +1,718 @@
+//! PMDK-libpmemobj-style transactional object pool.
+//!
+//! The paper's storage layer models the shared log as a concurrent map kept
+//! crash-consistent through PMDK's transactional API (`BEGIN`, `PUT`, `GET`,
+//! `COMMIT`/`ROLLBACK`, §2/§8). [`PmPool`] provides that API on top of a
+//! [`PmDevice`]:
+//!
+//! * a transaction stages its puts/deletes privately ([`Tx`]);
+//! * [`Tx::commit`] appends all staged operations to a redo log on the
+//!   device, persists them, then appends + persists a *commit record* — only
+//!   after the commit record is durable does the transaction apply to the
+//!   index;
+//! * [`PmPool::open`] recovers after a crash by scanning the log and
+//!   replaying exactly the transactions whose commit record survived;
+//!   half-written transactions are discarded (rollback), guaranteeing
+//!   atomicity + durability across power failures;
+//! * space is reclaimed by **crash-safe compaction**: the device is split in
+//!   two halves plus an 8-byte superblock selecting the active half.
+//!   Compaction rewrites the live set into the *inactive* half and then
+//!   atomically flips the superblock (8 bytes = the PM power-fail atomicity
+//!   unit), so a crash at any point leaves one fully valid half.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::{crc32, DeviceError, PmDevice};
+
+/// Bytes of a record header: crc(4) + len(4) + txid(8) + kind(1) + key(16).
+const REC_HDR: usize = 33;
+/// Superblock: a single 8-byte word holding the active half (0 or 1).
+const SUPERBLOCK: usize = 8;
+const KIND_PUT: u8 = 1;
+const KIND_DELETE: u8 = 2;
+const KIND_COMMIT: u8 = 3;
+
+/// Errors from pool operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolError {
+    /// The live set does not fit even after compaction.
+    PoolFull,
+    /// Underlying device error.
+    Device(DeviceError),
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::PoolFull => write!(f, "pm pool is full"),
+            PoolError::Device(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+impl From<DeviceError> for PoolError {
+    fn from(e: DeviceError) -> Self {
+        PoolError::Device(e)
+    }
+}
+
+struct PoolState {
+    /// key → (payload offset, payload len) in the device.
+    index: HashMap<u128, (usize, usize)>,
+    /// Active half (0 or 1).
+    active: u8,
+    /// Next append offset (absolute device offset inside the active half).
+    tail: usize,
+    next_txid: u64,
+}
+
+/// See module docs.
+pub struct PmPool {
+    device: Arc<PmDevice>,
+    state: Mutex<PoolState>,
+}
+
+enum StagedOp {
+    Put(u128, Vec<u8>),
+    Delete(u128),
+}
+
+/// An open transaction. Dropping without [`Tx::commit`] is a rollback.
+pub struct Tx<'a> {
+    pool: &'a PmPool,
+    ops: Vec<StagedOp>,
+    /// Staged view for read-your-writes: key → Some(value) | None(deleted).
+    staged: HashMap<u128, Option<Vec<u8>>>,
+}
+
+impl PmPool {
+    fn half_bounds(&self, half: u8) -> (usize, usize) {
+        let half_size = (self.device.capacity() - SUPERBLOCK) / 2;
+        let start = SUPERBLOCK + half as usize * half_size;
+        (start, start + half_size)
+    }
+
+    /// Creates a fresh pool on `device` (assumes the device is zeroed).
+    pub fn create(device: Arc<PmDevice>) -> Self {
+        device
+            .write(0, &0u64.to_le_bytes())
+            .expect("device holds at least a superblock");
+        device.persist(0, SUPERBLOCK).expect("superblock persist");
+        let pool = PmPool {
+            device,
+            state: Mutex::new(PoolState {
+                index: HashMap::new(),
+                active: 0,
+                tail: 0,
+                next_txid: 1,
+            }),
+        };
+        pool.state.lock().tail = pool.half_bounds(0).0;
+        pool
+    }
+
+    /// Opens a pool from whatever the device's *media* holds, replaying the
+    /// redo log of the active half: only transactions with a durable commit
+    /// record apply.
+    pub fn open(device: Arc<PmDevice>) -> Self {
+        let sb = device.read_media(0, SUPERBLOCK).expect("superblock read");
+        let active = (u64::from_le_bytes(sb.try_into().unwrap()) & 1) as u8;
+        let pool = PmPool {
+            device,
+            state: Mutex::new(PoolState {
+                index: HashMap::new(),
+                active,
+                tail: 0,
+                next_txid: 1,
+            }),
+        };
+        let (start, end) = pool.half_bounds(active);
+
+        let mut index: HashMap<u128, (usize, usize)> = HashMap::new();
+        let mut pending: HashMap<u64, Vec<(u8, u128, usize, usize)>> = HashMap::new();
+        let mut offset = start;
+        let mut max_txid = 0u64;
+        while offset + REC_HDR <= end {
+            let hdr = pool
+                .device
+                .read_media(offset, REC_HDR)
+                .expect("header read within half");
+            let crc = u32::from_le_bytes(hdr[0..4].try_into().unwrap());
+            let len = u32::from_le_bytes(hdr[4..8].try_into().unwrap()) as usize;
+            let txid = u64::from_le_bytes(hdr[8..16].try_into().unwrap());
+            let kind = hdr[16];
+            let key = u128::from_le_bytes(hdr[17..33].try_into().unwrap());
+            if crc == 0 && len == 0 && txid == 0 {
+                break; // end of log
+            }
+            if offset + REC_HDR + len > end {
+                break; // truncated tail
+            }
+            let payload = pool
+                .device
+                .read_media(offset + REC_HDR, len)
+                .expect("payload within half");
+            let mut check = Vec::with_capacity(REC_HDR - 4 + len);
+            check.extend_from_slice(&hdr[4..]);
+            check.extend_from_slice(&payload);
+            if crc32(&check) != crc {
+                break; // torn record: end of valid prefix
+            }
+            max_txid = max_txid.max(txid);
+            match kind {
+                KIND_COMMIT => {
+                    if let Some(ops) = pending.remove(&txid) {
+                        for (k, key, poff, plen) in ops {
+                            match k {
+                                KIND_PUT => {
+                                    index.insert(key, (poff, plen));
+                                }
+                                KIND_DELETE => {
+                                    index.remove(&key);
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+                KIND_PUT | KIND_DELETE => {
+                    pending
+                        .entry(txid)
+                        .or_default()
+                        .push((kind, key, offset + REC_HDR, len));
+                }
+                _ => break, // unknown record kind: treat as corruption
+            }
+            offset += REC_HDR + len;
+        }
+        // `pending` now holds only uncommitted transactions — rolled back by
+        // simply not applying them. Appends resume past the valid prefix.
+        {
+            let mut st = pool.state.lock();
+            st.index = index;
+            st.tail = offset;
+            st.next_txid = max_txid + 1;
+        }
+        pool
+    }
+
+    /// Begins a transaction.
+    pub fn begin(&self) -> Tx<'_> {
+        Tx {
+            pool: self,
+            ops: Vec::new(),
+            staged: HashMap::new(),
+        }
+    }
+
+    /// Reads the committed value for `key`.
+    pub fn get(&self, key: u128) -> Option<Vec<u8>> {
+        let loc = {
+            let st = self.state.lock();
+            st.index.get(&key).copied()
+        };
+        loc.map(|(off, len)| self.device.read(off, len).expect("indexed range valid"))
+    }
+
+    /// True if `key` is present.
+    pub fn contains(&self, key: u128) -> bool {
+        self.state.lock().index.contains_key(&key)
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.state.lock().index.len()
+    }
+
+    /// True if no keys are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All live keys (unordered).
+    pub fn keys(&self) -> Vec<u128> {
+        self.state.lock().index.keys().copied().collect()
+    }
+
+    /// Bytes used in the active half so far.
+    pub fn used_bytes(&self) -> usize {
+        let st = self.state.lock();
+        st.tail - self.half_bounds(st.active).0
+    }
+
+    /// Convenience single-op transactional put.
+    pub fn put(&self, key: u128, value: &[u8]) -> Result<(), PoolError> {
+        let mut tx = self.begin();
+        tx.put(key, value);
+        tx.commit()
+    }
+
+    /// Convenience single-op transactional delete.
+    pub fn delete(&self, key: u128) -> Result<(), PoolError> {
+        let mut tx = self.begin();
+        tx.delete(key);
+        tx.commit()
+    }
+
+    /// Crash-safe compaction: rewrites the live set into the inactive half,
+    /// persists it, then atomically flips the superblock. A crash anywhere
+    /// in between recovers the previous half untouched.
+    pub fn compact(&self) -> Result<(), PoolError> {
+        let mut st = self.state.lock();
+        self.compact_locked(&mut st)
+    }
+
+    fn compact_locked(&self, st: &mut PoolState) -> Result<(), PoolError> {
+        let txid = st.next_txid;
+        st.next_txid += 1;
+        let target: u8 = 1 - st.active;
+        let (start, end) = self.half_bounds(target);
+        let live: Vec<(u128, Vec<u8>)> = st
+            .index
+            .iter()
+            .map(|(&k, &(off, len))| (k, self.device.read(off, len).expect("indexed range valid")))
+            .collect();
+        let mut offset = start;
+        let mut new_index = HashMap::with_capacity(live.len());
+        for (key, value) in &live {
+            let rec = encode_record(txid, KIND_PUT, *key, value);
+            if offset + rec.len() + REC_HDR * 2 > end {
+                return Err(PoolError::PoolFull);
+            }
+            self.device.write(offset, &rec)?;
+            new_index.insert(*key, (offset + REC_HDR, value.len()));
+            offset += rec.len();
+        }
+        let commit = encode_record(txid, KIND_COMMIT, 0, &[]);
+        self.device.write(offset, &commit)?;
+        offset += commit.len();
+        // Terminator so recovery stops here instead of reading stale records.
+        self.device.write(offset, &[0u8; REC_HDR])?;
+        self.device.persist(start, offset + REC_HDR - start)?;
+        // Atomic flip: 8-byte superblock write + persist.
+        self.device.write(0, &(target as u64).to_le_bytes())?;
+        self.device.persist(0, SUPERBLOCK)?;
+        st.active = target;
+        st.index = new_index;
+        st.tail = offset;
+        Ok(())
+    }
+
+    /// The underlying device (for crash injection in tests).
+    pub fn device(&self) -> &Arc<PmDevice> {
+        &self.device
+    }
+
+    fn commit_ops(&self, ops: &[StagedOp]) -> Result<(), PoolError> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        let mut st = self.state.lock();
+        let txid = st.next_txid;
+        st.next_txid += 1;
+
+        let needed: usize = ops
+            .iter()
+            .map(|op| match op {
+                StagedOp::Put(_, v) => REC_HDR + v.len(),
+                StagedOp::Delete(_) => REC_HDR,
+            })
+            .sum::<usize>()
+            + REC_HDR * 2; // commit record + terminator
+        if st.tail + needed > self.half_bounds(st.active).1 {
+            self.compact_locked(&mut st)?;
+            if st.tail + needed > self.half_bounds(st.active).1 {
+                return Err(PoolError::PoolFull);
+            }
+        }
+
+        let start = st.tail;
+        let mut offset = start;
+        let mut index_updates: Vec<(u128, Option<(usize, usize)>)> = Vec::with_capacity(ops.len());
+        for op in ops {
+            match op {
+                StagedOp::Put(key, value) => {
+                    let rec = encode_record(txid, KIND_PUT, *key, value);
+                    self.device.write(offset, &rec)?;
+                    index_updates.push((*key, Some((offset + REC_HDR, value.len()))));
+                    offset += rec.len();
+                }
+                StagedOp::Delete(key) => {
+                    let rec = encode_record(txid, KIND_DELETE, *key, &[]);
+                    self.device.write(offset, &rec)?;
+                    index_updates.push((*key, None));
+                    offset += rec.len();
+                }
+            }
+        }
+        // Persist the operations *before* the commit record becomes durable
+        // (redo-log write ordering).
+        self.device.persist(start, offset - start)?;
+        let commit = encode_record(txid, KIND_COMMIT, 0, &[]);
+        self.device.write(offset, &commit)?;
+        // Terminator: a reused half can hold stale-but-valid records past the
+        // tail; the zero header stops recovery from replaying them.
+        self.device.write(offset + commit.len(), &[0u8; REC_HDR])?;
+        self.device.persist(offset, commit.len() + REC_HDR)?;
+        offset += commit.len();
+
+        for (key, loc) in index_updates {
+            match loc {
+                Some(l) => {
+                    st.index.insert(key, l);
+                }
+                None => {
+                    st.index.remove(&key);
+                }
+            }
+        }
+        st.tail = offset;
+        Ok(())
+    }
+}
+
+impl<'a> Tx<'a> {
+    /// Stages a put of `value` under `key`.
+    pub fn put(&mut self, key: u128, value: &[u8]) {
+        self.ops.push(StagedOp::Put(key, value.to_vec()));
+        self.staged.insert(key, Some(value.to_vec()));
+    }
+
+    /// Stages a delete of `key`.
+    pub fn delete(&mut self, key: u128) {
+        self.ops.push(StagedOp::Delete(key));
+        self.staged.insert(key, None);
+    }
+
+    /// Reads `key`, seeing this transaction's own staged operations first.
+    pub fn get(&self, key: u128) -> Option<Vec<u8>> {
+        match self.staged.get(&key) {
+            Some(v) => v.clone(),
+            None => self.pool.get(key),
+        }
+    }
+
+    /// Atomically and durably applies all staged operations.
+    pub fn commit(self) -> Result<(), PoolError> {
+        self.pool.commit_ops(&self.ops)
+    }
+
+    /// Discards all staged operations (also what dropping does).
+    pub fn rollback(self) {
+        // Nothing was written: staged ops simply drop.
+    }
+
+    /// Number of staged operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+fn encode_record(txid: u64, kind: u8, key: u128, payload: &[u8]) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(REC_HDR + payload.len());
+    rec.extend_from_slice(&[0u8; 4]); // crc placeholder
+    rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    rec.extend_from_slice(&txid.to_le_bytes());
+    rec.push(kind);
+    rec.extend_from_slice(&key.to_le_bytes());
+    rec.extend_from_slice(payload);
+    let crc = crc32(&rec[4..]);
+    rec[0..4].copy_from_slice(&crc.to_le_bytes());
+    rec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PmDeviceConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pool() -> PmPool {
+        PmPool::create(Arc::new(PmDevice::for_testing()))
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let p = pool();
+        p.put(1, b"one").unwrap();
+        p.put(2, b"two").unwrap();
+        assert_eq!(p.get(1).unwrap(), b"one");
+        assert_eq!(p.get(2).unwrap(), b"two");
+        assert_eq!(p.get(3), None);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn wide_keys_supported() {
+        let p = pool();
+        let k = (7u128 << 64) | 9;
+        p.put(k, b"wide").unwrap();
+        assert_eq!(p.get(k).unwrap(), b"wide");
+        assert_eq!(p.get(9), None);
+    }
+
+    #[test]
+    fn overwrite_returns_latest() {
+        let p = pool();
+        p.put(1, b"v1").unwrap();
+        p.put(1, b"v2").unwrap();
+        assert_eq!(p.get(1).unwrap(), b"v2");
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn delete_removes_key() {
+        let p = pool();
+        p.put(1, b"x").unwrap();
+        p.delete(1).unwrap();
+        assert_eq!(p.get(1), None);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn tx_reads_its_own_writes() {
+        let p = pool();
+        p.put(1, b"committed").unwrap();
+        let mut tx = p.begin();
+        tx.put(2, b"staged");
+        tx.delete(1);
+        assert_eq!(tx.get(2).unwrap(), b"staged");
+        assert_eq!(tx.get(1), None);
+        // Pool itself still sees the old state.
+        assert_eq!(p.get(1).unwrap(), b"committed");
+        assert_eq!(p.get(2), None);
+        tx.commit().unwrap();
+        assert_eq!(p.get(1), None);
+        assert_eq!(p.get(2).unwrap(), b"staged");
+    }
+
+    #[test]
+    fn rollback_discards_everything() {
+        let p = pool();
+        let mut tx = p.begin();
+        tx.put(9, b"never");
+        tx.rollback();
+        assert_eq!(p.get(9), None);
+    }
+
+    #[test]
+    fn dropped_tx_is_rollback() {
+        let p = pool();
+        {
+            let mut tx = p.begin();
+            tx.put(9, b"never");
+        }
+        assert_eq!(p.get(9), None);
+    }
+
+    #[test]
+    fn committed_data_survives_crash() {
+        let dev = Arc::new(PmDevice::for_testing());
+        let p = PmPool::create(Arc::clone(&dev));
+        p.put(1, b"alpha").unwrap();
+        p.put(2, b"beta").unwrap();
+        dev.crash();
+        let p2 = PmPool::open(dev);
+        assert_eq!(p2.get(1).unwrap(), b"alpha");
+        assert_eq!(p2.get(2).unwrap(), b"beta");
+        assert_eq!(p2.len(), 2);
+    }
+
+    #[test]
+    fn uncommitted_tx_rolled_back_after_crash() {
+        let dev = Arc::new(PmDevice::for_testing());
+        let p = PmPool::create(Arc::clone(&dev));
+        p.put(1, b"keep").unwrap();
+        // Simulate a crash mid-commit: op record persisted, commit record
+        // never written.
+        let rec = encode_record(99, KIND_PUT, 2, b"lost");
+        let (start, _) = p.half_bounds(0);
+        let tail = start + p.used_bytes();
+        dev.write(tail, &rec).unwrap();
+        dev.persist(tail, rec.len()).unwrap();
+        dev.crash();
+        let p2 = PmPool::open(dev);
+        assert_eq!(p2.get(1).unwrap(), b"keep");
+        assert_eq!(p2.get(2), None, "uncommitted put must be rolled back");
+    }
+
+    #[test]
+    fn recovery_continues_appending_safely() {
+        let dev = Arc::new(PmDevice::for_testing());
+        let p = PmPool::create(Arc::clone(&dev));
+        p.put(1, b"a").unwrap();
+        dev.crash();
+        let p2 = PmPool::open(Arc::clone(&dev));
+        p2.put(2, b"b").unwrap();
+        dev.crash();
+        let p3 = PmPool::open(dev);
+        assert_eq!(p3.get(1).unwrap(), b"a");
+        assert_eq!(p3.get(2).unwrap(), b"b");
+    }
+
+    #[test]
+    fn torn_tail_recovers_valid_prefix() {
+        let dev = Arc::new(PmDevice::for_testing());
+        let p = PmPool::create(Arc::clone(&dev));
+        p.put(1, b"base").unwrap();
+        p.put(2, b"maybe").unwrap();
+        // Corrupt the most recent commit record's CRC, then crash with torn
+        // flushes — recovery must keep key 1 and never panic.
+        let (start, _) = p.half_bounds(0);
+        dev.write(start + p.used_bytes() - REC_HDR, &[0xFFu8; 4]).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        dev.crash_torn(&mut rng);
+        let p2 = PmPool::open(dev);
+        assert_eq!(p2.get(1).unwrap(), b"base");
+    }
+
+    #[test]
+    fn multi_op_tx_is_atomic_across_crash() {
+        let dev = Arc::new(PmDevice::for_testing());
+        let p = PmPool::create(Arc::clone(&dev));
+        let mut tx = p.begin();
+        for k in 0..50u128 {
+            tx.put(k, format!("value-{k}").as_bytes());
+        }
+        tx.commit().unwrap();
+        dev.crash();
+        let p2 = PmPool::open(dev);
+        assert_eq!(p2.len(), 50);
+        for k in 0..50u128 {
+            assert_eq!(p2.get(k).unwrap(), format!("value-{k}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn compaction_reclaims_space_and_preserves_data() {
+        let p = pool();
+        for round in 0..20u32 {
+            for k in 0..10u128 {
+                p.put(k, format!("round-{round}-key-{k}").as_bytes()).unwrap();
+            }
+        }
+        let before = p.used_bytes();
+        p.compact().unwrap();
+        let after = p.used_bytes();
+        assert!(after < before, "compaction should shrink the log");
+        for k in 0..10u128 {
+            assert_eq!(p.get(k).unwrap(), format!("round-19-key-{k}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn compacted_pool_recovers() {
+        let dev = Arc::new(PmDevice::for_testing());
+        let p = PmPool::create(Arc::clone(&dev));
+        for k in 0..10u128 {
+            p.put(k, b"v0").unwrap();
+            p.put(k, b"v1").unwrap();
+        }
+        p.compact().unwrap();
+        p.put(100, b"after-compact").unwrap();
+        dev.crash();
+        let p2 = PmPool::open(dev);
+        assert_eq!(p2.len(), 11);
+        assert_eq!(p2.get(3).unwrap(), b"v1");
+        assert_eq!(p2.get(100).unwrap(), b"after-compact");
+    }
+
+    #[test]
+    fn crash_during_compaction_preserves_old_half() {
+        let dev = Arc::new(PmDevice::for_testing());
+        let p = PmPool::create(Arc::clone(&dev));
+        for k in 0..20u128 {
+            p.put(k, format!("value-{k}").as_bytes()).unwrap();
+        }
+        // Hand-simulate a compaction that crashes before the superblock
+        // flip: write garbage into the inactive half and crash.
+        let (b_start, _) = p.half_bounds(1);
+        dev.write(b_start, &[0xEEu8; 4096]).unwrap();
+        dev.persist(b_start, 4096).unwrap();
+        dev.crash();
+        let p2 = PmPool::open(dev);
+        assert_eq!(p2.len(), 20, "active half must be untouched by aborted compaction");
+        assert_eq!(p2.get(7).unwrap(), b"value-7");
+    }
+
+    #[test]
+    fn full_pool_compacts_automatically() {
+        let dev = Arc::new(PmDevice::new(PmDeviceConfig {
+            capacity: 16 * 1024,
+            ..Default::default()
+        }));
+        let p = PmPool::create(dev);
+        // Keep overwriting one key: log grows, but compaction reclaims it.
+        for i in 0..500 {
+            p.put(1, format!("value number {i}").as_bytes()).unwrap();
+        }
+        assert_eq!(p.get(1).unwrap(), b"value number 499");
+    }
+
+    #[test]
+    fn truly_full_pool_errors() {
+        let dev = Arc::new(PmDevice::new(PmDeviceConfig {
+            capacity: 8192,
+            ..Default::default()
+        }));
+        let p = PmPool::create(dev);
+        let big = vec![0xAB; 8192];
+        let mut tx = p.begin();
+        tx.put(1, &big);
+        assert_eq!(tx.commit(), Err(PoolError::PoolFull));
+    }
+
+    #[test]
+    fn empty_tx_commit_is_noop() {
+        let p = pool();
+        let tx = p.begin();
+        assert!(tx.is_empty());
+        tx.commit().unwrap();
+        assert_eq!(p.used_bytes(), 0);
+    }
+
+    #[test]
+    fn many_compactions_many_crashes_fuzz() {
+        // Interleave puts, compactions and clean crashes; the pool must
+        // always recover the full committed state.
+        let dev = Arc::new(PmDevice::new(PmDeviceConfig {
+            capacity: 64 * 1024,
+            ..Default::default()
+        }));
+        let mut expected: std::collections::HashMap<u128, Vec<u8>> = Default::default();
+        let mut p = PmPool::create(Arc::clone(&dev));
+        let mut rng = StdRng::seed_from_u64(99);
+        use rand::Rng;
+        for step in 0..400 {
+            let k = rng.gen_range(0..30u128);
+            let v = format!("step-{step}");
+            p.put(k, v.as_bytes()).unwrap();
+            expected.insert(k, v.into_bytes());
+            if step % 37 == 0 {
+                p.compact().unwrap();
+            }
+            if step % 53 == 0 {
+                dev.crash();
+                p = PmPool::open(Arc::clone(&dev));
+            }
+        }
+        dev.crash();
+        let p = PmPool::open(dev);
+        assert_eq!(p.len(), expected.len());
+        for (k, v) in expected {
+            assert_eq!(p.get(k).as_deref(), Some(v.as_slice()), "key {k}");
+        }
+    }
+}

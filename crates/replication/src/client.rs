@@ -1,0 +1,393 @@
+//! Client-side implementation of the FlexLog-API protocols (Table 2).
+//!
+//! A client is typically a serverless function. It talks directly to the
+//! replicas of shards (§5.1): appends broadcast to every replica of one
+//! random shard of the color and complete when **all** replicas ack
+//! (Algorithm 1); reads contact one random replica of each shard and take
+//! the first non-⊥ answer; trims touch every replica of every shard. All
+//! operations are idempotent (token/request ids), so timeouts simply
+//! retransmit.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use flexlog_simnet::{Endpoint, NodeId, RecvError};
+use flexlog_types::{ColorId, CommittedRecord, FunctionId, SeqNum, Token};
+
+use crate::msg::{ClusterMsg, DataMsg};
+use crate::replica::encode_multi_set;
+use crate::TopologyView;
+
+/// Client configuration.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Distinct id of this function/client (token namespace).
+    pub fid: FunctionId,
+    /// Retransmit period for in-flight operations.
+    pub retry: Duration,
+    /// Overall per-operation deadline.
+    pub deadline: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            fid: FunctionId(1),
+            retry: Duration::from_millis(250),
+            deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Errors surfaced to applications.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClientError {
+    /// The color has no shards (never added).
+    UnknownColor(ColorId),
+    /// The operation did not complete within the deadline (crashed shard,
+    /// blocked appends during recovery, …).
+    Timeout,
+    /// The client's endpoint is gone.
+    Disconnected,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::UnknownColor(c) => write!(f, "color {c} has no shards"),
+            ClientError::Timeout => write!(f, "operation timed out"),
+            ClientError::Disconnected => write!(f, "client endpoint disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// See module docs.
+pub struct FlexLogClient {
+    ep: Endpoint<ClusterMsg>,
+    topology: TopologyView,
+    config: ClientConfig,
+    token_counter: u32,
+    req_counter: u64,
+    rng: StdRng,
+}
+
+impl FlexLogClient {
+    pub fn new(ep: Endpoint<ClusterMsg>, topology: TopologyView, config: ClientConfig) -> Self {
+        let seed = ep.id().0 ^ 0x5EED;
+        FlexLogClient {
+            ep,
+            topology,
+            config,
+            token_counter: 0,
+            req_counter: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// This client's function id.
+    pub fn fid(&self) -> FunctionId {
+        self.config.fid
+    }
+
+    /// The underlying endpoint id.
+    pub fn node_id(&self) -> NodeId {
+        self.ep.id()
+    }
+
+    fn next_token(&mut self) -> Token {
+        self.token_counter += 1;
+        Token::new(self.config.fid, self.token_counter)
+    }
+
+    fn next_req(&mut self) -> u64 {
+        self.req_counter += 1;
+        // Namespace by fid so concurrent clients never collide.
+        ((self.config.fid.0 as u64) << 32) | self.req_counter
+    }
+
+    /// Appends `payloads` to the log of color `color`; returns the SN of the
+    /// last record (Table 2 `Append(r[], c)`).
+    pub fn append(&mut self, color: ColorId, payloads: &[Vec<u8>]) -> Result<SeqNum, ClientError> {
+        let shard = self
+            .topology
+            .random_shard_of(color, &mut self.rng)
+            .ok_or(ClientError::UnknownColor(color))?;
+        let token = self.next_token();
+        self.append_to_shard(color, token, &shard.replicas, payloads)
+    }
+
+    /// The append protocol against a fixed replica set (used by
+    /// multi-append, which must keep all sets on one shard).
+    fn append_to_shard(
+        &mut self,
+        color: ColorId,
+        token: Token,
+        replicas: &[NodeId],
+        payloads: &[Vec<u8>],
+    ) -> Result<SeqNum, ClientError> {
+        let msg: ClusterMsg = DataMsg::Append {
+            color,
+            token,
+            payloads: payloads.to_vec(),
+            reply_to: self.ep.id(),
+        }
+        .into();
+        let deadline = Instant::now() + self.config.deadline;
+        let mut acked: HashSet<NodeId> = HashSet::new();
+        #[allow(unused_assignments)]
+        let mut last_sn: Option<SeqNum> = None;
+        loop {
+            let _ = self.ep.broadcast(replicas, msg.clone());
+            let retry_at = Instant::now() + self.config.retry;
+            while Instant::now() < retry_at {
+                match self.ep.recv_timeout(self.config.retry) {
+                    Ok((from, ClusterMsg::Data(DataMsg::AppendAck { token: t, last_sn: sn })))
+                        if t == token =>
+                    {
+                        acked.insert(from);
+                        last_sn = Some(sn);
+                        // Complete when *every* replica has committed
+                        // (Algorithm 1, line 8) — the basis of linearizable
+                        // local reads.
+                        if acked.len() == replicas.len() {
+                            return Ok(last_sn.expect("at least one ack"));
+                        }
+                    }
+                    Ok(_) => {} // stale message from a previous op
+                    Err(RecvError::Timeout) => break,
+                    Err(RecvError::Disconnected) => return Err(ClientError::Disconnected),
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(ClientError::Timeout);
+            }
+        }
+    }
+
+    /// Reads the record with sequence number `sn` from the `color` log
+    /// (Table 2 `Read(SN, c)`); `None` means no record holds that SN.
+    pub fn read(&mut self, color: ColorId, sn: SeqNum) -> Result<Option<Vec<u8>>, ClientError> {
+        let shards = self.topology.shards_of(color);
+        if shards.is_empty() {
+            return Err(ClientError::UnknownColor(color));
+        }
+        let deadline = Instant::now() + self.config.deadline;
+        loop {
+            let req = self.next_req();
+            // One random replica of every shard (§6.1 read protocol).
+            let targets: Vec<NodeId> = shards
+                .iter()
+                .map(|s| {
+                    use rand::Rng;
+                    s.replicas[self.rng.gen_range(0..s.replicas.len())]
+                })
+                .collect();
+            for &t in &targets {
+                let _ = self
+                    .ep
+                    .send(t, DataMsg::Read { color, sn, req }.into());
+            }
+            let mut answers = 0usize;
+            let retry_at = Instant::now() + self.config.retry;
+            while Instant::now() < retry_at {
+                match self.ep.recv_timeout(self.config.retry) {
+                    Ok((_, ClusterMsg::Data(DataMsg::ReadResp { req: r, value })))
+                        if r == req =>
+                    {
+                        if let Some(v) = value {
+                            // Only one shard stores any given record.
+                            return Ok(Some(v));
+                        }
+                        answers += 1;
+                        if answers == targets.len() {
+                            return Ok(None); // all shards answered ⊥
+                        }
+                    }
+                    Ok(_) => {}
+                    Err(RecvError::Timeout) => break,
+                    Err(RecvError::Disconnected) => return Err(ClientError::Disconnected),
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(ClientError::Timeout);
+            }
+        }
+    }
+
+    /// Returns all records of the `color` log with SN > `from`, merged
+    /// across shards in SN order (Table 2 `Subscribe(c)` with an offset for
+    /// incremental consumption).
+    pub fn subscribe_from(
+        &mut self,
+        color: ColorId,
+        from: SeqNum,
+    ) -> Result<Vec<CommittedRecord>, ClientError> {
+        let shards = self.topology.shards_of(color);
+        if shards.is_empty() {
+            return Err(ClientError::UnknownColor(color));
+        }
+        let deadline = Instant::now() + self.config.deadline;
+        loop {
+            let req = self.next_req();
+            let targets: Vec<NodeId> = shards
+                .iter()
+                .map(|s| {
+                    use rand::Rng;
+                    s.replicas[self.rng.gen_range(0..s.replicas.len())]
+                })
+                .collect();
+            for &t in &targets {
+                let _ = self
+                    .ep
+                    .send(t, DataMsg::Subscribe { color, from, req }.into());
+            }
+            let mut slices: Vec<Vec<CommittedRecord>> = Vec::new();
+            let retry_at = Instant::now() + self.config.retry;
+            while Instant::now() < retry_at {
+                match self.ep.recv_timeout(self.config.retry) {
+                    Ok((_, ClusterMsg::Data(DataMsg::SubscribeResp { req: r, records })))
+                        if r == req =>
+                    {
+                        slices.push(records);
+                        if slices.len() == targets.len() {
+                            // Reconstruct the colored log by sorting on SN
+                            // (§6.2 subscribe protocol).
+                            let mut all: Vec<CommittedRecord> =
+                                slices.into_iter().flatten().collect();
+                            all.sort_by_key(|r| r.sn);
+                            all.dedup_by_key(|r| r.sn);
+                            return Ok(all);
+                        }
+                    }
+                    Ok(_) => {}
+                    Err(RecvError::Timeout) => break,
+                    Err(RecvError::Disconnected) => return Err(ClientError::Disconnected),
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(ClientError::Timeout);
+            }
+        }
+    }
+
+    /// `Subscribe(c)`: the full current contents of the colored log.
+    pub fn subscribe(&mut self, color: ColorId) -> Result<Vec<CommittedRecord>, ClientError> {
+        self.subscribe_from(color, SeqNum::ZERO)
+    }
+
+    /// Deletes all records of `color` with SN ≤ `up_to`; returns the
+    /// remaining `[head, tail]` span (Table 2 `Trim(SN, c)`).
+    pub fn trim(
+        &mut self,
+        color: ColorId,
+        up_to: SeqNum,
+    ) -> Result<(Option<SeqNum>, Option<SeqNum>), ClientError> {
+        let shards = self.topology.shards_of(color);
+        if shards.is_empty() {
+            return Err(ClientError::UnknownColor(color));
+        }
+        let deadline = Instant::now() + self.config.deadline;
+        let all_replicas: Vec<NodeId> = shards
+            .iter()
+            .flat_map(|s| s.replicas.iter().copied())
+            .collect();
+        loop {
+            let req = self.next_req();
+            for &t in &all_replicas {
+                let _ = self
+                    .ep
+                    .send(t, DataMsg::Trim { color, up_to, req }.into());
+            }
+            let mut acked: HashSet<NodeId> = HashSet::new();
+            let mut span = (None, None);
+            let retry_at = Instant::now() + self.config.retry;
+            while Instant::now() < retry_at {
+                match self.ep.recv_timeout(self.config.retry) {
+                    Ok((from, ClusterMsg::Data(DataMsg::TrimAck { req: r, head, tail })))
+                        if r == req =>
+                    {
+                        acked.insert(from);
+                        span.0 = span.0.max(head);
+                        span.1 = span.1.max(tail);
+                        if acked.len() == all_replicas.len() {
+                            return Ok(span);
+                        }
+                    }
+                    Ok(_) => {}
+                    Err(RecvError::Timeout) => break,
+                    Err(RecvError::Disconnected) => return Err(ClientError::Disconnected),
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(ClientError::Timeout);
+            }
+        }
+    }
+
+    /// Atomically appends multiple record sets to multiple colors
+    /// (Algorithm 2): either every set eventually commits in its target
+    /// color, or none does.
+    pub fn multi_append(
+        &mut self,
+        sets: &[(ColorId, Vec<Vec<u8>>)],
+    ) -> Result<(), ClientError> {
+        // Validate targets first so a typo'd color cannot half-commit.
+        for (color, _) in sets {
+            if !self.topology.knows_color(*color) {
+                return Err(ClientError::UnknownColor(*color));
+            }
+        }
+        let broker = self
+            .topology
+            .random_shard_of(ColorId::MASTER, &mut self.rng)
+            .ok_or(ClientError::UnknownColor(ColorId::MASTER))?;
+        // Phase 1: stage every set in the special color on ONE shard
+        // (Algorithm 2, lines 3–4). These are ordinary appends carrying the
+        // target color inside the payload.
+        for (color, payloads) in sets {
+            let token = self.next_token();
+            let staged = encode_multi_set(*color, payloads);
+            self.append_to_shard(ColorId::MASTER, token, &broker.replicas, &[staged])?;
+        }
+        // Phase 2: broadcast the end marker; any single ack completes the
+        // operation (Algorithm 2, lines 5–6) — the replicas drive the rest.
+        let deadline = Instant::now() + self.config.deadline;
+        loop {
+            let req = self.next_req();
+            let _ = self.ep.broadcast(
+                &broker.replicas,
+                DataMsg::MultiEnd {
+                    fid: self.config.fid,
+                    req,
+                    reply_to: self.ep.id(),
+                }
+                .into(),
+            );
+            let retry_at = Instant::now() + self.config.retry;
+            while Instant::now() < retry_at {
+                match self.ep.recv_timeout(self.config.retry) {
+                    Ok((_, ClusterMsg::Data(DataMsg::MultiAck { req: r }))) if r == req => {
+                        return Ok(());
+                    }
+                    Ok(_) => {}
+                    Err(RecvError::Timeout) => break,
+                    Err(RecvError::Disconnected) => return Err(ClientError::Disconnected),
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(ClientError::Timeout);
+            }
+        }
+    }
+
+    /// The topology view (for `AddColor` flows owned by the core crate).
+    pub fn topology(&self) -> &TopologyView {
+        &self.topology
+    }
+}

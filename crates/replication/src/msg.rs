@@ -1,0 +1,139 @@
+//! Data-layer messages and the cluster-wide wire enum.
+
+use flexlog_ordering::{OrderMsg, OrderWire};
+use flexlog_simnet::NodeId;
+use flexlog_types::{ColorId, CommittedRecord, Epoch, FunctionId, SeqNum, Token};
+
+/// Messages of the data layer (client ↔ replica and replica ↔ replica).
+#[derive(Clone, Debug, PartialEq)]
+pub enum DataMsg {
+    /// Client → every replica of one shard: append `payloads` to `color`
+    /// under `token` (Algorithm 1, line 7). Acks go to `reply_to`.
+    Append {
+        color: ColorId,
+        token: Token,
+        payloads: Vec<Vec<u8>>,
+        reply_to: NodeId,
+    },
+    /// Replica → client: the batch identified by `token` is committed, its
+    /// last record holds `last_sn` (Algorithm 1, line 24).
+    AppendAck { token: Token, last_sn: SeqNum },
+
+    /// Client → one replica per shard of the color: read `sn`.
+    Read { color: ColorId, sn: SeqNum, req: u64 },
+    /// Replica → client: the record, or ⊥ if this shard does not hold it.
+    ReadResp {
+        req: u64,
+        value: Option<Vec<u8>>,
+    },
+
+    /// Client → one replica per shard: all records of `color` above `from`.
+    Subscribe { color: ColorId, from: SeqNum, req: u64 },
+    /// Replica → client: this shard's slice of the colored log.
+    SubscribeResp {
+        req: u64,
+        records: Vec<CommittedRecord>,
+    },
+
+    /// Client → all replicas of all shards of the color: delete ≤ `up_to`.
+    Trim { color: ColorId, up_to: SeqNum, req: u64 },
+    /// Replica → replica: I applied this trim (second round of §6.2).
+    TrimPeerAck { color: ColorId, up_to: SeqNum, req: u64 },
+    /// Replica → client: trim complete here; the color now spans
+    /// `[head, tail]` (third round of §6.2).
+    TrimAck {
+        req: u64,
+        head: Option<SeqNum>,
+        tail: Option<SeqNum>,
+    },
+
+    /// Client → all replicas of the special-color shard: end of a
+    /// multi-color append (Algorithm 2, line 5).
+    MultiEnd { fid: FunctionId, req: u64, reply_to: NodeId },
+    /// Replica → client: every set of the multi-color append is committed
+    /// in its target color (Algorithm 2, line 18).
+    MultiAck { req: u64 },
+
+    /// Recovering replica → shard peers: begin a sync-phase round (§6.3).
+    SyncRequest { round: u64 },
+    /// Replica → all shard peers: my state for this round — known sequencer
+    /// epoch and per-color (tail, record count).
+    SyncState {
+        round: u64,
+        epoch: Epoch,
+        tails: Vec<(ColorId, SeqNum, u64)>,
+    },
+    /// Replica → most-up-to-date peer: send me `color` records above `from`.
+    SyncFetch { round: u64, color: ColorId, from: SeqNum },
+    /// Reply to [`DataMsg::SyncFetch`]: the records, with their tokens so
+    /// idempotence survives recovery.
+    SyncRecords {
+        round: u64,
+        color: ColorId,
+        records: Vec<(Token, SeqNum, Vec<u8>)>,
+        done: bool,
+    },
+    /// Replica → all shard peers: I am synchronized for this round (the
+    /// all-to-all barrier of §6.3).
+    SyncDone { round: u64 },
+
+    /// Orderly shutdown (test harness).
+    Shutdown,
+}
+
+/// The cluster-wide message type: everything that can travel on a FlexLog
+/// deployment's network.
+#[derive(Clone, Debug)]
+pub enum ClusterMsg {
+    Order(OrderMsg),
+    Data(DataMsg),
+}
+
+impl OrderWire for ClusterMsg {
+    fn from_order(m: OrderMsg) -> Self {
+        ClusterMsg::Order(m)
+    }
+    fn into_order(self) -> Option<OrderMsg> {
+        match self {
+            ClusterMsg::Order(m) => Some(m),
+            ClusterMsg::Data(_) => None,
+        }
+    }
+}
+
+impl From<DataMsg> for ClusterMsg {
+    fn from(m: DataMsg) -> Self {
+        ClusterMsg::Data(m)
+    }
+}
+
+impl ClusterMsg {
+    /// Extracts the data-layer message, if any.
+    pub fn into_data(self) -> Option<DataMsg> {
+        match self {
+            ClusterMsg::Data(m) => Some(m),
+            ClusterMsg::Order(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_wire_roundtrips_order() {
+        let m = OrderMsg::Shutdown;
+        let w = ClusterMsg::from_order(m.clone());
+        assert_eq!(w.into_order(), Some(m));
+    }
+
+    #[test]
+    fn cluster_wire_separates_layers() {
+        let d: ClusterMsg = DataMsg::Shutdown.into();
+        assert!(d.clone().into_order().is_none());
+        assert_eq!(d.into_data(), Some(DataMsg::Shutdown));
+        let o = ClusterMsg::Order(OrderMsg::Shutdown);
+        assert!(o.into_data().is_none());
+    }
+}

@@ -1,0 +1,904 @@
+//! The replica node: one member of a data-layer shard.
+//!
+//! A replica is a single-threaded event loop owning a
+//! [`StorageServer`]. In normal operation it:
+//!
+//! * stages appends and requests SNs from its leaf sequencer (Algorithm 1);
+//! * commits on OResp and acks every client that asked for the token;
+//! * serves linearizable local reads, holding requests above its max-seen
+//!   SN for a bounded time (the hole rule, §6.3);
+//! * answers subscribes/trims, and replays multi-color append sets on the
+//!   client's `end` marker (Algorithm 2).
+//!
+//! When it restarts after a crash, or a newly elected sequencer sends
+//! `InitSequencer`, it runs the **sync-phase** (§6.3): pause appends and
+//! sequencer messages, exchange per-color state with all shard peers, fetch
+//! missing records from the most up-to-date replica, and pass an all-to-all
+//! `SyncDone` barrier before resuming. Staged-but-uncommitted tokens
+//! re-issue their order requests afterwards.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use flexlog_ordering::{Directory, OrderMsg, RoleId};
+use flexlog_simnet::{Endpoint, NodeId, RecvError};
+use flexlog_storage::{StorageConfig, StorageServer};
+use flexlog_types::{ColorId, Epoch, FunctionId, SeqNum, ShardId, Token};
+
+use crate::msg::{ClusterMsg, DataMsg};
+use crate::TopologyView;
+
+/// Magic prefix of a multi-color-append set staged in the special color.
+pub(crate) const MULTI_MAGIC: &[u8; 4] = b"MCA1";
+
+/// Configuration of one replica.
+#[derive(Clone)]
+pub struct ReplicaConfig {
+    pub shard: ShardId,
+    /// The other replicas of this shard.
+    pub peers: Vec<NodeId>,
+    /// The leaf sequencer role this shard is attached to.
+    pub leaf_role: RoleId,
+    pub storage: StorageConfig,
+    /// How long to hold a read above the max-seen SN before answering ⊥
+    /// (the paper suggests 1 ms, §6.3).
+    pub read_hold: Duration,
+    /// Resend window for unanswered order requests.
+    pub oreq_resend: Duration,
+    /// Restart window for a stalled sync-phase.
+    pub sync_timeout: Duration,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        ReplicaConfig {
+            shard: ShardId(0),
+            peers: Vec::new(),
+            leaf_role: RoleId(0),
+            storage: StorageConfig::default(),
+            read_hold: Duration::from_millis(20),
+            oreq_resend: Duration::from_millis(200),
+            sync_timeout: Duration::from_millis(500),
+        }
+    }
+}
+
+struct HeldRead {
+    from: NodeId,
+    req: u64,
+    color: ColorId,
+    sn: SeqNum,
+    deadline: Instant,
+}
+
+struct TrimPending {
+    color: ColorId,
+    up_to: SeqNum,
+    caller: NodeId,
+    req: u64,
+    peer_acks: HashSet<NodeId>,
+}
+
+/// In-flight multi-color append this replica is driving (acting as client).
+struct MultiPending {
+    req: u64,
+    reply_to: NodeId,
+    /// sub-token → replicas still owing an AppendAck.
+    waiting: HashMap<Token, HashSet<NodeId>>,
+}
+
+struct SyncRound {
+    round: u64,
+    /// Who initiated init (to InitAck after the barrier), with the epoch.
+    init: Option<(NodeId, Epoch)>,
+    states: HashMap<NodeId, Vec<(ColorId, SeqNum, u64)>>,
+    /// Fetches in flight.
+    fetching: HashSet<ColorId>,
+    /// Fetches already completed this round (never re-issued).
+    fetched: HashSet<ColorId>,
+    done: HashSet<NodeId>,
+    self_done: bool,
+    started: Instant,
+}
+
+enum Mode {
+    Operational,
+    Syncing(SyncRound),
+}
+
+/// See module docs.
+pub struct ReplicaNode {
+    config: ReplicaConfig,
+    directory: Directory,
+    topology: TopologyView,
+    storage: Arc<StorageServer>,
+    known_epoch: Epoch,
+    mode: Mode,
+    /// Clients (and peer replicas acting as clients) awaiting acks per token.
+    reply_tos: HashMap<Token, HashSet<NodeId>>,
+    /// OResps that arrived before the matching Append.
+    pending_oresp: HashMap<Token, SeqNum>,
+    /// Last OReq send time per staged token (resend on silence).
+    oreq_sent: HashMap<Token, Instant>,
+    held_reads: Vec<HeldRead>,
+    trims: HashMap<u64, TrimPending>,
+    multi: Vec<MultiPending>,
+    processed_multi: HashSet<Token>,
+    /// Appends/OResps deferred while syncing.
+    deferred: VecDeque<(NodeId, Deferred)>,
+    round_counter: u64,
+    /// Highest sync round seen (restart rounds must exceed it).
+    last_round: u64,
+    rng: StdRng,
+    /// If a recovery sync must start immediately on boot.
+    start_with_sync: bool,
+}
+
+enum Deferred {
+    Data(DataMsg),
+    Order(OrderMsg),
+}
+
+impl ReplicaNode {
+    /// A fresh replica with empty storage.
+    pub fn new(config: ReplicaConfig, directory: Directory, topology: TopologyView) -> Self {
+        let storage = Arc::new(StorageServer::new(config.storage.clone()));
+        Self::with_storage(config, directory, topology, storage, false)
+    }
+
+    /// A replica recovering from crashed devices: replays storage and runs
+    /// the sync-phase before serving (§6.3 "Recovery").
+    pub fn recovered(
+        config: ReplicaConfig,
+        directory: Directory,
+        topology: TopologyView,
+        storage: Arc<StorageServer>,
+    ) -> Self {
+        Self::with_storage(config, directory, topology, storage, true)
+    }
+
+    fn with_storage(
+        config: ReplicaConfig,
+        directory: Directory,
+        topology: TopologyView,
+        storage: Arc<StorageServer>,
+        start_with_sync: bool,
+    ) -> Self {
+        ReplicaNode {
+            config,
+            directory,
+            topology,
+            storage,
+            known_epoch: Epoch(1),
+            mode: Mode::Operational,
+            reply_tos: HashMap::new(),
+            pending_oresp: HashMap::new(),
+            oreq_sent: HashMap::new(),
+            held_reads: Vec::new(),
+            trims: HashMap::new(),
+            multi: Vec::new(),
+            processed_multi: HashSet::new(),
+            deferred: VecDeque::new(),
+            round_counter: 0,
+            last_round: 0,
+            rng: StdRng::seed_from_u64(0xF1E7),
+            start_with_sync,
+        }
+    }
+
+    /// Shared storage handle (benchmarks read tier stats through it).
+    pub fn storage(&self) -> Arc<StorageServer> {
+        Arc::clone(&self.storage)
+    }
+
+    /// Runs the replica loop until shutdown or crash.
+    pub fn run(mut self, ep: Endpoint<ClusterMsg>) {
+        if self.start_with_sync && !self.config.peers.is_empty() {
+            self.begin_sync(&ep, None);
+        } else if self.start_with_sync {
+            // Single-replica shard: nothing to sync with; just re-issue
+            // order requests for staged tokens.
+            self.reissue_staged_oreqs(&ep);
+        }
+        loop {
+            let tick = self
+                .config
+                .read_hold
+                .min(Duration::from_millis(5))
+                .max(Duration::from_millis(1));
+            match ep.recv_timeout(tick) {
+                Ok((from, msg)) => match msg {
+                    ClusterMsg::Data(DataMsg::Shutdown) => return,
+                    ClusterMsg::Data(m) => {
+                        if !self.handle_data(&ep, from, m) {
+                            return;
+                        }
+                    }
+                    ClusterMsg::Order(m) => self.handle_order(&ep, from, m),
+                },
+                Err(RecvError::Timeout) => {}
+                Err(RecvError::Disconnected) => return,
+            }
+            self.tick(&ep);
+        }
+    }
+
+    // ----- normal-path handlers ------------------------------------------
+
+    /// Returns false on shutdown.
+    fn handle_data(&mut self, ep: &Endpoint<ClusterMsg>, from: NodeId, msg: DataMsg) -> bool {
+        match msg {
+            DataMsg::Append {
+                color,
+                token,
+                payloads,
+                reply_to,
+            } => {
+                if matches!(self.mode, Mode::Syncing(_)) {
+                    // Appends pause during the sync-phase.
+                    self.deferred.push_back((
+                        from,
+                        Deferred::Data(DataMsg::Append {
+                            color,
+                            token,
+                            payloads,
+                            reply_to,
+                        }),
+                    ));
+                    return true;
+                }
+                self.handle_append(ep, color, token, payloads, reply_to);
+            }
+            DataMsg::Read { color, sn, req } => {
+                self.handle_read(ep, from, color, sn, req);
+            }
+            DataMsg::Subscribe { color, from: from_sn, req } => {
+                let records = self.storage.scan(color, from_sn);
+                let _ = ep.send(from, DataMsg::SubscribeResp { req, records }.into());
+            }
+            DataMsg::Trim { color, up_to, req } => {
+                let _ = self.storage.trim(color, up_to);
+                // Second round: tell every peer we applied it; collect
+                // theirs before answering the caller (§6.2).
+                let _ = ep.broadcast(
+                    &self.config.peers,
+                    DataMsg::TrimPeerAck { color, up_to, req }.into(),
+                );
+                let entry = self.trims.entry(req).or_insert_with(|| TrimPending {
+                    color,
+                    up_to,
+                    caller: from,
+                    req,
+                    peer_acks: HashSet::new(),
+                });
+                entry.caller = from;
+                self.maybe_finish_trim(ep, req);
+            }
+            DataMsg::TrimPeerAck { req, .. } => {
+                // Register the ack even if our own Trim has not arrived yet.
+                let peer_count = self.config.peers.len();
+                let entry = self.trims.entry(req).or_insert_with(|| TrimPending {
+                    color: ColorId::MASTER,
+                    up_to: SeqNum::ZERO,
+                    caller: from, // placeholder until our Trim arrives
+                    req,
+                    peer_acks: HashSet::new(),
+                });
+                entry.peer_acks.insert(from);
+                let _ = peer_count;
+                self.maybe_finish_trim(ep, req);
+            }
+            DataMsg::AppendAck { token, last_sn } => {
+                // We are a client here: a multi-color sub-append got acked.
+                self.note_multi_ack(ep, from, token, last_sn);
+            }
+            DataMsg::MultiEnd { fid, req, reply_to } => {
+                self.handle_multi_end(ep, fid, req, reply_to);
+            }
+            DataMsg::SyncRequest { round } => {
+                self.join_sync(ep, round, None);
+            }
+            DataMsg::SyncState { round, epoch, tails } => {
+                if epoch > self.known_epoch {
+                    self.known_epoch = epoch;
+                }
+                if let Mode::Syncing(ref mut s) = self.mode {
+                    if s.round == round {
+                        s.states.insert(from, tails);
+                        self.advance_sync(ep);
+                    } else if round > s.round {
+                        self.join_sync(ep, round, None);
+                        if let Mode::Syncing(ref mut s) = self.mode {
+                            s.states.insert(from, tails);
+                        }
+                        self.advance_sync(ep);
+                    }
+                } else {
+                    // A peer entered sync; join it.
+                    self.join_sync(ep, round, None);
+                    if let Mode::Syncing(ref mut s) = self.mode {
+                        s.states.insert(from, tails);
+                    }
+                    self.advance_sync(ep);
+                }
+            }
+            DataMsg::SyncFetch { round, color, from: from_sn } => {
+                // Serve regardless of our own mode: the requester decided we
+                // are the most up-to-date for this color.
+                let records = self.storage.scan_with_tokens(color, from_sn);
+                let _ = ep.send(
+                    from,
+                    DataMsg::SyncRecords {
+                        round,
+                        color,
+                        records,
+                        done: true,
+                    }
+                    .into(),
+                );
+            }
+            DataMsg::SyncRecords { round, color, records, done } => {
+                if let Mode::Syncing(ref mut s) = self.mode {
+                    if s.round == round {
+                        for (token, sn, payload) in records {
+                            let _ = self.storage.import(color, sn, token, &payload);
+                        }
+                        if done {
+                            s.fetching.remove(&color);
+                            s.fetched.insert(color);
+                        }
+                        self.advance_sync(ep);
+                    }
+                }
+            }
+            DataMsg::SyncDone { round } => {
+                if let Mode::Syncing(ref mut s) = self.mode {
+                    if s.round == round {
+                        s.done.insert(from);
+                        self.maybe_finish_sync(ep);
+                    }
+                }
+            }
+            DataMsg::ReadResp { .. } | DataMsg::SubscribeResp { .. } | DataMsg::TrimAck { .. }
+            | DataMsg::MultiAck { .. } => {
+                // Client-side messages; a replica can ignore strays.
+            }
+            DataMsg::Shutdown => return false,
+        }
+        true
+    }
+
+    fn handle_order(&mut self, ep: &Endpoint<ClusterMsg>, from: NodeId, msg: OrderMsg) {
+        match msg {
+            OrderMsg::OResp { token, last_sn } => {
+                if matches!(self.mode, Mode::Syncing(_)) {
+                    // Sequencer messages pause during the sync-phase.
+                    self.deferred
+                        .push_back((from, Deferred::Order(OrderMsg::OResp { token, last_sn })));
+                    return;
+                }
+                self.apply_oresp(ep, token, last_sn);
+            }
+            OrderMsg::InitSequencer { role, epoch } => {
+                if role != self.config.leaf_role {
+                    return;
+                }
+                if epoch > self.known_epoch {
+                    self.known_epoch = epoch;
+                }
+                // The new sequencer waits for *all* replicas to sync and
+                // ack before serving (§6.3).
+                if self.config.peers.is_empty() {
+                    let _ = ep.send(from, ClusterMsg::Order(OrderMsg::InitAck { epoch }));
+                    self.reissue_staged_oreqs(ep);
+                } else {
+                    self.begin_sync(ep, Some((from, epoch)));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_append(
+        &mut self,
+        ep: &Endpoint<ClusterMsg>,
+        color: ColorId,
+        token: Token,
+        payloads: Vec<Vec<u8>>,
+        reply_to: NodeId,
+    ) {
+        self.reply_tos.entry(token).or_default().insert(reply_to);
+        if let Some(sn) = self.storage.committed_sn(token) {
+            // Duplicate of a completed append: re-ack (client retry or the
+            // multi-color replay path).
+            let _ = ep.send(reply_to, DataMsg::AppendAck { token, last_sn: sn }.into());
+            return;
+        }
+        let n = payloads.len() as u32;
+        match self.storage.stage(token, color, &payloads) {
+            Ok(_newly) => {}
+            Err(e) => {
+                // Storage full: drop; the client will time out. (The paper
+                // assumes trims keep the log bounded.)
+                eprintln!("replica {}: stage failed: {e}", ep.id());
+                return;
+            }
+        }
+        if let Some(sn) = self.pending_oresp.remove(&token) {
+            self.apply_oresp(ep, token, sn);
+            return;
+        }
+        self.send_oreq(ep, color, token, n);
+    }
+
+    fn send_oreq(&mut self, ep: &Endpoint<ClusterMsg>, color: ColorId, token: Token, n: u32) {
+        let Some(leaf) = self.directory.get(self.config.leaf_role) else {
+            return; // sequencer fail-over window; the resend tick retries
+        };
+        let mut shard: Vec<NodeId> = self.config.peers.clone();
+        shard.push(ep.id());
+        shard.sort_unstable();
+        let _ = ep.send(
+            leaf,
+            ClusterMsg::Order(OrderMsg::OReq {
+                color,
+                token,
+                nrecords: n,
+                shard,
+            }),
+        );
+        self.oreq_sent.insert(token, Instant::now());
+    }
+
+    fn apply_oresp(&mut self, ep: &Endpoint<ClusterMsg>, token: Token, last_sn: SeqNum) {
+        match self.storage.commit(token, last_sn) {
+            Ok(_) => {
+                self.oreq_sent.remove(&token);
+                if let Some(reply_tos) = self.reply_tos.remove(&token) {
+                    for r in reply_tos {
+                        let _ = ep.send(r, DataMsg::AppendAck { token, last_sn }.into());
+                    }
+                }
+                self.release_held_reads(ep);
+            }
+            Err(_) => {
+                // Append not here yet (client broadcast still in flight):
+                // remember the SN.
+                self.pending_oresp.insert(token, last_sn);
+            }
+        }
+    }
+
+    fn handle_read(
+        &mut self,
+        ep: &Endpoint<ClusterMsg>,
+        from: NodeId,
+        color: ColorId,
+        sn: SeqNum,
+        req: u64,
+    ) {
+        if let Some(value) = self.storage.get(color, sn) {
+            let _ = ep.send(from, DataMsg::ReadResp { req, value: Some(value) }.into());
+            return;
+        }
+        let max_seen = self.storage.tail(color).unwrap_or(SeqNum::ZERO);
+        if sn > max_seen {
+            // Possibly an in-flight append: hold the read for a bounded time
+            // instead of answering ⊥ (§6.3 "Safety", problem 2).
+            self.held_reads.push(HeldRead {
+                from,
+                req,
+                color,
+                sn,
+                deadline: Instant::now() + self.config.read_hold,
+            });
+        } else {
+            // A hole (or trimmed/not on this shard): answer ⊥ immediately.
+            let _ = ep.send(from, DataMsg::ReadResp { req, value: None }.into());
+        }
+    }
+
+    fn release_held_reads(&mut self, ep: &Endpoint<ClusterMsg>) {
+        let storage = &self.storage;
+        let mut still_held = Vec::new();
+        for h in self.held_reads.drain(..) {
+            if let Some(value) = storage.get(h.color, h.sn) {
+                let _ = ep.send(h.from, DataMsg::ReadResp { req: h.req, value: Some(value) }.into());
+            } else if storage.tail(h.color).unwrap_or(SeqNum::ZERO) >= h.sn {
+                // A bigger SN arrived: the requested SN is a hole here.
+                let _ = ep.send(h.from, DataMsg::ReadResp { req: h.req, value: None }.into());
+            } else {
+                still_held.push(h);
+            }
+        }
+        self.held_reads = still_held;
+    }
+
+    fn maybe_finish_trim(&mut self, ep: &Endpoint<ClusterMsg>, req: u64) {
+        let finished = {
+            let Some(t) = self.trims.get(&req) else { return };
+            // Our own Trim must have arrived (caller known ≠ placeholder is
+            // encoded by up_to > ZERO or empty-peers case) and all peers
+            // must have acked.
+            t.up_to > SeqNum::ZERO && t.peer_acks.len() >= self.config.peers.len()
+        };
+        if finished {
+            let t = self.trims.remove(&req).expect("checked above");
+            let (head, tail) = (self.storage.head(t.color), self.storage.tail(t.color));
+            let _ = ep.send(t.caller, DataMsg::TrimAck { req: t.req, head, tail }.into());
+        }
+    }
+
+    // ----- multi-color append (Algorithm 2) -------------------------------
+
+    fn handle_multi_end(
+        &mut self,
+        ep: &Endpoint<ClusterMsg>,
+        fid: FunctionId,
+        req: u64,
+        reply_to: NodeId,
+    ) {
+        // read_records(FID): this function's multi-append sets staged in the
+        // special color (Algorithm 2, line 12).
+        let sets: Vec<(Token, Vec<u8>)> = self
+            .storage
+            .scan_with_tokens(ColorId::MASTER, SeqNum::ZERO)
+            .into_iter()
+            .filter(|(token, _, payload)| {
+                token.fid() == fid
+                    && payload.len() >= 4
+                    && &payload[..4] == MULTI_MAGIC
+                    && !self.processed_multi.contains(token)
+            })
+            .map(|(token, _, payload)| (token, payload))
+            .collect();
+        let mut pending = MultiPending {
+            req,
+            reply_to,
+            waiting: HashMap::new(),
+        };
+        for (token, payload) in sets {
+            self.processed_multi.insert(token);
+            let Some((target_color, payloads)) = decode_multi_set(&payload) else {
+                continue;
+            };
+            // Derive the sub-append token from the staged set's token: the
+            // flipped top bit keeps it disjoint from client tokens while
+            // staying deterministic across replicas (idempotence).
+            let sub_token = Token(token.0 ^ (1 << 63));
+            let Some(shard) = self.topology.random_shard_of(target_color, &mut self.rng) else {
+                continue;
+            };
+            let _ = ep.broadcast(
+                &shard.replicas,
+                DataMsg::Append {
+                    color: target_color,
+                    token: sub_token,
+                    payloads,
+                    reply_to: ep.id(),
+                }
+                .into(),
+            );
+            pending
+                .waiting
+                .insert(sub_token, shard.replicas.iter().copied().collect());
+        }
+        if pending.waiting.is_empty() {
+            let _ = ep.send(reply_to, DataMsg::MultiAck { req }.into());
+        } else {
+            self.multi.push(pending);
+        }
+    }
+
+    fn note_multi_ack(
+        &mut self,
+        ep: &Endpoint<ClusterMsg>,
+        from: NodeId,
+        token: Token,
+        _sn: SeqNum,
+    ) {
+        let mut finished = Vec::new();
+        for (i, m) in self.multi.iter_mut().enumerate() {
+            if let Some(waiting) = m.waiting.get_mut(&token) {
+                waiting.remove(&from);
+                if waiting.is_empty() {
+                    m.waiting.remove(&token);
+                }
+                if m.waiting.is_empty() {
+                    finished.push(i);
+                }
+                break;
+            }
+        }
+        for i in finished.into_iter().rev() {
+            let m = self.multi.remove(i);
+            let _ = ep.send(m.reply_to, DataMsg::MultiAck { req: m.req }.into());
+        }
+    }
+
+    // ----- sync-phase (§6.3) ----------------------------------------------
+
+    fn new_round(&mut self, ep: &Endpoint<ClusterMsg>) -> u64 {
+        self.round_counter += 1;
+        // Unique across nodes (node id in the low bits) and strictly above
+        // any round seen so far (so restarts supersede stalled rounds).
+        let base = (self.round_counter << 20) | (ep.id().index() & 0xFFFFF);
+        let round = base.max(((self.last_round >> 20 << 20) + (1 << 20)) | (ep.id().index() & 0xFFFFF));
+        self.last_round = self.last_round.max(round);
+        round
+    }
+
+    fn begin_sync(&mut self, ep: &Endpoint<ClusterMsg>, init: Option<(NodeId, Epoch)>) {
+        let round = match &self.mode {
+            Mode::Syncing(s) => s.round.max(self.new_round(ep)),
+            Mode::Operational => self.new_round(ep),
+        };
+        let _ = ep.broadcast(&self.config.peers, DataMsg::SyncRequest { round }.into());
+        self.join_sync(ep, round, init);
+    }
+
+    fn join_sync(&mut self, ep: &Endpoint<ClusterMsg>, round: u64, init: Option<(NodeId, Epoch)>) {
+        if let Mode::Syncing(ref s) = self.mode {
+            if s.round >= round {
+                return; // already in this (or a newer) round
+            }
+        }
+        let carried_init = match &self.mode {
+            Mode::Syncing(s) => s.init.or(init),
+            Mode::Operational => init,
+        };
+        let mut states = HashMap::new();
+        states.insert(ep.id(), self.my_tails());
+        self.last_round = self.last_round.max(round);
+        self.mode = Mode::Syncing(SyncRound {
+            round,
+            init: carried_init,
+            states,
+            fetching: HashSet::new(),
+            fetched: HashSet::new(),
+            done: HashSet::new(),
+            self_done: false,
+            started: Instant::now(),
+        });
+        let _ = ep.broadcast(
+            &self.config.peers,
+            DataMsg::SyncState {
+                round,
+                epoch: self.known_epoch,
+                tails: self.my_tails(),
+            }
+            .into(),
+        );
+        self.advance_sync(ep);
+    }
+
+    fn my_tails(&self) -> Vec<(ColorId, SeqNum, u64)> {
+        self.topology
+            .colors()
+            .into_iter()
+            .filter_map(|c| {
+                let tail = self.storage.tail(c)?;
+                Some((c, tail, self.storage.record_count(c) as u64))
+            })
+            .collect()
+    }
+
+    /// Once states from the whole shard are in, fetch what we miss.
+    fn advance_sync(&mut self, ep: &Endpoint<ClusterMsg>) {
+        let (fetches, ready) = {
+            let Mode::Syncing(ref mut s) = self.mode else { return };
+            if s.self_done {
+                return;
+            }
+            if s.states.len() < self.config.peers.len() + 1 {
+                return; // waiting for more states
+            }
+            if !s.fetching.is_empty() {
+                return; // fetches already in flight
+            }
+            // For every color: find the most up-to-date holder.
+            let my = s.states.get(&ep.id()).cloned().unwrap_or_default();
+            let my_map: HashMap<ColorId, (SeqNum, u64)> =
+                my.into_iter().map(|(c, t, n)| (c, (t, n))).collect();
+            let mut fetches: Vec<(NodeId, ColorId, SeqNum)> = Vec::new();
+            let mut best: HashMap<ColorId, (SeqNum, u64, NodeId)> = HashMap::new();
+            for (&node, tails) in s.states.iter() {
+                for &(color, tail, count) in tails {
+                    let e = best.entry(color).or_insert((tail, count, node));
+                    if (tail, count) > (e.0, e.1) {
+                        *e = (tail, count, node);
+                    }
+                }
+            }
+            for (color, (tail, _count, holder)) in best {
+                if holder == ep.id() || s.fetched.contains(&color) {
+                    continue;
+                }
+                let (my_tail, _my_count) = my_map
+                    .get(&color)
+                    .copied()
+                    .unwrap_or((SeqNum::ZERO, 0));
+                if tail > my_tail {
+                    // Fetch everything above our tail from the holder.
+                    fetches.push((holder, color, my_tail));
+                    s.fetching.insert(color);
+                }
+            }
+            let round = s.round;
+            for &(holder, color, from) in &fetches {
+                let _ = ep.send(
+                    holder,
+                    DataMsg::SyncFetch { round, color, from }.into(),
+                );
+            }
+            (fetches.len(), s.fetching.is_empty())
+        };
+        let _ = fetches;
+        if ready {
+            self.finish_fetch(ep);
+        }
+    }
+
+    fn finish_fetch(&mut self, ep: &Endpoint<ClusterMsg>) {
+        let round = {
+            let Mode::Syncing(ref mut s) = self.mode else { return };
+            if s.self_done {
+                return;
+            }
+            s.self_done = true;
+            s.round
+        };
+        let _ = ep.broadcast(&self.config.peers, DataMsg::SyncDone { round }.into());
+        self.maybe_finish_sync(ep);
+    }
+
+    fn maybe_finish_sync(&mut self, ep: &Endpoint<ClusterMsg>) {
+        let finished = {
+            let Mode::Syncing(ref s) = self.mode else { return };
+            s.self_done && s.done.len() >= self.config.peers.len()
+        };
+        if !finished {
+            // Re-check: fetches might have just drained.
+            let ready = {
+                let Mode::Syncing(ref s) = self.mode else { return };
+                !s.self_done
+                    && s.states.len() > self.config.peers.len()
+                    && s.fetching.is_empty()
+            };
+            if ready {
+                self.finish_fetch(ep);
+            }
+            return;
+        }
+        let Mode::Syncing(s) = std::mem::replace(&mut self.mode, Mode::Operational) else {
+            return;
+        };
+        // Barrier passed: acknowledge the new sequencer if this sync was an
+        // initialization (§6.3 "Sequencer failures").
+        if let Some((seq, epoch)) = s.init {
+            let _ = ep.send(seq, ClusterMsg::Order(OrderMsg::InitAck { epoch }));
+        }
+        // Re-issue order requests for staged-but-uncommitted tokens.
+        self.reissue_staged_oreqs(ep);
+        // Drain deferred appends/OResps in arrival order.
+        let deferred: Vec<(NodeId, Deferred)> = self.deferred.drain(..).collect();
+        for (from, d) in deferred {
+            match d {
+                Deferred::Data(m) => {
+                    let _ = self.handle_data(ep, from, m);
+                }
+                Deferred::Order(m) => self.handle_order(ep, from, m),
+            }
+        }
+        self.release_held_reads(ep);
+    }
+
+    fn reissue_staged_oreqs(&mut self, ep: &Endpoint<ClusterMsg>) {
+        for (token, color, n) in self.storage.staged_tokens() {
+            self.send_oreq(ep, color, token, n as u32);
+        }
+    }
+
+    // ----- periodic work ---------------------------------------------------
+
+    fn tick(&mut self, ep: &Endpoint<ClusterMsg>) {
+        // Expire held reads.
+        let now = Instant::now();
+        let mut still = Vec::new();
+        for h in self.held_reads.drain(..) {
+            if now >= h.deadline {
+                let _ = ep.send(h.from, DataMsg::ReadResp { req: h.req, value: None }.into());
+            } else {
+                still.push(h);
+            }
+        }
+        self.held_reads = still;
+
+        match &self.mode {
+            Mode::Operational => {
+                // Resend unanswered OReqs (covers sequencer fail-over).
+                let stale: Vec<(Token, ColorId, usize)> = self
+                    .storage
+                    .staged_tokens()
+                    .into_iter()
+                    .filter(|(t, _, _)| {
+                        self.oreq_sent
+                            .get(t)
+                            .is_none_or(|&at| now - at >= self.config.oreq_resend)
+                    })
+                    .collect();
+                for (token, color, n) in stale {
+                    self.send_oreq(ep, color, token, n as u32);
+                }
+            }
+            Mode::Syncing(s) => {
+                if now - s.started > self.config.sync_timeout {
+                    // Stalled (peer died mid-sync): restart with a new round.
+                    let init = s.init;
+                    self.mode = Mode::Operational;
+                    self.begin_sync(ep, init);
+                }
+            }
+        }
+    }
+}
+
+/// Encodes a multi-color-append set for staging in the special color
+/// (client side of Algorithm 2, line 4: `records[i]:colors[i]:ID`).
+pub(crate) fn encode_multi_set(target: ColorId, payloads: &[Vec<u8>]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(12 + payloads.iter().map(|p| p.len() + 4).sum::<usize>());
+    v.extend_from_slice(MULTI_MAGIC);
+    v.extend_from_slice(&target.0.to_le_bytes());
+    v.extend_from_slice(&(payloads.len() as u32).to_le_bytes());
+    for p in payloads {
+        v.extend_from_slice(&(p.len() as u32).to_le_bytes());
+        v.extend_from_slice(p);
+    }
+    v
+}
+
+/// Decodes a staged multi-color set; `None` if malformed.
+pub(crate) fn decode_multi_set(v: &[u8]) -> Option<(ColorId, Vec<Vec<u8>>)> {
+    if v.len() < 12 || &v[..4] != MULTI_MAGIC {
+        return None;
+    }
+    let target = ColorId(u32::from_le_bytes(v[4..8].try_into().ok()?));
+    let count = u32::from_le_bytes(v[8..12].try_into().ok()?) as usize;
+    let mut payloads = Vec::with_capacity(count);
+    let mut off = 12;
+    for _ in 0..count {
+        let len = u32::from_le_bytes(v.get(off..off + 4)?.try_into().ok()?) as usize;
+        off += 4;
+        payloads.push(v.get(off..off + len)?.to_vec());
+        off += len;
+    }
+    Some((target, payloads))
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    #[test]
+    fn multi_set_roundtrip() {
+        let payloads = vec![b"a".to_vec(), vec![0u8; 100], b"".to_vec()];
+        let enc = encode_multi_set(ColorId(7), &payloads);
+        let (color, dec) = decode_multi_set(&enc).unwrap();
+        assert_eq!(color, ColorId(7));
+        assert_eq!(dec, payloads);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(decode_multi_set(b""), None);
+        assert_eq!(decode_multi_set(b"nope-not-multi"), None);
+        // Truncated payload.
+        let mut enc = encode_multi_set(ColorId(1), &[vec![9u8; 50]]);
+        enc.truncate(20);
+        assert_eq!(decode_multi_set(&enc), None);
+    }
+}

@@ -1,0 +1,236 @@
+//! Assembly of the data layer: spawns shards of replica threads and exposes
+//! crash / recover fault injection.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use flexlog_ordering::{Directory, RoleId};
+use flexlog_pm::{PmDevice, SsdDevice};
+use flexlog_simnet::{Network, NodeId};
+use flexlog_storage::{StorageConfig, StorageServer};
+use flexlog_types::{ColorId, ShardId};
+
+use crate::msg::{ClusterMsg, DataMsg};
+use crate::{ReplicaConfig, ReplicaNode, ShardInfo, TopologyView};
+
+/// One shard to spawn.
+#[derive(Clone, Debug)]
+pub struct ShardSpec {
+    pub id: ShardId,
+    /// Replication factor r (paper default 3).
+    pub replicas: usize,
+    /// Leaf sequencer role this shard attaches to.
+    pub leaf_role: RoleId,
+}
+
+/// Data-layer specification.
+#[derive(Clone)]
+pub struct DataLayerSpec {
+    pub shards: Vec<ShardSpec>,
+    /// Per-replica template (shard/peers/leaf_role are filled in).
+    pub replica: ReplicaConfig,
+    /// Initial color → shards mapping.
+    pub colors: Vec<(ColorId, Vec<ShardId>)>,
+}
+
+impl DataLayerSpec {
+    /// `n_shards` shards of `r` replicas each, all attached to leaf roles
+    /// round-robin from `leaf_roles`, and every listed color served by all
+    /// shards of its leaf's region.
+    pub fn uniform(n_shards: usize, r: usize, leaf_roles: &[RoleId]) -> Self {
+        let shards = (0..n_shards)
+            .map(|i| ShardSpec {
+                id: ShardId(i as u32),
+                replicas: r,
+                leaf_role: leaf_roles[i % leaf_roles.len()],
+            })
+            .collect();
+        DataLayerSpec {
+            shards,
+            replica: ReplicaConfig::default(),
+            colors: Vec::new(),
+        }
+    }
+}
+
+struct ReplicaSlot {
+    config: ReplicaConfig,
+    devices: (Arc<PmDevice>, Arc<SsdDevice>),
+    storage: Arc<StorageServer>,
+}
+
+/// Running data layer.
+pub struct DataLayerHandle {
+    pub topology: TopologyView,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    slots: Mutex<HashMap<NodeId, ReplicaSlot>>,
+    control: flexlog_simnet::Endpoint<ClusterMsg>,
+}
+
+/// Spawner for data layers.
+pub struct DataLayerService;
+
+impl DataLayerService {
+    /// Spawns every replica of `spec` on `net`. The returned topology view
+    /// is shared with the replicas (multi-append routing) and with clients.
+    pub fn start(
+        net: &Network<ClusterMsg>,
+        directory: &Directory,
+        spec: &DataLayerSpec,
+    ) -> DataLayerHandle {
+        let topology = TopologyView::new();
+        let mut threads = Vec::new();
+        let mut slots = HashMap::new();
+
+        // First pass: decide node ids and register shards.
+        let mut shard_nodes: HashMap<ShardId, Vec<NodeId>> = HashMap::new();
+        let mut next = 0u64;
+        for shard in &spec.shards {
+            let nodes: Vec<NodeId> = (0..shard.replicas)
+                .map(|_| {
+                    let id = NodeId::named(NodeId::CLASS_REPLICA, next);
+                    next += 1;
+                    id
+                })
+                .collect();
+            topology.add_shard(ShardInfo {
+                id: shard.id,
+                replicas: nodes.clone(),
+                leaf: shard.leaf_role,
+            });
+            shard_nodes.insert(shard.id, nodes);
+        }
+        for (color, shards) in &spec.colors {
+            topology.set_color_shards(*color, shards.clone());
+        }
+
+        // Second pass: spawn replicas.
+        for shard in &spec.shards {
+            let nodes = shard_nodes[&shard.id].clone();
+            for &node in &nodes {
+                let peers: Vec<NodeId> = nodes.iter().copied().filter(|&p| p != node).collect();
+                let config = ReplicaConfig {
+                    shard: shard.id,
+                    peers,
+                    leaf_role: shard.leaf_role,
+                    ..spec.replica.clone()
+                };
+                let replica = ReplicaNode::new(config.clone(), directory.clone(), topology.clone());
+                let storage = replica.storage();
+                let devices = storage.devices();
+                slots.insert(
+                    node,
+                    ReplicaSlot {
+                        config,
+                        devices,
+                        storage,
+                    },
+                );
+                let ep = net.register(node);
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("{node}"))
+                        .spawn(move || replica.run(ep))
+                        .expect("spawn replica"),
+                );
+            }
+        }
+
+        let control = net.register(NodeId::named(0, (u64::MAX >> 4) - 1));
+        DataLayerHandle {
+            topology,
+            threads: Mutex::new(threads),
+            slots: Mutex::new(slots),
+            control,
+        }
+    }
+}
+
+impl DataLayerHandle {
+    /// Replica node ids of a shard.
+    pub fn shard_replicas(&self, shard: ShardId) -> Vec<NodeId> {
+        self.topology
+            .shard(shard)
+            .map(|s| s.replicas)
+            .unwrap_or_default()
+    }
+
+    /// All replica node ids (for ordering-layer init lists).
+    pub fn all_replicas(&self) -> Vec<NodeId> {
+        self.topology
+            .all_shards()
+            .into_iter()
+            .flat_map(|s| s.replicas)
+            .collect()
+    }
+
+    /// Replica node ids grouped by the leaf role their shard attaches to
+    /// (input for `OrderingService::start`'s `replicas_by_role`).
+    pub fn replicas_by_leaf_role(&self) -> HashMap<RoleId, Vec<NodeId>> {
+        let mut m: HashMap<RoleId, Vec<NodeId>> = HashMap::new();
+        for s in self.topology.all_shards() {
+            m.entry(s.leaf).or_default().extend(s.replicas);
+        }
+        m
+    }
+
+    /// The storage server of a replica (tier stats in benchmarks/tests).
+    pub fn storage_of(&self, node: NodeId) -> Option<Arc<StorageServer>> {
+        self.slots.lock().get(&node).map(|s| Arc::clone(&s.storage))
+    }
+
+    /// Crashes a replica process. Its devices retain their durable state.
+    pub fn crash_replica(&self, net: &Network<ClusterMsg>, node: NodeId) {
+        net.crash(node);
+    }
+
+    /// Restarts a crashed replica: devices lose their volatile state
+    /// (power-fail semantics), storage recovers from the media, and the
+    /// replica runs the sync-phase before serving (§6.3).
+    pub fn restart_replica(&self, net: &Network<ClusterMsg>, directory: &Directory, node: NodeId) {
+        let (config, storage) = {
+            let mut slots = self.slots.lock();
+            let slot = slots.get_mut(&node).expect("unknown replica");
+            let (pm, ssd) = slot.devices.clone();
+            pm.crash();
+            ssd.crash();
+            let storage = Arc::new(StorageServer::recover(
+                pm,
+                ssd,
+                slot.config.storage.clone(),
+            ));
+            slot.storage = Arc::clone(&storage);
+            (slot.config.clone(), storage)
+        };
+        let replica =
+            ReplicaNode::recovered(config, directory.clone(), self.topology.clone(), storage);
+        let ep = net.register(node);
+        self.threads.lock().push(
+            std::thread::Builder::new()
+                .name(format!("{node}-r"))
+                .spawn(move || replica.run(ep))
+                .expect("respawn replica"),
+        );
+    }
+
+    /// Default storage configuration helper for specs.
+    pub fn default_storage() -> StorageConfig {
+        StorageConfig::default()
+    }
+
+    /// Sends shutdown to every replica and joins the threads.
+    pub fn shutdown(self) {
+        let slots = self.slots.lock();
+        for &node in slots.keys() {
+            let _ = self.control.send(node, DataMsg::Shutdown.into());
+        }
+        drop(slots);
+        let threads: Vec<JoinHandle<()>> = std::mem::take(&mut *self.threads.lock());
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Shared topology view: shards, their replicas and leaf sequencers, and
+//! the color → shards mapping.
+//!
+//! Clients need to know which shards serve a color (appends pick a random
+//! one, reads contact one replica of each, §5.1); replicas executing
+//! multi-color appends act as clients themselves (Algorithm 2). Both resolve
+//! through this shared view. `AddColor` updates it at runtime.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use rand::Rng;
+
+use flexlog_ordering::RoleId;
+use flexlog_simnet::NodeId;
+use flexlog_types::{ColorId, ShardId};
+
+/// One shard of the data layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardInfo {
+    pub id: ShardId,
+    /// All replicas (write-all set).
+    pub replicas: Vec<NodeId>,
+    /// The leaf sequencer role this shard is attached to.
+    pub leaf: RoleId,
+}
+
+#[derive(Default)]
+struct Inner {
+    shards: HashMap<ShardId, ShardInfo>,
+    /// Shards serving each color (the shards of the color's region).
+    colors: HashMap<ColorId, Vec<ShardId>>,
+}
+
+/// Cheap-to-clone shared topology.
+#[derive(Clone, Default)]
+pub struct TopologyView {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl TopologyView {
+    pub fn new() -> Self {
+        TopologyView::default()
+    }
+
+    /// Registers a shard.
+    pub fn add_shard(&self, info: ShardInfo) {
+        self.inner.write().shards.insert(info.id, info);
+    }
+
+    /// Maps `color` to the shards that may store it (replacing any previous
+    /// mapping).
+    pub fn set_color_shards(&self, color: ColorId, shards: Vec<ShardId>) {
+        self.inner.write().colors.insert(color, shards);
+    }
+
+    /// The shards serving `color`.
+    pub fn shards_of(&self, color: ColorId) -> Vec<ShardInfo> {
+        let inner = self.inner.read();
+        inner
+            .colors
+            .get(&color)
+            .map(|ids| {
+                ids.iter()
+                    .filter_map(|id| inner.shards.get(id).cloned())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// A uniformly random shard of `color` (append target selection).
+    pub fn random_shard_of<R: Rng>(&self, color: ColorId, rng: &mut R) -> Option<ShardInfo> {
+        let shards = self.shards_of(color);
+        if shards.is_empty() {
+            return None;
+        }
+        let i = rng.gen_range(0..shards.len());
+        Some(shards[i].clone())
+    }
+
+    /// Shard lookup by id.
+    pub fn shard(&self, id: ShardId) -> Option<ShardInfo> {
+        self.inner.read().shards.get(&id).cloned()
+    }
+
+    /// All registered shards.
+    pub fn all_shards(&self) -> Vec<ShardInfo> {
+        let mut v: Vec<ShardInfo> = self.inner.read().shards.values().cloned().collect();
+        v.sort_by_key(|s| s.id);
+        v
+    }
+
+    /// All colors with a shard mapping.
+    pub fn colors(&self) -> Vec<ColorId> {
+        let mut v: Vec<ColorId> = self.inner.read().colors.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// True if the color has at least one shard.
+    pub fn knows_color(&self, color: ColorId) -> bool {
+        self.inner
+            .read()
+            .colors
+            .get(&color)
+            .is_some_and(|s| !s.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn shard(i: u32, leaf: u32) -> ShardInfo {
+        ShardInfo {
+            id: ShardId(i),
+            replicas: vec![NodeId(100 + i as u64), NodeId(200 + i as u64)],
+            leaf: RoleId(leaf),
+        }
+    }
+
+    #[test]
+    fn color_to_shard_resolution() {
+        let t = TopologyView::new();
+        t.add_shard(shard(1, 0));
+        t.add_shard(shard(2, 0));
+        t.set_color_shards(ColorId(5), vec![ShardId(1), ShardId(2)]);
+        let shards = t.shards_of(ColorId(5));
+        assert_eq!(shards.len(), 2);
+        assert!(t.knows_color(ColorId(5)));
+        assert!(!t.knows_color(ColorId(6)));
+    }
+
+    #[test]
+    fn random_shard_is_member() {
+        let t = TopologyView::new();
+        t.add_shard(shard(1, 0));
+        t.add_shard(shard(2, 1));
+        t.set_color_shards(ColorId(1), vec![ShardId(1), ShardId(2)]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            let s = t.random_shard_of(ColorId(1), &mut rng).unwrap();
+            seen.insert(s.id);
+        }
+        assert_eq!(seen.len(), 2, "both shards should be picked eventually");
+        assert!(t.random_shard_of(ColorId(9), &mut rng).is_none());
+    }
+
+    #[test]
+    fn remapping_a_color_replaces_shards() {
+        let t = TopologyView::new();
+        t.add_shard(shard(1, 0));
+        t.add_shard(shard(2, 0));
+        t.set_color_shards(ColorId(1), vec![ShardId(1)]);
+        t.set_color_shards(ColorId(1), vec![ShardId(2)]);
+        let shards = t.shards_of(ColorId(1));
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].id, ShardId(2));
+    }
+}

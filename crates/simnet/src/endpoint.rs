@@ -1,0 +1,84 @@
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
+
+use crate::network::Inner;
+use crate::{NodeId, RecvError, SendError};
+
+/// A node's attachment to the simulated network: an inbox plus the ability
+/// to send to any registered peer.
+///
+/// Endpoints are `Send` and are normally owned by the thread running that
+/// node's protocol loop.
+pub struct Endpoint<M: Send + 'static> {
+    id: NodeId,
+    rx: Receiver<(NodeId, M)>,
+    net: Arc<Inner<M>>,
+}
+
+impl<M: Send + 'static> Endpoint<M> {
+    pub(crate) fn new(id: NodeId, rx: Receiver<(NodeId, M)>, net: Arc<Inner<M>>) -> Self {
+        Endpoint { id, rx, net }
+    }
+
+    /// This endpoint's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Sends `msg` to `to` over the reliable FIFO link. Returns immediately;
+    /// delivery happens after the link delay. See [`SendError`] for the
+    /// (rare) hard failure cases.
+    pub fn send(&self, to: NodeId, msg: M) -> Result<(), SendError> {
+        self.net.send(self.id, to, msg)
+    }
+
+    /// Sends a clone of `msg` to every node in `peers` (the paper's
+    /// broadcast primitive, §4). Unknown peers are reported in the result
+    /// but do not stop the remaining sends.
+    pub fn broadcast(&self, peers: &[NodeId], msg: M) -> Result<(), SendError>
+    where
+        M: Clone,
+    {
+        let mut first_err = None;
+        let serialize = self.net.link.serialize;
+        for (i, &p) in peers.iter().enumerate() {
+            let extra = serialize * i as u32;
+            if let Err(e) = self.net.send_with_extra(self.id, p, msg.clone(), extra) {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Blocks until a message arrives.
+    pub fn recv(&self) -> Result<(NodeId, M), RecvError> {
+        self.rx.recv().map_err(|_| RecvError::Disconnected)
+    }
+
+    /// Blocks until a message arrives or `timeout` elapses. Timeouts are how
+    /// nodes detect failures (message delay > Δ, §4).
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<(NodeId, M), RecvError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => RecvError::Timeout,
+            RecvTimeoutError::Disconnected => RecvError::Disconnected,
+        })
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<(NodeId, M), RecvError> {
+        self.rx.try_recv().map_err(|e| match e {
+            TryRecvError::Empty => RecvError::Timeout,
+            TryRecvError::Disconnected => RecvError::Disconnected,
+        })
+    }
+
+    /// Number of messages waiting in the inbox.
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+}

@@ -1,0 +1,49 @@
+use std::fmt;
+
+use crate::NodeId;
+
+/// Error returned by send operations.
+///
+/// Sends never block and never fail for transient reasons: a message to a
+/// crashed or partitioned-away node is silently dropped, mirroring how a
+/// datagram to a dead TCP peer disappears and is only noticed via timeouts.
+/// The only hard error is addressing a node that was never registered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendError {
+    /// Destination node id was never registered on this network.
+    UnknownNode(NodeId),
+    /// The sending endpoint itself has been crashed.
+    SelfCrashed,
+}
+
+impl fmt::Display for SendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendError::UnknownNode(id) => write!(f, "unknown destination node {id}"),
+            SendError::SelfCrashed => write!(f, "sending endpoint has crashed"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Error returned by receive operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecvError {
+    /// No message arrived within the requested timeout.
+    Timeout,
+    /// The endpoint has been crashed (or the network dropped); no further
+    /// messages will ever arrive.
+    Disconnected,
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvError::Timeout => write!(f, "receive timed out"),
+            RecvError::Disconnected => write!(f, "endpoint disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}

@@ -1,0 +1,283 @@
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::endpoint::Endpoint;
+use crate::scheduler::DelayQueue;
+use crate::{LinkConfig, NetConfig, NodeId, SendError};
+
+/// A message in flight: sender, destination and payload.
+pub(crate) struct Envelope<M> {
+    pub from: NodeId,
+    pub to: NodeId,
+    pub msg: M,
+}
+
+/// Delivery counters, useful in tests and for debugging protocol runs.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    pub sent: AtomicU64,
+    pub delivered: AtomicU64,
+    pub dropped_crashed: AtomicU64,
+    pub dropped_partitioned: AtomicU64,
+}
+
+pub(crate) struct Inner<M> {
+    pub link: LinkConfig,
+    nodes: RwLock<HashMap<NodeId, Sender<(NodeId, M)>>>,
+    crashed: RwLock<HashSet<NodeId>>,
+    /// Partition group per node. Two nodes can communicate unless both have
+    /// a group assigned and the groups differ.
+    groups: RwLock<HashMap<NodeId, u32>>,
+    /// Fully isolated nodes (no traffic in or out).
+    isolated: RwLock<HashSet<NodeId>>,
+    /// Last scheduled delivery instant per (src, dst), to keep links FIFO
+    /// even with jitter.
+    last_delivery: Mutex<HashMap<(NodeId, NodeId), Instant>>,
+    rng: Mutex<StdRng>,
+    queue: Option<Arc<DelayQueue<Envelope<M>>>>,
+    pub stats: NetStats,
+}
+
+impl<M: Send + 'static> Inner<M> {
+    /// True if traffic from `a` to `b` is currently allowed.
+    fn connected(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return true;
+        }
+        let isolated = self.isolated.read();
+        if isolated.contains(&a) || isolated.contains(&b) {
+            return false;
+        }
+        let groups = self.groups.read();
+        match (groups.get(&a), groups.get(&b)) {
+            (Some(ga), Some(gb)) => ga == gb,
+            _ => true,
+        }
+    }
+
+    fn deliver(&self, env: Envelope<M>) {
+        // Connectivity is re-checked at delivery time so a partition that
+        // started while the message was "on the wire" still blocks it.
+        if self.crashed.read().contains(&env.to) {
+            self.stats.dropped_crashed.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if !self.connected(env.from, env.to) {
+            self.stats
+                .dropped_partitioned
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let nodes = self.nodes.read();
+        if let Some(tx) = nodes.get(&env.to) {
+            if tx.send((env.from, env.msg)).is_ok() {
+                self.stats.delivered.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.stats.dropped_crashed.fetch_add(1, Ordering::Relaxed);
+            }
+        } else {
+            self.stats.dropped_crashed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn send(&self, from: NodeId, to: NodeId, msg: M) -> Result<(), SendError> {
+        self.send_with_extra(from, to, msg, std::time::Duration::ZERO)
+    }
+
+    /// Send with an additional sender-side delay (broadcast serialization).
+    pub(crate) fn send_with_extra(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+        extra: std::time::Duration,
+    ) -> Result<(), SendError> {
+        if self.crashed.read().contains(&from) {
+            return Err(SendError::SelfCrashed);
+        }
+        if !self.nodes.read().contains_key(&to) && !self.crashed.read().contains(&to) {
+            return Err(SendError::UnknownNode(to));
+        }
+        self.stats.sent.fetch_add(1, Ordering::Relaxed);
+        if !self.connected(from, to) {
+            // Silently dropped, like a packet into a partition. The sender
+            // only learns via its own protocol-level timeouts.
+            self.stats
+                .dropped_partitioned
+                .fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        match &self.queue {
+            None => {
+                self.deliver(Envelope { from, to, msg });
+            }
+            Some(queue) => {
+                let jitter_ns = if self.link.jitter.is_zero() {
+                    0
+                } else {
+                    self.rng.lock().gen_range(0..=self.link.jitter.as_nanos() as u64)
+                };
+                let mut deliver_at = Instant::now()
+                    + extra
+                    + self.link.delay
+                    + std::time::Duration::from_nanos(jitter_ns);
+                // Clamp to keep per-link FIFO despite jitter.
+                let mut last = self.last_delivery.lock();
+                let slot = last.entry((from, to)).or_insert(deliver_at);
+                if *slot > deliver_at {
+                    deliver_at = *slot;
+                } else {
+                    *slot = deliver_at;
+                }
+                drop(last);
+                queue.push(deliver_at, Envelope { from, to, msg });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Handle to a simulated network. Cloning is cheap; all clones control the
+/// same network. Dropping the last [`Network`] handle shuts down the delay
+/// scheduler thread (endpoints may outlive it but delayed messages stop
+/// flowing — tests keep the handle alive for the duration of the run).
+pub struct Network<M: Send + 'static> {
+    inner: Arc<Inner<M>>,
+    /// Owned by the *first* handle only.
+    scheduler: Option<Arc<SchedulerGuard<M>>>,
+}
+
+struct SchedulerGuard<M: Send + 'static> {
+    queue: Arc<DelayQueue<Envelope<M>>>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl<M: Send + 'static> Drop for SchedulerGuard<M> {
+    fn drop(&mut self) {
+        self.queue.shutdown();
+        if let Some(h) = self.handle.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<M: Send + 'static> Clone for Network<M> {
+    fn clone(&self) -> Self {
+        Network {
+            inner: Arc::clone(&self.inner),
+            scheduler: self.scheduler.clone(),
+        }
+    }
+}
+
+impl<M: Send + 'static> Network<M> {
+    /// Creates a network with the given configuration.
+    pub fn new(config: NetConfig) -> Self {
+        let seed = config.seed.unwrap_or_else(rand::random);
+        let queue = if config.link.is_instant() {
+            None
+        } else {
+            Some(DelayQueue::new())
+        };
+        let inner = Arc::new(Inner {
+            link: config.link,
+            nodes: RwLock::new(HashMap::new()),
+            crashed: RwLock::new(HashSet::new()),
+            groups: RwLock::new(HashMap::new()),
+            isolated: RwLock::new(HashSet::new()),
+            last_delivery: Mutex::new(HashMap::new()),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            queue: queue.clone(),
+            stats: NetStats::default(),
+        });
+        let scheduler = queue.map(|q| {
+            let inner2 = Arc::clone(&inner);
+            let q2 = Arc::clone(&q);
+            let handle = std::thread::Builder::new()
+                .name("simnet-scheduler".into())
+                .spawn(move || q2.run(move |env| inner2.deliver(env)))
+                .expect("spawn simnet scheduler");
+            Arc::new(SchedulerGuard {
+                queue: q,
+                handle: Mutex::new(Some(handle)),
+            })
+        });
+        Network { inner, scheduler }
+    }
+
+    /// Zero-latency deterministic network.
+    pub fn instant() -> Self {
+        Network::new(NetConfig::instant())
+    }
+
+    /// Registers a node and returns its endpoint. Panics if the id is
+    /// already registered and alive.
+    pub fn register(&self, id: NodeId) -> Endpoint<M> {
+        let (tx, rx) = unbounded();
+        let mut nodes = self.inner.nodes.write();
+        let prev = nodes.insert(id, tx);
+        assert!(
+            prev.is_none() || self.inner.crashed.read().contains(&id),
+            "node {id} registered twice"
+        );
+        self.inner.crashed.write().remove(&id);
+        drop(nodes);
+        Endpoint::new(id, rx, Arc::clone(&self.inner))
+    }
+
+    /// Crashes a node: its inbox closes, in-flight and future messages to it
+    /// are dropped, and its sends fail. The id can later be re-registered
+    /// (crash-recovery model of §4).
+    pub fn crash(&self, id: NodeId) {
+        self.inner.crashed.write().insert(id);
+        self.inner.nodes.write().remove(&id);
+    }
+
+    /// True if the node is currently crashed.
+    pub fn is_crashed(&self, id: NodeId) -> bool {
+        self.inner.crashed.read().contains(&id)
+    }
+
+    /// Splits the listed nodes into partition groups: traffic between nodes
+    /// of *different* groups is dropped. Nodes not listed keep full
+    /// connectivity. Overwrites any previous partition.
+    pub fn partition(&self, partition_groups: &[&[NodeId]]) {
+        let mut groups = self.inner.groups.write();
+        groups.clear();
+        for (gi, members) in partition_groups.iter().enumerate() {
+            for &m in *members {
+                groups.insert(m, gi as u32);
+            }
+        }
+    }
+
+    /// Cuts a single node off from everyone else.
+    pub fn isolate(&self, id: NodeId) {
+        self.inner.isolated.write().insert(id);
+    }
+
+    /// Restores full connectivity (clears partitions and isolation).
+    pub fn heal(&self) {
+        self.inner.groups.write().clear();
+        self.inner.isolated.write().clear();
+    }
+
+    /// Delivery statistics snapshot.
+    pub fn stats(&self) -> (u64, u64, u64, u64) {
+        let s = &self.inner.stats;
+        (
+            s.sent.load(Ordering::Relaxed),
+            s.delivered.load(Ordering::Relaxed),
+            s.dropped_crashed.load(Ordering::Relaxed),
+            s.dropped_partitioned.load(Ordering::Relaxed),
+        )
+    }
+}

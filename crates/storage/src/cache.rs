@@ -1,0 +1,216 @@
+//! Byte-bounded LRU cache — the DRAM tier of a replica's storage stack.
+//!
+//! The paper's read path consults this volatile cache before PM and SSD
+//! (§5.2). Eviction is strict LRU on access order; capacity is counted in
+//! payload bytes so large records displace proportionally more entries,
+//! matching a real DRAM budget. A DRAM access cost (~80 ns) is charged via
+//! the owning server's clock by the caller; the cache itself is pure data
+//! structure.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// Hit/miss counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+/// A strict-LRU cache bounded by total value bytes.
+pub struct LruCache<K> {
+    capacity_bytes: usize,
+    used_bytes: usize,
+    /// key → (value, lru stamp)
+    map: HashMap<K, (Vec<u8>, u64)>,
+    /// lru stamp → key (oldest first)
+    order: BTreeMap<u64, K>,
+    next_stamp: u64,
+    stats: CacheStats,
+}
+
+impl<K: Eq + Hash + Clone> LruCache<K> {
+    /// Creates a cache bounded to `capacity_bytes` of values.
+    pub fn new(capacity_bytes: usize) -> Self {
+        LruCache {
+            capacity_bytes,
+            used_bytes: 0,
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            next_stamp: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Inserts (or refreshes) `key`, evicting LRU entries as needed. Values
+    /// larger than the whole capacity are not cached at all.
+    pub fn put(&mut self, key: K, value: Vec<u8>) {
+        if value.len() > self.capacity_bytes {
+            // Would immediately evict everything for a single uncacheable
+            // record; skip (mirrors real caches bypassing huge objects).
+            return;
+        }
+        self.remove(&key);
+        while self.used_bytes + value.len() > self.capacity_bytes {
+            let Some((&stamp, _)) = self.order.iter().next() else {
+                break;
+            };
+            let old_key = self.order.remove(&stamp).expect("stamp present");
+            if let Some((old_val, _)) = self.map.remove(&old_key) {
+                self.used_bytes -= old_val.len();
+                self.stats.evictions += 1;
+            }
+        }
+        let stamp = self.bump();
+        self.used_bytes += value.len();
+        self.order.insert(stamp, key.clone());
+        self.map.insert(key, (value, stamp));
+    }
+
+    /// Looks up `key`, refreshing its recency on hit.
+    pub fn get(&mut self, key: &K) -> Option<Vec<u8>> {
+        let stamp = self.bump();
+        match self.map.get_mut(key) {
+            Some((value, old_stamp)) => {
+                self.order.remove(old_stamp);
+                self.order.insert(stamp, key.clone());
+                *old_stamp = stamp;
+                self.stats.hits += 1;
+                Some(value.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Removes `key` if present.
+    pub fn remove(&mut self, key: &K) {
+        if let Some((value, stamp)) = self.map.remove(key) {
+            self.order.remove(&stamp);
+            self.used_bytes -= value.len();
+        }
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+        self.used_bytes = 0;
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Bytes of cached values.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn bump(&mut self) -> u64 {
+        let s = self.next_stamp;
+        self.next_stamp += 1;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut c = LruCache::new(1024);
+        c.put("a", b"alpha".to_vec());
+        assert_eq!(c.get(&"a").unwrap(), b"alpha");
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1, evictions: 0 });
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(10);
+        c.put(1, vec![0; 4]);
+        c.put(2, vec![0; 4]);
+        // Touch 1 so 2 becomes LRU.
+        c.get(&1);
+        c.put(3, vec![0; 4]); // forces eviction of 2
+        assert!(c.get(&1).is_some());
+        assert!(c.get(&2).is_none());
+        assert!(c.get(&3).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn eviction_respects_byte_budget() {
+        let mut c = LruCache::new(100);
+        for i in 0..20u32 {
+            c.put(i, vec![0; 30]);
+        }
+        assert!(c.used_bytes() <= 100);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn oversized_value_is_not_cached() {
+        let mut c = LruCache::new(10);
+        c.put(1, vec![0; 5]);
+        c.put(2, vec![0; 100]);
+        assert!(c.get(&2).is_none());
+        assert!(c.get(&1).is_some(), "existing entries must survive");
+    }
+
+    #[test]
+    fn overwrite_updates_bytes() {
+        let mut c = LruCache::new(100);
+        c.put(1, vec![0; 50]);
+        c.put(1, vec![0; 20]);
+        assert_eq!(c.used_bytes(), 20);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut c = LruCache::new(100);
+        c.put(1, vec![0; 10]);
+        c.put(2, vec![0; 10]);
+        c.remove(&1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_bytes(), 10);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn lru_order_many_operations() {
+        let mut c = LruCache::new(5 * 8);
+        for i in 0..5u32 {
+            c.put(i, vec![0; 8]);
+        }
+        // Refresh 0 and 1; inserting two more must evict 2 and 3.
+        c.get(&0);
+        c.get(&1);
+        c.put(5, vec![0; 8]);
+        c.put(6, vec![0; 8]);
+        assert!(c.get(&0).is_some());
+        assert!(c.get(&1).is_some());
+        assert!(c.get(&2).is_none());
+        assert!(c.get(&3).is_none());
+        assert!(c.get(&4).is_some());
+    }
+}

@@ -1,0 +1,697 @@
+//! The tiered storage server of a FlexLog replica.
+//!
+//! Implements §5.2's storage stack plus the staging half of Algorithm 1:
+//!
+//! * [`StorageServer::stage`] durably stores an append batch under its
+//!   client token before any SN exists ("persist(records[], t)");
+//! * [`StorageServer::commit`] moves a staged batch into the committed,
+//!   SN-indexed log once the ordering layer replies — atomically, via a pool
+//!   transaction, so a crash never leaves a batch half-committed;
+//! * reads probe **DRAM cache → PM → SSD**; appended records are inserted
+//!   into the cache;
+//! * when live PM bytes exceed the configured watermark, the oldest
+//!   committed prefix is spilled to the SSD tier (fsync before the PM
+//!   delete, so a crash can duplicate a record across tiers but never lose
+//!   it);
+//! * [`StorageServer::trim`] deletes all records of a color up to an SN and
+//!   durably records the new head so trimmed records stay dead after crash.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use flexlog_pm::{ClockMode, DeviceClock, LatencyModel, PmDevice, PmDeviceConfig, PmPool, PoolError, SsdDevice};
+use flexlog_types::{ColorId, CommittedRecord, SeqNum, Token};
+
+use crate::LruCache;
+
+/// DRAM access cost charged on a cache hit, in nanoseconds.
+const DRAM_NS: u64 = 80;
+
+const TAG_COMMITTED: u128 = 1 << 120;
+const TAG_STAGED: u128 = 2 << 120;
+const TAG_HEAD: u128 = 3 << 120;
+
+fn committed_key(color: ColorId, sn: SeqNum) -> u128 {
+    TAG_COMMITTED | ((color.0 as u128) << 64) | sn.0 as u128
+}
+
+fn staged_key(token: Token) -> u128 {
+    TAG_STAGED | token.0 as u128
+}
+
+fn head_key(color: ColorId) -> u128 {
+    TAG_HEAD | color.0 as u128
+}
+
+fn ssd_block_id(color: ColorId, sn: SeqNum) -> u128 {
+    ((color.0 as u128) << 64) | sn.0 as u128
+}
+
+/// Which tier served a read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TierHit {
+    Cache,
+    Pm,
+    Ssd,
+}
+
+/// Configuration of a storage server.
+#[derive(Clone, Debug)]
+pub struct StorageConfig {
+    /// PM device capacity in bytes.
+    pub pm_capacity: usize,
+    /// PM latency model.
+    pub pm_latency: LatencyModel,
+    /// DRAM cache budget in bytes.
+    pub cache_capacity: usize,
+    /// Live PM bytes beyond which the oldest records spill to SSD.
+    pub pm_watermark: usize,
+    /// Number of records moved per spill round.
+    pub spill_batch: usize,
+    /// Latency accounting mode for all devices of this server.
+    pub clock: ClockMode,
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        StorageConfig {
+            pm_capacity: 16 << 20,
+            pm_latency: LatencyModel::pm_bypass(),
+            cache_capacity: 1 << 20,
+            pm_watermark: 4 << 20,
+            spill_batch: 64,
+            clock: ClockMode::Off,
+        }
+    }
+}
+
+impl StorageConfig {
+    /// A small configuration that spills quickly — used by tier tests.
+    pub fn tiny() -> Self {
+        StorageConfig {
+            pm_capacity: 256 << 10,
+            cache_capacity: 4 << 10,
+            pm_watermark: 32 << 10,
+            spill_batch: 8,
+            ..Default::default()
+        }
+    }
+}
+
+/// Operation counters.
+#[derive(Debug, Default)]
+pub struct StorageStats {
+    pub stages: AtomicU64,
+    pub commits: AtomicU64,
+    pub reads: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub pm_hits: AtomicU64,
+    pub ssd_hits: AtomicU64,
+    pub spilled_records: AtomicU64,
+}
+
+/// Errors from storage operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StorageError {
+    /// PM pool error (e.g. full).
+    Pool(PoolError),
+    /// Commit for a token that was never staged (and not yet committed).
+    UnknownToken(Token),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Pool(e) => write!(f, "pool: {e}"),
+            StorageError::UnknownToken(t) => write!(f, "unknown token {t:?}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<PoolError> for StorageError {
+    fn from(e: PoolError) -> Self {
+        StorageError::Pool(e)
+    }
+}
+
+struct StagedBatch {
+    color: ColorId,
+    payloads: Vec<Vec<u8>>,
+}
+
+struct Indexes {
+    /// Per color: committed SNs resident in PM or SSD (true = on SSD).
+    committed: HashMap<ColorId, BTreeMap<SeqNum, bool>>,
+    /// Tokens staged but not yet committed.
+    staged: HashMap<Token, ColorId>,
+    /// Tokens already committed → last SN of their batch (idempotence).
+    committed_tokens: HashMap<Token, SeqNum>,
+    /// Highest trimmed SN per color (inclusive).
+    heads: HashMap<ColorId, SeqNum>,
+    /// Approximate live payload bytes resident in PM.
+    pm_live_bytes: usize,
+}
+
+/// See module docs.
+pub struct StorageServer {
+    pool: PmPool,
+    ssd: Arc<SsdDevice>,
+    cache: Mutex<LruCache<(ColorId, SeqNum)>>,
+    idx: Mutex<Indexes>,
+    clock: DeviceClock,
+    config: StorageConfig,
+    pub stats: StorageStats,
+}
+
+impl StorageServer {
+    /// Creates a fresh server on new devices.
+    pub fn new(config: StorageConfig) -> Self {
+        let clock = DeviceClock::new(config.clock);
+        let pm = Arc::new(PmDevice::new(PmDeviceConfig {
+            capacity: config.pm_capacity,
+            latency: config.pm_latency,
+            clock,
+        }));
+        let ssd = Arc::new(SsdDevice::new(clock));
+        StorageServer {
+            pool: PmPool::create(pm),
+            ssd,
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            idx: Mutex::new(Indexes {
+                committed: HashMap::new(),
+                staged: HashMap::new(),
+                committed_tokens: HashMap::new(),
+                heads: HashMap::new(),
+                pm_live_bytes: 0,
+            }),
+            clock,
+            config,
+            stats: StorageStats::default(),
+        }
+    }
+
+    /// Recovers a server from crashed devices: replays the PM pool, rebuilds
+    /// all in-memory indexes, and re-discovers SSD-resident records. The
+    /// DRAM cache starts cold.
+    pub fn recover(pm: Arc<PmDevice>, ssd: Arc<SsdDevice>, config: StorageConfig) -> Self {
+        let clock = DeviceClock::new(config.clock);
+        let pool = PmPool::open(pm);
+        let mut committed: HashMap<ColorId, BTreeMap<SeqNum, bool>> = HashMap::new();
+        let mut staged = HashMap::new();
+        let mut committed_tokens = HashMap::new();
+        let mut heads = HashMap::new();
+        let mut pm_live_bytes = 0usize;
+        for key in pool.keys() {
+            let tag = key & (0xFF << 120);
+            if tag == TAG_COMMITTED {
+                let color = ColorId((key >> 64) as u32);
+                let sn = SeqNum(key as u64);
+                let value = pool.get(key).expect("indexed key readable");
+                pm_live_bytes += value.len();
+                let token = Token(u64::from_le_bytes(value[..8].try_into().unwrap()));
+                committed.entry(color).or_default().insert(sn, false);
+                // The token maps to the *last* SN of its batch; keep max.
+                let e = committed_tokens.entry(token).or_insert(sn);
+                if sn > *e {
+                    *e = sn;
+                }
+            } else if tag == TAG_STAGED {
+                let token = Token(key as u64);
+                let value = pool.get(key).expect("indexed key readable");
+                pm_live_bytes += value.len();
+                let color = ColorId(u32::from_le_bytes(value[..4].try_into().unwrap()));
+                staged.insert(token, color);
+            } else if tag == TAG_HEAD {
+                let color = ColorId(key as u32);
+                let value = pool.get(key).expect("indexed key readable");
+                heads.insert(
+                    color,
+                    SeqNum(u64::from_le_bytes(value[..8].try_into().unwrap())),
+                );
+            }
+        }
+        // SSD-resident records.
+        for block in ssd.block_ids() {
+            let color = ColorId((block >> 64) as u32);
+            let sn = SeqNum(block as u64);
+            if heads.get(&color).is_some_and(|&h| sn <= h) {
+                continue; // trimmed while on SSD; lazily ignored
+            }
+            committed.entry(color).or_default().insert(sn, true);
+        }
+        StorageServer {
+            pool,
+            ssd,
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            idx: Mutex::new(Indexes {
+                committed,
+                staged,
+                committed_tokens,
+                heads,
+                pm_live_bytes,
+            }),
+            clock,
+            config,
+            stats: StorageStats::default(),
+        }
+    }
+
+    /// Durably stages an append batch under its token (Alg 1 line 17).
+    /// Idempotent: re-staging a token that is staged or already committed is
+    /// a no-op returning `Ok(false)`.
+    pub fn stage(
+        &self,
+        token: Token,
+        color: ColorId,
+        payloads: &[Vec<u8>],
+    ) -> Result<bool, StorageError> {
+        {
+            let idx = self.idx.lock();
+            if idx.staged.contains_key(&token) || idx.committed_tokens.contains_key(&token) {
+                return Ok(false);
+            }
+        }
+        let value = encode_staged(color, payloads);
+        let vlen = value.len();
+        self.pool.put(staged_key(token), &value)?;
+        let mut idx = self.idx.lock();
+        idx.staged.insert(token, color);
+        idx.pm_live_bytes += vlen;
+        self.stats.stages.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// Commits a staged batch: `sn_last` is the SN of the batch's final
+    /// record (the value the sequencer broadcast); earlier records of the
+    /// batch get the preceding counters of the same epoch. Atomic and
+    /// durable. Idempotent by token.
+    pub fn commit(&self, token: Token, sn_last: SeqNum) -> Result<bool, StorageError> {
+        {
+            let idx = self.idx.lock();
+            if idx.committed_tokens.contains_key(&token) {
+                return Ok(false);
+            }
+            if !idx.staged.contains_key(&token) {
+                return Err(StorageError::UnknownToken(token));
+            }
+        }
+        let staged = self
+            .pool
+            .get(staged_key(token))
+            .expect("staged index implies staged record");
+        let batch = decode_staged(&staged);
+        let n = batch.payloads.len() as u32;
+        debug_assert!(n > 0, "staged batches are non-empty");
+        debug_assert!(
+            sn_last.counter() + 1 >= n,
+            "SN range must not underflow the epoch counter"
+        );
+
+        let mut tx = self.pool.begin();
+        tx.delete(staged_key(token));
+        let mut sns = Vec::with_capacity(batch.payloads.len());
+        let mut live_delta = 0isize;
+        for (i, payload) in batch.payloads.iter().enumerate() {
+            let sn = SeqNum::new(sn_last.epoch(), sn_last.counter() - (n - 1 - i as u32));
+            let mut value = Vec::with_capacity(8 + payload.len());
+            value.extend_from_slice(&token.0.to_le_bytes());
+            value.extend_from_slice(payload);
+            live_delta += value.len() as isize;
+            tx.put(committed_key(batch.color, sn), &value);
+            sns.push(sn);
+        }
+        tx.commit()?;
+
+        {
+            let mut idx = self.idx.lock();
+            idx.staged.remove(&token);
+            idx.committed_tokens.insert(token, sn_last);
+            idx.pm_live_bytes = (idx.pm_live_bytes as isize - staged.len() as isize + live_delta)
+                .max(0) as usize;
+            let per_color = idx.committed.entry(batch.color).or_default();
+            for &sn in &sns {
+                per_color.insert(sn, false);
+            }
+        }
+        {
+            let mut cache = self.cache.lock();
+            for (sn, payload) in sns.iter().zip(&batch.payloads) {
+                cache.put((batch.color, *sn), payload.clone());
+            }
+        }
+        self.stats.commits.fetch_add(1, Ordering::Relaxed);
+        self.maybe_spill()?;
+        Ok(true)
+    }
+
+    /// Reads the record `(color, sn)` through the tier hierarchy.
+    pub fn get(&self, color: ColorId, sn: SeqNum) -> Option<Vec<u8>> {
+        self.get_traced(color, sn).map(|(v, _)| v)
+    }
+
+    /// Like [`StorageServer::get`] but also reports which tier hit.
+    pub fn get_traced(&self, color: ColorId, sn: SeqNum) -> Option<(Vec<u8>, TierHit)> {
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        {
+            let idx = self.idx.lock();
+            if idx.heads.get(&color).is_some_and(|&h| sn <= h) {
+                return None; // trimmed
+            }
+            if !idx.committed.get(&color).is_some_and(|m| m.contains_key(&sn)) {
+                return None;
+            }
+        }
+        // Tier 1: DRAM cache.
+        if let Some(v) = self.cache.lock().get(&(color, sn)) {
+            self.clock.consume(DRAM_NS);
+            self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Some((v, TierHit::Cache));
+        }
+        // Tier 2: PM.
+        if let Some(v) = self.pool.get(committed_key(color, sn)) {
+            let payload = v[8..].to_vec();
+            self.cache.lock().put((color, sn), payload.clone());
+            self.stats.pm_hits.fetch_add(1, Ordering::Relaxed);
+            return Some((payload, TierHit::Pm));
+        }
+        // Tier 3: SSD.
+        if let Ok(v) = self.ssd.read_block(ssd_block_id(color, sn)) {
+            let payload = v[8..].to_vec();
+            self.cache.lock().put((color, sn), payload.clone());
+            self.stats.ssd_hits.fetch_add(1, Ordering::Relaxed);
+            return Some((payload, TierHit::Ssd));
+        }
+        None
+    }
+
+    /// All committed records of `color` with `sn > from`, in SN order
+    /// (serves Subscribe and recovery syncs).
+    pub fn scan(&self, color: ColorId, from: SeqNum) -> Vec<CommittedRecord> {
+        let sns: Vec<SeqNum> = {
+            let idx = self.idx.lock();
+            match idx.committed.get(&color) {
+                Some(m) => m
+                    .range((
+                        std::ops::Bound::Excluded(from),
+                        std::ops::Bound::Unbounded,
+                    ))
+                    .map(|(&sn, _)| sn)
+                    .collect(),
+                None => return Vec::new(),
+            }
+        };
+        sns.into_iter()
+            .filter_map(|sn| {
+                self.get(color, sn)
+                    .map(|payload| CommittedRecord { sn, payload })
+            })
+            .collect()
+    }
+
+    /// Like [`StorageServer::scan`] but including each record's append
+    /// token — used by the sync-phase (§6.3) so idempotence survives
+    /// recovery, and by the multi-color append protocol to find a
+    /// function's staged sets.
+    pub fn scan_with_tokens(&self, color: ColorId, from: SeqNum) -> Vec<(Token, SeqNum, Vec<u8>)> {
+        let sns: Vec<(SeqNum, bool)> = {
+            let idx = self.idx.lock();
+            match idx.committed.get(&color) {
+                Some(m) => m
+                    .range((std::ops::Bound::Excluded(from), std::ops::Bound::Unbounded))
+                    .map(|(&sn, &on_ssd)| (sn, on_ssd))
+                    .collect(),
+                None => return Vec::new(),
+            }
+        };
+        sns.into_iter()
+            .filter_map(|(sn, on_ssd)| {
+                let raw = if on_ssd {
+                    self.ssd.read_block(ssd_block_id(color, sn)).ok()
+                } else {
+                    self.pool.get(committed_key(color, sn))
+                }?;
+                let token = Token(u64::from_le_bytes(raw[..8].try_into().unwrap()));
+                Some((token, sn, raw[8..].to_vec()))
+            })
+            .collect()
+    }
+
+    /// Directly installs a committed record fetched from a peer during the
+    /// sync-phase (§6.3), bypassing the staging path. Durable on return;
+    /// idempotent per (color, sn).
+    pub fn import(
+        &self,
+        color: ColorId,
+        sn: SeqNum,
+        token: Token,
+        payload: &[u8],
+    ) -> Result<bool, StorageError> {
+        {
+            let idx = self.idx.lock();
+            if idx.heads.get(&color).is_some_and(|&h| sn <= h) {
+                return Ok(false); // already trimmed here
+            }
+            if idx.committed.get(&color).is_some_and(|m| m.contains_key(&sn)) {
+                return Ok(false);
+            }
+        }
+        let mut value = Vec::with_capacity(8 + payload.len());
+        value.extend_from_slice(&token.0.to_le_bytes());
+        value.extend_from_slice(payload);
+        self.pool.put(committed_key(color, sn), &value)?;
+        let mut idx = self.idx.lock();
+        idx.committed.entry(color).or_default().insert(sn, false);
+        let e = idx.committed_tokens.entry(token).or_insert(sn);
+        if sn > *e {
+            *e = sn;
+        }
+        idx.pm_live_bytes += value.len();
+        drop(idx);
+        self.cache.lock().put((color, sn), payload.to_vec());
+        self.maybe_spill()?;
+        Ok(true)
+    }
+
+    /// Deletes every record of `color` with `sn <= up_to` and durably
+    /// advances the head. Returns the new `[head, tail]` pair (the Trim
+    /// protocol's reply, §6.2).
+    pub fn trim(
+        &self,
+        color: ColorId,
+        up_to: SeqNum,
+    ) -> Result<(Option<SeqNum>, Option<SeqNum>), StorageError> {
+        let victims: Vec<(SeqNum, bool)> = {
+            let idx = self.idx.lock();
+            match idx.committed.get(&color) {
+                Some(m) => m
+                    .range(..=up_to)
+                    .map(|(&sn, &on_ssd)| (sn, on_ssd))
+                    .collect(),
+                None => Vec::new(),
+            }
+        };
+        let mut tx = self.pool.begin();
+        let mut freed = 0usize;
+        for &(sn, on_ssd) in &victims {
+            if on_ssd {
+                self.ssd.delete_block(ssd_block_id(color, sn));
+            } else {
+                if let Some(v) = self.pool.get(committed_key(color, sn)) {
+                    freed += v.len();
+                }
+                tx.delete(committed_key(color, sn));
+            }
+        }
+        tx.put(head_key(color), &up_to.0.to_le_bytes());
+        tx.commit()?;
+        self.ssd.fsync();
+        {
+            let mut cache = self.cache.lock();
+            for &(sn, _) in &victims {
+                cache.remove(&(color, sn));
+            }
+        }
+        let mut idx = self.idx.lock();
+        if let Some(m) = idx.committed.get_mut(&color) {
+            for &(sn, _) in &victims {
+                m.remove(&sn);
+            }
+        }
+        let prev = idx.heads.get(&color).copied().unwrap_or(SeqNum::ZERO);
+        idx.heads.insert(color, up_to.max(prev));
+        idx.pm_live_bytes = idx.pm_live_bytes.saturating_sub(freed);
+        let head = idx.heads.get(&color).copied();
+        let tail = idx.committed.get(&color).and_then(|m| m.keys().last().copied());
+        Ok((head, tail))
+    }
+
+    /// Highest committed SN of `color` on this replica.
+    pub fn tail(&self, color: ColorId) -> Option<SeqNum> {
+        self.idx
+            .lock()
+            .committed
+            .get(&color)
+            .and_then(|m| m.keys().last().copied())
+    }
+
+    /// Highest trimmed SN of `color` (inclusive), if any trim happened.
+    pub fn head(&self, color: ColorId) -> Option<SeqNum> {
+        self.idx.lock().heads.get(&color).copied()
+    }
+
+    /// Highest committed SN across *all* colors (failure-recovery sync
+    /// state, §6.3).
+    pub fn max_committed_sn(&self) -> Option<SeqNum> {
+        self.idx
+            .lock()
+            .committed
+            .values()
+            .filter_map(|m| m.keys().last().copied())
+            .max()
+    }
+
+    /// Tokens staged but not yet committed (re-issued as OReqs after
+    /// recovery, §6.3) together with their color and batch size.
+    pub fn staged_tokens(&self) -> Vec<(Token, ColorId, usize)> {
+        let idx = self.idx.lock();
+        idx.staged
+            .iter()
+            .map(|(&t, &c)| {
+                let batch = self
+                    .pool
+                    .get(staged_key(t))
+                    .map(|v| decode_staged(&v).payloads.len())
+                    .unwrap_or(0);
+                (t, c, batch)
+            })
+            .collect()
+    }
+
+    /// The SN a committed token's batch ended at, if committed.
+    pub fn committed_sn(&self, token: Token) -> Option<SeqNum> {
+        self.idx.lock().committed_tokens.get(&token).copied()
+    }
+
+    /// Number of committed records of `color` on this replica.
+    pub fn record_count(&self, color: ColorId) -> usize {
+        self.idx
+            .lock()
+            .committed
+            .get(&color)
+            .map_or(0, |m| m.len())
+    }
+
+    /// Number of committed records currently resident on the SSD tier.
+    pub fn ssd_resident(&self, color: ColorId) -> usize {
+        self.idx
+            .lock()
+            .committed
+            .get(&color)
+            .map_or(0, |m| m.values().filter(|&&s| s).count())
+    }
+
+    /// The underlying devices (crash injection).
+    pub fn devices(&self) -> (Arc<PmDevice>, Arc<SsdDevice>) {
+        (Arc::clone(self.pool.device()), Arc::clone(&self.ssd))
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &StorageConfig {
+        &self.config
+    }
+
+    /// Spills the oldest committed PM-resident records to SSD when live PM
+    /// bytes exceed the watermark ("a contiguous portion from the start of
+    /// the log is flushed to SSD and removed from PM", §5.2).
+    fn maybe_spill(&self) -> Result<(), StorageError> {
+        loop {
+            let victims: Vec<(ColorId, SeqNum)> = {
+                let idx = self.idx.lock();
+                if idx.pm_live_bytes <= self.config.pm_watermark {
+                    return Ok(());
+                }
+                // Oldest PM-resident records, per color from the start.
+                let mut v: Vec<(ColorId, SeqNum)> = Vec::with_capacity(self.config.spill_batch);
+                'outer: for (&color, m) in idx.committed.iter() {
+                    for (&sn, &on_ssd) in m.iter() {
+                        if !on_ssd {
+                            v.push((color, sn));
+                            if v.len() >= self.config.spill_batch {
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+                v
+            };
+            if victims.is_empty() {
+                return Ok(());
+            }
+            // 1. Copy to SSD and fsync...
+            for &(color, sn) in &victims {
+                if let Some(v) = self.pool.get(committed_key(color, sn)) {
+                    self.ssd.write_block(ssd_block_id(color, sn), &v);
+                }
+            }
+            self.ssd.fsync();
+            // 2. ...only then remove from PM (crash between the two steps
+            // duplicates records across tiers; never loses them).
+            let mut freed = 0usize;
+            let mut tx = self.pool.begin();
+            for &(color, sn) in &victims {
+                if let Some(v) = self.pool.get(committed_key(color, sn)) {
+                    freed += v.len();
+                }
+                tx.delete(committed_key(color, sn));
+            }
+            tx.commit()?;
+            let mut idx = self.idx.lock();
+            for &(color, sn) in &victims {
+                if let Some(m) = idx.committed.get_mut(&color) {
+                    if let Some(slot) = m.get_mut(&sn) {
+                        *slot = true;
+                    }
+                }
+            }
+            idx.pm_live_bytes = idx.pm_live_bytes.saturating_sub(freed);
+            self.stats
+                .spilled_records
+                .fetch_add(victims.len() as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+fn encode_staged(color: ColorId, payloads: &[Vec<u8>]) -> Vec<u8> {
+    let total: usize = payloads.iter().map(|p| p.len() + 4).sum();
+    let mut v = Vec::with_capacity(8 + total);
+    v.extend_from_slice(&color.0.to_le_bytes());
+    v.extend_from_slice(&(payloads.len() as u32).to_le_bytes());
+    for p in payloads {
+        v.extend_from_slice(&(p.len() as u32).to_le_bytes());
+        v.extend_from_slice(p);
+    }
+    v
+}
+
+fn decode_staged(v: &[u8]) -> StagedBatch {
+    let color = ColorId(u32::from_le_bytes(v[0..4].try_into().unwrap()));
+    let count = u32::from_le_bytes(v[4..8].try_into().unwrap()) as usize;
+    let mut payloads = Vec::with_capacity(count);
+    let mut off = 8;
+    for _ in 0..count {
+        let len = u32::from_le_bytes(v[off..off + 4].try_into().unwrap()) as usize;
+        off += 4;
+        payloads.push(v[off..off + len].to_vec());
+        off += len;
+    }
+    StagedBatch { color, payloads }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,352 @@
+use super::*;
+use flexlog_types::{Epoch, FunctionId};
+
+fn sn(c: u32) -> SeqNum {
+    SeqNum::new(Epoch(1), c)
+}
+
+fn tok(c: u32) -> Token {
+    Token::new(FunctionId(1), c)
+}
+
+const RED: ColorId = ColorId(1);
+const GREEN: ColorId = ColorId(2);
+
+fn server() -> StorageServer {
+    StorageServer::new(StorageConfig::default())
+}
+
+#[test]
+fn stage_then_commit_makes_record_readable() {
+    let s = server();
+    assert!(s.stage(tok(1), RED, &[b"hello".to_vec()]).unwrap());
+    // Staged but uncommitted: not discoverable.
+    assert_eq!(s.get(RED, sn(5)), None);
+    assert!(s.commit(tok(1), sn(5)).unwrap());
+    assert_eq!(s.get(RED, sn(5)).unwrap(), b"hello");
+}
+
+#[test]
+fn stage_is_idempotent() {
+    let s = server();
+    assert!(s.stage(tok(1), RED, &[b"a".to_vec()]).unwrap());
+    assert!(!s.stage(tok(1), RED, &[b"a".to_vec()]).unwrap());
+    s.commit(tok(1), sn(1)).unwrap();
+    // Re-staging a committed token is also a no-op.
+    assert!(!s.stage(tok(1), RED, &[b"a".to_vec()]).unwrap());
+}
+
+#[test]
+fn commit_is_idempotent() {
+    let s = server();
+    s.stage(tok(1), RED, &[b"a".to_vec()]).unwrap();
+    assert!(s.commit(tok(1), sn(1)).unwrap());
+    assert!(!s.commit(tok(1), sn(1)).unwrap());
+    assert_eq!(s.committed_sn(tok(1)), Some(sn(1)));
+}
+
+#[test]
+fn commit_unknown_token_errors() {
+    let s = server();
+    assert_eq!(
+        s.commit(tok(9), sn(1)),
+        Err(StorageError::UnknownToken(tok(9)))
+    );
+}
+
+#[test]
+fn batch_commit_assigns_consecutive_sns() {
+    let s = server();
+    let batch = vec![b"r0".to_vec(), b"r1".to_vec(), b"r2".to_vec()];
+    s.stage(tok(1), RED, &batch).unwrap();
+    // Sequencer assigned the range ending at counter 10.
+    s.commit(tok(1), sn(10)).unwrap();
+    assert_eq!(s.get(RED, sn(8)).unwrap(), b"r0");
+    assert_eq!(s.get(RED, sn(9)).unwrap(), b"r1");
+    assert_eq!(s.get(RED, sn(10)).unwrap(), b"r2");
+    assert_eq!(s.record_count(RED), 3);
+}
+
+#[test]
+fn colors_are_disjoint() {
+    let s = server();
+    s.stage(tok(1), RED, &[b"red".to_vec()]).unwrap();
+    s.commit(tok(1), sn(1)).unwrap();
+    s.stage(tok(2), GREEN, &[b"green".to_vec()]).unwrap();
+    s.commit(tok(2), sn(1)).unwrap();
+    assert_eq!(s.get(RED, sn(1)).unwrap(), b"red");
+    assert_eq!(s.get(GREEN, sn(1)).unwrap(), b"green");
+}
+
+#[test]
+fn get_missing_sn_is_none() {
+    let s = server();
+    s.stage(tok(1), RED, &[b"x".to_vec()]).unwrap();
+    s.commit(tok(1), sn(3)).unwrap();
+    assert_eq!(s.get(RED, sn(2)), None, "hole before the record");
+    assert_eq!(s.get(RED, sn(4)), None, "past the tail");
+    assert_eq!(s.get(GREEN, sn(3)), None, "wrong color");
+}
+
+#[test]
+fn read_path_hits_cache_then_pm() {
+    let s = server();
+    s.stage(tok(1), RED, &[b"warm".to_vec()]).unwrap();
+    s.commit(tok(1), sn(1)).unwrap();
+    // Commit primes the cache.
+    let (_, hit) = s.get_traced(RED, sn(1)).unwrap();
+    assert_eq!(hit, TierHit::Cache);
+    // Evict by filling the cache with other records.
+    for i in 2..2000u32 {
+        s.stage(tok(i), RED, &[vec![0u8; 1024]]).unwrap();
+        s.commit(tok(i), sn(i)).unwrap();
+    }
+    let (v, hit) = s.get_traced(RED, sn(1)).unwrap();
+    assert_eq!(v, b"warm");
+    assert_eq!(hit, TierHit::Pm);
+    // And now it is cached again.
+    let (_, hit) = s.get_traced(RED, sn(1)).unwrap();
+    assert_eq!(hit, TierHit::Cache);
+}
+
+#[test]
+fn watermark_spills_oldest_to_ssd() {
+    let s = StorageServer::new(StorageConfig::tiny());
+    // Write well past the 32 KiB watermark with 1 KiB records.
+    for i in 1..=100u32 {
+        s.stage(tok(i), RED, &[vec![i as u8; 1024]]).unwrap();
+        s.commit(tok(i), sn(i)).unwrap();
+    }
+    assert!(s.ssd_resident(RED) > 0, "spill must have happened");
+    assert!(s.stats.spilled_records.load(Ordering::Relaxed) > 0);
+    // Every record is still readable, wherever it lives.
+    for i in 1..=100u32 {
+        assert_eq!(s.get(RED, sn(i)).unwrap(), vec![i as u8; 1024], "sn {i}");
+    }
+    // The oldest record must be on SSD (cache was evicted long ago for it).
+    s.cache.lock().clear();
+    let (_, hit) = s.get_traced(RED, sn(1)).unwrap();
+    assert_eq!(hit, TierHit::Ssd);
+}
+
+#[test]
+fn trim_deletes_prefix_and_reports_head_tail() {
+    let s = server();
+    for i in 1..=10u32 {
+        s.stage(tok(i), RED, &[vec![i as u8]]).unwrap();
+        s.commit(tok(i), sn(i)).unwrap();
+    }
+    let (head, tail) = s.trim(RED, sn(4)).unwrap();
+    assert_eq!(head, Some(sn(4)));
+    assert_eq!(tail, Some(sn(10)));
+    assert_eq!(s.get(RED, sn(4)), None);
+    assert_eq!(s.get(RED, sn(3)), None);
+    assert_eq!(s.get(RED, sn(5)).unwrap(), vec![5u8]);
+    assert_eq!(s.record_count(RED), 6);
+}
+
+#[test]
+fn trim_covers_ssd_resident_records() {
+    let s = StorageServer::new(StorageConfig::tiny());
+    for i in 1..=100u32 {
+        s.stage(tok(i), RED, &[vec![0u8; 1024]]).unwrap();
+        s.commit(tok(i), sn(i)).unwrap();
+    }
+    assert!(s.ssd_resident(RED) > 0);
+    s.trim(RED, sn(90)).unwrap();
+    assert_eq!(s.record_count(RED), 10);
+    for i in 1..=90u32 {
+        assert_eq!(s.get(RED, sn(i)), None, "sn {i} must be trimmed");
+    }
+}
+
+#[test]
+fn trim_is_monotonic() {
+    let s = server();
+    for i in 1..=5u32 {
+        s.stage(tok(i), RED, &[vec![i as u8]]).unwrap();
+        s.commit(tok(i), sn(i)).unwrap();
+    }
+    s.trim(RED, sn(3)).unwrap();
+    // A smaller trim must not move the head backwards.
+    let (head, _) = s.trim(RED, sn(1)).unwrap();
+    assert_eq!(head, Some(sn(3)));
+}
+
+#[test]
+fn scan_returns_ordered_records() {
+    let s = server();
+    for i in [5u32, 1, 9, 3].iter() {
+        s.stage(tok(*i), RED, &[vec![*i as u8]]).unwrap();
+        s.commit(tok(*i), sn(*i)).unwrap();
+    }
+    let all = s.scan(RED, SeqNum::ZERO);
+    let sns: Vec<u32> = all.iter().map(|r| r.sn.counter()).collect();
+    assert_eq!(sns, vec![1, 3, 5, 9]);
+    let from = s.scan(RED, sn(3));
+    assert_eq!(from.len(), 2);
+    assert_eq!(from[0].sn, sn(5));
+}
+
+#[test]
+fn tail_and_max_committed() {
+    let s = server();
+    assert_eq!(s.tail(RED), None);
+    s.stage(tok(1), RED, &[b"a".to_vec()]).unwrap();
+    s.commit(tok(1), sn(7)).unwrap();
+    s.stage(tok(2), GREEN, &[b"b".to_vec()]).unwrap();
+    s.commit(tok(2), sn(3)).unwrap();
+    assert_eq!(s.tail(RED), Some(sn(7)));
+    assert_eq!(s.tail(GREEN), Some(sn(3)));
+    assert_eq!(s.max_committed_sn(), Some(sn(7)));
+}
+
+#[test]
+fn staged_tokens_lists_uncommitted() {
+    let s = server();
+    s.stage(tok(1), RED, &[b"a".to_vec(), b"b".to_vec()]).unwrap();
+    s.stage(tok(2), GREEN, &[b"c".to_vec()]).unwrap();
+    s.commit(tok(2), sn(1)).unwrap();
+    let staged = s.staged_tokens();
+    assert_eq!(staged.len(), 1);
+    assert_eq!(staged[0], (tok(1), RED, 2));
+}
+
+#[test]
+fn recovery_preserves_committed_and_staged() {
+    let s = server();
+    s.stage(tok(1), RED, &[b"committed".to_vec()]).unwrap();
+    s.commit(tok(1), sn(1)).unwrap();
+    s.stage(tok(2), RED, &[b"staged-only".to_vec()]).unwrap();
+    let (pm, ssd) = s.devices();
+    pm.crash();
+    ssd.crash();
+    drop(s);
+    let s2 = StorageServer::recover(pm, ssd, StorageConfig::default());
+    assert_eq!(s2.get(RED, sn(1)).unwrap(), b"committed");
+    assert_eq!(s2.committed_sn(tok(1)), Some(sn(1)));
+    let staged = s2.staged_tokens();
+    assert_eq!(staged, vec![(tok(2), RED, 1)]);
+    // The staged batch can still be committed after recovery.
+    s2.commit(tok(2), sn(2)).unwrap();
+    assert_eq!(s2.get(RED, sn(2)).unwrap(), b"staged-only");
+}
+
+#[test]
+fn recovery_preserves_trim_head() {
+    let s = server();
+    for i in 1..=6u32 {
+        s.stage(tok(i), RED, &[vec![i as u8]]).unwrap();
+        s.commit(tok(i), sn(i)).unwrap();
+    }
+    s.trim(RED, sn(3)).unwrap();
+    let (pm, ssd) = s.devices();
+    pm.crash();
+    ssd.crash();
+    drop(s);
+    let s2 = StorageServer::recover(pm, ssd, StorageConfig::default());
+    assert_eq!(s2.head(RED), Some(sn(3)));
+    assert_eq!(s2.get(RED, sn(2)), None);
+    assert_eq!(s2.get(RED, sn(4)).unwrap(), vec![4u8]);
+}
+
+#[test]
+fn recovery_finds_ssd_resident_records() {
+    let s = StorageServer::new(StorageConfig::tiny());
+    for i in 1..=100u32 {
+        s.stage(tok(i), RED, &[vec![i as u8; 1024]]).unwrap();
+        s.commit(tok(i), sn(i)).unwrap();
+    }
+    let spilled = s.ssd_resident(RED);
+    assert!(spilled > 0);
+    let (pm, ssd) = s.devices();
+    pm.crash();
+    ssd.crash();
+    drop(s);
+    let s2 = StorageServer::recover(pm, ssd, StorageConfig::tiny());
+    assert_eq!(s2.record_count(RED), 100);
+    assert_eq!(s2.ssd_resident(RED), spilled);
+    for i in 1..=100u32 {
+        assert_eq!(s2.get(RED, sn(i)).unwrap(), vec![i as u8; 1024]);
+    }
+}
+
+#[test]
+fn crash_before_commit_record_loses_nothing_committed() {
+    // A staged-but-uncommitted batch must reappear as staged; committed
+    // batches must survive byte-for-byte.
+    let s = server();
+    for i in 1..=20u32 {
+        s.stage(tok(i), RED, &[format!("rec{i}").into_bytes()]).unwrap();
+        if i <= 15 {
+            s.commit(tok(i), sn(i)).unwrap();
+        }
+    }
+    let (pm, ssd) = s.devices();
+    pm.crash();
+    ssd.crash();
+    drop(s);
+    let s2 = StorageServer::recover(pm, ssd, StorageConfig::default());
+    for i in 1..=15u32 {
+        assert_eq!(s2.get(RED, sn(i)).unwrap(), format!("rec{i}").into_bytes());
+    }
+    assert_eq!(s2.staged_tokens().len(), 5);
+}
+
+#[test]
+fn multi_record_staged_value_roundtrip() {
+    let payloads = vec![b"".to_vec(), b"x".to_vec(), vec![7u8; 300]];
+    let enc = encode_staged(ColorId(9), &payloads);
+    let dec = decode_staged(&enc);
+    assert_eq!(dec.color, ColorId(9));
+    assert_eq!(dec.payloads, payloads);
+}
+
+#[test]
+fn stats_count_tier_hits() {
+    let s = server();
+    s.stage(tok(1), RED, &[b"x".to_vec()]).unwrap();
+    s.commit(tok(1), sn(1)).unwrap();
+    s.get(RED, sn(1)); // cache
+    s.cache.lock().clear();
+    s.get(RED, sn(1)); // pm
+    assert_eq!(s.stats.cache_hits.load(Ordering::Relaxed), 1);
+    assert_eq!(s.stats.pm_hits.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn scan_with_tokens_returns_tokens() {
+    let s = server();
+    s.stage(tok(7), RED, &[b"a".to_vec(), b"b".to_vec()]).unwrap();
+    s.commit(tok(7), sn(2)).unwrap();
+    let recs = s.scan_with_tokens(RED, SeqNum::ZERO);
+    assert_eq!(recs.len(), 2);
+    assert_eq!(recs[0], (tok(7), sn(1), b"a".to_vec()));
+    assert_eq!(recs[1], (tok(7), sn(2), b"b".to_vec()));
+}
+
+#[test]
+fn import_installs_and_is_idempotent() {
+    let s = server();
+    assert!(s.import(RED, sn(4), tok(9), b"synced").unwrap());
+    assert!(!s.import(RED, sn(4), tok(9), b"synced").unwrap());
+    assert_eq!(s.get(RED, sn(4)).unwrap(), b"synced");
+    assert_eq!(s.committed_sn(tok(9)), Some(sn(4)));
+    // Imports survive crash.
+    let (pm, ssd) = s.devices();
+    pm.crash();
+    ssd.crash();
+    drop(s);
+    let s2 = StorageServer::recover(pm, ssd, StorageConfig::default());
+    assert_eq!(s2.get(RED, sn(4)).unwrap(), b"synced");
+}
+
+#[test]
+fn import_respects_trim_head() {
+    let s = server();
+    s.stage(tok(1), RED, &[b"x".to_vec()]).unwrap();
+    s.commit(tok(1), sn(5)).unwrap();
+    s.trim(RED, sn(5)).unwrap();
+    assert!(!s.import(RED, sn(3), tok(2), b"old").unwrap());
+    assert_eq!(s.get(RED, sn(3)), None);
+}

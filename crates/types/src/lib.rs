@@ -1,0 +1,227 @@
+//! # flexlog-types
+//!
+//! Shared vocabulary of the FlexLog system (paper §4 "FlexLog's abstraction
+//! and system model"):
+//!
+//! * a [`ColorId`] names a *color* — a region of the log with its own total
+//!   order; colors form a tree rooted at the master region;
+//! * a [`SeqNum`] is the 64-bit sequence number a sequencer assigns to a
+//!   record: the most-significant 32 bits carry the sequencer [`Epoch`], the
+//!   least-significant 32 bits a per-epoch counter (§5.2 "Safety"), so SNs
+//!   keep increasing across sequencer fail-overs;
+//! * a [`Token`] uniquely identifies an append request: the caller's
+//!   [`FunctionId`] in the high 32 bits and a per-caller counter in the low
+//!   32 bits (Algorithm 1, line 6) — the basis of append idempotence;
+//! * a [`CommittedRecord`] is a payload together with its assigned SN.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a color (log region). Color 0 is the master region — the
+/// root of the color tree, also used as the *special color* brokering
+/// multi-color appends (§6.4).
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct ColorId(pub u32);
+
+impl ColorId {
+    /// The master region / special color.
+    pub const MASTER: ColorId = ColorId(0);
+}
+
+impl fmt::Debug for ColorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == ColorId::MASTER {
+            write!(f, "color[master]")
+        } else {
+            write!(f, "color[{}]", self.0)
+        }
+    }
+}
+
+impl fmt::Display for ColorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Sequencer epoch, incremented on every leader fail-over (§5.2).
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default, Debug,
+)]
+pub struct Epoch(pub u32);
+
+impl Epoch {
+    pub fn next(self) -> Epoch {
+        Epoch(self.0 + 1)
+    }
+}
+
+/// A 64-bit FlexLog sequence number: `epoch << 32 | counter`.
+///
+/// The epoch in the high bits guarantees that SNs issued by a new sequencer
+/// are strictly greater than every SN of the previous one even though the
+/// new leader does not know the old counter — the paper's correctness
+/// criterion for the ordering layer ("the SNs are increasing", §5.2).
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct SeqNum(pub u64);
+
+impl SeqNum {
+    /// Builds an SN from its epoch and counter halves.
+    pub fn new(epoch: Epoch, counter: u32) -> Self {
+        SeqNum(((epoch.0 as u64) << 32) | counter as u64)
+    }
+
+    /// The epoch half.
+    pub fn epoch(self) -> Epoch {
+        Epoch((self.0 >> 32) as u32)
+    }
+
+    /// The counter half.
+    pub fn counter(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// The smallest possible SN (epoch 0, counter 0) — used as "before
+    /// everything" in range scans.
+    pub const ZERO: SeqNum = SeqNum(0);
+}
+
+impl fmt::Debug for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sn[{}:{}]", self.epoch().0, self.counter())
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sn[{}:{}]", self.epoch().0, self.counter())
+    }
+}
+
+/// Identifier of a serverless function instance appending to the log.
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default, Debug,
+)]
+pub struct FunctionId(pub u32);
+
+/// Unique append token: `fid << 32 | counter` (Algorithm 1). Replicas and
+/// sequencers deduplicate by token, making appends idempotent.
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct Token(pub u64);
+
+impl Token {
+    pub fn new(fid: FunctionId, counter: u32) -> Self {
+        Token(((fid.0 as u64) << 32) | counter as u64)
+    }
+
+    pub fn fid(self) -> FunctionId {
+        FunctionId((self.0 >> 32) as u32)
+    }
+
+    pub fn counter(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+impl fmt::Debug for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tok[f{}:{}]", self.fid().0, self.counter())
+    }
+}
+
+/// Identifier of a shard (replica group) within the data layer.
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default, Debug,
+)]
+pub struct ShardId(pub u32);
+
+/// A record that has been assigned its place in a colored log.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CommittedRecord {
+    pub sn: SeqNum,
+    pub payload: Vec<u8>,
+}
+
+impl CommittedRecord {
+    pub fn new(sn: SeqNum, payload: impl Into<Vec<u8>>) -> Self {
+        CommittedRecord {
+            sn,
+            payload: payload.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn seqnum_packs_epoch_and_counter() {
+        let sn = SeqNum::new(Epoch(3), 77);
+        assert_eq!(sn.epoch(), Epoch(3));
+        assert_eq!(sn.counter(), 77);
+        assert_eq!(sn.0, (3u64 << 32) | 77);
+    }
+
+    #[test]
+    fn seqnum_ordering_respects_epoch_first() {
+        // Any SN of a later epoch exceeds every SN of earlier epochs —
+        // the paper's monotonicity-across-failover argument.
+        let old_max = SeqNum::new(Epoch(1), u32::MAX);
+        let new_min = SeqNum::new(Epoch(2), 0);
+        assert!(new_min > old_max);
+    }
+
+    #[test]
+    fn token_packs_fid_and_counter() {
+        let t = Token::new(FunctionId(9), 1234);
+        assert_eq!(t.fid(), FunctionId(9));
+        assert_eq!(t.counter(), 1234);
+    }
+
+    #[test]
+    fn master_color_is_zero() {
+        assert_eq!(ColorId::MASTER, ColorId(0));
+        assert_eq!(format!("{:?}", ColorId::MASTER), "color[master]");
+        assert_eq!(format!("{:?}", ColorId(4)), "color[4]");
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SeqNum::new(Epoch(1), 5)), "sn[1:5]");
+        assert_eq!(format!("{:?}", Token::new(FunctionId(2), 3)), "tok[f2:3]");
+    }
+
+    proptest! {
+        #[test]
+        fn seqnum_roundtrip(e in any::<u32>(), c in any::<u32>()) {
+            let sn = SeqNum::new(Epoch(e), c);
+            prop_assert_eq!(sn.epoch(), Epoch(e));
+            prop_assert_eq!(sn.counter(), c);
+        }
+
+        #[test]
+        fn seqnum_order_matches_tuple_order(
+            e1 in any::<u32>(), c1 in any::<u32>(),
+            e2 in any::<u32>(), c2 in any::<u32>(),
+        ) {
+            let a = SeqNum::new(Epoch(e1), c1);
+            let b = SeqNum::new(Epoch(e2), c2);
+            prop_assert_eq!(a.cmp(&b), (e1, c1).cmp(&(e2, c2)));
+        }
+
+        #[test]
+        fn token_roundtrip(f in any::<u32>(), c in any::<u32>()) {
+            let t = Token::new(FunctionId(f), c);
+            prop_assert_eq!(t.fid(), FunctionId(f));
+            prop_assert_eq!(t.counter(), c);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! The §5.1 chained-execution recipe: a serverless map-reduce word count
+//! with *flexible ordering semantics*.
+//!
+//! Each mapper writes its intermediate results to its **own color** — those
+//! appends are parallel and mutually unordered (nothing forces an order
+//! between unrelated mappers, which is exactly the paper's point about
+//! total ordering being unnecessarily strict for data analytics). Only the
+//! phase boundary is synchronized: every mapper appends a final record to
+//! the shared **black log**, and the reducer waits until all final records
+//! are visible before aggregating.
+//!
+//! ```sh
+//! cargo run --example mapreduce
+//! ```
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use flexlog::core::{Barrier, ClusterSpec, ColorId, FlexLogCluster};
+
+const BLACK: ColorId = ColorId(100);
+const MAPPERS: usize = 4;
+
+fn main() {
+    // Two leaves so the mappers' colors are ordered locally, not globally.
+    let cluster = FlexLogCluster::start(ClusterSpec::tree(2, 1));
+    cluster.add_color(BLACK).expect("fresh color");
+    let leaves = cluster.leaf_roles();
+
+    let corpus = [
+        "the quick brown fox jumps over the lazy dog",
+        "the dog barks and the fox runs",
+        "a quick log is a shared log",
+        "the log the log the log",
+    ];
+
+    // Per-mapper colors, each local to one leaf region: parallel tasks of a
+    // phase need no global order (§3.1 "flexible ordering semantics").
+    let mapper_colors: Vec<ColorId> = (0..MAPPERS).map(|i| ColorId(200 + i as u32)).collect();
+    for (i, &c) in mapper_colors.iter().enumerate() {
+        cluster
+            .colors()
+            .add_color_at(c, leaves[i % leaves.len()])
+            .expect("fresh color");
+    }
+
+    let barrier = Barrier::new(BLACK, MAPPERS);
+
+    // --- Map phase -------------------------------------------------------
+    let mut mappers = Vec::new();
+    for (i, text) in corpus.iter().enumerate() {
+        let mut h = cluster.handle();
+        let color = mapper_colors[i];
+        let barrier = Barrier::new(BLACK, MAPPERS);
+        let text = text.to_string();
+        mappers.push(std::thread::spawn(move || {
+            let mut counts: HashMap<&str, u32> = HashMap::new();
+            for word in text.split_whitespace() {
+                *counts.entry(word).or_default() += 1;
+            }
+            for (word, n) in counts {
+                let rec = format!("{word}:{n}");
+                h.append(rec.as_bytes(), color).unwrap();
+            }
+            // Phase boundary: the final record on the black log.
+            barrier.arrive(&mut h, i as u32).unwrap();
+            println!("[mapper {i}] done");
+        }));
+    }
+    for m in mappers {
+        m.join().expect("mapper");
+    }
+
+    // --- Reduce phase ------------------------------------------------------
+    let mut reducer = cluster.handle();
+    assert!(
+        barrier.wait(&mut reducer, Duration::from_secs(10)).unwrap(),
+        "all mappers must have published their final records"
+    );
+    let mut totals: HashMap<String, u32> = HashMap::new();
+    for &color in &mapper_colors {
+        for rec in reducer.subscribe(color).unwrap() {
+            let s = String::from_utf8(rec.payload).expect("utf8");
+            let (word, n) = s.split_once(':').expect("word:count");
+            *totals.entry(word.to_string()).or_default() += n.parse::<u32>().unwrap();
+        }
+    }
+
+    let mut sorted: Vec<(String, u32)> = totals.into_iter().collect();
+    sorted.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    println!("word counts:");
+    for (word, n) in &sorted {
+        println!("  {word:>8}  {n}");
+    }
+    assert_eq!(
+        sorted.first().map(|(w, n)| (w.as_str(), *n)),
+        Some(("the", 7)),
+        "'the' appears 7 times in the corpus"
+    );
+
+    cluster.shutdown();
+    println!("done.");
+}

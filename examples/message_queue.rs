@@ -1,0 +1,66 @@
+//! Listing 1 from the paper: a durable message queue between two serverless
+//! functions.
+//!
+//! `Func1` appends its data to the yellow log, creates the black log (the
+//! queue) and enqueues the data's sequence number. `Func2` polls the queue
+//! until the pointer appears, then follows it into the yellow log. The two
+//! functions run as separate threads with their own FlexLog handles —
+//! exactly the inter-function communication pattern of §3.2.
+//!
+//! ```sh
+//! cargo run --example message_queue
+//! ```
+
+use std::time::Duration;
+
+use flexlog::core::{ClusterSpec, ColorId, FlexLogCluster, MessageQueue, SeqNum};
+
+const YELLOW: ColorId = ColorId(1);
+const BLACK: ColorId = ColorId(2);
+
+fn main() {
+    let cluster = FlexLogCluster::start(ClusterSpec::single_shard());
+    cluster.add_color(YELLOW).expect("fresh color");
+
+    // --- Func1: produce data, then advertise it through the queue -------
+    let func1 = {
+        let handle = cluster.handle();
+        std::thread::spawn(move || {
+            let mut handle = handle;
+            let sn_y = handle.append(b"payload for func2", YELLOW).unwrap();
+            println!("[func1] appended data to yellow at {sn_y}");
+            let mut mq = MessageQueue::create(handle, BLACK, ColorId::MASTER)
+                .expect("create the black log");
+            let idx = mq.enqueue(&sn_y.0.to_le_bytes()).unwrap();
+            println!("[func1] enqueued pointer at queue position {idx}");
+            sn_y
+        })
+    };
+    let sn_y = func1.join().expect("func1");
+
+    // --- Func2: wait for the pointer, then read the data ----------------
+    let func2 = {
+        let handle = cluster.handle();
+        std::thread::spawn(move || {
+            let mut mq = MessageQueue::attach(handle, BLACK);
+            // Listing 1's lookup loop: poll until the expected entry shows.
+            let found = mq
+                .wait_for(&sn_y.0.to_le_bytes(), Duration::from_secs(10))
+                .unwrap()
+                .expect("pointer must arrive");
+            println!("[func2] found pointer at queue position {found}");
+            let mut handle = mq.into_handle();
+            let data = handle
+                .read(SeqNum(sn_y.0), YELLOW)
+                .unwrap()
+                .expect("yellow record exists");
+            println!("[func2] read: {}", String::from_utf8_lossy(&data));
+            data
+        })
+    };
+    let data = func2.join().expect("func2");
+    assert_eq!(data, b"payload for func2");
+
+    cluster.shutdown();
+    println!("done.");
+}

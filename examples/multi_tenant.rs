@@ -1,0 +1,70 @@
+//! Multi-tenancy (§5.1): two unrelated applications share one FlexLog
+//! deployment through **distinct colors**, each ordered by its own leaf
+//! sequencer. FlexLog imposes no ordering relation between the tenants'
+//! records, their data stays disjoint, and a fault-injection interlude
+//! shows that crashing one tenant's sequencer leaves the other unaffected.
+//!
+//! ```sh
+//! cargo run --example multi_tenant
+//! ```
+
+use flexlog::core::{ClusterSpec, ColorId, FlexLogCluster};
+use flexlog::types::Epoch;
+
+const TENANT_A: ColorId = ColorId(10);
+const TENANT_B: ColorId = ColorId(20);
+
+fn main() {
+    // Two leaf sequencers, one shard each; each sequencer gets 2 backups so
+    // fail-over works (the paper's 2f replication of the epoch).
+    let mut spec = ClusterSpec::tree(2, 1);
+    spec.backups_per_sequencer = 2;
+    spec.delta = std::time::Duration::from_millis(80);
+    let cluster = FlexLogCluster::start(spec);
+    let leaves = cluster.leaf_roles();
+
+    // Tenant colors live on different leaves: independent serialization
+    // points, independent shards.
+    cluster.colors().add_color_at(TENANT_A, leaves[0]).unwrap();
+    cluster.colors().add_color_at(TENANT_B, leaves[1]).unwrap();
+
+    let mut a = cluster.handle();
+    let mut b = cluster.handle();
+
+    // Interleaved writes from both tenants.
+    for i in 0..10u32 {
+        a.append(format!("A-order-{i}").as_bytes(), TENANT_A).unwrap();
+        b.append(format!("B-event-{i}").as_bytes(), TENANT_B).unwrap();
+    }
+
+    let log_a = a.subscribe(TENANT_A).unwrap();
+    let log_b = b.subscribe(TENANT_B).unwrap();
+    println!("tenant A sees {} records, tenant B sees {}", log_a.len(), log_b.len());
+    assert!(log_a.iter().all(|r| r.payload.starts_with(b"A-")));
+    assert!(log_b.iter().all(|r| r.payload.starts_with(b"B-")));
+
+    // Each tenant's log is totally ordered *within itself*.
+    for w in log_a.windows(2) {
+        assert!(w[0].sn < w[1].sn);
+    }
+
+    // Fault isolation: crash tenant A's sequencer. A backup takes over
+    // (epoch bump); tenant B never notices.
+    println!("crashing tenant A's sequencer ...");
+    cluster.ordering().crash_leader(cluster.network(), leaves[0]);
+
+    let sn_b = b.append(b"B-during-failover", TENANT_B).unwrap();
+    println!("tenant B kept appending during A's fail-over: {sn_b}");
+
+    let sn_a = a.append(b"A-after-failover", TENANT_A).unwrap();
+    println!("tenant A resumed at epoch {:?}", sn_a.epoch());
+    assert!(sn_a.epoch() > Epoch(1), "A's color moved to a new epoch");
+    assert_eq!(sn_b.epoch(), Epoch(1), "B's color stayed in epoch 1");
+
+    // Old data of both tenants is intact.
+    assert_eq!(a.read(log_a[0].sn, TENANT_A).unwrap().unwrap(), b"A-order-0");
+    assert_eq!(b.read(log_b[0].sn, TENANT_B).unwrap().unwrap(), b"B-event-0");
+
+    cluster.shutdown();
+    println!("done.");
+}

@@ -1,0 +1,122 @@
+//! A fault-tolerant transactional serverless workflow on the multi-color
+//! append (§6.4) — the "transactions for stateful workflows" use case the
+//! paper motivates with Beldi-style workflows [135].
+//!
+//! A payment workflow must atomically (i) debit the `accounts` ledger and
+//! (ii) emit a `shipping` order. With two independent appends a crash
+//! between them leaves money burned and nothing shipped; the multi-color
+//! append makes the pair all-or-nothing. The example also demonstrates the
+//! failure semantics: a workflow that never sends its `end` marker leaves
+//! no trace in either target color.
+//!
+//! ```sh
+//! cargo run --example transactional_workflow
+//! ```
+
+use flexlog::core::{ClusterSpec, ColorId, FlexLogCluster};
+
+const ACCOUNTS: ColorId = ColorId(1);
+const SHIPPING: ColorId = ColorId(2);
+
+fn ledger_total(records: &[flexlog::types::CommittedRecord]) -> i64 {
+    records
+        .iter()
+        .map(|r| {
+            let s = String::from_utf8_lossy(&r.payload);
+            s.rsplit_once(':').and_then(|(_, v)| v.parse::<i64>().ok()).unwrap_or(0)
+        })
+        .sum()
+}
+
+fn main() {
+    let cluster = FlexLogCluster::start(ClusterSpec::single_shard());
+    cluster.add_color(ACCOUNTS).unwrap();
+    cluster.add_color(SHIPPING).unwrap();
+
+    let mut workflow = cluster.handle();
+
+    // Seed the ledger.
+    workflow.append(b"deposit:alice:100", ACCOUNTS).unwrap();
+
+    // --- The happy path: one atomic workflow step ------------------------
+    workflow
+        .multi_append(&[
+            (
+                ACCOUNTS,
+                vec![b"debit:alice:-30".to_vec()],
+            ),
+            (
+                SHIPPING,
+                vec![b"ship:order-1:alice:widget".to_vec()],
+            ),
+        ])
+        .expect("workflow commit");
+    println!("workflow 1 committed atomically");
+
+    let accounts = workflow.subscribe(ACCOUNTS).unwrap();
+    let shipping = workflow.subscribe(SHIPPING).unwrap();
+    assert_eq!(accounts.len(), 2);
+    assert_eq!(shipping.len(), 1);
+    assert_eq!(ledger_total(&accounts), 70);
+    println!(
+        "ledger total {} with {} shipping order(s)",
+        ledger_total(&accounts),
+        shipping.len()
+    );
+
+    // --- The crash path ----------------------------------------------------
+    // A client that stages its sets in the special color but dies before
+    // broadcasting `end` leaves nothing in the target colors (§7's
+    // multi-color proof: "none of the records are appended to any color").
+    // We simulate it by staging through a raw client and dropping it.
+    {
+        use flexlog::replication::{ClientConfig, FlexLogClient};
+        use flexlog::simnet::NodeId;
+        use flexlog::types::FunctionId;
+        let ep = cluster
+            .network()
+            .register(NodeId::named(NodeId::CLASS_CLIENT, 9_999));
+        let mut dying = FlexLogClient::new(
+            ep,
+            cluster.data().topology.clone(),
+            ClientConfig {
+                fid: FunctionId(9_999),
+                ..Default::default()
+            },
+        );
+        // Stage the sets exactly like multi_append's phase 1... and crash
+        // before phase 2 (no MultiEnd is ever sent).
+        dying
+            .append(
+                ColorId::MASTER,
+                &[b"this is an unfinished workflow".to_vec()],
+            )
+            .unwrap();
+        println!("workflow 2 staged its intent and crashed before `end`");
+        // dropped here — never sends the end marker
+    }
+
+    let accounts_after = workflow.subscribe(ACCOUNTS).unwrap();
+    let shipping_after = workflow.subscribe(SHIPPING).unwrap();
+    assert_eq!(
+        (accounts_after.len(), shipping_after.len()),
+        (2, 1),
+        "the aborted workflow must not touch any target color"
+    );
+    println!("aborted workflow left both ledgers untouched");
+
+    // --- And the log survives replica power failure ----------------------
+    let victim = cluster.data().shard_replicas(flexlog::types::ShardId(0))[0];
+    println!("power-cycling replica {victim} ...");
+    cluster.data().crash_replica(cluster.network(), victim);
+    cluster
+        .data()
+        .restart_replica(cluster.network(), cluster.directory(), victim);
+
+    let accounts_final = workflow.subscribe(ACCOUNTS).unwrap();
+    assert_eq!(ledger_total(&accounts_final), 70, "ledger intact after crash");
+    println!("ledger intact after replica recovery: total {}", ledger_total(&accounts_final));
+
+    cluster.shutdown();
+    println!("done.");
+}

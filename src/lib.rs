@@ -1,0 +1,23 @@
+//! # FlexLog
+//!
+//! Facade crate re-exporting the full FlexLog public API. See the workspace
+//! README and `DESIGN.md` for the architecture; the individual crates are:
+//!
+//! * [`simnet`] — simulated network substrate;
+//! * [`pm`] — simulated persistent memory + SSD devices;
+//! * [`storage`] — tiered storage server (DRAM cache / PM / SSD);
+//! * [`ordering`] — tree-structured sequencer ordering layer;
+//! * [`replication`] — shards, replicas and the append/read protocols;
+//! * [`core`] — colors, topology, cluster assembly and the client API;
+//! * [`baselines`] — Paxos counter service and mini-LSM comparison systems;
+//! * [`faas`] — miniature serverless compute tier and workloads.
+
+pub use flexlog_baselines as baselines;
+pub use flexlog_core as core;
+pub use flexlog_faas as faas;
+pub use flexlog_ordering as ordering;
+pub use flexlog_pm as pm;
+pub use flexlog_replication as replication;
+pub use flexlog_simnet as simnet;
+pub use flexlog_storage as storage;
+pub use flexlog_types as types;

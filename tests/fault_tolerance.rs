@@ -1,0 +1,227 @@
+//! Failure-injection integration tests spanning the whole stack: replica
+//! power failures, sequencer fail-overs, partitions — §6.3's recovery
+//! machinery exercised end to end.
+
+use std::time::Duration;
+
+use flexlog::core::{ClusterSpec, ColorId, FlexLogCluster};
+use flexlog::simnet::NetConfig;
+use flexlog::types::{Epoch, SeqNum, ShardId};
+
+const RED: ColorId = ColorId(1);
+
+fn resilient_spec() -> ClusterSpec {
+    ClusterSpec {
+        backups_per_sequencer: 2,
+        delta: Duration::from_millis(80),
+        net: NetConfig::instant(),
+        ..ClusterSpec::single_shard()
+    }
+}
+
+#[test]
+fn data_survives_replica_power_cycles() {
+    let cluster = FlexLogCluster::start(ClusterSpec::single_shard());
+    cluster.add_color(RED).unwrap();
+    let mut h = cluster.handle();
+
+    let mut sns = Vec::new();
+    for i in 0..10u32 {
+        sns.push(h.append(format!("pre-{i}").as_bytes(), RED).unwrap());
+    }
+
+    // Power-cycle each replica in turn (not concurrently: appends need all
+    // replicas, so we restart one before killing the next).
+    for victim in cluster.data().shard_replicas(ShardId(0)) {
+        cluster.data().crash_replica(cluster.network(), victim);
+        cluster
+            .data()
+            .restart_replica(cluster.network(), cluster.directory(), victim);
+        // Appends resume after the sync phase.
+        sns.push(h.append(b"during-cycles", RED).unwrap());
+    }
+
+    for (i, sn) in sns.iter().enumerate() {
+        assert!(
+            h.read(*sn, RED).unwrap().is_some(),
+            "record {i} lost after power cycles"
+        );
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn appends_during_downtime_complete_after_restart() {
+    let cluster = FlexLogCluster::start(ClusterSpec::single_shard());
+    cluster.add_color(RED).unwrap();
+    let mut h = cluster.handle();
+    h.append(b"baseline", RED).unwrap();
+
+    let victim = cluster.data().shard_replicas(ShardId(0))[1];
+    cluster.data().crash_replica(cluster.network(), victim);
+
+    // This append blocks on the dead replica (write-all). Run it in a
+    // thread; it must complete once the replica returns and syncs.
+    let blocked = {
+        let mut h2 = cluster.handle();
+        std::thread::spawn(move || h2.append(b"blocked", RED).unwrap())
+    };
+    std::thread::sleep(Duration::from_millis(300));
+    assert!(!blocked.is_finished(), "append must block while a replica is down");
+
+    cluster
+        .data()
+        .restart_replica(cluster.network(), cluster.directory(), victim);
+    let sn = blocked.join().expect("append completes after recovery");
+    assert_eq!(h.read(sn, RED).unwrap().unwrap(), b"blocked");
+    cluster.shutdown();
+}
+
+#[test]
+fn sequencer_failover_preserves_sn_monotonicity() {
+    let cluster = FlexLogCluster::start(resilient_spec());
+    cluster.add_color(RED).unwrap();
+    let mut h = cluster.handle();
+
+    let mut last = SeqNum::ZERO;
+    let mut epochs = std::collections::BTreeSet::new();
+    for round in 0..3 {
+        for i in 0..5 {
+            let sn = h.append(format!("r{round}-{i}").as_bytes(), RED).unwrap();
+            assert!(sn > last, "SN regressed across fail-over: {sn:?} !> {last:?}");
+            last = sn;
+            epochs.insert(sn.epoch());
+        }
+        if round < 2 {
+            cluster
+                .ordering()
+                .crash_leader(cluster.network(), flexlog::ordering::RoleId(0));
+        }
+    }
+    assert!(
+        epochs.len() >= 3,
+        "each fail-over must bump the epoch: saw {epochs:?}"
+    );
+    // Everything ever appended is still readable.
+    let log = h.subscribe(RED).unwrap();
+    assert_eq!(log.len(), 15);
+    cluster.shutdown();
+}
+
+#[test]
+fn reads_keep_working_while_appends_block() {
+    // CAP choice (§4): replica failure sacrifices append availability, but
+    // local reads on the surviving replicas still serve committed data.
+    let cluster = FlexLogCluster::start(ClusterSpec::single_shard());
+    cluster.add_color(RED).unwrap();
+    let mut h = cluster.handle();
+    let sn = h.append(b"committed", RED).unwrap();
+
+    let victim = cluster.data().shard_replicas(ShardId(0))[2];
+    cluster.data().crash_replica(cluster.network(), victim);
+
+    for _ in 0..10 {
+        assert_eq!(h.read(sn, RED).unwrap().unwrap(), b"committed");
+    }
+    let log = h.subscribe(RED).unwrap();
+    assert_eq!(log.len(), 1);
+    cluster.shutdown();
+}
+
+#[test]
+fn partitioned_replica_catches_up_after_heal() {
+    let cluster = FlexLogCluster::start(ClusterSpec::single_shard());
+    cluster.add_color(RED).unwrap();
+    let mut h = cluster.handle();
+    h.append(b"before-partition", RED).unwrap();
+
+    // Partition one replica away from everyone.
+    let victim = cluster.data().shard_replicas(ShardId(0))[0];
+    cluster.network().isolate(victim);
+
+    // Appends block (they need the partitioned replica). Reads still work.
+    let blocked = {
+        let mut h2 = cluster.handle();
+        std::thread::spawn(move || h2.append(b"during-partition", RED).unwrap())
+    };
+    std::thread::sleep(Duration::from_millis(200));
+    assert!(!blocked.is_finished());
+
+    cluster.network().heal();
+    let sn = blocked.join().expect("append completes after heal");
+    // The previously partitioned replica eventually holds the record too —
+    // check via its storage directly.
+    let storage = cluster.data().storage_of(victim).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while storage.get(RED, sn).is_none() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "partitioned replica never received the append"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn failover_during_inflight_appends_loses_nothing_acknowledged() {
+    // Kill the sequencer while a writer hammers the log; every append the
+    // client saw complete must be durable, holes are allowed (§6.3).
+    let cluster = FlexLogCluster::start(resilient_spec());
+    cluster.add_color(RED).unwrap();
+
+    let writer = {
+        let mut h = cluster.handle();
+        std::thread::spawn(move || {
+            let mut acked = Vec::new();
+            for i in 0..40u32 {
+                if let Ok(sn) = h.append(format!("x{i}").as_bytes(), RED) {
+                    acked.push((sn, format!("x{i}").into_bytes()));
+                }
+            }
+            acked
+        })
+    };
+    std::thread::sleep(Duration::from_millis(50));
+    cluster
+        .ordering()
+        .crash_leader(cluster.network(), flexlog::ordering::RoleId(0));
+    let acked = writer.join().expect("writer");
+    assert!(!acked.is_empty());
+
+    let mut reader = cluster.handle();
+    for (sn, payload) in &acked {
+        assert_eq!(
+            reader.read(*sn, RED).unwrap().as_ref(),
+            Some(payload),
+            "acknowledged append at {sn:?} lost in fail-over"
+        );
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn epoch_failover_keeps_per_color_isolation() {
+    // A fail-over of one leaf must not disturb another leaf's color.
+    let mut spec = ClusterSpec::tree(2, 1);
+    spec.backups_per_sequencer = 2;
+    spec.delta = Duration::from_millis(80);
+    let cluster = FlexLogCluster::start(spec);
+    let leaves = cluster.leaf_roles();
+    let a = ColorId(11);
+    let b = ColorId(12);
+    cluster.colors().add_color_at(a, leaves[0]).unwrap();
+    cluster.colors().add_color_at(b, leaves[1]).unwrap();
+
+    let mut h = cluster.handle();
+    h.append(b"a1", a).unwrap();
+    h.append(b"b1", b).unwrap();
+
+    cluster.ordering().crash_leader(cluster.network(), leaves[0]);
+
+    let sn_a = h.append(b"a2", a).unwrap();
+    let sn_b = h.append(b"b2", b).unwrap();
+    assert!(sn_a.epoch() > Epoch(1), "failed leaf must re-elect");
+    assert_eq!(sn_b.epoch(), Epoch(1), "other leaf must be unaffected");
+    cluster.shutdown();
+}

@@ -1,0 +1,222 @@
+//! Model-based tests of the §7 correctness properties against a live
+//! cluster: arbitrary operation sequences are applied both to FlexLog and
+//! to a sequential model of a shared-log object, and the observable results
+//! must agree (the sequential specification of a linearizable object under
+//! a single client, plus the paper's P1–P3 under concurrency).
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use flexlog::core::{ClusterSpec, ColorId, FlexLogCluster};
+use flexlog::types::SeqNum;
+
+const COLORS: [ColorId; 2] = [ColorId(1), ColorId(2)];
+
+/// A client-visible operation.
+#[derive(Clone, Debug)]
+enum Op {
+    Append { color: u8, payload: Vec<u8> },
+    /// Read the record appended by the i-th preceding append (if any).
+    ReadBack { color: u8, back: u8 },
+    Subscribe { color: u8 },
+    /// Trim at the SN of the i-th appended record of the color.
+    TrimAt { color: u8, idx: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u8..2, proptest::collection::vec(any::<u8>(), 1..24))
+            .prop_map(|(color, payload)| Op::Append { color, payload }),
+        3 => (0u8..2, any::<u8>()).prop_map(|(color, back)| Op::ReadBack { color, back }),
+        2 => (0u8..2).prop_map(|color| Op::Subscribe { color }),
+        1 => (0u8..2, any::<u8>()).prop_map(|(color, idx)| Op::TrimAt { color, idx }),
+    ]
+}
+
+/// Sequential model: per color, SN → payload, plus the trim floor.
+#[derive(Default)]
+struct Model {
+    logs: [BTreeMap<SeqNum, Vec<u8>>; 2],
+    heads: [Option<SeqNum>; 2],
+    appended: [Vec<SeqNum>; 2],
+}
+
+impl Model {
+    fn append(&mut self, color: usize, sn: SeqNum, payload: Vec<u8>) {
+        self.logs[color].insert(sn, payload);
+        self.appended[color].push(sn);
+    }
+
+    fn read(&self, color: usize, sn: SeqNum) -> Option<&Vec<u8>> {
+        if self.heads[color].is_some_and(|h| sn <= h) {
+            return None;
+        }
+        self.logs[color].get(&sn)
+    }
+
+    fn visible(&self, color: usize) -> Vec<(SeqNum, &Vec<u8>)> {
+        self.logs[color]
+            .iter()
+            .filter(|(&sn, _)| !self.heads[color].is_some_and(|h| sn <= h))
+            .map(|(&sn, v)| (sn, v))
+            .collect()
+    }
+
+    fn trim(&mut self, color: usize, sn: SeqNum) {
+        let prev = self.heads[color].unwrap_or(SeqNum::ZERO);
+        self.heads[color] = Some(sn.max(prev));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        max_shrink_iters: 64,
+        .. ProptestConfig::default()
+    })]
+
+    /// Single-client sequential specification: every FlexLog response must
+    /// equal the model's.
+    #[test]
+    fn flexlog_matches_sequential_model(ops in proptest::collection::vec(op_strategy(), 1..25)) {
+        let cluster = FlexLogCluster::start(ClusterSpec::single_shard());
+        for c in COLORS {
+            cluster.add_color(c).unwrap();
+        }
+        let mut h = cluster.handle();
+        let mut model = Model::default();
+
+        for op in ops {
+            match op {
+                Op::Append { color, payload } => {
+                    let c = color as usize;
+                    let sn = h.append(&payload, COLORS[c]).unwrap();
+                    // SNs must strictly increase within a color.
+                    if let Some(&last) = model.appended[c].last() {
+                        prop_assert!(sn > last, "append SN regressed: {sn:?} after {last:?}");
+                    }
+                    model.append(c, sn, payload);
+                }
+                Op::ReadBack { color, back } => {
+                    let c = color as usize;
+                    if model.appended[c].is_empty() {
+                        continue;
+                    }
+                    let idx = model.appended[c].len().saturating_sub(1 + back as usize % model.appended[c].len());
+                    let sn = model.appended[c][idx];
+                    let got = h.read(sn, COLORS[c]).unwrap();
+                    let want = model.read(c, sn).cloned();
+                    prop_assert_eq!(got, want, "read({:?}) diverged", sn);
+                }
+                Op::Subscribe { color } => {
+                    let c = color as usize;
+                    let got = h.subscribe(COLORS[c]).unwrap();
+                    let want = model.visible(c);
+                    prop_assert_eq!(got.len(), want.len(), "subscribe length diverged");
+                    for (g, (sn, v)) in got.iter().zip(&want) {
+                        prop_assert_eq!(g.sn, *sn);
+                        prop_assert_eq!(&g.payload, *v);
+                    }
+                }
+                Op::TrimAt { color, idx } => {
+                    let c = color as usize;
+                    if model.appended[c].is_empty() {
+                        continue;
+                    }
+                    let sn = model.appended[c][idx as usize % model.appended[c].len()];
+                    h.trim(sn, COLORS[c]).unwrap();
+                    model.trim(c, sn);
+                }
+            }
+        }
+        cluster.shutdown();
+    }
+
+    /// P1/P2 (consistency + stability): two subscribes with appends between
+    /// them — the earlier snapshot is a prefix of the later one.
+    #[test]
+    fn subscribe_snapshots_are_prefix_ordered(
+        batches in proptest::collection::vec(1usize..4, 1..5)
+    ) {
+        let cluster = FlexLogCluster::start(ClusterSpec::single_shard());
+        cluster.add_color(COLORS[0]).unwrap();
+        let mut writer = cluster.handle();
+        let mut observer = cluster.handle();
+        let mut prev: Vec<SeqNum> = Vec::new();
+        for (round, n) in batches.into_iter().enumerate() {
+            for i in 0..n {
+                writer.append(format!("r{round}-{i}").as_bytes(), COLORS[0]).unwrap();
+            }
+            let snap: Vec<SeqNum> = observer
+                .subscribe(COLORS[0])
+                .unwrap()
+                .iter()
+                .map(|r| r.sn)
+                .collect();
+            prop_assert!(snap.len() >= prev.len(), "snapshot shrank");
+            prop_assert_eq!(&snap[..prev.len()], prev.as_slice(), "prefix violated");
+            prev = snap;
+        }
+        cluster.shutdown();
+    }
+}
+
+/// P3 under concurrency: appends from several threads; once an append
+/// returns, every reader sees it (append-visibility in real time).
+#[test]
+fn concurrent_append_visibility() {
+    let cluster = FlexLogCluster::start(ClusterSpec::single_shard());
+    cluster.add_color(COLORS[0]).unwrap();
+
+    let mut writers = Vec::new();
+    for w in 0..3 {
+        let mut h = cluster.handle();
+        writers.push(std::thread::spawn(move || {
+            let mut sns = Vec::new();
+            for i in 0..10 {
+                let payload = format!("w{w}-{i}").into_bytes();
+                let sn = h.append(&payload, COLORS[0]).unwrap();
+                sns.push((sn, payload));
+            }
+            sns
+        }));
+    }
+    let all: Vec<(SeqNum, Vec<u8>)> = writers
+        .into_iter()
+        .flat_map(|w| w.join().unwrap())
+        .collect();
+
+    // Every completed append is visible to a fresh reader, with the right
+    // payload, and SNs are unique.
+    let mut reader = cluster.handle();
+    let mut seen = std::collections::HashSet::new();
+    for (sn, payload) in &all {
+        assert!(seen.insert(*sn), "duplicate SN {sn:?}");
+        assert_eq!(
+            reader.read(*sn, COLORS[0]).unwrap().as_ref(),
+            Some(payload),
+            "completed append invisible at {sn:?}"
+        );
+    }
+    let log = reader.subscribe(COLORS[0]).unwrap();
+    assert_eq!(log.len(), all.len());
+    cluster.shutdown();
+}
+
+/// The real-time ordering of non-overlapping appends is respected even
+/// across clients: if append A completes before append B starts, then
+/// sn(A) < sn(B).
+#[test]
+fn real_time_order_across_clients() {
+    let cluster = FlexLogCluster::start(ClusterSpec::single_shard());
+    cluster.add_color(COLORS[0]).unwrap();
+    let mut a = cluster.handle();
+    let mut b = cluster.handle();
+    for i in 0..10 {
+        let sn_a = a.append(format!("a{i}").as_bytes(), COLORS[0]).unwrap();
+        let sn_b = b.append(format!("b{i}").as_bytes(), COLORS[0]).unwrap();
+        assert!(sn_b > sn_a, "real-time order violated: {sn_b:?} !> {sn_a:?}");
+    }
+    cluster.shutdown();
+}
