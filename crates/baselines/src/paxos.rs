@@ -590,13 +590,28 @@ mod tests {
         let net = Network::instant();
         let svc =
             PaxosCounter::start(&net, 2, 3, ProposerMode::Classic, Duration::from_micros(1));
+        // Without a barrier the first spawned client can race through all of
+        // its proposals before the second thread is even scheduled, yielding
+        // a conflict-free (and spuriously failing) run.
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(svc.proposer_nodes.len()));
         let mut handles = Vec::new();
         for (c, &proposer) in svc.proposer_nodes.iter().enumerate() {
             let ep = client(&net, 50 + c as u64);
+            let barrier = std::sync::Arc::clone(&barrier);
             handles.push(std::thread::spawn(move || {
+                barrier.wait();
                 for i in 0..10u64 {
-                    let _ =
-                        PaxosCounter::next(&ep, proposer, (c as u64) * 1000 + i, 1, Duration::from_secs(20));
+                    // Distinct batch sizes per client: even a perfectly
+                    // serialized interleaving is then detected as a lost
+                    // instance (both proposers start at instance 1, and
+                    // value-based loss accounting needs distinct values).
+                    let _ = PaxosCounter::next(
+                        &ep,
+                        proposer,
+                        (c as u64) * 1000 + i,
+                        1 + c as u64,
+                        Duration::from_secs(20),
+                    );
                 }
             }));
         }

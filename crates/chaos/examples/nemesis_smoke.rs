@@ -1,0 +1,54 @@
+//! Bounded nemesis smoke run for CI: one mixed-fault chaos experiment
+//! (replica crashes, sequencer fail-overs, shard partitions) against a
+//! resilient single-shard cluster, finishing in a few seconds.
+//!
+//! The seed is fixed so CI is reproducible; export `FLEXLOG_CHAOS_SEED` to
+//! replay a different schedule. Exits non-zero (panic) on any invariant
+//! violation, printing the seed and the full fault plan.
+
+use std::time::Duration;
+
+use flexlog_chaos::{run_chaos, seed_from_env, ChaosOptions, PlanConfig, WorkloadConfig};
+use flexlog_core::ClusterSpec;
+use flexlog_simnet::NetConfig;
+use flexlog_types::ColorId;
+
+fn main() {
+    let seed = seed_from_env(0x000C_15A0);
+    let mut options = ChaosOptions::new(seed);
+    options.spec = ClusterSpec {
+        backups_per_sequencer: 2,
+        delta: Duration::from_millis(80),
+        net: NetConfig::instant(),
+        client_retry: Duration::from_millis(50),
+        client_max_retry: Duration::from_millis(400),
+        ..ClusterSpec::single_shard()
+    };
+    options.workload = WorkloadConfig {
+        clients: 3,
+        colors: vec![ColorId(1)],
+        seed,
+        multi_appends: false,
+        trims: false,
+        think_time: Duration::from_millis(5),
+    };
+    options.plan_config = PlanConfig {
+        horizon: Duration::from_millis(1500),
+        episodes: 3,
+        downtime: Duration::from_millis(250),
+        replica_crashes: true,
+        sequencer_crashes: true,
+        shard_partitions: true,
+    };
+    options.duration = Duration::from_millis(2000);
+    options.settle = Duration::from_millis(600);
+
+    println!("nemesis smoke: seed {seed:#x}");
+    let report = run_chaos(options);
+    println!("{}", report.plan);
+    println!(
+        "ok: {} operations ({} committed appends, {} errored ops under faults), \
+         max epoch {}, final log sizes {:?}",
+        report.operations, report.ok_appends, report.errors, report.max_epoch, report.final_sizes,
+    );
+}

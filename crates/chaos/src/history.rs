@@ -1,0 +1,636 @@
+//! Operation history recording and invariant checking.
+//!
+//! Workload threads record one [`Observation`] per client operation with
+//! wall-clock start/finish offsets. After the run quiesces, the
+//! [`HistoryChecker`] validates the history plus the final log contents
+//! against the paper's §7 correctness properties. Checks only compare
+//! operations whose real-time order is certain (`a.finished ≤ b.started`),
+//! so arbitrary thread interleavings never produce false positives.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+use flexlog_replication::ClientError;
+use flexlog_types::{ColorId, SeqNum};
+use parking_lot::Mutex;
+
+/// What one client operation did and returned.
+#[derive(Clone, Debug)]
+pub enum OpKind {
+    Append {
+        color: ColorId,
+        payload: Vec<u8>,
+        result: Result<SeqNum, ClientError>,
+    },
+    MultiAppend {
+        /// One marker payload per target color (each globally unique).
+        sets: Vec<(ColorId, Vec<u8>)>,
+        result: Result<(), ClientError>,
+    },
+    Subscribe {
+        color: ColorId,
+        /// `Err` snapshots are recorded but carry no records.
+        records: Result<Vec<(SeqNum, Vec<u8>)>, ClientError>,
+    },
+    Read {
+        color: ColorId,
+        sn: SeqNum,
+        value: Result<Option<Vec<u8>>, ClientError>,
+    },
+    Trim {
+        color: ColorId,
+        up_to: SeqNum,
+        ok: bool,
+    },
+}
+
+/// One recorded client operation.
+#[derive(Clone, Debug)]
+pub struct Observation {
+    pub client: u32,
+    /// Offsets from the harness start instant.
+    pub started: Duration,
+    pub finished: Duration,
+    pub kind: OpKind,
+}
+
+/// Shared, append-only history of a chaos run.
+pub struct History {
+    t0: Instant,
+    observations: Mutex<Vec<Observation>>,
+}
+
+impl History {
+    pub fn new(t0: Instant) -> Self {
+        History {
+            t0,
+            observations: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Current offset from the run's start.
+    pub fn now(&self) -> Duration {
+        self.t0.elapsed()
+    }
+
+    pub fn record(&self, client: u32, started: Duration, kind: OpKind) {
+        let finished = self.now();
+        self.observations.lock().push(Observation {
+            client,
+            started,
+            finished,
+            kind,
+        });
+    }
+
+    pub fn snapshot(&self) -> Vec<Observation> {
+        self.observations.lock().clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.observations.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Validates a history against the §7 properties. See module docs.
+pub struct HistoryChecker<'a> {
+    history: &'a [Observation],
+    /// Quiescent per-color log contents, subscribed after all faults healed.
+    final_logs: &'a HashMap<ColorId, Vec<(SeqNum, Vec<u8>)>>,
+}
+
+impl<'a> HistoryChecker<'a> {
+    pub fn new(
+        history: &'a [Observation],
+        final_logs: &'a HashMap<ColorId, Vec<(SeqNum, Vec<u8>)>>,
+    ) -> Self {
+        HistoryChecker { history, final_logs }
+    }
+
+    /// Runs every invariant; returns all violations found (empty = pass).
+    pub fn check(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let trim_bound = self.trim_bounds();
+        self.check_p1_agreement(&mut violations);
+        self.check_p1_no_phantoms(&mut violations);
+        self.check_p1_no_duplicates(&mut violations);
+        self.check_p2_stability(&trim_bound, &mut violations);
+        self.check_p3_visibility(&trim_bound, &mut violations);
+        self.check_multi_atomicity(&mut violations);
+        self.check_sn_monotonicity(&mut violations);
+        violations
+    }
+
+    /// Highest trim `up_to` *attempted* per color. Even a trim the client
+    /// saw fail may have been applied by a subset of replicas, so any
+    /// attempt weakens stability for SNs at or below its bound.
+    fn trim_bounds(&self) -> HashMap<ColorId, SeqNum> {
+        let mut bounds: HashMap<ColorId, SeqNum> = HashMap::new();
+        for o in self.history {
+            if let OpKind::Trim { color, up_to, .. } = &o.kind {
+                let b = bounds.entry(*color).or_insert(SeqNum::ZERO);
+                *b = (*b).max(*up_to);
+            }
+        }
+        bounds
+    }
+
+    /// Every view of the log, anywhere in the run (subscribes, reads, final
+    /// logs), must agree on which payload a (color, SN) slot holds — P1's
+    /// "one immutable record per SN".
+    fn check_p1_agreement(&self, violations: &mut Vec<String>) {
+        let mut slot: BTreeMap<(ColorId, SeqNum), Vec<u8>> = BTreeMap::new();
+        let mut claim = |color: ColorId,
+                         sn: SeqNum,
+                         payload: &[u8],
+                         source: &str,
+                         violations: &mut Vec<String>| {
+            match slot.get(&(color, sn)) {
+                None => {
+                    slot.insert((color, sn), payload.to_vec());
+                }
+                Some(existing) if existing == payload => {}
+                Some(existing) => violations.push(format!(
+                    "P1 violated: {color} {sn:?} holds {:?} but {source} observed {:?}",
+                    String::from_utf8_lossy(existing),
+                    String::from_utf8_lossy(payload),
+                )),
+            }
+        };
+        for o in self.history {
+            match &o.kind {
+                OpKind::Subscribe {
+                    color,
+                    records: Ok(records),
+                } => {
+                    for (sn, p) in records {
+                        claim(*color, *sn, p, "a subscribe", violations);
+                    }
+                }
+                OpKind::Read {
+                    color,
+                    sn,
+                    value: Ok(Some(p)),
+                } => claim(*color, *sn, p, "a read", violations),
+                _ => {}
+            }
+        }
+        for (color, log) in self.final_logs {
+            for (sn, p) in log {
+                claim(*color, *sn, p, "the final log", violations);
+            }
+        }
+    }
+
+    /// Everything in the final logs must have been appended by the workload
+    /// (to that color): nothing is invented by recovery or fail-over.
+    fn check_p1_no_phantoms(&self, violations: &mut Vec<String>) {
+        let mut legal: HashSet<(ColorId, Vec<u8>)> = HashSet::new();
+        for o in self.history {
+            match &o.kind {
+                OpKind::Append { color, payload, .. } => {
+                    legal.insert((*color, payload.clone()));
+                }
+                OpKind::MultiAppend { sets, .. } => {
+                    for (color, payload) in sets {
+                        legal.insert((*color, payload.clone()));
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (color, log) in self.final_logs {
+            for (sn, p) in log {
+                if !legal.contains(&(*color, p.clone())) {
+                    violations.push(format!(
+                        "P1 violated: phantom record {sn:?} in {color}: {:?} was never appended there",
+                        String::from_utf8_lossy(p),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Retransmitted appends are deduplicated by token: a payload commits at
+    /// most once per color, no matter how many retries the fault window
+    /// forced.
+    fn check_p1_no_duplicates(&self, violations: &mut Vec<String>) {
+        for (color, log) in self.final_logs {
+            let mut seen: HashMap<&[u8], SeqNum> = HashMap::new();
+            let mut last_sn: Option<SeqNum> = None;
+            for (sn, p) in log {
+                if let Some(prev) = last_sn {
+                    if *sn <= prev {
+                        violations.push(format!(
+                            "final log of {color} not strictly SN-sorted: {sn:?} after {prev:?}"
+                        ));
+                    }
+                }
+                last_sn = Some(*sn);
+                if let Some(first) = seen.insert(p.as_slice(), *sn) {
+                    violations.push(format!(
+                        "duplicate commit in {color}: {:?} at both {first:?} and {sn:?}",
+                        String::from_utf8_lossy(p),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// P2: a record observed committed never disappears from later views,
+    /// unless a trim could have removed it.
+    fn check_p2_stability(
+        &self,
+        trim_bound: &HashMap<ColorId, SeqNum>,
+        violations: &mut Vec<String>,
+    ) {
+        type Snapshot<'h> = (&'h Observation, &'h ColorId, &'h Vec<(SeqNum, Vec<u8>)>);
+        let snapshots: Vec<Snapshot<'_>> = self
+            .history
+            .iter()
+            .filter_map(|o| match &o.kind {
+                OpKind::Subscribe {
+                    color,
+                    records: Ok(r),
+                } => Some((o, color, r)),
+                _ => None,
+            })
+            .collect();
+        let trimmed = |color: ColorId, sn: SeqNum| {
+            trim_bound.get(&color).is_some_and(|b| sn <= *b)
+        };
+        for (a, color_a, recs_a) in &snapshots {
+            // Against strictly later snapshots of the same color…
+            for (b, color_b, recs_b) in &snapshots {
+                if color_a != color_b || a.finished > b.started {
+                    continue;
+                }
+                let later: HashSet<SeqNum> = recs_b.iter().map(|(sn, _)| *sn).collect();
+                for (sn, _) in recs_a.iter() {
+                    if !later.contains(sn) && !trimmed(**color_a, *sn) {
+                        violations.push(format!(
+                            "P2 violated: {color_a} {sn:?} seen by client {} at {:?} but gone \
+                             from client {}'s subscribe at {:?}",
+                            a.client, a.finished, b.client, b.started,
+                        ));
+                    }
+                }
+            }
+            // …and against the final quiescent log.
+            if let Some(final_log) = self.final_logs.get(color_a) {
+                let final_sns: HashSet<SeqNum> = final_log.iter().map(|(sn, _)| *sn).collect();
+                for (sn, _) in recs_a.iter() {
+                    if !final_sns.contains(sn) && !trimmed(**color_a, *sn) {
+                        violations.push(format!(
+                            "P2 violated: {color_a} {sn:?} observed during the run but absent \
+                             from the final log",
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    /// P3: once an append has returned, every subscribe that *starts* later
+    /// must include it (modulo trims).
+    fn check_p3_visibility(
+        &self,
+        trim_bound: &HashMap<ColorId, SeqNum>,
+        violations: &mut Vec<String>,
+    ) {
+        let trimmed = |color: ColorId, sn: SeqNum| {
+            trim_bound.get(&color).is_some_and(|b| sn <= *b)
+        };
+        for append in self.history {
+            let (color, sn) = match &append.kind {
+                OpKind::Append {
+                    color,
+                    result: Ok(sn),
+                    ..
+                } => (*color, *sn),
+                _ => continue,
+            };
+            for sub in self.history {
+                let records = match &sub.kind {
+                    OpKind::Subscribe {
+                        color: c,
+                        records: Ok(r),
+                    } if *c == color && sub.started >= append.finished => r,
+                    _ => continue,
+                };
+                if trimmed(color, sn) {
+                    continue;
+                }
+                if !records.iter().any(|(s, _)| *s == sn) {
+                    violations.push(format!(
+                        "P3 violated: append {sn:?} to {color} finished at {:?} (client {}) \
+                         but missing from client {}'s subscribe started at {:?}",
+                        append.finished, append.client, sub.client, sub.started,
+                    ));
+                }
+            }
+            // The final log is the last subscribe of all.
+            if !trimmed(color, sn)
+                && !self
+                    .final_logs
+                    .get(&color)
+                    .is_some_and(|log| log.iter().any(|(s, _)| *s == sn))
+            {
+                violations.push(format!(
+                    "P3 violated: completed append {sn:?} to {color} missing from the final log",
+                ));
+            }
+        }
+    }
+
+    /// §6.4 multi-color append: all of an op's sets commit, or none do.
+    /// An op whose client saw `Ok` must be fully committed.
+    fn check_multi_atomicity(&self, violations: &mut Vec<String>) {
+        for o in self.history {
+            let (sets, result) = match &o.kind {
+                OpKind::MultiAppend { sets, result } => (sets, result),
+                _ => continue,
+            };
+            let committed: Vec<bool> = sets
+                .iter()
+                .map(|(color, payload)| {
+                    self.final_logs
+                        .get(color)
+                        .is_some_and(|log| log.iter().any(|(_, p)| p == payload))
+                })
+                .collect();
+            let n_committed = committed.iter().filter(|&&c| c).count();
+            if n_committed != 0 && n_committed != sets.len() {
+                violations.push(format!(
+                    "multi-append atomicity violated (client {}): {}/{} sets committed \
+                     ({:?})",
+                    o.client,
+                    n_committed,
+                    sets.len(),
+                    sets.iter()
+                        .zip(&committed)
+                        .map(|((c, p), ok)| format!(
+                            "{c}:{}={}",
+                            String::from_utf8_lossy(p),
+                            if *ok { "committed" } else { "missing" }
+                        ))
+                        .collect::<Vec<_>>(),
+                ));
+            }
+            if result.is_ok() && n_committed != sets.len() {
+                violations.push(format!(
+                    "multi-append acked Ok to client {} but only {}/{} sets committed",
+                    o.client,
+                    n_committed,
+                    sets.len(),
+                ));
+            }
+        }
+    }
+
+    /// A client's successive appends to one color get strictly increasing
+    /// SNs, across sequencer epochs: fail-over bumps the epoch half, so a
+    /// new leader can never hand out an SN below a predecessor's.
+    fn check_sn_monotonicity(&self, violations: &mut Vec<String>) {
+        let mut last: HashMap<(u32, ColorId), SeqNum> = HashMap::new();
+        for o in self.history {
+            if let OpKind::Append {
+                color,
+                result: Ok(sn),
+                ..
+            } = &o.kind
+            {
+                if let Some(prev) = last.insert((o.client, *color), *sn) {
+                    if *sn <= prev {
+                        violations.push(format!(
+                            "SN monotonicity violated: client {} got {sn:?} after {prev:?} \
+                             on {color} (epoch went {:?} → {:?})",
+                            o.client,
+                            prev.epoch(),
+                            sn.epoch(),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexlog_types::Epoch;
+
+    fn sn(e: u32, c: u32) -> SeqNum {
+        SeqNum::new(Epoch(e), c)
+    }
+
+    fn obs(client: u32, s_ms: u64, f_ms: u64, kind: OpKind) -> Observation {
+        Observation {
+            client,
+            started: Duration::from_millis(s_ms),
+            finished: Duration::from_millis(f_ms),
+            kind,
+        }
+    }
+
+    const C: ColorId = ColorId(7);
+
+    fn append_ok(client: u32, s: u64, f: u64, p: &str, at: SeqNum) -> Observation {
+        obs(
+            client,
+            s,
+            f,
+            OpKind::Append {
+                color: C,
+                payload: p.as_bytes().to_vec(),
+                result: Ok(at),
+            },
+        )
+    }
+
+    fn subscribe(client: u32, s: u64, f: u64, recs: &[(SeqNum, &str)]) -> Observation {
+        obs(
+            client,
+            s,
+            f,
+            OpKind::Subscribe {
+                color: C,
+                records: Ok(recs
+                    .iter()
+                    .map(|(sn, p)| (*sn, p.as_bytes().to_vec()))
+                    .collect()),
+            },
+        )
+    }
+
+    fn logs(recs: &[(SeqNum, &str)]) -> HashMap<ColorId, Vec<(SeqNum, Vec<u8>)>> {
+        let mut m = HashMap::new();
+        m.insert(
+            C,
+            recs.iter()
+                .map(|(sn, p)| (*sn, p.as_bytes().to_vec()))
+                .collect(),
+        );
+        m
+    }
+
+    #[test]
+    fn clean_history_passes() {
+        let h = vec![
+            append_ok(1, 0, 10, "a", sn(1, 1)),
+            append_ok(2, 5, 20, "b", sn(1, 2)),
+            subscribe(1, 30, 40, &[(sn(1, 1), "a"), (sn(1, 2), "b")]),
+        ];
+        let logs = logs(&[(sn(1, 1), "a"), (sn(1, 2), "b")]);
+        assert_eq!(HistoryChecker::new(&h, &logs).check(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn p1_detects_disagreeing_views() {
+        let h = vec![
+            subscribe(1, 0, 10, &[(sn(1, 1), "a")]),
+            subscribe(2, 20, 30, &[(sn(1, 1), "OTHER")]),
+        ];
+        let logs = logs(&[]);
+        let v = HistoryChecker::new(&h, &logs).check();
+        assert!(v.iter().any(|m| m.contains("P1 violated")), "{v:?}");
+    }
+
+    #[test]
+    fn p1_detects_phantom_records() {
+        let h = vec![append_ok(1, 0, 10, "real", sn(1, 1))];
+        let logs = logs(&[(sn(1, 1), "real"), (sn(1, 2), "phantom")]);
+        let v = HistoryChecker::new(&h, &logs).check();
+        assert!(v.iter().any(|m| m.contains("phantom")), "{v:?}");
+    }
+
+    #[test]
+    fn p1_detects_duplicate_commit() {
+        let h = vec![append_ok(1, 0, 10, "a", sn(1, 1))];
+        let logs = logs(&[(sn(1, 1), "a"), (sn(1, 5), "a")]);
+        let v = HistoryChecker::new(&h, &logs).check();
+        assert!(v.iter().any(|m| m.contains("duplicate commit")), "{v:?}");
+    }
+
+    #[test]
+    fn p2_detects_lost_record() {
+        let h = vec![
+            subscribe(1, 0, 10, &[(sn(1, 1), "a")]),
+            subscribe(2, 20, 30, &[]),
+        ];
+        let logs = logs(&[]);
+        let v = HistoryChecker::new(&h, &logs).check();
+        assert!(v.iter().any(|m| m.contains("P2 violated")), "{v:?}");
+    }
+
+    #[test]
+    fn p2_allows_trimmed_records_to_vanish() {
+        let h = vec![
+            subscribe(1, 0, 10, &[(sn(1, 1), "a")]),
+            obs(
+                1,
+                11,
+                12,
+                OpKind::Trim {
+                    color: C,
+                    up_to: sn(1, 1),
+                    ok: true,
+                },
+            ),
+            subscribe(2, 20, 30, &[]),
+        ];
+        let logs = logs(&[]);
+        let v: Vec<String> = HistoryChecker::new(&h, &logs)
+            .check()
+            .into_iter()
+            .filter(|m| m.contains("P2"))
+            .collect();
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn p3_detects_invisible_append() {
+        let h = vec![
+            append_ok(1, 0, 10, "a", sn(1, 1)),
+            subscribe(2, 20, 30, &[]),
+        ];
+        let logs = logs(&[(sn(1, 1), "a")]);
+        let v = HistoryChecker::new(&h, &logs).check();
+        assert!(v.iter().any(|m| m.contains("P3 violated")), "{v:?}");
+    }
+
+    #[test]
+    fn p3_ignores_concurrent_subscribe() {
+        // The subscribe started before the append finished: no ordering
+        // guarantee, so absence is fine.
+        let h = vec![
+            append_ok(1, 0, 10, "a", sn(1, 1)),
+            subscribe(2, 5, 8, &[]),
+        ];
+        let logs = logs(&[(sn(1, 1), "a")]);
+        let v: Vec<String> = HistoryChecker::new(&h, &logs)
+            .check()
+            .into_iter()
+            .filter(|m| m.contains("P3"))
+            .collect();
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn multi_atomicity_detects_partial_commit() {
+        let other = ColorId(8);
+        let h = vec![obs(
+            3,
+            0,
+            10,
+            OpKind::MultiAppend {
+                sets: vec![
+                    (C, b"m1".to_vec()),
+                    (other, b"m2".to_vec()),
+                ],
+                result: Err(ClientError::Timeout),
+            },
+        )];
+        let mut logs = logs(&[(sn(1, 1), "m1")]);
+        logs.insert(other, Vec::new());
+        let v = HistoryChecker::new(&h, &logs).check();
+        assert!(v.iter().any(|m| m.contains("atomicity violated")), "{v:?}");
+    }
+
+    #[test]
+    fn multi_ok_requires_full_commit() {
+        let other = ColorId(8);
+        let h = vec![obs(
+            3,
+            0,
+            10,
+            OpKind::MultiAppend {
+                sets: vec![(C, b"m1".to_vec()), (other, b"m2".to_vec())],
+                result: Ok(()),
+            },
+        )];
+        let mut logs = logs(&[]);
+        logs.insert(other, Vec::new());
+        let v = HistoryChecker::new(&h, &logs).check();
+        assert!(v.iter().any(|m| m.contains("acked Ok")), "{v:?}");
+    }
+
+    #[test]
+    fn monotonicity_detects_sn_regression_across_epochs() {
+        let h = vec![
+            append_ok(1, 0, 10, "a", sn(2, 1)),
+            append_ok(1, 20, 30, "b", sn(1, 99)), // older epoch ⇒ smaller SN
+        ];
+        let logs = logs(&[(sn(2, 1), "a"), (sn(1, 99), "b")]);
+        let v = HistoryChecker::new(&h, &logs).check();
+        assert!(
+            v.iter().any(|m| m.contains("SN monotonicity violated")),
+            "{v:?}"
+        );
+    }
+}

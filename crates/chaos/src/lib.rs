@@ -1,0 +1,34 @@
+//! # flexlog-chaos
+//!
+//! Nemesis: a deterministic fault-injection harness for FlexLog clusters.
+//!
+//! A chaos run is three cooperating pieces:
+//!
+//! * a [`FaultPlan`] — a reproducible timeline of faults (crash/restart a
+//!   replica, crash a sequencer leader, partition a shard away, heal)
+//!   generated from a seeded RNG, so **the same seed always produces the
+//!   same schedule**;
+//! * a [`Workload`] — concurrent client threads that append, read,
+//!   subscribe, trim and multi-append against the live cluster while the
+//!   nemesis executes the plan, recording every operation into a
+//!   [`History`];
+//! * a [`HistoryChecker`] — validates the recorded history plus the final
+//!   quiescent log contents against the paper's §7 properties:
+//!   P1 (consistency: one immutable record per SN, agreed on by every
+//!   observer), P2 (stability: committed records never disappear, except
+//!   by trim), P3 (append visibility: a completed append is visible to
+//!   every later subscribe), multi-color all-or-nothing atomicity (§6.4),
+//!   and SN monotonicity across sequencer epochs.
+//!
+//! On a violation the harness panics with the seed and the full fault plan
+//! so the failure replays exactly: re-run with `FLEXLOG_CHAOS_SEED=<seed>`.
+
+mod harness;
+mod history;
+mod plan;
+mod workload;
+
+pub use harness::{run_chaos, seed_from_env, ChaosOptions, ChaosReport};
+pub use history::{History, HistoryChecker, Observation, OpKind};
+pub use plan::{FaultEvent, FaultKind, FaultPlan, PlanConfig, PlanTargets};
+pub use workload::{Workload, WorkloadConfig};

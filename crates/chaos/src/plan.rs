@@ -1,0 +1,288 @@
+//! Seeded, reproducible fault timelines.
+//!
+//! A [`FaultPlan`] is the nemesis's entire script, generated up front from a
+//! `u64` seed: the same seed over the same [`PlanTargets`] yields the same
+//! events at the same offsets, which is what makes a chaos failure
+//! replayable. The plan is data, not behavior — executing it against a live
+//! cluster is the harness's job.
+
+use std::fmt;
+use std::time::Duration;
+
+use flexlog_ordering::RoleId;
+use flexlog_simnet::NodeId;
+use flexlog_types::ShardId;
+use rand::prelude::*;
+
+/// One fault to inject.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Power-fail one replica (network crash + storage power loss).
+    CrashReplica { node: NodeId },
+    /// Restart a previously crashed replica; it recovers from persistent
+    /// storage and runs the §6.3 sync phase.
+    RestartReplica { node: NodeId },
+    /// Crash the current leader of a sequencer role; a backup takes over
+    /// through the Δ-timeout election and bumps the epoch.
+    CrashSequencer { role: RoleId },
+    /// Cut every replica of a shard off from the rest of the world
+    /// (clients included) until the next heal.
+    PartitionShard { shard: ShardId, replicas: Vec<NodeId> },
+    /// Restore full connectivity.
+    Heal,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::CrashReplica { node } => write!(f, "crash replica {node}"),
+            FaultKind::RestartReplica { node } => write!(f, "restart replica {node}"),
+            FaultKind::CrashSequencer { role } => write!(f, "crash sequencer leader {role:?}"),
+            FaultKind::PartitionShard { shard, .. } => {
+                write!(f, "partition shard {shard:?} away")
+            }
+            FaultKind::Heal => write!(f, "heal all partitions"),
+        }
+    }
+}
+
+/// A fault at an offset from the start of the run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    pub at: Duration,
+    pub kind: FaultKind,
+}
+
+/// What the generator may aim at (extracted from a cluster's topology).
+#[derive(Clone, Debug)]
+pub struct PlanTargets {
+    /// Every shard with its replica set.
+    pub shards: Vec<(ShardId, Vec<NodeId>)>,
+    /// Sequencer roles whose leader may be crashed (must have backups,
+    /// otherwise the color is gone for good).
+    pub leaf_roles: Vec<RoleId>,
+}
+
+/// Shape of the generated timeline.
+#[derive(Clone, Debug)]
+pub struct PlanConfig {
+    /// Last instant at which a *recovery* event may land; all fault/heal
+    /// pairs complete within the horizon.
+    pub horizon: Duration,
+    /// Number of fault episodes (a crash+restart pair is one episode).
+    pub episodes: usize,
+    /// Downtime between a crash (or partition) and its recovery.
+    pub downtime: Duration,
+    pub replica_crashes: bool,
+    pub sequencer_crashes: bool,
+    pub shard_partitions: bool,
+}
+
+impl Default for PlanConfig {
+    fn default() -> Self {
+        PlanConfig {
+            horizon: Duration::from_millis(1200),
+            episodes: 3,
+            downtime: Duration::from_millis(250),
+            replica_crashes: true,
+            sequencer_crashes: true,
+            shard_partitions: true,
+        }
+    }
+}
+
+/// A reproducible fault timeline. See module docs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    pub seed: u64,
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Generates a plan from `seed`. Deterministic: same seed, same
+    /// targets, same config → identical plan.
+    pub fn generate(seed: u64, targets: &PlanTargets, config: &PlanConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events: Vec<FaultEvent> = Vec::new();
+
+        // Candidate fault families, in a fixed order for determinism.
+        let mut kinds: Vec<u8> = Vec::new();
+        if config.replica_crashes && !targets.shards.is_empty() {
+            kinds.push(0);
+        }
+        if config.sequencer_crashes && !targets.leaf_roles.is_empty() {
+            kinds.push(1);
+        }
+        if config.shard_partitions && !targets.shards.is_empty() {
+            kinds.push(2);
+        }
+        if kinds.is_empty() || config.episodes == 0 {
+            return FaultPlan { seed, events };
+        }
+
+        // Episode start times: spaced so each episode's recovery lands
+        // before the next episode begins and before the horizon — the
+        // checker's quiescent phase needs a healthy cluster at the end.
+        let horizon_ms = config.horizon.as_millis() as u64;
+        let downtime_ms = config.downtime.as_millis() as u64;
+        let usable = horizon_ms.saturating_sub(downtime_ms).max(1);
+        let slot = (usable / config.episodes as u64).max(1);
+
+        // One node may only be downed again after it recovered.
+        let mut down_until: std::collections::HashMap<NodeId, u64> = Default::default();
+
+        for ep in 0..config.episodes {
+            let lo = ep as u64 * slot + 1;
+            let hi = (lo + slot * 3 / 4).max(lo + 1);
+            let at_ms = rng.gen_range(lo..hi).min(usable);
+            let recover_ms = at_ms + downtime_ms;
+            let kind = kinds[rng.gen_range(0..kinds.len())];
+            match kind {
+                0 => {
+                    // Crash one replica of a random shard, restart later.
+                    let (_, replicas) = &targets.shards[rng.gen_range(0..targets.shards.len())];
+                    let node = replicas[rng.gen_range(0..replicas.len())];
+                    if down_until.get(&node).copied().unwrap_or(0) >= at_ms {
+                        continue; // still down from a previous episode
+                    }
+                    down_until.insert(node, recover_ms);
+                    events.push(FaultEvent {
+                        at: Duration::from_millis(at_ms),
+                        kind: FaultKind::CrashReplica { node },
+                    });
+                    events.push(FaultEvent {
+                        at: Duration::from_millis(recover_ms),
+                        kind: FaultKind::RestartReplica { node },
+                    });
+                }
+                1 => {
+                    let role =
+                        targets.leaf_roles[rng.gen_range(0..targets.leaf_roles.len())];
+                    events.push(FaultEvent {
+                        at: Duration::from_millis(at_ms),
+                        kind: FaultKind::CrashSequencer { role },
+                    });
+                }
+                _ => {
+                    let (shard, replicas) =
+                        targets.shards[rng.gen_range(0..targets.shards.len())].clone();
+                    if replicas
+                        .iter()
+                        .any(|n| down_until.get(n).copied().unwrap_or(0) >= at_ms)
+                    {
+                        continue;
+                    }
+                    for &n in &replicas {
+                        down_until.insert(n, recover_ms);
+                    }
+                    events.push(FaultEvent {
+                        at: Duration::from_millis(at_ms),
+                        kind: FaultKind::PartitionShard { shard, replicas },
+                    });
+                    // `heal` is global, which is why partitions never
+                    // overlap: the generator spaces episodes one slot apart.
+                    events.push(FaultEvent {
+                        at: Duration::from_millis(recover_ms),
+                        kind: FaultKind::Heal,
+                    });
+                }
+            }
+        }
+        events.sort_by_key(|e| e.at);
+        FaultPlan { seed, events }
+    }
+
+    /// A hand-written plan (scenario tests pin exact timelines).
+    pub fn scripted(seed: u64, mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        FaultPlan { seed, events }
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fault plan (seed {:#x}, {} events; replay with FLEXLOG_CHAOS_SEED={}):",
+            self.seed,
+            self.events.len(),
+            self.seed
+        )?;
+        for e in &self.events {
+            writeln!(f, "  +{:>6}ms  {}", e.at.as_millis(), e.kind)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn targets() -> PlanTargets {
+        PlanTargets {
+            shards: vec![
+                (ShardId(0), vec![NodeId::named(1, 0), NodeId::named(1, 1)]),
+                (ShardId(1), vec![NodeId::named(1, 2), NodeId::named(1, 3)]),
+            ],
+            leaf_roles: vec![RoleId(0), RoleId(1)],
+        }
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        let cfg = PlanConfig::default();
+        let a = FaultPlan::generate(0xC0FFEE, &targets(), &cfg);
+        let b = FaultPlan::generate(0xC0FFEE, &targets(), &cfg);
+        assert_eq!(a, b, "a seed fully determines the plan");
+        assert!(!a.events.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = PlanConfig::default();
+        let a = FaultPlan::generate(1, &targets(), &cfg);
+        let b = FaultPlan::generate(2, &targets(), &cfg);
+        assert_ne!(a.events, b.events);
+    }
+
+    #[test]
+    fn events_sorted_and_recoveries_paired() {
+        let cfg = PlanConfig {
+            episodes: 6,
+            ..PlanConfig::default()
+        };
+        let plan = FaultPlan::generate(42, &targets(), &cfg);
+        let mut last = Duration::ZERO;
+        let mut crashes = 0i64;
+        for e in &plan.events {
+            assert!(e.at >= last, "events must be time-sorted");
+            last = e.at;
+            match &e.kind {
+                FaultKind::CrashReplica { .. } => crashes += 1,
+                FaultKind::RestartReplica { .. } => crashes -= 1,
+                _ => {}
+            }
+        }
+        assert_eq!(crashes, 0, "every crash has a matching restart");
+        let partitions = plan
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::PartitionShard { .. }))
+            .count();
+        let heals = plan
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::Heal))
+            .count();
+        assert_eq!(partitions, heals, "every partition has a matching heal");
+    }
+
+    #[test]
+    fn display_includes_seed_for_replay() {
+        let plan = FaultPlan::generate(0xBEEF, &targets(), &PlanConfig::default());
+        let s = plan.to_string();
+        assert!(s.contains("0xbeef"), "{s}");
+        assert!(s.contains("FLEXLOG_CHAOS_SEED="), "{s}");
+    }
+}

@@ -1,0 +1,158 @@
+//! Concurrent client workload driven against a live cluster.
+//!
+//! Each workload client runs in its own thread with its own [`FlexLog`]
+//! handle and its own seeded RNG, picking operations from a fixed mix and
+//! recording every call (arguments, result, start/finish offsets) into the
+//! shared [`History`]. Operation choice is deterministic per `(seed,
+//! client)`; only the interleaving with faults varies, which is exactly the
+//! nondeterminism the checker is built to tolerate.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use flexlog_core::FlexLog;
+use flexlog_types::{ColorId, SeqNum};
+use rand::prelude::*;
+
+use crate::history::{History, OpKind};
+
+/// Shape of the generated client load.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Number of concurrent client threads.
+    pub clients: usize,
+    /// Colors the workload writes to (must exist in the cluster).
+    pub colors: Vec<ColorId>,
+    /// Base seed; client `i` uses `seed ^ (i+1) * SPLIT` so threads draw
+    /// independent but reproducible streams.
+    pub seed: u64,
+    /// Issue §6.4 multi-color appends (needs ≥ 2 colors).
+    pub multi_appends: bool,
+    /// Let client 0 occasionally trim old records.
+    pub trims: bool,
+    /// Pause between operations, so faults land between ops too, not only
+    /// mid-flight.
+    pub think_time: Duration,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            clients: 3,
+            colors: vec![ColorId(0)],
+            seed: 0,
+            multi_appends: true,
+            trims: false,
+            think_time: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Spawnable per-client workload loop. See module docs.
+pub struct Workload;
+
+impl Workload {
+    /// Runs one client until `stop` is set. Designed to be called from a
+    /// scoped thread; the handle is consumed because `FlexLog` is `!Sync`.
+    pub fn run_client(
+        config: &WorkloadConfig,
+        client: u32,
+        mut handle: FlexLog,
+        history: &History,
+        stop: &AtomicBool,
+    ) {
+        let mut rng =
+            StdRng::seed_from_u64(config.seed ^ (client as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut op: u64 = 0;
+        // SNs this client successfully appended, per color — read targets.
+        let mut mine: Vec<(ColorId, SeqNum)> = Vec::new();
+
+        while !stop.load(Ordering::Relaxed) {
+            op += 1;
+            let color = config.colors[rng.gen_range(0..config.colors.len())];
+            let started = history.now();
+            let dice = rng.gen_range(0..10u32);
+            match dice {
+                // Half the mix is appends: they are what faults corrupt.
+                0..=4 => {
+                    let payload = format!("a/{client}/{op}").into_bytes();
+                    let result = handle.append(&payload, color);
+                    if let Ok(sn) = result {
+                        mine.push((color, sn));
+                    }
+                    history.record(
+                        client,
+                        started,
+                        OpKind::Append {
+                            color,
+                            payload,
+                            result,
+                        },
+                    );
+                }
+                5..=6 => {
+                    let records = handle
+                        .subscribe(color)
+                        .map(|rs| rs.into_iter().map(|r| (r.sn, r.payload)).collect());
+                    history.record(client, started, OpKind::Subscribe { color, records });
+                }
+                7 => {
+                    if !mine.is_empty() {
+                        let (c, sn) = mine[rng.gen_range(0..mine.len())];
+                        let value = handle.read(sn, c);
+                        history.record(client, started, OpKind::Read { color: c, sn, value });
+                    }
+                }
+                8 if config.multi_appends && config.colors.len() >= 2 => {
+                    // Two distinct colors, one unique marker each.
+                    let a = rng.gen_range(0..config.colors.len());
+                    let mut b = rng.gen_range(0..config.colors.len() - 1);
+                    if b >= a {
+                        b += 1;
+                    }
+                    let sets: Vec<(ColorId, Vec<u8>)> = [a, b]
+                        .iter()
+                        .enumerate()
+                        .map(|(idx, &i)| {
+                            (config.colors[i], format!("m/{client}/{op}/{idx}").into_bytes())
+                        })
+                        .collect();
+                    let arg: Vec<(ColorId, Vec<Vec<u8>>)> = sets
+                        .iter()
+                        .map(|(c, p)| (*c, vec![p.clone()]))
+                        .collect();
+                    let result = handle.multi_append(&arg);
+                    history.record(client, started, OpKind::MultiAppend { sets, result });
+                }
+                _ => {
+                    // Trim is rare, client 0 only: trimming everything as
+                    // fast as it commits would leave the checker nothing to
+                    // cross-examine.
+                    if config.trims && client == 0 && rng.gen_bool(0.25) && mine.len() > 8 {
+                        let (c, up_to) = mine[0];
+                        let ok = handle.trim(up_to, c).is_ok();
+                        history.record(client, started, OpKind::Trim { color: c, up_to, ok });
+                    } else {
+                        let payload = format!("a/{client}/{op}").into_bytes();
+                        let result = handle.append(&payload, color);
+                        if let Ok(sn) = result {
+                            mine.push((color, sn));
+                        }
+                        history.record(
+                            client,
+                            started,
+                            OpKind::Append {
+                                color,
+                                payload,
+                                result,
+                            },
+                        );
+                    }
+                }
+            }
+            if !config.think_time.is_zero() {
+                std::thread::sleep(config.think_time);
+            }
+        }
+    }
+}

@@ -36,8 +36,9 @@ pub struct ClusterSpec {
     pub batch_interval: Duration,
     /// Failure-detection bound Δ.
     pub delta: Duration,
-    /// Client retransmit period / overall deadline.
+    /// Client initial retransmit backoff / backoff cap / overall deadline.
     pub client_retry: Duration,
+    pub client_max_retry: Duration,
     pub client_deadline: Duration,
 }
 
@@ -53,6 +54,7 @@ impl Default for ClusterSpec {
             batch_interval: Duration::from_micros(1),
             delta: Duration::from_millis(100),
             client_retry: Duration::from_millis(150),
+            client_max_retry: Duration::from_secs(2),
             client_deadline: Duration::from_secs(30),
         }
     }
@@ -170,7 +172,9 @@ impl FlexLogCluster {
             ClientConfig {
                 fid: FunctionId(id as u32),
                 retry: self.spec.client_retry,
+                max_retry: self.spec.client_max_retry,
                 deadline: self.spec.client_deadline,
+                ..Default::default()
             },
         );
         FlexLog::new(client, self.admin.clone())

@@ -84,20 +84,19 @@ impl BackupNode {
                     let Some(msg) = wire.into_order() else { continue };
                     match msg {
                         OrderMsg::Shutdown => return,
-                        OrderMsg::Heartbeat { epoch } => {
-                            if epoch >= self.known_epoch {
-                                self.note_leader(from);
-                                self.known_epoch = epoch;
-                                last_leader_sign = Instant::now();
-                                phase = Phase::Monitoring;
-                                let _ = ep.send(
-                                    from,
-                                    W::from_order(OrderMsg::HeartbeatAck { epoch }),
-                                );
-                            }
-                            // Stale-epoch heartbeats get no ack: the old
-                            // leader starves of majorities and self-demotes.
+                        OrderMsg::Heartbeat { epoch } if epoch >= self.known_epoch => {
+                            self.note_leader(from);
+                            self.known_epoch = epoch;
+                            last_leader_sign = Instant::now();
+                            phase = Phase::Monitoring;
+                            let _ = ep.send(
+                                from,
+                                W::from_order(OrderMsg::HeartbeatAck { epoch }),
+                            );
                         }
+                        // Stale-epoch heartbeats get no ack: the old
+                        // leader starves of majorities and self-demotes.
+                        OrderMsg::Heartbeat { .. } => {}
                         OrderMsg::ReplicateEpoch { epoch } => {
                             if epoch > self.known_epoch {
                                 self.known_epoch = epoch;

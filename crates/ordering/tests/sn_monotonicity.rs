@@ -1,0 +1,81 @@
+//! Property coverage for the `SeqNum = epoch << 32 | counter` packing that
+//! sequencer fail-over relies on (§6.4): any SN assigned in a later epoch
+//! must order after every SN of an earlier epoch, no matter the counters —
+//! in particular when the old epoch's counter sits near `u32::MAX` and the
+//! new epoch restarts from 0.
+
+use flexlog_types::{Epoch, SeqNum};
+use proptest::prelude::*;
+
+/// Counters biased towards the wrap-around danger zone near `u32::MAX`.
+fn counter_strategy() -> impl Strategy<Value = u32> {
+    prop_oneof![
+        3 => any::<u32>(),
+        2 => (u32::MAX - 64)..=u32::MAX,
+        1 => 0u32..64,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn epoch_bump_dominates_any_counter(
+        epoch in 0u32..u32::MAX,
+        bump in 1u32..1024,
+        old_counter in counter_strategy(),
+        new_counter in counter_strategy(),
+    ) {
+        let new_epoch = epoch.saturating_add(bump);
+        prop_assert!(new_epoch > epoch);
+        let before = SeqNum::new(Epoch(epoch), old_counter);
+        let after = SeqNum::new(Epoch(new_epoch), new_counter);
+        // A failed-over sequencer starts a fresh epoch: every new SN must
+        // sort after all SNs of the previous epoch, even when the old
+        // counter was at u32::MAX and the new one restarts at 0.
+        prop_assert!(after > before, "{after:?} !> {before:?}");
+    }
+
+    #[test]
+    fn same_epoch_orders_by_counter(
+        epoch in any::<u32>(),
+        a in counter_strategy(),
+        b in counter_strategy(),
+    ) {
+        let sa = SeqNum::new(Epoch(epoch), a);
+        let sb = SeqNum::new(Epoch(epoch), b);
+        prop_assert_eq!(sa.cmp(&sb), a.cmp(&b));
+    }
+
+    #[test]
+    fn packing_roundtrips_at_extremes(
+        epoch in counter_strategy(),
+        counter in counter_strategy(),
+    ) {
+        let sn = SeqNum::new(Epoch(epoch), counter);
+        prop_assert_eq!(sn.epoch(), Epoch(epoch));
+        prop_assert_eq!(sn.counter(), counter);
+    }
+
+    #[test]
+    fn order_matches_lexicographic_pairs(
+        e1 in counter_strategy(),
+        c1 in counter_strategy(),
+        e2 in counter_strategy(),
+        c2 in counter_strategy(),
+    ) {
+        let s1 = SeqNum::new(Epoch(e1), c1);
+        let s2 = SeqNum::new(Epoch(e2), c2);
+        prop_assert_eq!(s1.cmp(&s2), (e1, c1).cmp(&(e2, c2)));
+    }
+}
+
+/// The exact boundary the property tests sample around, pinned explicitly.
+#[test]
+fn counter_wrap_boundary_is_ordered() {
+    let last_of_epoch1 = SeqNum::new(Epoch(1), u32::MAX);
+    let first_of_epoch2 = SeqNum::new(Epoch(2), 0);
+    assert!(first_of_epoch2 > last_of_epoch1);
+    assert_eq!(first_of_epoch2.counter(), 0);
+    assert_eq!(first_of_epoch2.epoch(), Epoch(2));
+}

@@ -121,7 +121,7 @@ impl PmDevice {
     }
 
     fn check(&self, offset: usize, len: usize) -> Result<(), DeviceError> {
-        if offset.checked_add(len).map_or(true, |end| end > self.capacity) {
+        if offset.checked_add(len).is_none_or(|end| end > self.capacity) {
             return Err(DeviceError::OutOfBounds {
                 offset,
                 len,

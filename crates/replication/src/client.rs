@@ -16,7 +16,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use flexlog_simnet::{Endpoint, NodeId, RecvError};
-use flexlog_types::{ColorId, CommittedRecord, FunctionId, SeqNum, Token};
+use flexlog_types::{ColorId, CommittedRecord, FunctionId, SeqNum, ShardId, Token};
 
 use crate::msg::{ClusterMsg, DataMsg};
 use crate::replica::encode_multi_set;
@@ -27,8 +27,20 @@ use crate::TopologyView;
 pub struct ClientConfig {
     /// Distinct id of this function/client (token namespace).
     pub fid: FunctionId,
-    /// Retransmit period for in-flight operations.
+    /// Initial retransmit backoff for in-flight operations; doubles per
+    /// retransmission up to [`ClientConfig::max_retry`].
     pub retry: Duration,
+    /// Cap of the exponential retransmit backoff.
+    pub max_retry: Duration,
+    /// Jitter fraction applied to every backoff interval: the actual wait is
+    /// uniform in `[interval, interval * (1 + jitter)]`. Desynchronizes
+    /// retransmit storms from many clients hammering a recovering shard.
+    pub jitter: f64,
+    /// Retransmission rounds of an append with **zero** acks from the target
+    /// shard before the op fails fast with [`ClientError::ShardUnreachable`].
+    /// Partial acks never trip this — a shard mid-recovery keeps the op
+    /// blocking until `deadline` (the §4 CAP choice).
+    pub unreachable_after: u32,
     /// Overall per-operation deadline.
     pub deadline: Duration,
 }
@@ -37,7 +49,10 @@ impl Default for ClientConfig {
     fn default() -> Self {
         ClientConfig {
             fid: FunctionId(1),
-            retry: Duration::from_millis(250),
+            retry: Duration::from_millis(100),
+            max_retry: Duration::from_secs(2),
+            jitter: 0.25,
+            unreachable_after: 8,
             deadline: Duration::from_secs(30),
         }
     }
@@ -48,9 +63,14 @@ impl Default for ClientConfig {
 pub enum ClientError {
     /// The color has no shards (never added).
     UnknownColor(ColorId),
-    /// The operation did not complete within the deadline (crashed shard,
-    /// blocked appends during recovery, …).
+    /// The operation did not complete within the deadline even though the
+    /// target shard was (partially) responsive — e.g. appends blocked on a
+    /// crashed replica that is expected to recover (§4, §6.3).
     Timeout,
+    /// No replica of the target shard acked within the retry budget: the
+    /// whole shard is crashed or partitioned away from this client. Unlike
+    /// [`ClientError::Timeout`] this fires *before* the global deadline.
+    ShardUnreachable(ShardId),
     /// The client's endpoint is gone.
     Disconnected,
 }
@@ -60,12 +80,70 @@ impl fmt::Display for ClientError {
         match self {
             ClientError::UnknownColor(c) => write!(f, "color {c} has no shards"),
             ClientError::Timeout => write!(f, "operation timed out"),
+            ClientError::ShardUnreachable(s) => {
+                write!(f, "no replica of shard {s:?} reachable within retry budget")
+            }
             ClientError::Disconnected => write!(f, "client endpoint disconnected"),
         }
     }
 }
 
 impl std::error::Error for ClientError {}
+
+/// Capped exponential backoff with multiplicative jitter.
+///
+/// Deterministic given the caller's RNG: the chaos harness replays client
+/// schedules from a seed, so the backoff sequence must be a pure function
+/// of (config, rng stream).
+#[derive(Clone, Debug)]
+pub(crate) struct Backoff {
+    current: Duration,
+    max: Duration,
+    jitter: f64,
+}
+
+impl Backoff {
+    pub(crate) fn new(initial: Duration, max: Duration, jitter: f64) -> Self {
+        Backoff {
+            current: initial.max(Duration::from_micros(1)),
+            max: max.max(initial),
+            jitter: jitter.clamp(0.0, 4.0),
+        }
+    }
+
+    fn from_config(config: &ClientConfig) -> Self {
+        Backoff::new(config.retry, config.max_retry, config.jitter)
+    }
+
+    /// The next wait interval: current backoff plus jitter, then doubles the
+    /// base (capped).
+    pub(crate) fn next_wait(&mut self, rng: &mut StdRng) -> Duration {
+        let base = self.current;
+        self.current = (base * 2).min(self.max);
+        if self.jitter <= 0.0 {
+            return base;
+        }
+        use rand::Rng;
+        base.mul_f64(1.0 + rng.gen_range(0.0..self.jitter))
+    }
+}
+
+/// Merges one replica's post-trim `[head, tail]` report into the running
+/// span. The remaining head across replicas is the **minimum** present head
+/// (a replica that still holds an older record defines where the log now
+/// starts); the tail is the maximum. `None` means "this replica holds no
+/// records", which must not mask another replica's surviving records.
+pub(crate) fn merge_span(
+    span: &mut (Option<SeqNum>, Option<SeqNum>),
+    head: Option<SeqNum>,
+    tail: Option<SeqNum>,
+) {
+    span.0 = match (span.0, head) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+    span.1 = span.1.max(tail);
+}
 
 /// See module docs.
 pub struct FlexLogClient {
@@ -119,7 +197,7 @@ impl FlexLogClient {
             .random_shard_of(color, &mut self.rng)
             .ok_or(ClientError::UnknownColor(color))?;
         let token = self.next_token();
-        self.append_to_shard(color, token, &shard.replicas, payloads)
+        self.append_to_shard(color, token, shard.id, &shard.replicas, payloads)
     }
 
     /// The append protocol against a fixed replica set (used by
@@ -128,6 +206,7 @@ impl FlexLogClient {
         &mut self,
         color: ColorId,
         token: Token,
+        shard: ShardId,
         replicas: &[NodeId],
         payloads: &[Vec<u8>],
     ) -> Result<SeqNum, ClientError> {
@@ -139,17 +218,31 @@ impl FlexLogClient {
         }
         .into();
         let deadline = Instant::now() + self.config.deadline;
+        let mut backoff = Backoff::from_config(&self.config);
+        let mut silent_rounds: u32 = 0;
         let mut acked: HashSet<NodeId> = HashSet::new();
         #[allow(unused_assignments)]
         let mut last_sn: Option<SeqNum> = None;
         loop {
             let _ = self.ep.broadcast(replicas, msg.clone());
-            let retry_at = Instant::now() + self.config.retry;
-            while Instant::now() < retry_at {
-                match self.ep.recv_timeout(self.config.retry) {
+            let retry_at = Instant::now() + backoff.next_wait(&mut self.rng);
+            loop {
+                let now = Instant::now();
+                if now >= retry_at {
+                    break;
+                }
+                match self.ep.recv_timeout(retry_at - now) {
                     Ok((from, ClusterMsg::Data(DataMsg::AppendAck { token: t, last_sn: sn })))
                         if t == token =>
                     {
+                        // Only the shard's own replicas count towards
+                        // completion — a stray ack from a node outside the
+                        // replica set (misrouted or stale topology) must
+                        // not let the append return before all true
+                        // replicas committed.
+                        if !replicas.contains(&from) {
+                            continue;
+                        }
                         acked.insert(from);
                         last_sn = Some(sn);
                         // Complete when *every* replica has committed
@@ -162,6 +255,16 @@ impl FlexLogClient {
                     Ok(_) => {} // stale message from a previous op
                     Err(RecvError::Timeout) => break,
                     Err(RecvError::Disconnected) => return Err(ClientError::Disconnected),
+                }
+            }
+            if acked.is_empty() {
+                // Not a single replica has ever acked: the whole shard looks
+                // crashed or partitioned away. Fail fast instead of burning
+                // the full deadline (recovery of a *partially* acked append
+                // still waits — that path is expected to complete).
+                silent_rounds += 1;
+                if silent_rounds >= self.config.unreachable_after {
+                    return Err(ClientError::ShardUnreachable(shard));
                 }
             }
             if Instant::now() >= deadline {
@@ -178,6 +281,7 @@ impl FlexLogClient {
             return Err(ClientError::UnknownColor(color));
         }
         let deadline = Instant::now() + self.config.deadline;
+        let mut backoff = Backoff::from_config(&self.config);
         loop {
             let req = self.next_req();
             // One random replica of every shard (§6.1 read protocol).
@@ -194,9 +298,9 @@ impl FlexLogClient {
                     .send(t, DataMsg::Read { color, sn, req }.into());
             }
             let mut answers = 0usize;
-            let retry_at = Instant::now() + self.config.retry;
+            let retry_at = Instant::now() + backoff.next_wait(&mut self.rng);
             while Instant::now() < retry_at {
-                match self.ep.recv_timeout(self.config.retry) {
+                match self.ep.recv_timeout(retry_at.saturating_duration_since(Instant::now())) {
                     Ok((_, ClusterMsg::Data(DataMsg::ReadResp { req: r, value })))
                         if r == req =>
                     {
@@ -233,6 +337,7 @@ impl FlexLogClient {
             return Err(ClientError::UnknownColor(color));
         }
         let deadline = Instant::now() + self.config.deadline;
+        let mut backoff = Backoff::from_config(&self.config);
         loop {
             let req = self.next_req();
             let targets: Vec<NodeId> = shards
@@ -248,9 +353,9 @@ impl FlexLogClient {
                     .send(t, DataMsg::Subscribe { color, from, req }.into());
             }
             let mut slices: Vec<Vec<CommittedRecord>> = Vec::new();
-            let retry_at = Instant::now() + self.config.retry;
+            let retry_at = Instant::now() + backoff.next_wait(&mut self.rng);
             while Instant::now() < retry_at {
-                match self.ep.recv_timeout(self.config.retry) {
+                match self.ep.recv_timeout(retry_at.saturating_duration_since(Instant::now())) {
                     Ok((_, ClusterMsg::Data(DataMsg::SubscribeResp { req: r, records })))
                         if r == req =>
                     {
@@ -293,6 +398,7 @@ impl FlexLogClient {
             return Err(ClientError::UnknownColor(color));
         }
         let deadline = Instant::now() + self.config.deadline;
+        let mut backoff = Backoff::from_config(&self.config);
         let all_replicas: Vec<NodeId> = shards
             .iter()
             .flat_map(|s| s.replicas.iter().copied())
@@ -306,15 +412,14 @@ impl FlexLogClient {
             }
             let mut acked: HashSet<NodeId> = HashSet::new();
             let mut span = (None, None);
-            let retry_at = Instant::now() + self.config.retry;
+            let retry_at = Instant::now() + backoff.next_wait(&mut self.rng);
             while Instant::now() < retry_at {
-                match self.ep.recv_timeout(self.config.retry) {
+                match self.ep.recv_timeout(retry_at.saturating_duration_since(Instant::now())) {
                     Ok((from, ClusterMsg::Data(DataMsg::TrimAck { req: r, head, tail })))
                         if r == req =>
                     {
                         acked.insert(from);
-                        span.0 = span.0.max(head);
-                        span.1 = span.1.max(tail);
+                        merge_span(&mut span, head, tail);
                         if acked.len() == all_replicas.len() {
                             return Ok(span);
                         }
@@ -353,11 +458,12 @@ impl FlexLogClient {
         for (color, payloads) in sets {
             let token = self.next_token();
             let staged = encode_multi_set(*color, payloads);
-            self.append_to_shard(ColorId::MASTER, token, &broker.replicas, &[staged])?;
+            self.append_to_shard(ColorId::MASTER, token, broker.id, &broker.replicas, &[staged])?;
         }
         // Phase 2: broadcast the end marker; any single ack completes the
         // operation (Algorithm 2, lines 5–6) — the replicas drive the rest.
         let deadline = Instant::now() + self.config.deadline;
+        let mut backoff = Backoff::from_config(&self.config);
         loop {
             let req = self.next_req();
             let _ = self.ep.broadcast(
@@ -369,9 +475,9 @@ impl FlexLogClient {
                 }
                 .into(),
             );
-            let retry_at = Instant::now() + self.config.retry;
+            let retry_at = Instant::now() + backoff.next_wait(&mut self.rng);
             while Instant::now() < retry_at {
-                match self.ep.recv_timeout(self.config.retry) {
+                match self.ep.recv_timeout(retry_at.saturating_duration_since(Instant::now())) {
                     Ok((_, ClusterMsg::Data(DataMsg::MultiAck { req: r }))) if r == req => {
                         return Ok(());
                     }
@@ -389,5 +495,76 @@ impl FlexLogClient {
     /// The topology view (for `AddColor` flows owned by the core crate).
     pub fn topology(&self) -> &TopologyView {
         &self.topology
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+    use flexlog_types::Epoch;
+
+    fn sn(c: u32) -> SeqNum {
+        SeqNum::new(Epoch(1), c)
+    }
+
+    #[test]
+    fn merge_span_takes_min_head_max_tail() {
+        let mut span = (None, None);
+        merge_span(&mut span, Some(sn(5)), Some(sn(9)));
+        assert_eq!(span, (Some(sn(5)), Some(sn(9))));
+        // A replica that still holds an older record lowers the head.
+        merge_span(&mut span, Some(sn(3)), Some(sn(7)));
+        assert_eq!(span, (Some(sn(3)), Some(sn(9))));
+        // A newer tail raises the tail but never the head.
+        merge_span(&mut span, Some(sn(6)), Some(sn(12)));
+        assert_eq!(span, (Some(sn(3)), Some(sn(12))));
+    }
+
+    #[test]
+    fn merge_span_empty_replica_does_not_mask_survivors() {
+        // First replica reports empty, second holds records: the span is
+        // the second's. (The old `max(head)` merge got this wrong — `None`
+        // from an empty replica must not win, and neither must a larger
+        // head from a replica that trimmed more.)
+        let mut span = (None, None);
+        merge_span(&mut span, None, None);
+        merge_span(&mut span, Some(sn(4)), Some(sn(8)));
+        assert_eq!(span, (Some(sn(4)), Some(sn(8))));
+        // And the reverse order behaves identically.
+        let mut span = (None, None);
+        merge_span(&mut span, Some(sn(4)), Some(sn(8)));
+        merge_span(&mut span, None, None);
+        assert_eq!(span, (Some(sn(4)), Some(sn(8))));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut b = Backoff::new(Duration::from_millis(100), Duration::from_millis(350), 0.0);
+        assert_eq!(b.next_wait(&mut rng), Duration::from_millis(100));
+        assert_eq!(b.next_wait(&mut rng), Duration::from_millis(200));
+        assert_eq!(b.next_wait(&mut rng), Duration::from_millis(350));
+        assert_eq!(b.next_wait(&mut rng), Duration::from_millis(350));
+    }
+
+    #[test]
+    fn backoff_jitter_bounded_and_deterministic() {
+        let base = Duration::from_millis(100);
+        let mut a = Backoff::new(base, Duration::from_secs(2), 0.25);
+        let mut b = Backoff::new(base, Duration::from_secs(2), 0.25);
+        let mut rng_a = StdRng::seed_from_u64(99);
+        let mut rng_b = StdRng::seed_from_u64(99);
+        let mut expected_base = base;
+        for _ in 0..6 {
+            let wa = a.next_wait(&mut rng_a);
+            let wb = b.next_wait(&mut rng_b);
+            assert_eq!(wa, wb, "same seed, same backoff schedule");
+            assert!(wa >= expected_base, "jitter only lengthens: {wa:?}");
+            assert!(
+                wa <= expected_base.mul_f64(1.25),
+                "jitter bounded by fraction: {wa:?} vs {expected_base:?}"
+            );
+            expected_base = (expected_base * 2).min(Duration::from_secs(2));
+        }
     }
 }

@@ -107,7 +107,7 @@ struct SyncRound {
 
 enum Mode {
     Operational,
-    Syncing(SyncRound),
+    Syncing(Box<SyncRound>),
 }
 
 /// See module docs.
@@ -654,7 +654,7 @@ impl ReplicaNode {
         let mut states = HashMap::new();
         states.insert(ep.id(), self.my_tails());
         self.last_round = self.last_round.max(round);
-        self.mode = Mode::Syncing(SyncRound {
+        self.mode = Mode::Syncing(Box::new(SyncRound {
             round,
             init: carried_init,
             states,
@@ -663,7 +663,7 @@ impl ReplicaNode {
             done: HashSet::new(),
             self_done: false,
             started: Instant::now(),
-        });
+        }));
         let _ = ep.broadcast(
             &self.config.peers,
             DataMsg::SyncState {

@@ -78,6 +78,7 @@ impl Cluster {
                 fid: FunctionId(self.next_client as u32),
                 retry: Duration::from_millis(100),
                 deadline: Duration::from_secs(10),
+                ..Default::default()
             },
         )
     }
@@ -246,6 +247,7 @@ fn replica_failure_blocks_appends_but_not_reads() {
         fid: FunctionId(99),
         retry: Duration::from_millis(50),
         deadline: Duration::from_millis(400),
+        ..Default::default()
     };
     let ep = c.net.register(NodeId::named(NodeId::CLASS_CLIENT, 999));
     let mut blocked = FlexLogClient::new(ep, c.data.topology.clone(), ep_cfg);
@@ -277,6 +279,7 @@ fn restarted_replica_syncs_missing_records() {
                 fid: FunctionId(77),
                 retry: Duration::from_millis(100),
                 deadline: Duration::from_secs(20),
+                ..Default::default()
             },
         );
         cl2.append(RED, &[b"two".to_vec()]).unwrap()

@@ -84,7 +84,7 @@ impl NetConfig {
     pub fn datacenter() -> Self {
         NetConfig {
             link: LinkConfig::datacenter(),
-            seed: Some(0xF1E7_106),
+            seed: Some(0x0F1E_7106),
         }
     }
 }

@@ -14,14 +14,14 @@
 //!   32 bits (Algorithm 1, line 6) — the basis of append idempotence;
 //! * a [`CommittedRecord`] is a payload together with its assigned SN.
 
-use serde::{Deserialize, Serialize};
+
 use std::fmt;
 
 /// Identifier of a color (log region). Color 0 is the master region — the
 /// root of the color tree, also used as the *special color* brokering
 /// multi-color appends (§6.4).
 #[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
 )]
 pub struct ColorId(pub u32);
 
@@ -48,7 +48,7 @@ impl fmt::Display for ColorId {
 
 /// Sequencer epoch, incremented on every leader fail-over (§5.2).
 #[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default, Debug,
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Debug,
 )]
 pub struct Epoch(pub u32);
 
@@ -65,7 +65,7 @@ impl Epoch {
 /// new leader does not know the old counter — the paper's correctness
 /// criterion for the ordering layer ("the SNs are increasing", §5.2).
 #[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
 )]
 pub struct SeqNum(pub u64);
 
@@ -104,14 +104,14 @@ impl fmt::Display for SeqNum {
 
 /// Identifier of a serverless function instance appending to the log.
 #[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default, Debug,
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Debug,
 )]
 pub struct FunctionId(pub u32);
 
 /// Unique append token: `fid << 32 | counter` (Algorithm 1). Replicas and
 /// sequencers deduplicate by token, making appends idempotent.
 #[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
 )]
 pub struct Token(pub u64);
 
@@ -137,12 +137,12 @@ impl fmt::Debug for Token {
 
 /// Identifier of a shard (replica group) within the data layer.
 #[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default, Debug,
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Debug,
 )]
 pub struct ShardId(pub u32);
 
 /// A record that has been assigned its place in a colored log.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct CommittedRecord {
     pub sn: SeqNum,
     pub payload: Vec<u8>,

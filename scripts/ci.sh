@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI gate: release build, full test suite, a bounded nemesis smoke run
+# (fixed seed, ~5 s of injected faults under load), and a zero-warning
+# clippy pass over the chaos crate.
+#
+# Replay a failing smoke run with: FLEXLOG_CHAOS_SEED=<seed> scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "==> nemesis smoke (bounded chaos run, fixed seed)"
+cargo run --release -p flexlog-chaos --example nemesis_smoke
+
+echo "==> cargo clippy -p flexlog-chaos (deny warnings)"
+cargo clippy -p flexlog-chaos --all-targets -- -D warnings
+
+echo "CI green."

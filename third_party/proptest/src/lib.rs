@@ -1,0 +1,471 @@
+//! Vendored stand-in for the `proptest` crate.
+//!
+//! Implements the subset FlexLog's property tests use: the [`proptest!`]
+//! macro (with `#![proptest_config(..)]`), integer-range and `any::<T>()`
+//! strategies, tuples, [`Just`], `prop_oneof!` with weights,
+//! [`collection::vec`], `prop_map`, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * **No shrinking.** On failure the harness prints the seed, the case
+//!   index and a `Debug` dump of every generated input, which replays
+//!   exactly (set `PROPTEST_SEED=<seed>` to pin the whole run).
+//! * **Deterministic by default.** Each test derives its seed from the test
+//!   name, so CI runs are reproducible without configuration.
+
+use std::fmt::Debug;
+use std::rc::Rc;
+
+// ------------------------------------------------------------ test rng ----
+
+pub mod test_runner {
+    /// Run-loop configuration. Only the fields FlexLog's tests set exist.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+        /// Accepted for source compatibility; this shim never shrinks.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 64,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// Deterministic xoshiro256** generator seeded via splitmix64.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Per-test seed derivation: stable across runs and across machines.
+#[doc(hidden)]
+pub fn __default_seed(test_name: &str) -> u64 {
+    // FNV-1a over the test name, mixed with a fixed workspace base.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ 0xF1E7_06C0_FFEE_5EED
+}
+
+/// The seed for a test: `PROPTEST_SEED` env override, else name-derived.
+#[doc(hidden)]
+pub fn __seed_for(test_name: &str) -> u64 {
+    match std::env::var("PROPTEST_SEED") {
+        Ok(s) => s
+            .trim()
+            .parse()
+            .or_else(|_| u64::from_str_radix(s.trim().trim_start_matches("0x"), 16))
+            .unwrap_or_else(|_| __default_seed(test_name)),
+        Err(_) => __default_seed(test_name),
+    }
+}
+
+// ----------------------------------------------------------- strategies ----
+
+pub mod strategy {
+    use super::*;
+
+    /// A generator of test values. No shrinking: `gen_value` is the whole
+    /// contract.
+    pub trait Strategy {
+        type Value: Debug;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let s = self;
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| s.gen_value(rng)))
+        }
+    }
+
+    /// Type-erased strategy (what `prop_oneof!` arms become).
+    #[derive(Clone)]
+    pub struct BoxedStrategy<V>(pub(crate) Rc<dyn Fn(&mut TestRng) -> V>);
+
+    impl<V: Debug> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn gen_value(&self, rng: &mut TestRng) -> V {
+            (self.0)(rng)
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        pub(crate) source: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn gen_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.source.gen_value(rng))
+        }
+    }
+
+    /// Constant strategy.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted union of boxed strategies (built by `prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+        total: u64,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs positive total weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<V: Debug> Strategy for Union<V> {
+        type Value = V;
+        fn gen_value(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.below(self.total);
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.gen_value(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weights cover the draw")
+        }
+    }
+
+    // Integer / bool ranges and `any`.
+
+    macro_rules! impl_int_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                    self.start.wrapping_add((wide % span) as $t)
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as u128)
+                        .wrapping_sub(start as u128)
+                        .wrapping_add(1);
+                    let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                    start.wrapping_add((wide % span) as $t)
+                }
+            }
+
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Types `any::<T>()` can produce.
+    pub trait Arbitrary: Debug {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    /// Full-range strategy for an [`Arbitrary`] type.
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `any::<T>()`: sample the whole domain of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    // Tuple strategies (component-wise).
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.gen_value(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy!(
+        (A.0),
+        (A.0, B.1),
+        (A.0, B.1, C.2),
+        (A.0, B.1, C.2, D.3),
+        (A.0, B.1, C.2, D.3, E.4),
+    );
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Vectors of `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.end - self.size.start) as u64;
+            let n = self.size.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+// --------------------------------------------------------------- macros ----
+
+/// Weighted choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The test harness macro. Supports an optional leading
+/// `#![proptest_config(<expr>)]` followed by any number of
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let __seed: u64 = $crate::__seed_for(stringify!($name));
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::new(
+                    __seed ^ (__case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                $(let $arg = $crate::strategy::Strategy::gen_value(&($strat), &mut __rng);)+
+                let __inputs = format!(
+                    concat!($("  ", stringify!($arg), " = {:?}\n"),+),
+                    $(&$arg),+
+                );
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || $body),
+                );
+                if let Err(__panic) = __outcome {
+                    eprintln!(
+                        "proptest failure in `{}` (case {}/{})\n\
+                         replay with: PROPTEST_SEED={:#x}\ninputs:\n{}",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        __seed,
+                        __inputs,
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::new(1);
+        for _ in 0..5000 {
+            let v = Strategy::gen_value(&(3u8..9), &mut rng);
+            assert!((3..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn union_respects_zero_weight_shape() {
+        let mut rng = crate::test_runner::TestRng::new(2);
+        let u = prop_oneof![1 => Just(1u8), 3 => Just(2u8)];
+        let mut counts = [0usize; 3];
+        for _ in 0..4000 {
+            counts[Strategy::gen_value(&u, &mut rng) as usize] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert!(counts[2] > counts[1], "weight 3 arm dominates: {counts:?}");
+    }
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let mut rng = crate::test_runner::TestRng::new(3);
+        let s = crate::collection::vec(any::<u8>(), 2..5);
+        for _ in 0..1000 {
+            let v = Strategy::gen_value(&s, &mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn seed_is_stable() {
+        assert_eq!(
+            crate::__default_seed("some_test"),
+            crate::__default_seed("some_test"),
+        );
+        assert_ne!(
+            crate::__default_seed("some_test"),
+            crate::__default_seed("other_test"),
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+        #[test]
+        fn harness_runs_with_config(x in 0u32..10, ys in crate::collection::vec(any::<bool>(), 1..4)) {
+            prop_assert!(x < 10);
+            prop_assert!(!ys.is_empty() && ys.len() < 4);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn harness_runs_with_default_config(t in (any::<u16>(), 0u8..4).prop_map(|(a, b)| (a, b))) {
+            prop_assert!(t.1 < 4);
+        }
+    }
+}
