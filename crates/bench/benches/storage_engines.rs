@@ -10,14 +10,14 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use flexlog_baselines::lsm::{Db, LsmConfig};
 use flexlog_pm::ClockMode;
 use flexlog_storage::{StorageConfig, StorageServer};
-use flexlog_types::{ColorId, Epoch, FunctionId, SeqNum, Token};
+use flexlog_types::{ColorId, Epoch, FunctionId, Payload, SeqNum, Token};
 
 const COLOR: ColorId = ColorId(1);
 
 fn storage_paths(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_storage_1k");
     group.sample_size(30);
-    let value = vec![0x99u8; 1024];
+    let value = Payload::from(vec![0x99u8; 1024]);
 
     // FlexLog storage tier: KV write (import) + read.
     {

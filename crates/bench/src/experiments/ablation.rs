@@ -20,7 +20,7 @@ use flexlog_ordering::{request_order, OrderMsg, OrderingService, RoleId, TreeSpe
 use flexlog_pm::{virtual_time, ClockMode, LatencyModel};
 use flexlog_simnet::{NetConfig, Network, NodeId};
 use flexlog_storage::{StorageConfig, StorageServer};
-use flexlog_types::{ColorId, Epoch, FunctionId, SeqNum, Token};
+use flexlog_types::{ColorId, Epoch, FunctionId, Payload, SeqNum, Token};
 
 use crate::{fmt_duration, fmt_ops, Series, Table};
 
@@ -122,7 +122,7 @@ pub fn cache_size(quick: bool) -> Vec<(usize, f64, f64)> {
                 spill_batch: 64,
                 clock: ClockMode::Virtual,
             });
-            let payload = vec![0xABu8; 1024];
+            let payload = Payload::from(vec![0xABu8; 1024]);
             for i in 0..records {
                 server
                     .import(

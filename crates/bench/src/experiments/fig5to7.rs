@@ -24,7 +24,7 @@ use rand::{Rng, SeedableRng};
 use flexlog_baselines::lsm::{Db, LsmConfig};
 use flexlog_pm::{virtual_time, ClockMode, LatencyModel};
 use flexlog_storage::{StorageConfig, StorageServer};
-use flexlog_types::{ColorId, Epoch, FunctionId, SeqNum, Token};
+use flexlog_types::{ColorId, Epoch, FunctionId, Payload, SeqNum, Token};
 
 use crate::{fmt_ops, Table};
 
@@ -90,7 +90,7 @@ pub fn fig5(quick: bool) -> Vec<(usize, f64, f64)> {
             // Bound total bytes so the biggest sizes stay in budget.
             let ops = (base_ops.min(64 * base_ops / (size / 64 + 1))).max(500);
             let flex = flexlog_server();
-            let payload = vec![0xCDu8; size];
+            let payload = Payload::from(vec![0xCDu8; size]);
             let f = run_virtual(1, ops, |_, i| {
                 flex.import(COLOR, sn(i + 1), Token::new(FunctionId(1), i as u32), &payload)
                     .expect("import");
@@ -113,7 +113,7 @@ pub fn fig6(quick: bool) -> Vec<(usize, f64, f64)> {
         .iter()
         .map(|&n| {
             let flex = flexlog_server();
-            let payload = vec![0xEFu8; 1024];
+            let payload = Payload::from(vec![0xEFu8; 1024]);
             let f = run_virtual(n, ops, |t, i| {
                 let key = (t as u64) << 24 | (i + 1);
                 flex.import(
@@ -145,7 +145,7 @@ pub fn fig7(quick: bool) -> Vec<(u32, f64, f64)> {
         .map(|&reads_pct| {
             // FlexLog side.
             let flex = flexlog_server();
-            let payload = vec![0x3Cu8; 1024];
+            let payload = Payload::from(vec![0x3Cu8; 1024]);
             for i in 0..preload {
                 flex.import(COLOR, sn(i + 1), Token::new(FunctionId(1), i as u32), &payload)
                     .expect("preload");

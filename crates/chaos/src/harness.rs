@@ -260,7 +260,7 @@ fn final_snapshot(
     for attempt in 0..5 {
         match handle.subscribe(color) {
             Ok(records) => {
-                return Ok(records.into_iter().map(|r| (r.sn, r.payload)).collect())
+                return Ok(records.into_iter().map(|r| (r.sn, r.payload.to_vec())).collect())
             }
             Err(e) => {
                 last_err = e;

@@ -93,13 +93,13 @@ impl Workload {
                 5..=6 => {
                     let records = handle
                         .subscribe(color)
-                        .map(|rs| rs.into_iter().map(|r| (r.sn, r.payload)).collect());
+                        .map(|rs| rs.into_iter().map(|r| (r.sn, r.payload.to_vec())).collect());
                     history.record(client, started, OpKind::Subscribe { color, records });
                 }
                 7 => {
                     if !mine.is_empty() {
                         let (c, sn) = mine[rng.gen_range(0..mine.len())];
-                        let value = handle.read(sn, c);
+                        let value = handle.read(sn, c).map(|o| o.map(|p| p.to_vec()));
                         history.record(client, started, OpKind::Read { color: c, sn, value });
                     }
                 }

@@ -1,7 +1,7 @@
 //! The per-function FlexLog handle: the FlexLog-API of Table 2.
 
 use flexlog_replication::{ClientError, FlexLogClient};
-use flexlog_types::{ColorId, CommittedRecord, FunctionId, SeqNum};
+use flexlog_types::{ColorId, CommittedRecord, FunctionId, Payload, SeqNum, Token};
 
 use crate::{ColorAdmin, ColorError};
 
@@ -27,10 +27,22 @@ impl FlexLog {
 
     /// `Append(r[], c)`: appends records to the log of color `c`, returning
     /// the SN of the last record once **every** replica of the chosen shard
-    /// has committed.
+    /// has committed. Bytes are copied once here into shared [`Payload`]
+    /// buffers; everything downstream (broadcast, retransmit, caching) is
+    /// zero-copy. Use [`FlexLog::append_payloads`] to skip even that copy.
     pub fn append_batch(
         &mut self,
         records: &[Vec<u8>],
+        color: ColorId,
+    ) -> Result<SeqNum, ClientError> {
+        let payloads: Vec<Payload> = records.iter().map(|r| Payload::copy_from_slice(r)).collect();
+        self.client.append(color, &payloads)
+    }
+
+    /// [`FlexLog::append_batch`] over pre-built zero-copy payloads.
+    pub fn append_payloads(
+        &mut self,
+        records: &[Payload],
         color: ColorId,
     ) -> Result<SeqNum, ClientError> {
         self.client.append(color, records)
@@ -38,13 +50,41 @@ impl FlexLog {
 
     /// Single-record convenience form of [`FlexLog::append_batch`].
     pub fn append(&mut self, record: &[u8], color: ColorId) -> Result<SeqNum, ClientError> {
-        self.client.append(color, &[record.to_vec()])
+        self.client.append(color, &[Payload::copy_from_slice(record)])
+    }
+
+    /// Starts an append without waiting for its acks (bounded-window
+    /// pipelining); returns its completion token. Collect results with
+    /// [`FlexLog::flush_appends`].
+    pub fn append_pipelined(
+        &mut self,
+        records: &[Payload],
+        color: ColorId,
+    ) -> Result<Token, ClientError> {
+        self.client.append_pipelined(color, records)
+    }
+
+    /// Drives all pipelined appends to completion; returns `(token, SN)`
+    /// pairs in completion order.
+    pub fn flush_appends(&mut self) -> Result<Vec<(Token, SeqNum)>, ClientError> {
+        self.client.flush()
+    }
+
+    /// Number of pipelined appends currently in flight.
+    pub fn pending_appends(&self) -> usize {
+        self.client.pending_appends()
+    }
+
+    /// Pipelined appends completed so far, without blocking (see
+    /// [`FlexLog::flush_appends`] for the draining form).
+    pub fn take_completed_appends(&mut self) -> Vec<(Token, SeqNum)> {
+        self.client.take_completed()
     }
 
     /// `Read(SN, c)`: the record stored under `sn` in the `c`-colored log,
     /// or `None` if no record holds that SN (a hole, trimmed, or never
     /// written).
-    pub fn read(&mut self, sn: SeqNum, color: ColorId) -> Result<Option<Vec<u8>>, ClientError> {
+    pub fn read(&mut self, sn: SeqNum, color: ColorId) -> Result<Option<Payload>, ClientError> {
         self.client.read(color, sn)
     }
 
@@ -90,7 +130,11 @@ impl FlexLog {
         &mut self,
         sets: &[(ColorId, Vec<Vec<u8>>)],
     ) -> Result<(), ClientError> {
-        self.client.multi_append(sets)
+        let sets: Vec<(ColorId, Vec<Payload>)> = sets
+            .iter()
+            .map(|(c, rs)| (*c, rs.iter().map(|r| Payload::copy_from_slice(r)).collect()))
+            .collect();
+        self.client.multi_append(&sets)
     }
 
     /// Color administration (existence checks, hierarchy inspection).

@@ -55,7 +55,7 @@ impl MessageQueue {
 
     /// Reads the record at position `idx` (Listing 1 `Get`).
     pub fn get(&mut self, idx: SeqNum) -> Result<Option<Vec<u8>>, ClientError> {
-        self.handle.read(idx, self.color)
+        Ok(self.handle.read(idx, self.color)?.map(|p| p.to_vec()))
     }
 
     /// Scans the whole queue for `expected`; returns its position if
@@ -93,7 +93,7 @@ impl MessageQueue {
         if let Some(last) = records.last() {
             self.cursor = last.sn;
         }
-        Ok(records.into_iter().map(|r| (r.sn, r.payload)).collect())
+        Ok(records.into_iter().map(|r| (r.sn, r.payload.to_vec())).collect())
     }
 
     /// Releases the wrapped handle.

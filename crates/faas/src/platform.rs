@@ -364,6 +364,7 @@ mod tests {
                     ctx.log
                         .read(sn, ColorId(41))
                         .map_err(|e| e.to_string())?
+                        .map(|p| p.to_vec())
                         .ok_or_else(|| "not found".to_string())
                 }),
             })

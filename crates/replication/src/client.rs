@@ -7,8 +7,20 @@
 //! the first non-⊥ answer; trims touch every replica of every shard. All
 //! operations are idempotent (token/request ids), so timeouts simply
 //! retransmit.
+//!
+//! Two append shapes exist:
+//!
+//! * [`FlexLogClient::append`] — one in flight, blocks until the batch's SN
+//!   returns (the classic Algorithm 1 interaction);
+//! * [`FlexLogClient::append_pipelined`] + [`FlexLogClient::flush`] — a
+//!   bounded window of appends in flight at once, acks tracked out of
+//!   order per token. The token protocol already makes every append
+//!   idempotent and self-identifying, so pipelining needs no new wire
+//!   messages — only client-side bookkeeping. Payloads travel as
+//!   refcounted [`Payload`]s: retransmits and shard-wide broadcasts never
+//!   copy record bytes.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -16,7 +28,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use flexlog_simnet::{Endpoint, NodeId, RecvError};
-use flexlog_types::{ColorId, CommittedRecord, FunctionId, SeqNum, ShardId, Token};
+use flexlog_types::{ColorId, CommittedRecord, FunctionId, Payload, SeqNum, ShardId, Token};
 
 use crate::msg::{ClusterMsg, DataMsg};
 use crate::replica::encode_multi_set;
@@ -43,6 +55,10 @@ pub struct ClientConfig {
     pub unreachable_after: u32,
     /// Overall per-operation deadline.
     pub deadline: Duration,
+    /// Maximum appends in flight at once through
+    /// [`FlexLogClient::append_pipelined`]; the serial
+    /// [`FlexLogClient::append`] ignores it.
+    pub pipeline_window: usize,
 }
 
 impl Default for ClientConfig {
@@ -54,6 +70,7 @@ impl Default for ClientConfig {
             jitter: 0.25,
             unreachable_after: 8,
             deadline: Duration::from_secs(30),
+            pipeline_window: 32,
         }
     }
 }
@@ -145,6 +162,21 @@ pub(crate) fn merge_span(
     span.1 = span.1.max(tail);
 }
 
+/// One append in flight through the pipelined path.
+struct InflightAppend {
+    shard: ShardId,
+    replicas: Vec<NodeId>,
+    /// The retransmittable message (payloads inside are refcounted — a
+    /// retransmit clones pointers, not bytes).
+    msg: ClusterMsg,
+    acked: HashSet<NodeId>,
+    last_sn: Option<SeqNum>,
+    backoff: Backoff,
+    retry_at: Instant,
+    silent_rounds: u32,
+    deadline: Instant,
+}
+
 /// See module docs.
 pub struct FlexLogClient {
     ep: Endpoint<ClusterMsg>,
@@ -153,6 +185,10 @@ pub struct FlexLogClient {
     token_counter: u32,
     req_counter: u64,
     rng: StdRng,
+    /// Pipelined appends awaiting their full replica ack set, by token.
+    inflight: HashMap<Token, InflightAppend>,
+    /// Pipelined appends that completed but were not yet handed out.
+    completed: Vec<(Token, SeqNum)>,
 }
 
 impl FlexLogClient {
@@ -165,6 +201,8 @@ impl FlexLogClient {
             token_counter: 0,
             req_counter: 0,
             rng: StdRng::seed_from_u64(seed),
+            inflight: HashMap::new(),
+            completed: Vec::new(),
         }
     }
 
@@ -191,7 +229,7 @@ impl FlexLogClient {
 
     /// Appends `payloads` to the log of color `color`; returns the SN of the
     /// last record (Table 2 `Append(r[], c)`).
-    pub fn append(&mut self, color: ColorId, payloads: &[Vec<u8>]) -> Result<SeqNum, ClientError> {
+    pub fn append(&mut self, color: ColorId, payloads: &[Payload]) -> Result<SeqNum, ClientError> {
         let shard = self
             .topology
             .random_shard_of(color, &mut self.rng)
@@ -208,12 +246,12 @@ impl FlexLogClient {
         token: Token,
         shard: ShardId,
         replicas: &[NodeId],
-        payloads: &[Vec<u8>],
+        payloads: &[Payload],
     ) -> Result<SeqNum, ClientError> {
         let msg: ClusterMsg = DataMsg::Append {
             color,
             token,
-            payloads: payloads.to_vec(),
+            payloads: payloads.to_vec(), // refcount bumps, not byte copies
             reply_to: self.ep.id(),
         }
         .into();
@@ -252,6 +290,12 @@ impl FlexLogClient {
                             return Ok(last_sn.expect("at least one ack"));
                         }
                     }
+                    Ok((from, ClusterMsg::Data(DataMsg::AppendAck { token: t, last_sn: sn }))) => {
+                        // An ack for a *pipelined* append arriving while a
+                        // serial op runs: credit it so the pipelined op
+                        // completes without waiting for a retransmit.
+                        self.note_stray_ack(from, t, sn);
+                    }
                     Ok(_) => {} // stale message from a previous op
                     Err(RecvError::Timeout) => break,
                     Err(RecvError::Disconnected) => return Err(ClientError::Disconnected),
@@ -273,9 +317,168 @@ impl FlexLogClient {
         }
     }
 
+    // ----- pipelined appends ----------------------------------------------
+
+    /// Starts an append without waiting for its acks; returns its completion
+    /// token. Up to [`ClientConfig::pipeline_window`] appends ride in flight
+    /// at once — when the window is full, this blocks until one completes.
+    /// Collect results (token → last SN, unordered) with
+    /// [`FlexLogClient::flush`].
+    ///
+    /// Ordering note: records still serialize through the sequencer, but
+    /// SNs of concurrently in-flight appends may interleave with other
+    /// clients arbitrarily — same semantics as issuing the appends from
+    /// `pipeline_window` independent serial clients.
+    pub fn append_pipelined(
+        &mut self,
+        color: ColorId,
+        payloads: &[Payload],
+    ) -> Result<Token, ClientError> {
+        let window = self.config.pipeline_window.max(1);
+        while self.inflight.len() >= window {
+            self.pump_inflight()?;
+        }
+        let shard = self
+            .topology
+            .random_shard_of(color, &mut self.rng)
+            .ok_or(ClientError::UnknownColor(color))?;
+        let token = self.next_token();
+        let msg: ClusterMsg = DataMsg::Append {
+            color,
+            token,
+            payloads: payloads.to_vec(),
+            reply_to: self.ep.id(),
+        }
+        .into();
+        let _ = self.ep.broadcast(&shard.replicas, msg.clone());
+        let mut backoff = Backoff::from_config(&self.config);
+        let retry_at = Instant::now() + backoff.next_wait(&mut self.rng);
+        self.inflight.insert(
+            token,
+            InflightAppend {
+                shard: shard.id,
+                replicas: shard.replicas.clone(),
+                msg,
+                acked: HashSet::new(),
+                last_sn: None,
+                backoff,
+                retry_at,
+                silent_rounds: 0,
+                deadline: Instant::now() + self.config.deadline,
+            },
+        );
+        Ok(token)
+    }
+
+    /// Drives every in-flight pipelined append to completion and returns
+    /// the accumulated `(token, last SN)` results, in completion order.
+    ///
+    /// On error (a shard unreachable or an op past its deadline) the failed
+    /// op is dropped and the error returned; other in-flight ops stay
+    /// queued and a later `flush` can still complete them.
+    pub fn flush(&mut self) -> Result<Vec<(Token, SeqNum)>, ClientError> {
+        while !self.inflight.is_empty() {
+            self.pump_inflight()?;
+        }
+        Ok(std::mem::take(&mut self.completed))
+    }
+
+    /// Number of pipelined appends currently in flight.
+    pub fn pending_appends(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Adjusts the pipelined-append window at runtime (clamped to ≥ 1).
+    /// Shrinking it does not cancel ops already in flight.
+    pub fn set_pipeline_window(&mut self, window: usize) {
+        self.config.pipeline_window = window.max(1);
+    }
+
+    /// Takes the pipelined appends that have completed so far without
+    /// blocking (completion-order `(token, last SN)` pairs). Useful for
+    /// latency tracking while the window keeps pumping; [`FlexLogClient::flush`]
+    /// returns anything not collected here.
+    pub fn take_completed(&mut self) -> Vec<(Token, SeqNum)> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// One bounded scheduling step of the pipelined appends: wait for acks
+    /// until the earliest retransmit is due, credit arrivals, then
+    /// retransmit/expire whatever is overdue.
+    fn pump_inflight(&mut self) -> Result<(), ClientError> {
+        debug_assert!(!self.inflight.is_empty());
+        let now = Instant::now();
+        let next_due = self
+            .inflight
+            .values()
+            .map(|op| op.retry_at)
+            .min()
+            .expect("non-empty inflight");
+        let mut wait = next_due.saturating_duration_since(now);
+        loop {
+            match self.ep.recv_timeout(wait) {
+                Ok((from, ClusterMsg::Data(DataMsg::AppendAck { token, last_sn }))) => {
+                    self.note_stray_ack(from, token, last_sn);
+                    // Keep draining whatever already queued, without waiting.
+                    wait = Duration::ZERO;
+                }
+                Ok(_) => {} // stale response of some earlier blocking op
+                Err(RecvError::Timeout) => break,
+                Err(RecvError::Disconnected) => return Err(ClientError::Disconnected),
+            }
+            if Instant::now() >= next_due {
+                break;
+            }
+        }
+        // Retransmit overdue ops; fail the expired ones.
+        let now = Instant::now();
+        let overdue: Vec<Token> = self
+            .inflight
+            .iter()
+            .filter(|(_, op)| now >= op.retry_at)
+            .map(|(&t, _)| t)
+            .collect();
+        for token in overdue {
+            let op = self.inflight.get_mut(&token).expect("collected above");
+            if op.acked.is_empty() {
+                op.silent_rounds += 1;
+                if op.silent_rounds >= self.config.unreachable_after {
+                    let shard = op.shard;
+                    self.inflight.remove(&token);
+                    return Err(ClientError::ShardUnreachable(shard));
+                }
+            }
+            if now >= op.deadline {
+                self.inflight.remove(&token);
+                return Err(ClientError::Timeout);
+            }
+            let _ = self.ep.broadcast(&op.replicas, op.msg.clone());
+            op.retry_at = now + op.backoff.next_wait(&mut self.rng);
+        }
+        Ok(())
+    }
+
+    /// Credits an [`DataMsg::AppendAck`] against the matching pipelined
+    /// append, completing it when every replica has acked.
+    fn note_stray_ack(&mut self, from: NodeId, token: Token, last_sn: SeqNum) {
+        let Some(op) = self.inflight.get_mut(&token) else {
+            return; // duplicate ack of an already-completed op
+        };
+        if !op.replicas.contains(&from) {
+            return; // see append_to_shard: outsiders must not complete an op
+        }
+        op.acked.insert(from);
+        op.last_sn = Some(last_sn);
+        if op.acked.len() == op.replicas.len() {
+            let sn = op.last_sn.expect("at least one ack");
+            self.inflight.remove(&token);
+            self.completed.push((token, sn));
+        }
+    }
+
     /// Reads the record with sequence number `sn` from the `color` log
     /// (Table 2 `Read(SN, c)`); `None` means no record holds that SN.
-    pub fn read(&mut self, color: ColorId, sn: SeqNum) -> Result<Option<Vec<u8>>, ClientError> {
+    pub fn read(&mut self, color: ColorId, sn: SeqNum) -> Result<Option<Payload>, ClientError> {
         let shards = self.topology.shards_of(color);
         if shards.is_empty() {
             return Err(ClientError::UnknownColor(color));
@@ -440,7 +643,7 @@ impl FlexLogClient {
     /// color, or none does.
     pub fn multi_append(
         &mut self,
-        sets: &[(ColorId, Vec<Vec<u8>>)],
+        sets: &[(ColorId, Vec<Payload>)],
     ) -> Result<(), ClientError> {
         // Validate targets first so a typo'd color cannot half-commit.
         for (color, _) in sets {
@@ -457,7 +660,7 @@ impl FlexLogClient {
         // target color inside the payload.
         for (color, payloads) in sets {
             let token = self.next_token();
-            let staged = encode_multi_set(*color, payloads);
+            let staged = Payload::from(encode_multi_set(*color, payloads));
             self.append_to_shard(ColorId::MASTER, token, broker.id, &broker.replicas, &[staged])?;
         }
         // Phase 2: broadcast the end marker; any single ack completes the

@@ -2,17 +2,19 @@
 
 use flexlog_ordering::{OrderMsg, OrderWire};
 use flexlog_simnet::NodeId;
-use flexlog_types::{ColorId, CommittedRecord, Epoch, FunctionId, SeqNum, Token};
+use flexlog_types::{ColorId, CommittedRecord, Epoch, FunctionId, Payload, SeqNum, Token};
 
 /// Messages of the data layer (client ↔ replica and replica ↔ replica).
 #[derive(Clone, Debug, PartialEq)]
 pub enum DataMsg {
     /// Client → every replica of one shard: append `payloads` to `color`
     /// under `token` (Algorithm 1, line 7). Acks go to `reply_to`.
+    /// Payloads are zero-copy [`Payload`]s: a shard-wide broadcast clones
+    /// refcounts, never record bytes.
     Append {
         color: ColorId,
         token: Token,
-        payloads: Vec<Vec<u8>>,
+        payloads: Vec<Payload>,
         reply_to: NodeId,
     },
     /// Replica → client: the batch identified by `token` is committed, its
@@ -24,7 +26,7 @@ pub enum DataMsg {
     /// Replica → client: the record, or ⊥ if this shard does not hold it.
     ReadResp {
         req: u64,
-        value: Option<Vec<u8>>,
+        value: Option<Payload>,
     },
 
     /// Client → one replica per shard: all records of `color` above `from`.
@@ -70,7 +72,7 @@ pub enum DataMsg {
     SyncRecords {
         round: u64,
         color: ColorId,
-        records: Vec<(Token, SeqNum, Vec<u8>)>,
+        records: Vec<(Token, SeqNum, Payload)>,
         done: bool,
     },
     /// Replica → all shard peers: I am synchronized for this round (the

@@ -27,7 +27,7 @@ use rand::SeedableRng;
 use flexlog_ordering::{Directory, OrderMsg, RoleId};
 use flexlog_simnet::{Endpoint, NodeId, RecvError};
 use flexlog_storage::{StorageConfig, StorageServer};
-use flexlog_types::{ColorId, Epoch, FunctionId, SeqNum, ShardId, Token};
+use flexlog_types::{ColorId, Epoch, FunctionId, Payload, SeqNum, ShardId, Token};
 
 use crate::msg::{ClusterMsg, DataMsg};
 use crate::TopologyView;
@@ -196,7 +196,18 @@ impl ReplicaNode {
     }
 
     /// Runs the replica loop until shutdown or crash.
+    ///
+    /// Messages are drained in bounded bursts rather than strictly one at a
+    /// time: a run of consecutive `OResp`s (the common shape under pipelined
+    /// clients — the sequencer answers a burst of order requests back to
+    /// back) commits through **one** PM transaction via
+    /// [`StorageServer::commit_many`], mirroring the sequencer's aggregation
+    /// window at the data layer. Per-message semantics are unchanged — the
+    /// burst is processed in arrival order.
     pub fn run(mut self, ep: Endpoint<ClusterMsg>) {
+        /// Upper bound of one opportunistic drain (keeps ticks timely).
+        const MAX_DRAIN: usize = 128;
+
         if self.start_with_sync && !self.config.peers.is_empty() {
             self.begin_sync(&ep, None);
         } else if self.start_with_sync {
@@ -210,18 +221,47 @@ impl ReplicaNode {
                 .read_hold
                 .min(Duration::from_millis(5))
                 .max(Duration::from_millis(1));
+            let mut burst: Vec<(NodeId, ClusterMsg)> = Vec::new();
             match ep.recv_timeout(tick) {
-                Ok((from, msg)) => match msg {
+                Ok(m) => burst.push(m),
+                Err(RecvError::Timeout) => {}
+                Err(RecvError::Disconnected) => return,
+            }
+            while burst.len() < MAX_DRAIN {
+                match ep.try_recv() {
+                    Ok(m) => burst.push(m),
+                    Err(_) => break,
+                }
+            }
+            let mut iter = burst.into_iter().peekable();
+            while let Some((from, msg)) = iter.next() {
+                match msg {
                     ClusterMsg::Data(DataMsg::Shutdown) => return,
                     ClusterMsg::Data(m) => {
                         if !self.handle_data(&ep, from, m) {
                             return;
                         }
                     }
+                    ClusterMsg::Order(OrderMsg::OResp { token, last_sn })
+                        if !matches!(self.mode, Mode::Syncing(_)) =>
+                    {
+                        // Coalesce the whole consecutive OResp run into one
+                        // batched commit.
+                        let mut resps = vec![(token, last_sn)];
+                        while let Some((_, ClusterMsg::Order(OrderMsg::OResp { .. }))) =
+                            iter.peek()
+                        {
+                            let Some((_, ClusterMsg::Order(OrderMsg::OResp { token, last_sn }))) =
+                                iter.next()
+                            else {
+                                unreachable!("peeked an OResp");
+                            };
+                            resps.push((token, last_sn));
+                        }
+                        self.apply_oresp_batch(&ep, &resps);
+                    }
                     ClusterMsg::Order(m) => self.handle_order(&ep, from, m),
-                },
-                Err(RecvError::Timeout) => {}
-                Err(RecvError::Disconnected) => return,
+                }
             }
             self.tick(&ep);
         }
@@ -408,7 +448,7 @@ impl ReplicaNode {
         ep: &Endpoint<ClusterMsg>,
         color: ColorId,
         token: Token,
-        payloads: Vec<Vec<u8>>,
+        payloads: Vec<Payload>,
         reply_to: NodeId,
     ) {
         self.reply_tos.entry(token).or_default().insert(reply_to);
@@ -419,20 +459,33 @@ impl ReplicaNode {
             return;
         }
         let n = payloads.len() as u32;
-        match self.storage.stage(token, color, &payloads) {
-            Ok(_newly) => {}
+        let newly = match self.storage.stage(token, color, &payloads) {
+            Ok(newly) => newly,
             Err(e) => {
                 // Storage full: drop; the client will time out. (The paper
                 // assumes trims keep the log bounded.)
                 eprintln!("replica {}: stage failed: {e}", ep.id());
                 return;
             }
-        }
+        };
         if let Some(sn) = self.pending_oresp.remove(&token) {
             self.apply_oresp(ep, token, sn);
             return;
         }
-        self.send_oreq(ep, color, token, n);
+        // All replicas of a shard would send byte-identical OReqs and the
+        // sequencer discards all but the first, so in steady state only the
+        // delegate (lowest node id of the shard) relays it. If the delegate
+        // is down the append still completes: a client retransmit re-stages
+        // (`!newly`) and then *every* replica sends the OReq, as does the
+        // periodic staged-token resend tick.
+        if !newly || self.is_oreq_delegate(ep) {
+            self.send_oreq(ep, color, token, n);
+        }
+    }
+
+    /// Whether this replica is its shard's designated eager-OReq sender.
+    fn is_oreq_delegate(&self, ep: &Endpoint<ClusterMsg>) -> bool {
+        self.config.peers.iter().all(|&p| ep.id() < p)
     }
 
     fn send_oreq(&mut self, ep: &Endpoint<ClusterMsg>, color: ColorId, token: Token, n: u32) {
@@ -455,21 +508,37 @@ impl ReplicaNode {
     }
 
     fn apply_oresp(&mut self, ep: &Endpoint<ClusterMsg>, token: Token, last_sn: SeqNum) {
-        match self.storage.commit(token, last_sn) {
-            Ok(_) => {
-                self.oreq_sent.remove(&token);
-                if let Some(reply_tos) = self.reply_tos.remove(&token) {
-                    for r in reply_tos {
-                        let _ = ep.send(r, DataMsg::AppendAck { token, last_sn }.into());
+        self.apply_oresp_batch(ep, &[(token, last_sn)]);
+    }
+
+    /// Commits a burst of OResps through a single PM transaction
+    /// ([`StorageServer::commit_many`]) and acks every waiting client.
+    /// Unknown tokens (append broadcast still in flight) are remembered
+    /// individually and commit on arrival, exactly as in the one-at-a-time
+    /// path.
+    fn apply_oresp_batch(&mut self, ep: &Endpoint<ClusterMsg>, resps: &[(Token, SeqNum)]) {
+        let results = self.storage.commit_many(resps);
+        let mut any_committed = false;
+        for (&(token, last_sn), result) in resps.iter().zip(results) {
+            match result {
+                Ok(_) => {
+                    self.oreq_sent.remove(&token);
+                    if let Some(reply_tos) = self.reply_tos.remove(&token) {
+                        for r in reply_tos {
+                            let _ = ep.send(r, DataMsg::AppendAck { token, last_sn }.into());
+                        }
                     }
+                    any_committed = true;
                 }
-                self.release_held_reads(ep);
+                Err(_) => {
+                    // Append not here yet (client broadcast still in
+                    // flight): remember the SN.
+                    self.pending_oresp.insert(token, last_sn);
+                }
             }
-            Err(_) => {
-                // Append not here yet (client broadcast still in flight):
-                // remember the SN.
-                self.pending_oresp.insert(token, last_sn);
-            }
+        }
+        if any_committed {
+            self.release_held_reads(ep);
         }
     }
 
@@ -544,7 +613,7 @@ impl ReplicaNode {
     ) {
         // read_records(FID): this function's multi-append sets staged in the
         // special color (Algorithm 2, line 12).
-        let sets: Vec<(Token, Vec<u8>)> = self
+        let sets: Vec<(Token, Payload)> = self
             .storage
             .scan_with_tokens(ColorId::MASTER, SeqNum::ZERO)
             .into_iter()
@@ -849,7 +918,7 @@ impl ReplicaNode {
 
 /// Encodes a multi-color-append set for staging in the special color
 /// (client side of Algorithm 2, line 4: `records[i]:colors[i]:ID`).
-pub(crate) fn encode_multi_set(target: ColorId, payloads: &[Vec<u8>]) -> Vec<u8> {
+pub(crate) fn encode_multi_set(target: ColorId, payloads: &[Payload]) -> Vec<u8> {
     let mut v = Vec::with_capacity(12 + payloads.iter().map(|p| p.len() + 4).sum::<usize>());
     v.extend_from_slice(MULTI_MAGIC);
     v.extend_from_slice(&target.0.to_le_bytes());
@@ -862,7 +931,7 @@ pub(crate) fn encode_multi_set(target: ColorId, payloads: &[Vec<u8>]) -> Vec<u8>
 }
 
 /// Decodes a staged multi-color set; `None` if malformed.
-pub(crate) fn decode_multi_set(v: &[u8]) -> Option<(ColorId, Vec<Vec<u8>>)> {
+pub(crate) fn decode_multi_set(v: &[u8]) -> Option<(ColorId, Vec<Payload>)> {
     if v.len() < 12 || &v[..4] != MULTI_MAGIC {
         return None;
     }
@@ -873,7 +942,7 @@ pub(crate) fn decode_multi_set(v: &[u8]) -> Option<(ColorId, Vec<Vec<u8>>)> {
     for _ in 0..count {
         let len = u32::from_le_bytes(v.get(off..off + 4)?.try_into().ok()?) as usize;
         off += 4;
-        payloads.push(v.get(off..off + len)?.to_vec());
+        payloads.push(Payload::from(v.get(off..off + len)?));
         off += len;
     }
     Some((target, payloads))
@@ -885,7 +954,11 @@ mod unit_tests {
 
     #[test]
     fn multi_set_roundtrip() {
-        let payloads = vec![b"a".to_vec(), vec![0u8; 100], b"".to_vec()];
+        let payloads = vec![
+            Payload::from(&b"a"[..]),
+            Payload::from(vec![0u8; 100]),
+            Payload::empty(),
+        ];
         let enc = encode_multi_set(ColorId(7), &payloads);
         let (color, dec) = decode_multi_set(&enc).unwrap();
         assert_eq!(color, ColorId(7));
@@ -897,7 +970,7 @@ mod unit_tests {
         assert_eq!(decode_multi_set(b""), None);
         assert_eq!(decode_multi_set(b"nope-not-multi"), None);
         // Truncated payload.
-        let mut enc = encode_multi_set(ColorId(1), &[vec![9u8; 50]]);
+        let mut enc = encode_multi_set(ColorId(1), &[Payload::from(vec![9u8; 50])]);
         enc.truncate(20);
         assert_eq!(decode_multi_set(&enc), None);
     }

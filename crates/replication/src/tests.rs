@@ -6,10 +6,15 @@ use std::time::Duration;
 use flexlog_ordering::{Directory, OrderingHandle, OrderingService, RoleId, TreeSpec};
 use flexlog_simnet::{Network, NodeId};
 use flexlog_storage::StorageConfig;
-use flexlog_types::{ColorId, Epoch, FunctionId, SeqNum, ShardId};
+use flexlog_types::{ColorId, Epoch, FunctionId, Payload, SeqNum, ShardId};
 
 use crate::msg::ClusterMsg;
 use crate::{ClientConfig, ClientError, DataLayerHandle, DataLayerService, DataLayerSpec, FlexLogClient, ReplicaConfig};
+
+/// Shorthand: build a [`Payload`] from anything byte-like.
+fn p(bytes: impl Into<Payload>) -> Payload {
+    bytes.into()
+}
 
 const RED: ColorId = ColorId(1);
 const GREEN: ColorId = ColorId(2);
@@ -93,7 +98,7 @@ impl Cluster {
 fn append_then_read_roundtrip() {
     let mut c = cluster(1, 3, 0);
     let mut cl = c.client();
-    let sn = cl.append(RED, &[b"hello flexlog".to_vec()]).unwrap();
+    let sn = cl.append(RED, &[p(b"hello flexlog")]).unwrap();
     assert_eq!(sn.epoch(), Epoch(1));
     let v = cl.read(RED, sn).unwrap();
     assert_eq!(v.unwrap(), b"hello flexlog");
@@ -106,7 +111,7 @@ fn appends_are_totally_ordered_per_color() {
     let mut cl = c.client();
     let mut last = SeqNum::ZERO;
     for i in 0..20u32 {
-        let sn = cl.append(RED, &[format!("r{i}").into_bytes()]).unwrap();
+        let sn = cl.append(RED, &[p(format!("r{i}"))]).unwrap();
         assert!(sn > last);
         last = sn;
     }
@@ -117,7 +122,7 @@ fn appends_are_totally_ordered_per_color() {
 fn batch_append_assigns_range() {
     let mut c = cluster(1, 3, 0);
     let mut cl = c.client();
-    let batch: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8]).collect();
+    let batch: Vec<Payload> = (0..4).map(|i| p(vec![i as u8])).collect();
     let last = cl.append(RED, &batch).unwrap();
     // The four records occupy the four counters ending at `last`.
     for i in 0..4u32 {
@@ -131,8 +136,8 @@ fn batch_append_assigns_range() {
 fn colors_are_independent_logs() {
     let mut c = cluster(2, 2, 0);
     let mut cl = c.client();
-    let r = cl.append(RED, &[b"red-1".to_vec()]).unwrap();
-    let g = cl.append(GREEN, &[b"green-1".to_vec()]).unwrap();
+    let r = cl.append(RED, &[p(b"red-1")]).unwrap();
+    let g = cl.append(GREEN, &[p(b"green-1")]).unwrap();
     assert_eq!(r.counter(), 1);
     assert_eq!(g.counter(), 1, "each color starts its own SN space");
     assert_eq!(cl.read(RED, r).unwrap().unwrap(), b"red-1");
@@ -144,7 +149,7 @@ fn colors_are_independent_logs() {
 fn read_of_missing_sn_is_bottom() {
     let mut c = cluster(2, 2, 0);
     let mut cl = c.client();
-    let sn = cl.append(RED, &[b"only".to_vec()]).unwrap();
+    let sn = cl.append(RED, &[p(b"only")]).unwrap();
     // Way past the tail: replicas hold the read briefly, then answer ⊥.
     let missing = SeqNum::new(sn.epoch(), sn.counter() + 100);
     assert_eq!(cl.read(RED, missing).unwrap(), None);
@@ -157,14 +162,14 @@ fn subscribe_returns_full_ordered_log() {
     let mut cl = c.client();
     let mut sns = Vec::new();
     for i in 0..15u32 {
-        sns.push(cl.append(RED, &[format!("e{i}").into_bytes()]).unwrap());
+        sns.push(cl.append(RED, &[p(format!("e{i}"))]).unwrap());
     }
     let log = cl.subscribe(RED).unwrap();
     assert_eq!(log.len(), 15);
     for w in log.windows(2) {
         assert!(w[0].sn < w[1].sn, "subscribe must be SN-ordered");
     }
-    let payloads: Vec<Vec<u8>> = log.into_iter().map(|r| r.payload).collect();
+    let payloads: Vec<Vec<u8>> = log.into_iter().map(|r| r.payload.to_vec()).collect();
     for i in 0..15u32 {
         assert!(payloads.contains(&format!("e{i}").into_bytes()));
     }
@@ -177,7 +182,7 @@ fn trim_erases_prefix_across_shards() {
     let mut cl = c.client();
     let mut sns = Vec::new();
     for i in 0..10u32 {
-        sns.push(cl.append(RED, &[format!("t{i}").into_bytes()]).unwrap());
+        sns.push(cl.append(RED, &[p(format!("t{i}"))]).unwrap());
     }
     let cut = sns[4];
     let (head, tail) = cl.trim(RED, cut).unwrap();
@@ -201,8 +206,8 @@ fn multi_append_commits_to_all_colors() {
     let mut c = cluster(2, 2, 0);
     let mut cl = c.client();
     cl.multi_append(&[
-        (RED, vec![b"red-a".to_vec(), b"red-b".to_vec()]),
-        (GREEN, vec![b"green-a".to_vec()]),
+        (RED, vec![p(b"red-a"), p(b"red-b")]),
+        (GREEN, vec![p(b"green-a")]),
     ])
     .unwrap();
     // All records eventually readable in their target colors.
@@ -221,7 +226,7 @@ fn multi_append_unknown_color_is_rejected_upfront() {
     let mut c = cluster(1, 2, 0);
     let mut cl = c.client();
     let err = cl
-        .multi_append(&[(ColorId(99), vec![b"x".to_vec()])])
+        .multi_append(&[(ColorId(99), vec![p(b"x")])])
         .unwrap_err();
     assert_eq!(err, ClientError::UnknownColor(ColorId(99)));
     // Nothing leaked into the special color's targets.
@@ -233,7 +238,7 @@ fn multi_append_unknown_color_is_rejected_upfront() {
 fn replica_failure_blocks_appends_but_not_reads() {
     let mut c = cluster(1, 3, 0);
     let mut cl = c.client();
-    let sn = cl.append(RED, &[b"before".to_vec()]).unwrap();
+    let sn = cl.append(RED, &[p(b"before")]).unwrap();
 
     let victim = c.data.shard_replicas(ShardId(0))[0];
     c.data.crash_replica(&c.net, victim);
@@ -252,7 +257,7 @@ fn replica_failure_blocks_appends_but_not_reads() {
     let ep = c.net.register(NodeId::named(NodeId::CLASS_CLIENT, 999));
     let mut blocked = FlexLogClient::new(ep, c.data.topology.clone(), ep_cfg);
     assert_eq!(
-        blocked.append(RED, &[b"blocked".to_vec()]).unwrap_err(),
+        blocked.append(RED, &[p(b"blocked")]).unwrap_err(),
         ClientError::Timeout
     );
     let _ = &mut impatient;
@@ -263,7 +268,7 @@ fn replica_failure_blocks_appends_but_not_reads() {
 fn restarted_replica_syncs_missing_records() {
     let mut c = cluster(1, 3, 0);
     let mut cl = c.client();
-    let sn1 = cl.append(RED, &[b"one".to_vec()]).unwrap();
+    let sn1 = cl.append(RED, &[p(b"one")]).unwrap();
 
     let victim = c.data.shard_replicas(ShardId(0))[2];
     c.data.crash_replica(&c.net, victim);
@@ -282,7 +287,7 @@ fn restarted_replica_syncs_missing_records() {
                 ..Default::default()
             },
         );
-        cl2.append(RED, &[b"two".to_vec()]).unwrap()
+        cl2.append(RED, &[p(b"two")]).unwrap()
     });
     std::thread::sleep(Duration::from_millis(300));
 
@@ -314,14 +319,14 @@ fn restarted_replica_syncs_missing_records() {
 fn sequencer_failover_with_data_layer() {
     let mut c = cluster(1, 3, 2);
     let mut cl = c.client();
-    let sn1 = cl.append(RED, &[b"epoch1".to_vec()]).unwrap();
+    let sn1 = cl.append(RED, &[p(b"epoch1")]).unwrap();
     assert_eq!(sn1.epoch(), Epoch(1));
 
     c.ordering.crash_leader(&c.net, RoleId(0));
 
     // The new sequencer initializes the replicas (sync-phase) and then
     // appends resume at a higher epoch.
-    let sn2 = cl.append(RED, &[b"epoch2".to_vec()]).unwrap();
+    let sn2 = cl.append(RED, &[p(b"epoch2")]).unwrap();
     assert!(sn2.epoch() > Epoch(1), "got {sn2:?}");
     assert!(sn2 > sn1, "SNs increase across fail-over");
 
@@ -339,7 +344,7 @@ fn append_visibility_property() {
     let mut cl = c.client();
     for i in 0..25u32 {
         let payload = format!("p3-{i}").into_bytes();
-        let sn = cl.append(RED, &[payload.clone()]).unwrap();
+        let sn = cl.append(RED, &[p(payload.clone())]).unwrap();
         assert_eq!(
             cl.read(RED, sn).unwrap().as_deref(),
             Some(payload.as_slice()),
@@ -365,7 +370,7 @@ fn subscribe_stability_property() {
     for round in 0..8u32 {
         for i in 0..3u32 {
             writer
-                .append(RED, &[format!("s{round}-{i}").into_bytes()])
+                .append(RED, &[p(format!("s{round}-{i}"))])
                 .unwrap();
         }
         let snapshot: Vec<SeqNum> = cl.subscribe(RED).unwrap().iter().map(|r| r.sn).collect();
@@ -392,7 +397,7 @@ fn concurrent_clients_disjoint_sns() {
         let mut cl = c.client();
         handles.push(std::thread::spawn(move || {
             (0..10)
-                .map(|i| cl.append(RED, &[format!("c{i}").into_bytes()]).unwrap())
+                .map(|i| cl.append(RED, &[p(format!("c{i}"))]).unwrap())
                 .collect::<Vec<SeqNum>>()
         }));
     }
@@ -418,7 +423,7 @@ fn held_read_released_by_inflight_append() {
 
     let mut c = cluster(1, 3, 0);
     let mut cl = c.client();
-    let sn1 = cl.append(RED, &[b"first".to_vec()]).unwrap();
+    let sn1 = cl.append(RED, &[p(b"first")]).unwrap();
 
     // Ask one replica directly for the *next* SN before it exists.
     let replica = c.data.shard_replicas(ShardId(0))[0];
@@ -437,7 +442,7 @@ fn held_read_released_by_inflight_append() {
 
     // Commit the append that assigns exactly that SN while the read is
     // held.
-    let sn2 = cl.append(RED, &[b"second".to_vec()]).unwrap();
+    let sn2 = cl.append(RED, &[p(b"second")]).unwrap();
     assert_eq!(sn2.counter(), sn1.counter() + 1);
 
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
@@ -469,7 +474,7 @@ fn held_read_times_out_to_bottom() {
 
     let mut c = cluster(1, 3, 0);
     let mut cl = c.client();
-    let sn1 = cl.append(RED, &[b"only".to_vec()]).unwrap();
+    let sn1 = cl.append(RED, &[p(b"only")]).unwrap();
 
     let replica = c.data.shard_replicas(ShardId(0))[0];
     let probe = c.net.register(NodeId::named(NodeId::CLASS_CLIENT, 401));
@@ -497,6 +502,98 @@ fn held_read_times_out_to_bottom() {
             );
         }
         other => panic!("unexpected message {other:?}"),
+    }
+    c.shutdown();
+}
+
+// ----- pipelined appends ----------------------------------------------------
+
+#[test]
+fn pipelined_appends_complete_and_are_readable() {
+    let mut c = cluster(2, 3, 0);
+    let mut cl = c.client();
+    let mut expected = std::collections::HashMap::new();
+    for i in 0..100u32 {
+        let color = if i % 2 == 0 { RED } else { GREEN };
+        let bytes = format!("pl-{i}").into_bytes();
+        let token = cl
+            .append_pipelined(color, &[p(bytes.clone())])
+            .unwrap();
+        assert!(expected.insert(token, (color, bytes)).is_none(), "token reused");
+    }
+    let mut done: Vec<_> = cl.take_completed();
+    done.extend(cl.flush().unwrap());
+    assert_eq!(done.len(), 100, "every pipelined append completes");
+    assert_eq!(cl.pending_appends(), 0);
+
+    // Each completion maps back to its issue, and the record is durable
+    // under the assigned SN with the right bytes.
+    let mut sns_per_color: std::collections::HashMap<ColorId, Vec<SeqNum>> =
+        std::collections::HashMap::new();
+    for (token, sn) in done {
+        let (color, bytes) = expected.remove(&token).expect("completion of an issued op");
+        let got = cl.read(color, sn).unwrap().expect("committed record readable");
+        assert_eq!(got.as_slice(), bytes.as_slice());
+        sns_per_color.entry(color).or_default().push(sn);
+    }
+    assert!(expected.is_empty(), "ops never completed: {expected:?}");
+    for (color, mut sns) in sns_per_color {
+        let n = sns.len();
+        sns.sort_unstable();
+        sns.dedup();
+        assert_eq!(sns.len(), n, "duplicate SNs in color {color:?}");
+    }
+    c.shutdown();
+}
+
+#[test]
+fn pipelined_window_bounds_inflight() {
+    let mut c = cluster(1, 3, 0);
+    let mut cl = c.client();
+    cl.set_pipeline_window(4);
+    let mut completions = 0;
+    for i in 0..24u32 {
+        cl.append_pipelined(RED, &[p(format!("w-{i}"))]).unwrap();
+        assert!(
+            cl.pending_appends() <= 4,
+            "window overflow: {} in flight",
+            cl.pending_appends()
+        );
+        completions += cl.take_completed().len();
+    }
+    completions += cl.flush().unwrap().len();
+    assert_eq!(completions, 24);
+    c.shutdown();
+}
+
+#[test]
+fn pipelined_and_serial_appends_interleave() {
+    let mut c = cluster(2, 3, 0);
+    let mut cl = c.client();
+    let t1 = cl.append_pipelined(RED, &[p(b"pipe-1")]).unwrap();
+    let t2 = cl.append_pipelined(GREEN, &[p(b"pipe-2")]).unwrap();
+    // A blocking append while pipelined ops are in flight: its recv loop
+    // must absorb (and credit) their stray acks rather than mistaking them
+    // for its own.
+    let serial_sn = cl.append(RED, &[p(b"serial")]).unwrap();
+    assert_eq!(
+        cl.read(RED, serial_sn).unwrap().unwrap(),
+        b"serial"
+    );
+    let done = {
+        let mut d = cl.take_completed();
+        d.extend(cl.flush().unwrap());
+        d
+    };
+    assert_eq!(done.len(), 2);
+    for (token, sn) in done {
+        let (color, bytes): (ColorId, &[u8]) = if token == t1 {
+            (RED, b"pipe-1")
+        } else {
+            assert_eq!(token, t2);
+            (GREEN, b"pipe-2")
+        };
+        assert_eq!(cl.read(color, sn).unwrap().unwrap(), bytes);
     }
     c.shutdown();
 }

@@ -36,16 +36,25 @@ impl<M: Send + 'static> Endpoint<M> {
 
     /// Sends a clone of `msg` to every node in `peers` (the paper's
     /// broadcast primitive, §4). Unknown peers are reported in the result
-    /// but do not stop the remaining sends.
+    /// but do not stop the remaining sends. The final peer receives `msg`
+    /// itself — an N-peer broadcast performs N-1 clones, so cheaply-clonable
+    /// messages (refcounted payloads) make the whole fan-out zero-copy.
     pub fn broadcast(&self, peers: &[NodeId], msg: M) -> Result<(), SendError>
     where
         M: Clone,
     {
         let mut first_err = None;
         let serialize = self.net.link.serialize;
+        let mut msg = Some(msg);
+        let last = peers.len().saturating_sub(1);
         for (i, &p) in peers.iter().enumerate() {
             let extra = serialize * i as u32;
-            if let Err(e) = self.net.send_with_extra(self.id, p, msg.clone(), extra) {
+            let m = if i == last {
+                msg.take().expect("moved only once, on the last peer")
+            } else {
+                msg.as_ref().expect("present until the last peer").clone()
+            };
+            if let Err(e) = self.net.send_with_extra(self.id, p, m, extra) {
                 first_err.get_or_insert(e);
             }
         }

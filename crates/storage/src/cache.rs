@@ -6,9 +6,16 @@
 //! matching a real DRAM budget. A DRAM access cost (~80 ns) is charged via
 //! the owning server's clock by the caller; the cache itself is pure data
 //! structure.
+//!
+//! Values are zero-copy [`Payload`]s: a cache fill stores an `Arc` clone of
+//! the committed record's buffer and a hit hands the same buffer back, so
+//! the DRAM tier never duplicates record bytes (the byte budget counts the
+//! shared buffer once per entry).
 
 use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
+
+use flexlog_types::Payload;
 
 /// Hit/miss counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -23,7 +30,7 @@ pub struct LruCache<K> {
     capacity_bytes: usize,
     used_bytes: usize,
     /// key → (value, lru stamp)
-    map: HashMap<K, (Vec<u8>, u64)>,
+    map: HashMap<K, (Payload, u64)>,
     /// lru stamp → key (oldest first)
     order: BTreeMap<u64, K>,
     next_stamp: u64,
@@ -45,7 +52,8 @@ impl<K: Eq + Hash + Clone> LruCache<K> {
 
     /// Inserts (or refreshes) `key`, evicting LRU entries as needed. Values
     /// larger than the whole capacity are not cached at all.
-    pub fn put(&mut self, key: K, value: Vec<u8>) {
+    pub fn put(&mut self, key: K, value: impl Into<Payload>) {
+        let value = value.into();
         if value.len() > self.capacity_bytes {
             // Would immediately evict everything for a single uncacheable
             // record; skip (mirrors real caches bypassing huge objects).
@@ -68,8 +76,9 @@ impl<K: Eq + Hash + Clone> LruCache<K> {
         self.map.insert(key, (value, stamp));
     }
 
-    /// Looks up `key`, refreshing its recency on hit.
-    pub fn get(&mut self, key: &K) -> Option<Vec<u8>> {
+    /// Looks up `key`, refreshing its recency on hit. A hit returns an `Arc`
+    /// clone of the cached buffer — no byte copy.
+    pub fn get(&mut self, key: &K) -> Option<Payload> {
         let stamp = self.bump();
         match self.map.get_mut(key) {
             Some((value, old_stamp)) => {
@@ -139,6 +148,18 @@ mod tests {
         assert_eq!(c.get(&"a").unwrap(), b"alpha");
         assert_eq!(c.get(&"b"), None);
         assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1, evictions: 0 });
+    }
+
+    #[test]
+    fn hit_shares_the_cached_buffer() {
+        let mut c = LruCache::new(1024);
+        c.put(1, Payload::from(vec![9u8; 16]));
+        let a = c.get(&1).unwrap();
+        let b = c.get(&1).unwrap();
+        assert!(
+            std::ptr::eq(a.as_slice(), b.as_slice()),
+            "hits must return the same shared buffer"
+        );
     }
 
     #[test]

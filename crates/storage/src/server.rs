@@ -7,29 +7,59 @@
 //! * [`StorageServer::commit`] moves a staged batch into the committed,
 //!   SN-indexed log once the ordering layer replies — atomically, via a pool
 //!   transaction, so a crash never leaves a batch half-committed;
+//!   [`StorageServer::commit_many`] coalesces several batches into **one**
+//!   PM transaction (a single redo-log append + persist), mirroring the
+//!   sequencer's aggregation window at the data layer;
 //! * reads probe **DRAM cache → PM → SSD**; appended records are inserted
 //!   into the cache;
 //! * when live PM bytes exceed the configured watermark, the oldest
 //!   committed prefix is spilled to the SSD tier (fsync before the PM
 //!   delete, so a crash can duplicate a record across tiers but never lose
 //!   it);
-//! * [`StorageServer::trim`] deletes all records of a color up to an SN and
-//!   durably records the new head so trimmed records stay dead after crash.
+//! * [`StorageServer::trim`] deletes all records of a color up to an SN,
+//!   durably records the new head, and prunes the idempotence map of tokens
+//!   whose batches fell behind the head (so it cannot grow without bound).
+//!
+//! # Locking
+//!
+//! The server is sharded for concurrency — there is no global mutex:
+//!
+//! * the SN index and trim heads live in [`STRIPES`] **color stripes**
+//!   (`color.0 % STRIPES`), so appends/reads/trims on different colors never
+//!   contend;
+//! * the DRAM cache is striped by a `(color, sn)` hash — a single hot color
+//!   still spreads over all cache stripes and can use the whole DRAM budget;
+//! * the token maps (staged + committed idempotence) are a separate small
+//!   lock touched only at stage/commit boundaries;
+//! * `pm_live_bytes` is a lock-free atomic.
+//!
+//! Invariants that keep this deadlock-free: a thread never holds two stripe
+//! locks at once, never takes a stripe lock while holding the token lock
+//! (token → stripe order is forbidden, stripe → token never happens), and
+//! cache locks are leaves (nothing else is acquired under them). The PM
+//! pool has its own internal lock below all of these.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use flexlog_pm::{ClockMode, DeviceClock, LatencyModel, PmDevice, PmDeviceConfig, PmPool, PoolError, SsdDevice};
-use flexlog_types::{ColorId, CommittedRecord, SeqNum, Token};
+use flexlog_types::{ColorId, CommittedRecord, Payload, SeqNum, Token};
 
-use crate::LruCache;
+use crate::{CacheStats, LruCache};
 
 /// DRAM access cost charged on a cache hit, in nanoseconds.
 const DRAM_NS: u64 = 80;
+
+/// Number of color stripes (index/heads) and cache stripes. A small power
+/// of two: enough to de-contend a many-color workload without fragmenting
+/// the DRAM budget across too many LRU instances.
+pub const STRIPES: usize = 8;
 
 const TAG_COMMITTED: u128 = 1 << 120;
 const TAG_STAGED: u128 = 2 << 120;
@@ -66,7 +96,7 @@ pub struct StorageConfig {
     pub pm_capacity: usize,
     /// PM latency model.
     pub pm_latency: LatencyModel,
-    /// DRAM cache budget in bytes.
+    /// DRAM cache budget in bytes (split evenly across cache stripes).
     pub cache_capacity: usize,
     /// Live PM bytes beyond which the oldest records spill to SSD.
     pub pm_watermark: usize,
@@ -109,9 +139,27 @@ pub struct StorageStats {
     pub commits: AtomicU64,
     pub reads: AtomicU64,
     pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
     pub pm_hits: AtomicU64,
     pub ssd_hits: AtomicU64,
     pub spilled_records: AtomicU64,
+    /// Payload bytes accepted by `stage` (the append ingress volume).
+    pub bytes_appended: AtomicU64,
+    /// Payload bytes served by reads, from any tier.
+    pub bytes_read: AtomicU64,
+}
+
+impl StorageStats {
+    /// Cache hit rate over all reads that probed the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let misses = self.cache_misses.load(Ordering::Relaxed);
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
 }
 
 /// Errors from storage operations.
@@ -142,34 +190,80 @@ impl From<PoolError> for StorageError {
 
 struct StagedBatch {
     color: ColorId,
-    payloads: Vec<Vec<u8>>,
+    payloads: Vec<Payload>,
 }
 
-struct Indexes {
+/// One color stripe: SN index and trim heads of the colors mapping here.
+#[derive(Default)]
+struct Stripe {
     /// Per color: committed SNs resident in PM or SSD (true = on SSD).
     committed: HashMap<ColorId, BTreeMap<SeqNum, bool>>,
-    /// Tokens staged but not yet committed.
-    staged: HashMap<Token, ColorId>,
-    /// Tokens already committed → last SN of their batch (idempotence).
-    committed_tokens: HashMap<Token, SeqNum>,
     /// Highest trimmed SN per color (inclusive).
     heads: HashMap<ColorId, SeqNum>,
-    /// Approximate live payload bytes resident in PM.
-    pm_live_bytes: usize,
 }
+
+/// Token maps: small, hot at stage/commit boundaries only.
+#[derive(Default)]
+struct TokenIndex {
+    /// Tokens staged but not yet committed.
+    staged: HashMap<Token, ColorId>,
+    /// Tokens whose commit transaction is currently being written. Guards
+    /// the window in which a token is neither `staged` nor committed, so a
+    /// concurrent re-stage or duplicate commit cannot slip in.
+    committing: HashSet<Token>,
+    /// Tokens already committed → (color, last SN of their batch). The color
+    /// lets `trim` prune entries once the whole batch falls behind the head.
+    committed_tokens: HashMap<Token, (ColorId, SeqNum)>,
+}
+
+/// One DRAM-cache stripe: an LRU over `(color, SN)` keys.
+type CacheStripe = Mutex<LruCache<(ColorId, SeqNum)>>;
 
 /// See module docs.
 pub struct StorageServer {
     pool: PmPool,
     ssd: Arc<SsdDevice>,
-    cache: Mutex<LruCache<(ColorId, SeqNum)>>,
-    idx: Mutex<Indexes>,
+    caches: Box<[CacheStripe]>,
+    stripes: Box<[Mutex<Stripe>]>,
+    tokens: Mutex<TokenIndex>,
+    /// Approximate live payload bytes resident in PM.
+    pm_live_bytes: AtomicUsize,
+    /// Serializes spill rounds (the SSD-copy/PM-delete two-step must not
+    /// interleave with itself); stripe/cache locks are taken inside.
+    spill_gate: Mutex<()>,
     clock: DeviceClock,
     config: StorageConfig,
     pub stats: StorageStats,
 }
 
+fn cache_stripe_of(color: ColorId, sn: SeqNum) -> usize {
+    let mut h = DefaultHasher::new();
+    (color.0, sn.0).hash(&mut h);
+    (h.finish() as usize) % STRIPES
+}
+
 impl StorageServer {
+    fn stripe_of(&self, color: ColorId) -> &Mutex<Stripe> {
+        &self.stripes[color.0 as usize % STRIPES]
+    }
+
+    fn cache_of(&self, color: ColorId, sn: SeqNum) -> &CacheStripe {
+        &self.caches[cache_stripe_of(color, sn)]
+    }
+
+    fn empty_shards(config: &StorageConfig) -> (Box<[CacheStripe]>, Box<[Mutex<Stripe>]>) {
+        let per_stripe = config.cache_capacity / STRIPES;
+        let caches = (0..STRIPES)
+            .map(|_| Mutex::new(LruCache::new(per_stripe)))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let stripes = (0..STRIPES)
+            .map(|_| Mutex::new(Stripe::default()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        (caches, stripes)
+    }
+
     /// Creates a fresh server on new devices.
     pub fn new(config: StorageConfig) -> Self {
         let clock = DeviceClock::new(config.clock);
@@ -179,17 +273,15 @@ impl StorageServer {
             clock,
         }));
         let ssd = Arc::new(SsdDevice::new(clock));
+        let (caches, stripes) = Self::empty_shards(&config);
         StorageServer {
             pool: PmPool::create(pm),
             ssd,
-            cache: Mutex::new(LruCache::new(config.cache_capacity)),
-            idx: Mutex::new(Indexes {
-                committed: HashMap::new(),
-                staged: HashMap::new(),
-                committed_tokens: HashMap::new(),
-                heads: HashMap::new(),
-                pm_live_bytes: 0,
-            }),
+            caches,
+            stripes,
+            tokens: Mutex::new(TokenIndex::default()),
+            pm_live_bytes: AtomicUsize::new(0),
+            spill_gate: Mutex::new(()),
             clock,
             config,
             stats: StorageStats::default(),
@@ -203,9 +295,8 @@ impl StorageServer {
         let clock = DeviceClock::new(config.clock);
         let pool = PmPool::open(pm);
         let mut committed: HashMap<ColorId, BTreeMap<SeqNum, bool>> = HashMap::new();
-        let mut staged = HashMap::new();
-        let mut committed_tokens = HashMap::new();
-        let mut heads = HashMap::new();
+        let mut tokens = TokenIndex::default();
+        let mut heads: HashMap<ColorId, SeqNum> = HashMap::new();
         let mut pm_live_bytes = 0usize;
         for key in pool.keys() {
             let tag = key & (0xFF << 120);
@@ -217,16 +308,16 @@ impl StorageServer {
                 let token = Token(u64::from_le_bytes(value[..8].try_into().unwrap()));
                 committed.entry(color).or_default().insert(sn, false);
                 // The token maps to the *last* SN of its batch; keep max.
-                let e = committed_tokens.entry(token).or_insert(sn);
-                if sn > *e {
-                    *e = sn;
+                let e = tokens.committed_tokens.entry(token).or_insert((color, sn));
+                if sn > e.1 {
+                    *e = (color, sn);
                 }
             } else if tag == TAG_STAGED {
                 let token = Token(key as u64);
                 let value = pool.get(key).expect("indexed key readable");
                 pm_live_bytes += value.len();
                 let color = ColorId(u32::from_le_bytes(value[..4].try_into().unwrap()));
-                staged.insert(token, color);
+                tokens.staged.insert(token, color);
             } else if tag == TAG_HEAD {
                 let color = ColorId(key as u32);
                 let value = pool.get(key).expect("indexed key readable");
@@ -245,21 +336,26 @@ impl StorageServer {
             }
             committed.entry(color).or_default().insert(sn, true);
         }
-        StorageServer {
+        let (caches, stripes) = Self::empty_shards(&config);
+        let server = StorageServer {
             pool,
             ssd,
-            cache: Mutex::new(LruCache::new(config.cache_capacity)),
-            idx: Mutex::new(Indexes {
-                committed,
-                staged,
-                committed_tokens,
-                heads,
-                pm_live_bytes,
-            }),
+            caches,
+            stripes,
+            tokens: Mutex::new(tokens),
+            pm_live_bytes: AtomicUsize::new(pm_live_bytes),
+            spill_gate: Mutex::new(()),
             clock,
             config,
             stats: StorageStats::default(),
+        };
+        for (color, map) in committed {
+            server.stripe_of(color).lock().committed.insert(color, map);
         }
+        for (color, head) in heads {
+            server.stripe_of(color).lock().heads.insert(color, head);
+        }
+        server
     }
 
     /// Durably stages an append batch under its token (Alg 1 line 17).
@@ -269,21 +365,27 @@ impl StorageServer {
         &self,
         token: Token,
         color: ColorId,
-        payloads: &[Vec<u8>],
+        payloads: &[Payload],
     ) -> Result<bool, StorageError> {
         {
-            let idx = self.idx.lock();
-            if idx.staged.contains_key(&token) || idx.committed_tokens.contains_key(&token) {
+            let idx = self.tokens.lock();
+            if idx.staged.contains_key(&token)
+                || idx.committing.contains(&token)
+                || idx.committed_tokens.contains_key(&token)
+            {
                 return Ok(false);
             }
         }
         let value = encode_staged(color, payloads);
         let vlen = value.len();
         self.pool.put(staged_key(token), &value)?;
-        let mut idx = self.idx.lock();
-        idx.staged.insert(token, color);
-        idx.pm_live_bytes += vlen;
+        self.tokens.lock().staged.insert(token, color);
+        self.pm_live_bytes.fetch_add(vlen, Ordering::Relaxed);
         self.stats.stages.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_appended.fetch_add(
+            payloads.iter().map(|p| p.len() as u64).sum(),
+            Ordering::Relaxed,
+        );
         Ok(true)
     }
 
@@ -292,99 +394,165 @@ impl StorageServer {
     /// batch get the preceding counters of the same epoch. Atomic and
     /// durable. Idempotent by token.
     pub fn commit(&self, token: Token, sn_last: SeqNum) -> Result<bool, StorageError> {
+        self.commit_many(&[(token, sn_last)]).pop().expect("one item in, one out")
+    }
+
+    /// Commits several staged batches through **one** PM transaction — one
+    /// redo-log append and one persist for the whole group, instead of one
+    /// per batch. This is the data-layer analogue of the sequencer's
+    /// aggregation window: a replica draining a burst of OResps pays the PM
+    /// commit cost once. Results are per item, index-aligned with `items`;
+    /// a failing item (unknown token) never blocks its neighbours.
+    pub fn commit_many(&self, items: &[(Token, SeqNum)]) -> Vec<Result<bool, StorageError>> {
+        let mut results: Vec<Result<bool, StorageError>> = Vec::with_capacity(items.len());
+        // Classify under the token lock and claim valid tokens (move them
+        // into `committing` so re-stages and duplicate commits wait out the
+        // transaction window).
+        let mut valid: Vec<(usize, Token, SeqNum)> = Vec::new();
         {
-            let idx = self.idx.lock();
-            if idx.committed_tokens.contains_key(&token) {
-                return Ok(false);
-            }
-            if !idx.staged.contains_key(&token) {
-                return Err(StorageError::UnknownToken(token));
+            let mut idx = self.tokens.lock();
+            for (i, &(token, sn_last)) in items.iter().enumerate() {
+                if idx.committed_tokens.contains_key(&token) || idx.committing.contains(&token) {
+                    results.push(Ok(false));
+                } else if !idx.staged.contains_key(&token) {
+                    results.push(Err(StorageError::UnknownToken(token)));
+                } else if valid.iter().any(|&(_, t, _)| t == token) {
+                    // Duplicate token inside one call: first occurrence wins.
+                    results.push(Ok(false));
+                } else {
+                    idx.committing.insert(token);
+                    results.push(Ok(true)); // provisional; rolled back on tx error
+                    valid.push((i, token, sn_last));
+                }
             }
         }
-        let staged = self
-            .pool
-            .get(staged_key(token))
-            .expect("staged index implies staged record");
-        let batch = decode_staged(&staged);
-        let n = batch.payloads.len() as u32;
-        debug_assert!(n > 0, "staged batches are non-empty");
-        debug_assert!(
-            sn_last.counter() + 1 >= n,
-            "SN range must not underflow the epoch counter"
-        );
+        if valid.is_empty() {
+            return results;
+        }
 
+        // Build ONE transaction across all claimed batches.
+        type CommittedBatch = (Token, ColorId, SeqNum, Vec<(SeqNum, Payload)>);
         let mut tx = self.pool.begin();
-        tx.delete(staged_key(token));
-        let mut sns = Vec::with_capacity(batch.payloads.len());
+        let mut committed: Vec<CommittedBatch> = Vec::new();
         let mut live_delta = 0isize;
-        for (i, payload) in batch.payloads.iter().enumerate() {
-            let sn = SeqNum::new(sn_last.epoch(), sn_last.counter() - (n - 1 - i as u32));
-            let mut value = Vec::with_capacity(8 + payload.len());
-            value.extend_from_slice(&token.0.to_le_bytes());
-            value.extend_from_slice(payload);
-            live_delta += value.len() as isize;
-            tx.put(committed_key(batch.color, sn), &value);
-            sns.push(sn);
+        for &(_, token, sn_last) in &valid {
+            let staged = self
+                .pool
+                .get(staged_key(token))
+                .expect("staged index implies staged record");
+            let batch = decode_staged(&staged);
+            let n = batch.payloads.len() as u32;
+            debug_assert!(n > 0, "staged batches are non-empty");
+            debug_assert!(
+                sn_last.counter() + 1 >= n,
+                "SN range must not underflow the epoch counter"
+            );
+            tx.delete(staged_key(token));
+            live_delta -= staged.len() as isize;
+            let mut sns = Vec::with_capacity(batch.payloads.len());
+            for (i, payload) in batch.payloads.iter().enumerate() {
+                let sn = SeqNum::new(sn_last.epoch(), sn_last.counter() - (n - 1 - i as u32));
+                let mut value = Vec::with_capacity(8 + payload.len());
+                value.extend_from_slice(&token.0.to_le_bytes());
+                value.extend_from_slice(payload);
+                live_delta += value.len() as isize;
+                tx.put(committed_key(batch.color, sn), &value);
+                sns.push((sn, payload.clone()));
+            }
+            committed.push((token, batch.color, sn_last, sns));
         }
-        tx.commit()?;
+        if let Err(e) = tx.commit() {
+            // Roll the claims back; none of the batches committed.
+            let mut idx = self.tokens.lock();
+            for &(i, token, _) in &valid {
+                idx.committing.remove(&token);
+                results[i] = Err(e.into());
+            }
+            return results;
+        }
 
+        // Publish: token maps, per-color SN indexes, cache fills.
         {
-            let mut idx = self.idx.lock();
-            idx.staged.remove(&token);
-            idx.committed_tokens.insert(token, sn_last);
-            idx.pm_live_bytes = (idx.pm_live_bytes as isize - staged.len() as isize + live_delta)
-                .max(0) as usize;
-            let per_color = idx.committed.entry(batch.color).or_default();
-            for &sn in &sns {
-                per_color.insert(sn, false);
+            let mut idx = self.tokens.lock();
+            for (token, color, sn_last, _) in &committed {
+                idx.staged.remove(token);
+                idx.committing.remove(token);
+                idx.committed_tokens.insert(*token, (*color, *sn_last));
             }
         }
-        {
-            let mut cache = self.cache.lock();
-            for (sn, payload) in sns.iter().zip(&batch.payloads) {
-                cache.put((batch.color, *sn), payload.clone());
+        for (_, color, _, sns) in &committed {
+            let mut stripe = self.stripe_of(*color).lock();
+            let per_color = stripe.committed.entry(*color).or_default();
+            for (sn, _) in sns {
+                per_color.insert(*sn, false);
             }
         }
-        self.stats.commits.fetch_add(1, Ordering::Relaxed);
-        self.maybe_spill()?;
-        Ok(true)
+        for (_, color, _, sns) in &committed {
+            for (sn, payload) in sns {
+                // Zero-copy fill: the cache shares the staged batch's buffer.
+                self.cache_of(*color, *sn)
+                    .lock()
+                    .put((*color, *sn), payload.clone());
+            }
+        }
+        let new_live = (self.pm_live_bytes.load(Ordering::Relaxed) as isize + live_delta).max(0);
+        self.pm_live_bytes.store(new_live as usize, Ordering::Relaxed);
+        self.stats
+            .commits
+            .fetch_add(committed.len() as u64, Ordering::Relaxed);
+        if let Err(e) = self.maybe_spill() {
+            // Spill failure does not undo the durable commits; surface it on
+            // the first successful item so callers notice.
+            if let Some(&(i, _, _)) = valid.first() {
+                results[i] = Err(e);
+            }
+        }
+        results
     }
 
     /// Reads the record `(color, sn)` through the tier hierarchy.
-    pub fn get(&self, color: ColorId, sn: SeqNum) -> Option<Vec<u8>> {
+    pub fn get(&self, color: ColorId, sn: SeqNum) -> Option<Payload> {
         self.get_traced(color, sn).map(|(v, _)| v)
     }
 
     /// Like [`StorageServer::get`] but also reports which tier hit.
-    pub fn get_traced(&self, color: ColorId, sn: SeqNum) -> Option<(Vec<u8>, TierHit)> {
+    pub fn get_traced(&self, color: ColorId, sn: SeqNum) -> Option<(Payload, TierHit)> {
         self.stats.reads.fetch_add(1, Ordering::Relaxed);
         {
-            let idx = self.idx.lock();
-            if idx.heads.get(&color).is_some_and(|&h| sn <= h) {
+            let stripe = self.stripe_of(color).lock();
+            if stripe.heads.get(&color).is_some_and(|&h| sn <= h) {
                 return None; // trimmed
             }
-            if !idx.committed.get(&color).is_some_and(|m| m.contains_key(&sn)) {
+            if !stripe.committed.get(&color).is_some_and(|m| m.contains_key(&sn)) {
                 return None;
             }
         }
-        // Tier 1: DRAM cache.
-        if let Some(v) = self.cache.lock().get(&(color, sn)) {
+        // Tier 1: DRAM cache (a hit returns the shared buffer, no copy).
+        if let Some(v) = self.cache_of(color, sn).lock().get(&(color, sn)) {
             self.clock.consume(DRAM_NS);
             self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.stats.bytes_read.fetch_add(v.len() as u64, Ordering::Relaxed);
             return Some((v, TierHit::Cache));
         }
+        self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
         // Tier 2: PM.
         if let Some(v) = self.pool.get(committed_key(color, sn)) {
-            let payload = v[8..].to_vec();
-            self.cache.lock().put((color, sn), payload.clone());
+            let payload = Payload::from(v[8..].to_vec());
+            self.cache_of(color, sn).lock().put((color, sn), payload.clone());
             self.stats.pm_hits.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .bytes_read
+                .fetch_add(payload.len() as u64, Ordering::Relaxed);
             return Some((payload, TierHit::Pm));
         }
         // Tier 3: SSD.
         if let Ok(v) = self.ssd.read_block(ssd_block_id(color, sn)) {
-            let payload = v[8..].to_vec();
-            self.cache.lock().put((color, sn), payload.clone());
+            let payload = Payload::from(v[8..].to_vec());
+            self.cache_of(color, sn).lock().put((color, sn), payload.clone());
             self.stats.ssd_hits.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .bytes_read
+                .fetch_add(payload.len() as u64, Ordering::Relaxed);
             return Some((payload, TierHit::Ssd));
         }
         None
@@ -394,8 +562,8 @@ impl StorageServer {
     /// (serves Subscribe and recovery syncs).
     pub fn scan(&self, color: ColorId, from: SeqNum) -> Vec<CommittedRecord> {
         let sns: Vec<SeqNum> = {
-            let idx = self.idx.lock();
-            match idx.committed.get(&color) {
+            let stripe = self.stripe_of(color).lock();
+            match stripe.committed.get(&color) {
                 Some(m) => m
                     .range((
                         std::ops::Bound::Excluded(from),
@@ -418,10 +586,10 @@ impl StorageServer {
     /// token — used by the sync-phase (§6.3) so idempotence survives
     /// recovery, and by the multi-color append protocol to find a
     /// function's staged sets.
-    pub fn scan_with_tokens(&self, color: ColorId, from: SeqNum) -> Vec<(Token, SeqNum, Vec<u8>)> {
+    pub fn scan_with_tokens(&self, color: ColorId, from: SeqNum) -> Vec<(Token, SeqNum, Payload)> {
         let sns: Vec<(SeqNum, bool)> = {
-            let idx = self.idx.lock();
-            match idx.committed.get(&color) {
+            let stripe = self.stripe_of(color).lock();
+            match stripe.committed.get(&color) {
                 Some(m) => m
                     .range((std::ops::Bound::Excluded(from), std::ops::Bound::Unbounded))
                     .map(|(&sn, &on_ssd)| (sn, on_ssd))
@@ -437,7 +605,7 @@ impl StorageServer {
                     self.pool.get(committed_key(color, sn))
                 }?;
                 let token = Token(u64::from_le_bytes(raw[..8].try_into().unwrap()));
-                Some((token, sn, raw[8..].to_vec()))
+                Some((token, sn, Payload::from(raw[8..].to_vec())))
             })
             .collect()
     }
@@ -450,14 +618,14 @@ impl StorageServer {
         color: ColorId,
         sn: SeqNum,
         token: Token,
-        payload: &[u8],
+        payload: &Payload,
     ) -> Result<bool, StorageError> {
         {
-            let idx = self.idx.lock();
-            if idx.heads.get(&color).is_some_and(|&h| sn <= h) {
+            let stripe = self.stripe_of(color).lock();
+            if stripe.heads.get(&color).is_some_and(|&h| sn <= h) {
                 return Ok(false); // already trimmed here
             }
-            if idx.committed.get(&color).is_some_and(|m| m.contains_key(&sn)) {
+            if stripe.committed.get(&color).is_some_and(|m| m.contains_key(&sn)) {
                 return Ok(false);
             }
         }
@@ -465,30 +633,38 @@ impl StorageServer {
         value.extend_from_slice(&token.0.to_le_bytes());
         value.extend_from_slice(payload);
         self.pool.put(committed_key(color, sn), &value)?;
-        let mut idx = self.idx.lock();
-        idx.committed.entry(color).or_default().insert(sn, false);
-        let e = idx.committed_tokens.entry(token).or_insert(sn);
-        if sn > *e {
-            *e = sn;
+        self.stripe_of(color)
+            .lock()
+            .committed
+            .entry(color)
+            .or_default()
+            .insert(sn, false);
+        {
+            let mut idx = self.tokens.lock();
+            let e = idx.committed_tokens.entry(token).or_insert((color, sn));
+            if sn > e.1 {
+                *e = (color, sn);
+            }
         }
-        idx.pm_live_bytes += value.len();
-        drop(idx);
-        self.cache.lock().put((color, sn), payload.to_vec());
+        self.pm_live_bytes.fetch_add(value.len(), Ordering::Relaxed);
+        self.cache_of(color, sn).lock().put((color, sn), payload.clone());
         self.maybe_spill()?;
         Ok(true)
     }
 
     /// Deletes every record of `color` with `sn <= up_to` and durably
     /// advances the head. Returns the new `[head, tail]` pair (the Trim
-    /// protocol's reply, §6.2).
+    /// protocol's reply, §6.2). Also prunes the token-idempotence map of
+    /// entries whose whole batch is now behind the head, so the map's size
+    /// tracks the live log rather than its entire history.
     pub fn trim(
         &self,
         color: ColorId,
         up_to: SeqNum,
     ) -> Result<(Option<SeqNum>, Option<SeqNum>), StorageError> {
         let victims: Vec<(SeqNum, bool)> = {
-            let idx = self.idx.lock();
-            match idx.committed.get(&color) {
+            let stripe = self.stripe_of(color).lock();
+            match stripe.committed.get(&color) {
                 Some(m) => m
                     .range(..=up_to)
                     .map(|(&sn, &on_ssd)| (sn, on_ssd))
@@ -511,29 +687,41 @@ impl StorageServer {
         tx.put(head_key(color), &up_to.0.to_le_bytes());
         tx.commit()?;
         self.ssd.fsync();
-        {
-            let mut cache = self.cache.lock();
-            for &(sn, _) in &victims {
-                cache.remove(&(color, sn));
-            }
+        for &(sn, _) in &victims {
+            self.cache_of(color, sn).lock().remove(&(color, sn));
         }
-        let mut idx = self.idx.lock();
-        if let Some(m) = idx.committed.get_mut(&color) {
-            for &(sn, _) in &victims {
-                m.remove(&sn);
+        let (head, tail) = {
+            let mut stripe = self.stripe_of(color).lock();
+            if let Some(m) = stripe.committed.get_mut(&color) {
+                for &(sn, _) in &victims {
+                    m.remove(&sn);
+                }
             }
+            let prev = stripe.heads.get(&color).copied().unwrap_or(SeqNum::ZERO);
+            let new_head = up_to.max(prev);
+            stripe.heads.insert(color, new_head);
+            let head = stripe.heads.get(&color).copied();
+            let tail = stripe.committed.get(&color).and_then(|m| m.keys().last().copied());
+            (head, tail)
+        };
+        // Prune the idempotence map: a token whose batch ended at or below
+        // the new head can never be re-acked with a live SN again — a late
+        // duplicate of it would target trimmed records, which `stage`
+        // re-admits harmlessly and `get` filters via the head. Without this
+        // the map grows with every append ever made (unbounded memory).
+        if let Some(new_head) = head {
+            let mut idx = self.tokens.lock();
+            idx.committed_tokens
+                .retain(|_, &mut (c, sn)| c != color || sn > new_head);
         }
-        let prev = idx.heads.get(&color).copied().unwrap_or(SeqNum::ZERO);
-        idx.heads.insert(color, up_to.max(prev));
-        idx.pm_live_bytes = idx.pm_live_bytes.saturating_sub(freed);
-        let head = idx.heads.get(&color).copied();
-        let tail = idx.committed.get(&color).and_then(|m| m.keys().last().copied());
+        self.pm_live_bytes
+            .fetch_sub(freed.min(self.pm_live_bytes.load(Ordering::Relaxed)), Ordering::Relaxed);
         Ok((head, tail))
     }
 
     /// Highest committed SN of `color` on this replica.
     pub fn tail(&self, color: ColorId) -> Option<SeqNum> {
-        self.idx
+        self.stripe_of(color)
             .lock()
             .committed
             .get(&color)
@@ -542,27 +730,34 @@ impl StorageServer {
 
     /// Highest trimmed SN of `color` (inclusive), if any trim happened.
     pub fn head(&self, color: ColorId) -> Option<SeqNum> {
-        self.idx.lock().heads.get(&color).copied()
+        self.stripe_of(color).lock().heads.get(&color).copied()
     }
 
     /// Highest committed SN across *all* colors (failure-recovery sync
     /// state, §6.3).
     pub fn max_committed_sn(&self) -> Option<SeqNum> {
-        self.idx
-            .lock()
-            .committed
-            .values()
-            .filter_map(|m| m.keys().last().copied())
+        self.stripes
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .committed
+                    .values()
+                    .filter_map(|m| m.keys().last().copied())
+                    .collect::<Vec<_>>()
+            })
             .max()
     }
 
     /// Tokens staged but not yet committed (re-issued as OReqs after
     /// recovery, §6.3) together with their color and batch size.
     pub fn staged_tokens(&self) -> Vec<(Token, ColorId, usize)> {
-        let idx = self.idx.lock();
-        idx.staged
-            .iter()
-            .map(|(&t, &c)| {
+        let staged: Vec<(Token, ColorId)> = {
+            let idx = self.tokens.lock();
+            idx.staged.iter().map(|(&t, &c)| (t, c)).collect()
+        };
+        staged
+            .into_iter()
+            .map(|(t, c)| {
                 let batch = self
                     .pool
                     .get(staged_key(t))
@@ -575,12 +770,18 @@ impl StorageServer {
 
     /// The SN a committed token's batch ended at, if committed.
     pub fn committed_sn(&self, token: Token) -> Option<SeqNum> {
-        self.idx.lock().committed_tokens.get(&token).copied()
+        self.tokens.lock().committed_tokens.get(&token).map(|&(_, sn)| sn)
+    }
+
+    /// Number of entries in the token-idempotence map (bounded-memory
+    /// check: trims must shrink this).
+    pub fn committed_token_count(&self) -> usize {
+        self.tokens.lock().committed_tokens.len()
     }
 
     /// Number of committed records of `color` on this replica.
     pub fn record_count(&self, color: ColorId) -> usize {
-        self.idx
+        self.stripe_of(color)
             .lock()
             .committed
             .get(&color)
@@ -589,11 +790,30 @@ impl StorageServer {
 
     /// Number of committed records currently resident on the SSD tier.
     pub fn ssd_resident(&self, color: ColorId) -> usize {
-        self.idx
+        self.stripe_of(color)
             .lock()
             .committed
             .get(&color)
             .map_or(0, |m| m.values().filter(|&&s| s).count())
+    }
+
+    /// Drops every DRAM-cache entry (tier tests force cold reads with it).
+    pub fn clear_cache(&self) {
+        for c in self.caches.iter() {
+            c.lock().clear();
+        }
+    }
+
+    /// Aggregated DRAM-cache counters across all cache stripes.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for c in self.caches.iter() {
+            let s = c.lock().stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+        }
+        total
     }
 
     /// The underlying devices (crash injection).
@@ -610,26 +830,30 @@ impl StorageServer {
     /// bytes exceed the watermark ("a contiguous portion from the start of
     /// the log is flushed to SSD and removed from PM", §5.2).
     fn maybe_spill(&self) -> Result<(), StorageError> {
+        if self.pm_live_bytes.load(Ordering::Relaxed) <= self.config.pm_watermark {
+            return Ok(());
+        }
+        let _gate = self.spill_gate.lock();
         loop {
-            let victims: Vec<(ColorId, SeqNum)> = {
-                let idx = self.idx.lock();
-                if idx.pm_live_bytes <= self.config.pm_watermark {
-                    return Ok(());
-                }
-                // Oldest PM-resident records, per color from the start.
-                let mut v: Vec<(ColorId, SeqNum)> = Vec::with_capacity(self.config.spill_batch);
-                'outer: for (&color, m) in idx.committed.iter() {
+            if self.pm_live_bytes.load(Ordering::Relaxed) <= self.config.pm_watermark {
+                return Ok(());
+            }
+            // Oldest PM-resident records, per color from the start. One
+            // stripe lock at a time (never two).
+            let mut victims: Vec<(ColorId, SeqNum)> = Vec::with_capacity(self.config.spill_batch);
+            'outer: for stripe in self.stripes.iter() {
+                let stripe = stripe.lock();
+                for (&color, m) in stripe.committed.iter() {
                     for (&sn, &on_ssd) in m.iter() {
                         if !on_ssd {
-                            v.push((color, sn));
-                            if v.len() >= self.config.spill_batch {
+                            victims.push((color, sn));
+                            if victims.len() >= self.config.spill_batch {
                                 break 'outer;
                             }
                         }
                     }
                 }
-                v
-            };
+            }
             if victims.is_empty() {
                 return Ok(());
             }
@@ -651,15 +875,16 @@ impl StorageServer {
                 tx.delete(committed_key(color, sn));
             }
             tx.commit()?;
-            let mut idx = self.idx.lock();
             for &(color, sn) in &victims {
-                if let Some(m) = idx.committed.get_mut(&color) {
+                let mut stripe = self.stripe_of(color).lock();
+                if let Some(m) = stripe.committed.get_mut(&color) {
                     if let Some(slot) = m.get_mut(&sn) {
                         *slot = true;
                     }
                 }
             }
-            idx.pm_live_bytes = idx.pm_live_bytes.saturating_sub(freed);
+            self.pm_live_bytes
+                .fetch_sub(freed.min(self.pm_live_bytes.load(Ordering::Relaxed)), Ordering::Relaxed);
             self.stats
                 .spilled_records
                 .fetch_add(victims.len() as u64, Ordering::Relaxed);
@@ -667,7 +892,7 @@ impl StorageServer {
     }
 }
 
-fn encode_staged(color: ColorId, payloads: &[Vec<u8>]) -> Vec<u8> {
+fn encode_staged(color: ColorId, payloads: &[Payload]) -> Vec<u8> {
     let total: usize = payloads.iter().map(|p| p.len() + 4).sum();
     let mut v = Vec::with_capacity(8 + total);
     v.extend_from_slice(&color.0.to_le_bytes());
@@ -687,7 +912,7 @@ fn decode_staged(v: &[u8]) -> StagedBatch {
     for _ in 0..count {
         let len = u32::from_le_bytes(v[off..off + 4].try_into().unwrap()) as usize;
         off += 4;
-        payloads.push(v[off..off + len].to_vec());
+        payloads.push(Payload::from(v[off..off + len].to_vec()));
         off += len;
     }
     StagedBatch { color, payloads }

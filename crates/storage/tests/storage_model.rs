@@ -8,7 +8,7 @@ use std::collections::{BTreeMap, HashMap};
 use proptest::prelude::*;
 
 use flexlog_storage::{StorageConfig, StorageServer};
-use flexlog_types::{ColorId, Epoch, FunctionId, SeqNum, Token};
+use flexlog_types::{ColorId, Epoch, FunctionId, Payload, SeqNum, Token};
 
 const COLORS: [ColorId; 2] = [ColorId(1), ColorId(2)];
 
@@ -76,8 +76,8 @@ proptest! {
                 Op::Stage { color, n } => {
                     token_counter += 1;
                     let tok = Token::new(FunctionId(1), token_counter);
-                    let payloads: Vec<Vec<u8>> =
-                        (0..n).map(|i| payload_of(tok, i)).collect();
+                    let payloads: Vec<Payload> =
+                        (0..n).map(|i| Payload::from(payload_of(tok, i))).collect();
                     assert!(server.stage(tok, COLORS[color as usize], &payloads).unwrap());
                     model.staged.push((tok, color as usize, n));
                 }
@@ -100,7 +100,9 @@ proptest! {
                     } else {
                         (counter as u32 % (model.next_counter[c] + 2)).max(1)
                     };
-                    let got = server.get(COLORS[c], SeqNum::new(Epoch(1), counter));
+                    let got = server
+                        .get(COLORS[c], SeqNum::new(Epoch(1), counter))
+                        .map(|p| p.to_vec());
                     let want = if counter <= model.heads[c] {
                         None
                     } else {
@@ -119,7 +121,7 @@ proptest! {
                     prop_assert_eq!(got.len(), want.len(), "scan length diverged");
                     for (g, (k, v)) in got.iter().zip(&want) {
                         prop_assert_eq!(g.sn.counter(), *k);
-                        prop_assert_eq!(&&g.payload, v);
+                        prop_assert_eq!(g.payload.as_slice(), v.as_slice());
                     }
                 }
                 Op::Trim { color, upto } => {
@@ -159,7 +161,9 @@ proptest! {
         // Final sweep: every committed live record readable, trimmed gone.
         for c in 0..2 {
             for (&k, v) in &model.committed[c] {
-                let got = server.get(COLORS[c], SeqNum::new(Epoch(1), k));
+                let got = server
+                    .get(COLORS[c], SeqNum::new(Epoch(1), k))
+                    .map(|p| p.to_vec());
                 if k <= model.heads[c] {
                     prop_assert_eq!(got, None, "trimmed {} visible", k);
                 } else {

@@ -12,10 +12,16 @@
 //! * a [`Token`] uniquely identifies an append request: the caller's
 //!   [`FunctionId`] in the high 32 bits and a per-caller counter in the low
 //!   32 bits (Algorithm 1, line 6) — the basis of append idempotence;
+//! * a [`Payload`] is the zero-copy record body shared by the whole data
+//!   path: `Arc<[u8]>`-backed, so broadcasting an append to every replica of
+//!   a shard, retransmitting it, and inserting it into the DRAM cache are
+//!   all reference-count bumps instead of byte copies;
 //! * a [`CommittedRecord`] is a payload together with its assigned SN.
 
 
 use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
 
 /// Identifier of a color (log region). Color 0 is the master region — the
 /// root of the color tree, also used as the *special color* brokering
@@ -141,15 +147,150 @@ impl fmt::Debug for Token {
 )]
 pub struct ShardId(pub u32);
 
+/// The body of a log record, shared zero-copy across the data path.
+///
+/// Backed by an `Arc<[u8]>`: cloning a `Payload` — for the per-replica
+/// broadcast of an append, a retransmission, a DRAM-cache fill, or a read
+/// response — bumps a reference count instead of copying the record bytes.
+/// The bytes are immutable for the payload's whole life, which is what makes
+/// the sharing sound: every tier and every in-flight message observes the
+/// same frozen buffer.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Payload(Arc<[u8]>);
+
+impl Payload {
+    /// Wraps an owned buffer without copying (a `Vec` converts in place).
+    pub fn new(bytes: impl Into<Arc<[u8]>>) -> Self {
+        Payload(bytes.into())
+    }
+
+    /// Copies a borrowed slice into a fresh payload — the single ingress
+    /// copy of the data path (client API boundary).
+    pub fn copy_from_slice(bytes: &[u8]) -> Self {
+        Payload(Arc::from(bytes))
+    }
+
+    /// An empty payload.
+    pub fn empty() -> Self {
+        Payload(Arc::from(&[][..]))
+    }
+
+    /// The record bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Byte length.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for zero-length payloads.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// An owned copy of the bytes (leaves the shared buffer intact).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.to_vec()
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Self {
+        Payload(v.into())
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(v: &[u8]) -> Self {
+        Payload::copy_from_slice(v)
+    }
+}
+
+impl From<String> for Payload {
+    fn from(v: String) -> Self {
+        Payload(v.into_bytes().into())
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Payload {
+    fn from(v: &[u8; N]) -> Self {
+        Payload::copy_from_slice(v)
+    }
+}
+
+impl PartialEq<[u8]> for Payload {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Payload {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Payload {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Payload> for Vec<u8> {
+    fn eq(&self, other: &Payload) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Payload {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Payload {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "payload[{}B", self.0.len())?;
+        if let Ok(s) = std::str::from_utf8(&self.0) {
+            if s.len() <= 24 && s.chars().all(|c| !c.is_control()) {
+                write!(f, " \"{s}\"")?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
 /// A record that has been assigned its place in a colored log.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct CommittedRecord {
     pub sn: SeqNum,
-    pub payload: Vec<u8>,
+    pub payload: Payload,
 }
 
 impl CommittedRecord {
-    pub fn new(sn: SeqNum, payload: impl Into<Vec<u8>>) -> Self {
+    pub fn new(sn: SeqNum, payload: impl Into<Payload>) -> Self {
         CommittedRecord {
             sn,
             payload: payload.into(),
@@ -199,7 +340,48 @@ mod tests {
         assert_eq!(format!("{:?}", Token::new(FunctionId(2), 3)), "tok[f2:3]");
     }
 
+    #[test]
+    fn payload_clone_shares_bytes() {
+        let p = Payload::from(vec![1u8, 2, 3]);
+        let q = p.clone();
+        // Same allocation: zero-copy sharing, not a byte copy.
+        assert!(std::ptr::eq(p.as_slice(), q.as_slice()));
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn payload_from_vec_does_not_copy_contents() {
+        let v = vec![7u8; 64];
+        let p = Payload::from(v.clone());
+        assert_eq!(p, v);
+        assert_eq!(p.len(), 64);
+        assert!(!p.is_empty());
+        assert!(Payload::empty().is_empty());
+    }
+
+    #[test]
+    fn payload_compares_with_byte_types() {
+        let p = Payload::from(&b"abc"[..]);
+        assert_eq!(p, b"abc");
+        assert_eq!(p, *b"abc");
+        assert_eq!(p, b"abc".to_vec());
+        assert_eq!(p, &b"abc"[..]);
+        assert_eq!(p[..2], b"ab"[..]);
+    }
+
+    #[test]
+    fn payload_debug_previews_utf8() {
+        assert_eq!(format!("{:?}", Payload::from(&b"hi"[..])), "payload[2B \"hi\"]");
+        assert_eq!(format!("{:?}", Payload::from(vec![0xFF, 0xFE])), "payload[2B]");
+    }
+
     proptest! {
+        #[test]
+        fn payload_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let p = Payload::from(bytes.clone());
+            prop_assert_eq!(p.to_vec(), bytes);
+        }
+
         #[test]
         fn seqnum_roundtrip(e in any::<u32>(), c in any::<u32>()) {
             let sn = SeqNum::new(Epoch(e), c);

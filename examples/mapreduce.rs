@@ -80,7 +80,7 @@ fn main() {
     let mut totals: HashMap<String, u32> = HashMap::new();
     for &color in &mapper_colors {
         for rec in reducer.subscribe(color).unwrap() {
-            let s = String::from_utf8(rec.payload).expect("utf8");
+            let s = String::from_utf8(rec.payload.to_vec()).expect("utf8");
             let (word, n) = s.split_once(':').expect("word:count");
             *totals.entry(word.to_string()).or_default() += n.parse::<u32>().unwrap();
         }

@@ -89,7 +89,7 @@ fn main() {
         dying
             .append(
                 ColorId::MASTER,
-                &[b"this is an unfinished workflow".to_vec()],
+                &[b"this is an unfinished workflow".to_vec().into()],
             )
             .unwrap();
         println!("workflow 2 staged its intent and crashed before `end`");

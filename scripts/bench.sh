@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerates the tracked data-path benchmark artifact (BENCH_datapath.json)
+# with a full-length run, then sanity-checks the result against the embedded
+# pre-PR baseline. Commit the refreshed JSON together with any data-path
+# change so the history of the numbers tracks the history of the code.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release -p flexlog-bench --bin datapath"
+cargo build --release -p flexlog-bench --bin datapath
+
+echo "==> datapath (full run, writes BENCH_datapath.json)"
+./target/release/datapath --out BENCH_datapath.json
+
+python3 - <<'EOF'
+import json
+d = json.load(open("BENCH_datapath.json"))
+base = d["pre_pr_baseline"]
+rows = {(r["shards"], r["mode"]): r for r in d["results"]}
+print(f"{'shards':>6} {'mode':>10} {'rec/s':>10} {'p50 us':>9} {'p99 us':>9} {'vs baseline':>12}")
+for (shards, mode), r in sorted(rows.items()):
+    b = base[f"shards_{shards}"]
+    print(f"{shards:>6} {mode:>10} {r['records_per_s']:>10.0f} {r['p50_us']:>9.1f} "
+          f"{r['p99_us']:>9.1f} {r['records_per_s'] / b:>11.2f}x")
+speedup = rows[(4, "pipelined")]["records_per_s"] / base["shards_4"]
+if speedup < 2.0:
+    print(f"WARNING: 4-shard pipelined speedup {speedup:.2f}x is below the 2x target "
+          "(noisy host? rerun before committing)")
+EOF

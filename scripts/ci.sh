@@ -16,6 +16,20 @@ cargo test --workspace -q
 echo "==> nemesis smoke (bounded chaos run, fixed seed)"
 cargo run --release -p flexlog-chaos --example nemesis_smoke
 
+echo "==> datapath bench smoke (--quick, JSON shape check)"
+cargo run --release -p flexlog-bench --bin datapath -- --quick --out /tmp/flexlog_datapath_smoke.json
+python3 - <<'EOF'
+import json
+d = json.load(open("/tmp/flexlog_datapath_smoke.json"))
+assert d["bench"] == "datapath" and d["quick"] is True
+assert {"shards_1", "shards_2", "shards_4"} <= set(d["pre_pr_baseline"])
+assert len(d["results"]) == 6, f"expected 6 rows, got {len(d['results'])}"
+for r in d["results"]:
+    assert r["records"] > 0 and r["records_per_s"] > 0, r
+    assert {"p50_us", "p99_us", "cache_hit_rate", "bytes_appended", "bytes_read"} <= set(r), r
+print("datapath smoke JSON OK")
+EOF
+
 echo "==> cargo clippy -p flexlog-chaos (deny warnings)"
 cargo clippy -p flexlog-chaos --all-targets -- -D warnings
 

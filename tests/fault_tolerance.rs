@@ -192,8 +192,8 @@ fn failover_during_inflight_appends_loses_nothing_acknowledged() {
     let mut reader = cluster.handle();
     for (sn, payload) in &acked {
         assert_eq!(
-            reader.read(*sn, RED).unwrap().as_ref(),
-            Some(payload),
+            reader.read(*sn, RED).unwrap().as_deref(),
+            Some(payload.as_slice()),
             "acknowledged append at {sn:?} lost in fail-over"
         );
     }

@@ -105,7 +105,7 @@ proptest! {
                     }
                     let idx = model.appended[c].len().saturating_sub(1 + back as usize % model.appended[c].len());
                     let sn = model.appended[c][idx];
-                    let got = h.read(sn, COLORS[c]).unwrap();
+                    let got = h.read(sn, COLORS[c]).unwrap().map(|p| p.to_vec());
                     let want = model.read(c, sn).cloned();
                     prop_assert_eq!(got, want, "read({:?}) diverged", sn);
                 }
@@ -194,8 +194,8 @@ fn concurrent_append_visibility() {
     for (sn, payload) in &all {
         assert!(seen.insert(*sn), "duplicate SN {sn:?}");
         assert_eq!(
-            reader.read(*sn, COLORS[0]).unwrap().as_ref(),
-            Some(payload),
+            reader.read(*sn, COLORS[0]).unwrap().as_deref(),
+            Some(payload.as_slice()),
             "completed append invisible at {sn:?}"
         );
     }

@@ -59,7 +59,7 @@ fn client_crash_before_end_leaves_no_trace() {
         );
         // Phase 1 only: stage into the special color, then "crash".
         dying
-            .append(ColorId::MASTER, &[b"staged-but-never-ended".to_vec()])
+            .append(ColorId::MASTER, &[b"staged-but-never-ended".to_vec().into()])
             .unwrap();
     }
     std::thread::sleep(Duration::from_millis(100));
