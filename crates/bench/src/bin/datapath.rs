@@ -46,6 +46,23 @@ const SEED: u64 = 42;
 /// PR is ≥ 2× over the 4-shard figure in pipelined mode.
 const PRE_PR_BASELINE: &[(usize, f64)] = &[(1, 11489.0), (2, 11517.0), (4, 11884.0)];
 
+/// The paper-style latency decomposition: per-stage percentiles pulled
+/// from the cluster's shared metrics registry after the run. All values
+/// in microseconds.
+struct StageBreakdown {
+    /// `(stage name, histogram name)` → (p50_us, p99_us, count).
+    stages: Vec<(&'static str, f64, f64, u64)>,
+}
+
+/// Registry histogram per pipeline stage. `client` is end-to-end (the sum
+/// of everything plus the wire); the others are the on-node service times.
+const STAGE_HISTOGRAMS: &[(&str, &str)] = &[
+    ("client", "client.append_ns"),
+    ("sequencer", "seq.batch_wait_ns"),
+    ("replica", "replica.commit_batch_ns"),
+    ("storage", "storage.commit_ns"),
+];
+
 struct ModeResult {
     mode: &'static str,
     shards: usize,
@@ -58,6 +75,7 @@ struct ModeResult {
     cache_hit_rate: f64,
     bytes_appended: u64,
     bytes_read: u64,
+    breakdown: StageBreakdown,
 }
 
 fn percentile(sorted_us: &[f64], p: f64) -> f64 {
@@ -188,6 +206,18 @@ fn run_mode(shards: usize, per_client: usize, window: usize) -> ModeResult {
         0.0
     };
 
+    // Per-stage latency percentiles from the shared metrics registry.
+    let snap = cluster.obs().snapshot();
+    let breakdown = StageBreakdown {
+        stages: STAGE_HISTOGRAMS
+            .iter()
+            .map(|&(stage, hist)| match snap.histogram(hist) {
+                Some(h) => (stage, h.p50 as f64 / 1e3, h.p99 as f64 / 1e3, h.count),
+                None => (stage, 0.0, 0.0, 0),
+            })
+            .collect(),
+    };
+
     cluster.shutdown();
 
     let secs = elapsed.as_secs_f64();
@@ -203,6 +233,7 @@ fn run_mode(shards: usize, per_client: usize, window: usize) -> ModeResult {
         cache_hit_rate,
         bytes_appended,
         bytes_read,
+        breakdown,
     }
 }
 
@@ -234,6 +265,13 @@ fn main() {
                 "    {:>9} rec/s  p50 {:7.1} us  p99 {:7.1} us  ({:.2?})",
                 r.records_per_s as u64, r.p50_us, r.p99_us, r.elapsed
             );
+            let decomp: Vec<String> = r
+                .breakdown
+                .stages
+                .iter()
+                .map(|(stage, p50, p99, _)| format!("{stage} {p50:.0}/{p99:.0}us"))
+                .collect();
+            eprintln!("    stage p50/p99: {}", decomp.join("  "));
             results.push(r);
         }
     }
@@ -261,8 +299,18 @@ fn main() {
     let rows: Vec<String> = results
         .iter()
         .map(|r| {
+            let stages: Vec<String> = r
+                .breakdown
+                .stages
+                .iter()
+                .map(|(stage, p50, p99, count)| {
+                    format!(
+                        "\"{stage}\": {{\"p50_us\": {p50:.1}, \"p99_us\": {p99:.1}, \"count\": {count}}}"
+                    )
+                })
+                .collect();
             format!(
-                "    {{\"shards\": {}, \"mode\": \"{}\", \"records\": {}, \"records_per_s\": {:.1}, \"mb_per_s\": {:.2}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"cache_hit_rate\": {:.4}, \"bytes_appended\": {}, \"bytes_read\": {}}}",
+                "    {{\"shards\": {}, \"mode\": \"{}\", \"records\": {}, \"records_per_s\": {:.1}, \"mb_per_s\": {:.2}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"cache_hit_rate\": {:.4}, \"bytes_appended\": {}, \"bytes_read\": {}, \"stages\": {{{}}}}}",
                 r.shards,
                 r.mode,
                 r.records,
@@ -272,7 +320,8 @@ fn main() {
                 r.p99_us,
                 r.cache_hit_rate,
                 r.bytes_appended,
-                r.bytes_read
+                r.bytes_read,
+                stages.join(", ")
             )
         })
         .collect();

@@ -38,6 +38,7 @@ fn flexlog_server() -> Arc<StorageServer> {
         pm_watermark: 200 << 20, // stay on PM like the paper's 800 GB DIMMs
         spill_batch: 64,
         clock: ClockMode::Virtual,
+        obs: Default::default(),
     }))
 }
 

@@ -51,4 +51,22 @@ fn main() {
          max epoch {}, final log sizes {:?}",
         report.operations, report.ok_appends, report.errors, report.max_epoch, report.final_sizes,
     );
+
+    // The flight recorder must stay ring-bounded no matter how much chaos
+    // traffic it absorbed: occupancy never exceeds capacity, and eviction
+    // (if any) is accounted for rather than silent.
+    assert!(
+        report.trace_events <= report.trace_capacity,
+        "tracer ring overflowed its bound: {} events > capacity {}",
+        report.trace_events,
+        report.trace_capacity,
+    );
+    assert!(
+        report.trace_events > 0,
+        "chaos run recorded no trace events; the flight recorder is dark"
+    );
+    println!(
+        "flight recorder: {} / {} ring slots used, {} evicted",
+        report.trace_events, report.trace_capacity, report.trace_dropped,
+    );
 }

@@ -73,6 +73,12 @@ pub struct ChaosReport {
     pub max_epoch: u32,
     /// Records per color in the final quiescent logs.
     pub final_sizes: HashMap<ColorId, usize>,
+    /// Flight-recorder ring occupancy at shutdown (must be ≤ capacity).
+    pub trace_events: usize,
+    /// Flight-recorder ring capacity.
+    pub trace_capacity: usize,
+    /// Trace events evicted because the ring was full.
+    pub trace_dropped: u64,
 }
 
 /// Seed for a chaos run: `FLEXLOG_CHAOS_SEED` (decimal or `0x…` hex) if
@@ -204,10 +210,11 @@ pub fn run_chaos(options: ChaosOptions) -> ChaosReport {
     if !violations.is_empty() {
         let shown = violations.iter().take(20).cloned().collect::<Vec<_>>();
         panic!(
-            "chaos run found {} invariant violation(s):\n  {}\n{}",
+            "chaos run found {} invariant violation(s):\n  {}\n{}\n{}",
             violations.len(),
             shown.join("\n  "),
             plan,
+            incomplete_token_traces(&cluster),
         );
     }
 
@@ -219,6 +226,9 @@ pub fn run_chaos(options: ChaosOptions) -> ChaosReport {
         errors: 0,
         max_epoch: 0,
         final_sizes: final_logs.iter().map(|(c, l)| (*c, l.len())).collect(),
+        trace_events: cluster.obs().tracer().len(),
+        trace_capacity: cluster.obs().tracer().capacity(),
+        trace_dropped: cluster.obs().tracer().dropped(),
     };
     for o in &observations {
         let (ok_append, err, sn) = match &o.kind {
@@ -248,6 +258,50 @@ pub fn run_chaos(options: ChaosOptions) -> ChaosReport {
 
     cluster.shutdown();
     report
+}
+
+/// Flight-recorder context for a failed run: the traces of appends that
+/// were sent but never acked, i.e. the tokens whose span chains stalled
+/// somewhere between the client and the storage tier. Capped so a mass
+/// outage does not drown the violation report.
+fn incomplete_token_traces(cluster: &FlexLogCluster) -> String {
+    use flexlog_core::{Stage, SYNC_TOKEN};
+
+    const MAX_TRACES: usize = 10;
+    let mut sent: HashMap<flexlog_core::Token, bool> = HashMap::new();
+    for e in cluster.obs().tracer().all_events() {
+        if e.token == SYNC_TOKEN {
+            continue;
+        }
+        match e.stage {
+            Stage::ClientSend => {
+                sent.entry(e.token).or_insert(false);
+            }
+            Stage::ClientAck => {
+                sent.insert(e.token, true);
+            }
+            _ => {}
+        }
+    }
+    let mut incomplete: Vec<flexlog_core::Token> = sent
+        .into_iter()
+        .filter(|&(_, acked)| !acked)
+        .map(|(t, _)| t)
+        .collect();
+    incomplete.sort_unstable();
+    if incomplete.is_empty() {
+        return "flight recorder: every sent append was acked".into();
+    }
+    let total = incomplete.len();
+    let mut out = format!("flight recorder: {total} append(s) sent but never acked");
+    if total > MAX_TRACES {
+        out.push_str(&format!(" (showing first {MAX_TRACES})"));
+    }
+    out.push('\n');
+    for token in incomplete.into_iter().take(MAX_TRACES) {
+        out.push_str(&cluster.trace(token).render());
+    }
+    out
 }
 
 /// The quiescent truth for one color. Retries because the first subscribe

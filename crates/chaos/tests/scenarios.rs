@@ -242,6 +242,60 @@ fn blocked_append_completes_after_replica_restart() {
     cluster.shutdown();
 }
 
+/// The flight recorder must capture a crashed-then-restarted replica's §6.3
+/// recovery: its node id shows a `SyncStart` and a matching `SyncDone` in
+/// the cluster trace (same sync round in the event detail).
+#[test]
+fn restarted_replica_sync_is_visible_in_the_trace() {
+    use flexlog_core::{Stage, SYNC_TOKEN};
+
+    let cluster = FlexLogCluster::start(resilient_spec());
+    cluster.add_color(RED).unwrap();
+    let mut h = cluster.handle();
+    for i in 0..5u32 {
+        h.append(format!("pre-{i}").as_bytes(), RED).unwrap();
+    }
+
+    let victim = cluster.data().shard_replicas(ShardId(0))[0];
+    cluster.data().crash_replica(cluster.network(), victim);
+    std::thread::sleep(Duration::from_millis(100));
+    cluster
+        .data()
+        .restart_replica(cluster.network(), cluster.directory(), victim);
+
+    // The restarted replica must finish its sync phase: appends complete
+    // again once the barrier passes.
+    h.append(b"post-restart", RED).unwrap();
+
+    let sync_events: Vec<_> = cluster
+        .obs()
+        .tracer()
+        .events_for(SYNC_TOKEN)
+        .into_iter()
+        .filter(|e| e.node == victim.0)
+        .collect();
+    let started: Vec<u64> = sync_events
+        .iter()
+        .filter(|e| e.stage == Stage::SyncStart)
+        .map(|e| e.detail)
+        .collect();
+    let done: Vec<u64> = sync_events
+        .iter()
+        .filter(|e| e.stage == Stage::SyncDone)
+        .map(|e| e.detail)
+        .collect();
+    assert!(
+        !started.is_empty(),
+        "restarted replica {victim} never entered the sync phase"
+    );
+    assert!(
+        done.iter().any(|round| started.contains(round)),
+        "restarted replica {victim} never finished a sync round it started \
+         (started {started:?}, done {done:?})"
+    );
+    cluster.shutdown();
+}
+
 /// Companion demo to scenario 3: when a shard is unreachable, the hardened
 /// client reports `ShardUnreachable` after its retry budget — long before
 /// the 30 s global deadline would expire.

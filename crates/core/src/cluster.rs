@@ -4,6 +4,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use flexlog_obs::{ObsHandle, Trace};
 use flexlog_ordering::{Directory, OrderingHandle, OrderingService, RoleId, TreeSpec};
 use flexlog_replication::{
     ClientConfig, ClusterMsg, DataLayerHandle, DataLayerService, DataLayerSpec, FlexLogClient,
@@ -11,7 +12,7 @@ use flexlog_replication::{
 };
 use flexlog_simnet::{NetConfig, Network, NodeId};
 use flexlog_storage::StorageConfig;
-use flexlog_types::{ColorId, FunctionId, ShardId};
+use flexlog_types::{ColorId, FunctionId, ShardId, Token};
 
 use crate::{ColorAdmin, FlexLog};
 
@@ -87,12 +88,19 @@ pub struct FlexLogCluster {
     ordering: OrderingHandle<ClusterMsg>,
     spec: ClusterSpec,
     next_client: AtomicU64,
+    obs: ObsHandle,
 }
 
 impl FlexLogCluster {
     /// Builds and starts every component of `spec`.
     pub fn start(spec: ClusterSpec) -> Self {
+        // One observability surface for the whole deployment: every layer
+        // (clients, sequencers, replicas, storage, network) reports into it.
+        let obs = ObsHandle::new();
+        let mut spec = spec;
+        spec.storage.obs = obs.clone();
         let net: Network<ClusterMsg> = Network::new(spec.net.clone());
+        net.attach_obs(&obs);
         let directory = Directory::new();
 
         // --- data layer -------------------------------------------------
@@ -119,6 +127,7 @@ impl FlexLogCluster {
         } else {
             TreeSpec::root_and_leaves(&[], &vec![Vec::new(); spec.leaves])
         };
+        tree.obs = obs.clone();
         tree.backups_per_position = spec.backups_per_sequencer;
         tree.batch_interval = spec.batch_interval;
         tree.delta = spec.delta;
@@ -159,6 +168,7 @@ impl FlexLogCluster {
             ordering,
             spec,
             next_client: AtomicU64::new(1),
+            obs,
         }
     }
 
@@ -174,6 +184,7 @@ impl FlexLogCluster {
                 retry: self.spec.client_retry,
                 max_retry: self.spec.client_max_retry,
                 deadline: self.spec.client_deadline,
+                obs: self.obs.clone(),
                 ..Default::default()
             },
         );
@@ -203,6 +214,27 @@ impl FlexLogCluster {
     /// Ordering-layer handle (sequencer crash, stats).
     pub fn ordering(&self) -> &OrderingHandle<ClusterMsg> {
         &self.ordering
+    }
+
+    /// The cluster-wide observability surface (shared by every layer).
+    pub fn obs(&self) -> &ObsHandle {
+        &self.obs
+    }
+
+    /// Human-readable snapshot of every metric across all layers.
+    pub fn metrics_report(&self) -> String {
+        self.obs.report_text()
+    }
+
+    /// The same snapshot as a JSON object (one key per metric).
+    pub fn metrics_report_json(&self) -> String {
+        self.obs.report_json()
+    }
+
+    /// The recorded event chain of one append token, across every layer it
+    /// touched (client → sequencer → replicas → storage).
+    pub fn trace(&self, token: Token) -> Trace {
+        self.obs.trace(token)
     }
 
     /// Leaf sequencer roles in this deployment.

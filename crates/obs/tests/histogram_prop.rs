@@ -1,0 +1,99 @@
+//! Property test: percentiles read from the log-bucketed histogram are
+//! within one bucket width of the exact percentiles computed on the raw
+//! sample vector, across random value distributions (uniform small,
+//! uniform wide, heavy-tailed, constant-heavy mixes).
+
+use proptest::prelude::*;
+
+use flexlog_obs::{bucket_bounds, Histogram, NUM_BUCKETS};
+
+/// Bucket index containing `v`, recomputed via the public bounds (the
+/// crate keeps the index function private; a linear scan is fine at test
+/// scale).
+fn containing_bucket(v: u64) -> usize {
+    for idx in 0..NUM_BUCKETS {
+        let (lo, hi) = bucket_bounds(idx);
+        if lo <= v && v <= hi {
+            return idx;
+        }
+    }
+    panic!("no bucket for {v}");
+}
+
+/// Exact percentile by the same rank convention the histogram uses:
+/// the `ceil(p/100 * n)`-th smallest sample (1-based), clamped to [1, n].
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((p / 100.0) * n as f64).ceil() as u64;
+    let rank = rank.clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+fn value_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        // Small latencies (ns scale).
+        3 => 0u64..1_000,
+        // Microsecond-to-millisecond scale.
+        3 => 1_000u64..10_000_000,
+        // Heavy tail.
+        1 => 10_000_000u64..10_000_000_000,
+        // Repeated constant (percentile mass piles in one bucket).
+        1 => Just(4_096u64),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn percentiles_within_one_bucket_width(
+        values in proptest::collection::vec(value_strategy(), 1..400)
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+        prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+
+        for p in [0.0, 1.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+            let exact = exact_percentile(&sorted, p);
+            let approx = h.percentile(p);
+            let (lo, hi) = bucket_bounds(containing_bucket(exact));
+            let width = hi - lo + 1;
+            let err = approx.abs_diff(exact);
+            prop_assert!(
+                err <= width,
+                "p{}: approx {} vs exact {} differ by {} > bucket width {} (bucket [{}, {}])",
+                p, approx, exact, err, width, lo, hi
+            );
+            // Stronger: the approximation must land inside the exact
+            // value's bucket (same-bucket guarantee of the rank walk).
+            prop_assert!(
+                approx >= lo && approx <= hi,
+                "p{}: approx {} escaped exact bucket [{}, {}]",
+                p, approx, lo, hi
+            );
+        }
+    }
+
+    #[test]
+    fn summary_matches_individual_percentiles(
+        values in proptest::collection::vec(value_strategy(), 1..200)
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.summary();
+        prop_assert_eq!(s.p50, h.percentile(50.0));
+        prop_assert_eq!(s.p90, h.percentile(90.0));
+        prop_assert_eq!(s.p99, h.percentile(99.0));
+        prop_assert_eq!(s.max, h.max());
+        prop_assert_eq!(s.count, values.len() as u64);
+    }
+}

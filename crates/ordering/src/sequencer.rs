@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use flexlog_obs::{Histogram, ObsHandle, Stage};
 use flexlog_simnet::{Endpoint, NodeId, RecvError};
 use flexlog_types::{ColorId, Epoch, SeqNum, Token};
 
@@ -34,6 +35,9 @@ pub struct SequencerConfig {
     /// Dynamic color ownership (AddColor); consulted in addition to
     /// `owned`.
     pub registry: ColorRegistry,
+    /// Shared observability surface (SeqAssign trace events, batch-wait
+    /// histogram).
+    pub obs: ObsHandle,
 }
 
 impl Default for SequencerConfig {
@@ -48,6 +52,7 @@ impl Default for SequencerConfig {
             delta: Duration::from_millis(150),
             resend_timeout: Duration::from_millis(300),
             registry: ColorRegistry::new(),
+            obs: ObsHandle::default(),
         }
     }
 }
@@ -135,6 +140,9 @@ pub struct SequencerNode {
     responded: HashMap<(NodeId, u64), SeqNum>,
     responded_order: VecDeque<(NodeId, u64)>,
     stats: Arc<SequencerStats>,
+    /// Time each color batch spent open in the aggregation window before
+    /// it was flushed (assigned or forwarded).
+    batch_wait_hist: Histogram,
 }
 
 impl SequencerNode {
@@ -145,6 +153,7 @@ impl SequencerNode {
 
     /// Creates a sequencer resuming at a given epoch (promotion path).
     pub fn with_epoch(config: SequencerConfig, directory: Directory, epoch: Epoch) -> Self {
+        let batch_wait_hist = config.obs.histogram("seq.batch_wait_ns");
         SequencerNode {
             config,
             directory,
@@ -159,6 +168,7 @@ impl SequencerNode {
             responded: HashMap::new(),
             responded_order: VecDeque::new(),
             stats: Arc::new(SequencerStats::default()),
+            batch_wait_hist,
         }
     }
 
@@ -253,7 +263,7 @@ impl SequencerNode {
                         OrderMsg::AggResp { batch, last_sn } => {
                             self.stats.busy_ns.fetch_add(HANDLE_AGG_NS, Ordering::Relaxed);
                             if let Some(p) = self.pending_up.remove(&batch) {
-                                self.distribute(&ep, p.constituents, last_sn, p.total);
+                                self.distribute(&ep, p.color, p.constituents, last_sn, p.total);
                             }
                         }
                         OrderMsg::HeartbeatAck { epoch } if epoch == self.epoch => {
@@ -318,6 +328,8 @@ impl SequencerNode {
         for color in due {
             let Some(buf) = self.buffers.remove(&color) else { continue };
             self.stats.batches.fetch_add(1, Ordering::Relaxed);
+            self.batch_wait_hist
+                .record_ns(now.saturating_duration_since(buf.opened_at));
             let owned = self.config.owned.contains(&color)
                 || self.config.registry.owner(color) == Some(self.config.role);
             if owned {
@@ -329,7 +341,7 @@ impl SequencerNode {
                 self.stats
                     .sns_issued
                     .fetch_add(buf.total as u64, Ordering::Relaxed);
-                self.distribute(ep, buf.constituents, last_sn, buf.total);
+                self.distribute(ep, color, buf.constituents, last_sn, buf.total);
             } else {
                 // Forward one merged request to the parent.
                 let Some(parent_role) = self.config.parent else {
@@ -370,6 +382,7 @@ impl SequencerNode {
     fn distribute<W: OrderWire>(
         &mut self,
         ep: &Endpoint<W>,
+        color: ColorId,
         constituents: Vec<Constituent>,
         last_sn: SeqNum,
         total: u32,
@@ -384,6 +397,14 @@ impl SequencerNode {
                     shard,
                 } => {
                     let sub_last = SeqNum::new(epoch, cursor + nrecords - 1);
+                    // The SN now exists for this record: one SeqAssign per
+                    // (token, color), stamped with the answering sequencer.
+                    self.config.obs.tracer().record(
+                        token,
+                        Stage::SeqAssign,
+                        ep.id().0,
+                        color.0 as u64,
+                    );
                     let _ = ep.broadcast(
                         &shard,
                         W::from_order(OrderMsg::OResp {

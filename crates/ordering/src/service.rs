@@ -37,6 +37,9 @@ pub struct TreeSpec {
     pub delta: Duration,
     pub resend_timeout: Duration,
     pub election_window: Duration,
+    /// Shared observability surface handed to every sequencer (and its
+    /// promoted backups, via the cloned `SequencerConfig`).
+    pub obs: flexlog_obs::ObsHandle,
 }
 
 impl Default for TreeSpec {
@@ -50,6 +53,7 @@ impl Default for TreeSpec {
             delta: Duration::from_millis(150),
             resend_timeout: Duration::from_millis(300),
             election_window: Duration::from_millis(60),
+            obs: flexlog_obs::ObsHandle::default(),
         }
     }
 }
@@ -128,6 +132,7 @@ impl TreeSpec {
             delta: self.delta,
             resend_timeout: self.resend_timeout,
             registry: self.registry.clone(),
+            obs: self.obs.clone(),
         }
     }
 }

@@ -283,6 +283,53 @@ fn failover_elects_backup_and_bumps_epoch() {
 }
 
 #[test]
+fn epoch_bump_resets_per_color_counters_exactly_once() {
+    // After a fail-over the promoted sequencer starts a fresh epoch and
+    // fresh per-color counters (SN = epoch << 32 | counter, so uniqueness
+    // survives the reset). The reset must happen exactly once: the first
+    // post-fail-over SN of each color restarts at 1, and subsequent SNs
+    // keep counting within the same epoch rather than resetting again.
+    let net: Network<OrderMsg> = Network::instant();
+    let mut spec = TreeSpec::single(&[RED, GREEN]);
+    spec.backups_per_position = 2;
+    spec.heartbeat_interval = Duration::from_millis(10);
+    spec.delta = Duration::from_millis(60);
+    spec.election_window = Duration::from_millis(30);
+    let h = OrderingService::start(&net, &spec, &HashMap::new());
+    let ep = client(&net, 1);
+
+    // Advance both colors past 1 in the first epoch.
+    for i in 0..3 {
+        request_order(&ep, &h.directory, RoleId(0), RED, tok(1, i), 1, RETRY).unwrap();
+    }
+    for i in 10..12 {
+        request_order(&ep, &h.directory, RoleId(0), GREEN, tok(1, i), 1, RETRY).unwrap();
+    }
+
+    h.crash_leader(&net, RoleId(0));
+
+    let red1 = request_order(&ep, &h.directory, RoleId(0), RED, tok(1, 20), 1, RETRY).unwrap();
+    assert!(red1.epoch() > Epoch(1), "fail-over must bump the epoch");
+    assert_eq!(red1.counter(), 1, "RED counter resets with the new epoch");
+    let green1 =
+        request_order(&ep, &h.directory, RoleId(0), GREEN, tok(1, 21), 1, RETRY).unwrap();
+    assert_eq!(green1.epoch(), red1.epoch(), "one epoch bump serves both colors");
+    assert_eq!(green1.counter(), 1, "GREEN counter resets too");
+
+    // Exactly once: the next SNs of the same epoch continue, not reset.
+    let red2 = request_order(&ep, &h.directory, RoleId(0), RED, tok(1, 22), 1, RETRY).unwrap();
+    assert_eq!(red2.epoch(), red1.epoch());
+    assert_eq!(red2.counter(), 2, "no second reset within the epoch");
+    let green2 =
+        request_order(&ep, &h.directory, RoleId(0), GREEN, tok(1, 23), 1, RETRY).unwrap();
+    assert_eq!(green2.counter(), 2);
+
+    // And the new-epoch SNs still sort after every old-epoch SN.
+    assert!(red1 > SeqNum::new(Epoch(1), u32::MAX - 1) || red1.epoch() > Epoch(1));
+    h.shutdown(&net);
+}
+
+#[test]
 fn double_failover_keeps_increasing_epochs() {
     let net: Network<OrderMsg> = Network::instant();
     let mut spec = TreeSpec::single(&[RED]);

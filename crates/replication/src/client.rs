@@ -27,6 +27,7 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use flexlog_obs::{Histogram, ObsHandle, Stage};
 use flexlog_simnet::{Endpoint, NodeId, RecvError};
 use flexlog_types::{ColorId, CommittedRecord, FunctionId, Payload, SeqNum, ShardId, Token};
 
@@ -59,6 +60,9 @@ pub struct ClientConfig {
     /// [`FlexLogClient::append_pipelined`]; the serial
     /// [`FlexLogClient::append`] ignores it.
     pub pipeline_window: usize,
+    /// Observability surface: append latency histograms plus the
+    /// `ClientSend`/`ClientRetransmit`/`ClientAck` trace stages.
+    pub obs: ObsHandle,
 }
 
 impl Default for ClientConfig {
@@ -71,6 +75,7 @@ impl Default for ClientConfig {
             unreachable_after: 8,
             deadline: Duration::from_secs(30),
             pipeline_window: 32,
+            obs: ObsHandle::default(),
         }
     }
 }
@@ -175,6 +180,8 @@ struct InflightAppend {
     retry_at: Instant,
     silent_rounds: u32,
     deadline: Instant,
+    /// When the op entered the pipeline (per-op append latency).
+    started: Instant,
 }
 
 /// See module docs.
@@ -189,11 +196,15 @@ pub struct FlexLogClient {
     inflight: HashMap<Token, InflightAppend>,
     /// Pipelined appends that completed but were not yet handed out.
     completed: Vec<(Token, SeqNum)>,
+    /// End-to-end append latency, serial and pipelined alike
+    /// (`client.append_ns`).
+    append_hist: Histogram,
 }
 
 impl FlexLogClient {
     pub fn new(ep: Endpoint<ClusterMsg>, topology: TopologyView, config: ClientConfig) -> Self {
         let seed = ep.id().0 ^ 0x5EED;
+        let append_hist = config.obs.histogram("client.append_ns");
         FlexLogClient {
             ep,
             topology,
@@ -203,6 +214,7 @@ impl FlexLogClient {
             rng: StdRng::seed_from_u64(seed),
             inflight: HashMap::new(),
             completed: Vec::new(),
+            append_hist,
         }
     }
 
@@ -255,13 +267,22 @@ impl FlexLogClient {
             reply_to: self.ep.id(),
         }
         .into();
-        let deadline = Instant::now() + self.config.deadline;
+        let started = Instant::now();
+        let deadline = started + self.config.deadline;
         let mut backoff = Backoff::from_config(&self.config);
         let mut silent_rounds: u32 = 0;
         let mut acked: HashSet<NodeId> = HashSet::new();
+        let mut first_send = true;
         #[allow(unused_assignments)]
         let mut last_sn: Option<SeqNum> = None;
         loop {
+            let stage = if first_send {
+                Stage::ClientSend
+            } else {
+                Stage::ClientRetransmit
+            };
+            first_send = false;
+            self.config.obs.trace_event(token, stage, self.ep.id().0, 0);
             let _ = self.ep.broadcast(replicas, msg.clone());
             let retry_at = Instant::now() + backoff.next_wait(&mut self.rng);
             loop {
@@ -287,6 +308,10 @@ impl FlexLogClient {
                         // (Algorithm 1, line 8) — the basis of linearizable
                         // local reads.
                         if acked.len() == replicas.len() {
+                            self.append_hist.record_ns(started.elapsed());
+                            self.config
+                                .obs
+                                .trace_event(token, Stage::ClientAck, self.ep.id().0, 0);
                             return Ok(last_sn.expect("at least one ack"));
                         }
                     }
@@ -350,9 +375,13 @@ impl FlexLogClient {
             reply_to: self.ep.id(),
         }
         .into();
+        self.config
+            .obs
+            .trace_event(token, Stage::ClientSend, self.ep.id().0, 0);
         let _ = self.ep.broadcast(&shard.replicas, msg.clone());
+        let started = Instant::now();
         let mut backoff = Backoff::from_config(&self.config);
-        let retry_at = Instant::now() + backoff.next_wait(&mut self.rng);
+        let retry_at = started + backoff.next_wait(&mut self.rng);
         self.inflight.insert(
             token,
             InflightAppend {
@@ -364,7 +393,8 @@ impl FlexLogClient {
                 backoff,
                 retry_at,
                 silent_rounds: 0,
-                deadline: Instant::now() + self.config.deadline,
+                deadline: started + self.config.deadline,
+                started,
             },
         );
         Ok(token)
@@ -452,6 +482,9 @@ impl FlexLogClient {
                 self.inflight.remove(&token);
                 return Err(ClientError::Timeout);
             }
+            self.config
+                .obs
+                .trace_event(token, Stage::ClientRetransmit, self.ep.id().0, 0);
             let _ = self.ep.broadcast(&op.replicas, op.msg.clone());
             op.retry_at = now + op.backoff.next_wait(&mut self.rng);
         }
@@ -471,7 +504,11 @@ impl FlexLogClient {
         op.last_sn = Some(last_sn);
         if op.acked.len() == op.replicas.len() {
             let sn = op.last_sn.expect("at least one ack");
-            self.inflight.remove(&token);
+            let op = self.inflight.remove(&token).expect("present above");
+            self.append_hist.record_ns(op.started.elapsed());
+            self.config
+                .obs
+                .trace_event(token, Stage::ClientAck, self.ep.id().0, 0);
             self.completed.push((token, sn));
         }
     }

@@ -24,6 +24,7 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use flexlog_obs::{Histogram, Stage, SYNC_TOKEN};
 use flexlog_ordering::{Directory, OrderMsg, RoleId};
 use flexlog_simnet::{Endpoint, NodeId, RecvError};
 use flexlog_storage::{StorageConfig, StorageServer};
@@ -136,6 +137,8 @@ pub struct ReplicaNode {
     rng: StdRng,
     /// If a recovery sync must start immediately on boot.
     start_with_sync: bool,
+    /// Wall time of one batched OResp commit (`replica.commit_batch_ns`).
+    commit_hist: Histogram,
 }
 
 enum Deferred {
@@ -168,6 +171,7 @@ impl ReplicaNode {
         storage: Arc<StorageServer>,
         start_with_sync: bool,
     ) -> Self {
+        let commit_hist = config.storage.obs.histogram("replica.commit_batch_ns");
         ReplicaNode {
             config,
             directory,
@@ -187,6 +191,7 @@ impl ReplicaNode {
             last_round: 0,
             rng: StdRng::seed_from_u64(0xF1E7),
             start_with_sync,
+            commit_hist,
         }
     }
 
@@ -207,6 +212,10 @@ impl ReplicaNode {
     pub fn run(mut self, ep: Endpoint<ClusterMsg>) {
         /// Upper bound of one opportunistic drain (keeps ticks timely).
         const MAX_DRAIN: usize = 128;
+
+        // Storage commits run inside this replica's process: stamp its
+        // trace events with our node id.
+        self.storage.set_node(ep.id().0);
 
         if self.start_with_sync && !self.config.peers.is_empty() {
             self.begin_sync(&ep, None);
@@ -468,6 +477,12 @@ impl ReplicaNode {
                 return;
             }
         };
+        if newly {
+            self.config
+                .storage
+                .obs
+                .trace_event(token, Stage::ReplicaStaged, ep.id().0, 0);
+        }
         if let Some(sn) = self.pending_oresp.remove(&token) {
             self.apply_oresp(ep, token, sn);
             return;
@@ -504,6 +519,10 @@ impl ReplicaNode {
                 shard,
             }),
         );
+        self.config
+            .storage
+            .obs
+            .trace_event(token, Stage::OReqSent, ep.id().0, 0);
         self.oreq_sent.insert(token, Instant::now());
     }
 
@@ -517,18 +536,16 @@ impl ReplicaNode {
     /// individually and commit on arrival, exactly as in the one-at-a-time
     /// path.
     fn apply_oresp_batch(&mut self, ep: &Endpoint<ClusterMsg>, resps: &[(Token, SeqNum)]) {
+        let batch_start = Instant::now();
         let results = self.storage.commit_many(resps);
-        let mut any_committed = false;
+        let mut committed: Vec<(Token, SeqNum)> = Vec::new();
+        let mut spans: Vec<(Token, Stage, u64, u64)> = Vec::new();
         for (&(token, last_sn), result) in resps.iter().zip(results) {
             match result {
                 Ok(_) => {
                     self.oreq_sent.remove(&token);
-                    if let Some(reply_tos) = self.reply_tos.remove(&token) {
-                        for r in reply_tos {
-                            let _ = ep.send(r, DataMsg::AppendAck { token, last_sn }.into());
-                        }
-                    }
-                    any_committed = true;
+                    spans.push((token, Stage::ReplicaCommit, ep.id().0, 0));
+                    committed.push((token, last_sn));
                 }
                 Err(_) => {
                     // Append not here yet (client broadcast still in
@@ -537,9 +554,21 @@ impl ReplicaNode {
                 }
             }
         }
-        if any_committed {
-            self.release_held_reads(ep);
+        if committed.is_empty() {
+            return;
         }
+        self.commit_hist.record_ns(batch_start.elapsed());
+        // Record before acking: once an ack reaches the client the append
+        // counts as completed, and its trace must already be whole.
+        self.config.storage.obs.tracer().record_many(&spans);
+        for (token, last_sn) in committed {
+            if let Some(reply_tos) = self.reply_tos.remove(&token) {
+                for r in reply_tos {
+                    let _ = ep.send(r, DataMsg::AppendAck { token, last_sn }.into());
+                }
+            }
+        }
+        self.release_held_reads(ep);
     }
 
     fn handle_read(
@@ -723,6 +752,10 @@ impl ReplicaNode {
         let mut states = HashMap::new();
         states.insert(ep.id(), self.my_tails());
         self.last_round = self.last_round.max(round);
+        self.config
+            .storage
+            .obs
+            .trace_event(SYNC_TOKEN, Stage::SyncStart, ep.id().0, round);
         self.mode = Mode::Syncing(Box::new(SyncRound {
             round,
             init: carried_init,
@@ -846,6 +879,10 @@ impl ReplicaNode {
         let Mode::Syncing(s) = std::mem::replace(&mut self.mode, Mode::Operational) else {
             return;
         };
+        self.config
+            .storage
+            .obs
+            .trace_event(SYNC_TOKEN, Stage::SyncDone, ep.id().0, s.round);
         // Barrier passed: acknowledge the new sequencer if this sync was an
         // initialization (§6.3 "Sequencer failures").
         if let Some((seq, epoch)) = s.init {

@@ -5,6 +5,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Sender};
+use flexlog_obs::{Counter, Histogram, ObsHandle};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -29,6 +30,19 @@ pub struct NetStats {
     pub dropped_partitioned: AtomicU64,
 }
 
+/// Registry handles mirroring [`NetStats`] plus the scheduled link latency
+/// of every send, installed by [`Network::attach_obs`].
+struct NetObs {
+    sent: Counter,
+    delivered: Counter,
+    dropped: Counter,
+    /// Scheduled one-way latency (delay + jitter + serialization) per
+    /// message. This is the link model's intent, not a measured wall-clock
+    /// difference — the delivery thread adds scheduling noise we do not
+    /// want in the metric.
+    delay_hist: Histogram,
+}
+
 pub(crate) struct Inner<M> {
     pub link: LinkConfig,
     nodes: RwLock<HashMap<NodeId, Sender<(NodeId, M)>>>,
@@ -44,6 +58,7 @@ pub(crate) struct Inner<M> {
     rng: Mutex<StdRng>,
     queue: Option<Arc<DelayQueue<Envelope<M>>>>,
     pub stats: NetStats,
+    obs: RwLock<Option<NetObs>>,
 }
 
 impl<M: Send + 'static> Inner<M> {
@@ -80,6 +95,9 @@ impl<M: Send + 'static> Inner<M> {
         if let Some(tx) = nodes.get(&env.to) {
             if tx.send((env.from, env.msg)).is_ok() {
                 self.stats.delivered.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = self.obs.read().as_ref() {
+                    o.delivered.inc();
+                }
             } else {
                 self.stats.dropped_crashed.fetch_add(1, Ordering::Relaxed);
             }
@@ -107,16 +125,25 @@ impl<M: Send + 'static> Inner<M> {
             return Err(SendError::UnknownNode(to));
         }
         self.stats.sent.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = self.obs.read().as_ref() {
+            o.sent.inc();
+        }
         if !self.connected(from, to) {
             // Silently dropped, like a packet into a partition. The sender
             // only learns via its own protocol-level timeouts.
             self.stats
                 .dropped_partitioned
                 .fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = self.obs.read().as_ref() {
+                o.dropped.inc();
+            }
             return Ok(());
         }
         match &self.queue {
             None => {
+                if let Some(o) = self.obs.read().as_ref() {
+                    o.delay_hist.record(extra.as_nanos() as u64);
+                }
                 self.deliver(Envelope { from, to, msg });
             }
             Some(queue) => {
@@ -125,10 +152,13 @@ impl<M: Send + 'static> Inner<M> {
                 } else {
                     self.rng.lock().gen_range(0..=self.link.jitter.as_nanos() as u64)
                 };
-                let mut deliver_at = Instant::now()
-                    + extra
+                let scheduled = extra
                     + self.link.delay
                     + std::time::Duration::from_nanos(jitter_ns);
+                if let Some(o) = self.obs.read().as_ref() {
+                    o.delay_hist.record(scheduled.as_nanos() as u64);
+                }
+                let mut deliver_at = Instant::now() + scheduled;
                 // Clamp to keep per-link FIFO despite jitter.
                 let mut last = self.last_delivery.lock();
                 let slot = last.entry((from, to)).or_insert(deliver_at);
@@ -197,6 +227,7 @@ impl<M: Send + 'static> Network<M> {
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             queue: queue.clone(),
             stats: NetStats::default(),
+            obs: RwLock::new(None),
         });
         let scheduler = queue.map(|q| {
             let inner2 = Arc::clone(&inner);
@@ -268,6 +299,19 @@ impl<M: Send + 'static> Network<M> {
     pub fn heal(&self) {
         self.inner.groups.write().clear();
         self.inner.isolated.write().clear();
+    }
+
+    /// Mirrors delivery counters and the scheduled link latency into the
+    /// given observability registry (`net.sent`, `net.delivered`,
+    /// `net.dropped`, `net.delay_ns`). Call once per cluster; later calls
+    /// re-point the mirrors at the new registry.
+    pub fn attach_obs(&self, obs: &ObsHandle) {
+        *self.inner.obs.write() = Some(NetObs {
+            sent: obs.counter("net.sent"),
+            delivered: obs.counter("net.delivered"),
+            dropped: obs.counter("net.dropped"),
+            delay_hist: obs.histogram("net.delay_ns"),
+        });
     }
 
     /// Delivery statistics snapshot.

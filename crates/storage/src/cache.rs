@@ -15,6 +15,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
 
+use flexlog_obs::Counter;
 use flexlog_types::Payload;
 
 /// Hit/miss counters.
@@ -35,6 +36,9 @@ pub struct LruCache<K> {
     order: BTreeMap<u64, K>,
     next_stamp: u64,
     stats: CacheStats,
+    /// Optional registry-backed mirror of `stats.evictions`, so eviction
+    /// pressure shows up on the cluster metrics surface.
+    evictions: Option<Counter>,
 }
 
 impl<K: Eq + Hash + Clone> LruCache<K> {
@@ -47,7 +51,13 @@ impl<K: Eq + Hash + Clone> LruCache<K> {
             order: BTreeMap::new(),
             next_stamp: 0,
             stats: CacheStats::default(),
+            evictions: None,
         }
+    }
+
+    /// Mirrors eviction counts into a registry counter.
+    pub fn set_eviction_counter(&mut self, counter: Counter) {
+        self.evictions = Some(counter);
     }
 
     /// Inserts (or refreshes) `key`, evicting LRU entries as needed. Values
@@ -68,6 +78,9 @@ impl<K: Eq + Hash + Clone> LruCache<K> {
             if let Some((old_val, _)) = self.map.remove(&old_key) {
                 self.used_bytes -= old_val.len();
                 self.stats.evictions += 1;
+                if let Some(c) = &self.evictions {
+                    c.inc();
+                }
             }
         }
         let stamp = self.bump();

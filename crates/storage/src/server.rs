@@ -48,6 +48,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use flexlog_obs::{Counter, Histogram, ObsHandle, Stage};
 use flexlog_pm::{ClockMode, DeviceClock, LatencyModel, PmDevice, PmDeviceConfig, PmPool, PoolError, SsdDevice};
 use flexlog_types::{ColorId, CommittedRecord, Payload, SeqNum, Token};
 
@@ -104,6 +105,9 @@ pub struct StorageConfig {
     pub spill_batch: usize,
     /// Latency accounting mode for all devices of this server.
     pub clock: ClockMode,
+    /// Observability surface: the cluster shares one handle across all
+    /// layers; a standalone server gets its own private default.
+    pub obs: ObsHandle,
 }
 
 impl Default for StorageConfig {
@@ -115,6 +119,7 @@ impl Default for StorageConfig {
             pm_watermark: 4 << 20,
             spill_batch: 64,
             clock: ClockMode::Off,
+            obs: ObsHandle::default(),
         }
     }
 }
@@ -132,25 +137,45 @@ impl StorageConfig {
     }
 }
 
-/// Operation counters.
+/// Operation counters. Fields are registry-backed [`Counter`]s (same
+/// `load` / `fetch_add` surface as the `AtomicU64`s they replaced): each
+/// server increments its own private atomics, and the shared registry
+/// aggregates across servers under the `storage.*` names.
 #[derive(Debug, Default)]
 pub struct StorageStats {
-    pub stages: AtomicU64,
-    pub commits: AtomicU64,
-    pub reads: AtomicU64,
-    pub cache_hits: AtomicU64,
-    pub cache_misses: AtomicU64,
-    pub pm_hits: AtomicU64,
-    pub ssd_hits: AtomicU64,
-    pub spilled_records: AtomicU64,
+    pub stages: Counter,
+    pub commits: Counter,
+    pub reads: Counter,
+    pub cache_hits: Counter,
+    pub cache_misses: Counter,
+    pub pm_hits: Counter,
+    pub ssd_hits: Counter,
+    pub spilled_records: Counter,
     /// Payload bytes accepted by `stage` (the append ingress volume).
-    pub bytes_appended: AtomicU64,
+    pub bytes_appended: Counter,
     /// Payload bytes served by reads, from any tier.
-    pub bytes_read: AtomicU64,
+    pub bytes_read: Counter,
 }
 
 impl StorageStats {
-    /// Cache hit rate over all reads that probed the cache.
+    /// Counters registered under the cluster-wide `storage.*` names.
+    pub fn registered(obs: &ObsHandle) -> Self {
+        StorageStats {
+            stages: obs.counter("storage.stages"),
+            commits: obs.counter("storage.commits"),
+            reads: obs.counter("storage.reads"),
+            cache_hits: obs.counter("storage.cache_hits"),
+            cache_misses: obs.counter("storage.cache_misses"),
+            pm_hits: obs.counter("storage.pm_hits"),
+            ssd_hits: obs.counter("storage.ssd_hits"),
+            spilled_records: obs.counter("storage.spilled_records"),
+            bytes_appended: obs.counter("storage.bytes_appended"),
+            bytes_read: obs.counter("storage.bytes_read"),
+        }
+    }
+
+    /// Cache hit rate over all reads that probed the cache. 0.0 (not NaN)
+    /// when no read has happened yet.
     pub fn cache_hit_rate(&self) -> f64 {
         let hits = self.cache_hits.load(Ordering::Relaxed);
         let misses = self.cache_misses.load(Ordering::Relaxed);
@@ -234,6 +259,11 @@ pub struct StorageServer {
     clock: DeviceClock,
     config: StorageConfig,
     pub stats: StorageStats,
+    /// Raw `NodeId` bits of the replica owning this server (0 until the
+    /// replica attaches itself); stamps `StorageCommit` trace events.
+    node: AtomicU64,
+    /// Wall-clock duration of each `commit_many` PM transaction.
+    commit_hist: Histogram,
 }
 
 fn cache_stripe_of(color: ColorId, sn: SeqNum) -> usize {
@@ -254,7 +284,11 @@ impl StorageServer {
     fn empty_shards(config: &StorageConfig) -> (Box<[CacheStripe]>, Box<[Mutex<Stripe>]>) {
         let per_stripe = config.cache_capacity / STRIPES;
         let caches = (0..STRIPES)
-            .map(|_| Mutex::new(LruCache::new(per_stripe)))
+            .map(|_| {
+                let mut cache = LruCache::new(per_stripe);
+                cache.set_eviction_counter(config.obs.counter("storage.cache_evictions"));
+                Mutex::new(cache)
+            })
             .collect::<Vec<_>>()
             .into_boxed_slice();
         let stripes = (0..STRIPES)
@@ -274,6 +308,8 @@ impl StorageServer {
         }));
         let ssd = Arc::new(SsdDevice::new(clock));
         let (caches, stripes) = Self::empty_shards(&config);
+        let stats = StorageStats::registered(&config.obs);
+        let commit_hist = config.obs.histogram("storage.commit_ns");
         StorageServer {
             pool: PmPool::create(pm),
             ssd,
@@ -284,7 +320,9 @@ impl StorageServer {
             spill_gate: Mutex::new(()),
             clock,
             config,
-            stats: StorageStats::default(),
+            stats,
+            node: AtomicU64::new(0),
+            commit_hist,
         }
     }
 
@@ -337,6 +375,8 @@ impl StorageServer {
             committed.entry(color).or_default().insert(sn, true);
         }
         let (caches, stripes) = Self::empty_shards(&config);
+        let stats = StorageStats::registered(&config.obs);
+        let commit_hist = config.obs.histogram("storage.commit_ns");
         let server = StorageServer {
             pool,
             ssd,
@@ -347,7 +387,9 @@ impl StorageServer {
             spill_gate: Mutex::new(()),
             clock,
             config,
-            stats: StorageStats::default(),
+            stats,
+            node: AtomicU64::new(0),
+            commit_hist,
         };
         for (color, map) in committed {
             server.stripe_of(color).lock().committed.insert(color, map);
@@ -404,6 +446,7 @@ impl StorageServer {
     /// commit cost once. Results are per item, index-aligned with `items`;
     /// a failing item (unknown token) never blocks its neighbours.
     pub fn commit_many(&self, items: &[(Token, SeqNum)]) -> Vec<Result<bool, StorageError>> {
+        let commit_start = std::time::Instant::now();
         let mut results: Vec<Result<bool, StorageError>> = Vec::with_capacity(items.len());
         // Classify under the token lock and claim valid tokens (move them
         // into `committing` so re-stages and duplicate commits wait out the
@@ -500,6 +543,13 @@ impl StorageServer {
         self.stats
             .commits
             .fetch_add(committed.len() as u64, Ordering::Relaxed);
+        self.commit_hist.record_ns(commit_start.elapsed());
+        let node = self.node.load(Ordering::Relaxed);
+        let span_batch: Vec<_> = committed
+            .iter()
+            .map(|(token, color, _, _)| (*token, Stage::StorageCommit, node, color.0 as u64))
+            .collect();
+        self.config.obs.tracer().record_many(&span_batch);
         if let Err(e) = self.maybe_spill() {
             // Spill failure does not undo the durable commits; surface it on
             // the first successful item so callers notice.
@@ -824,6 +874,17 @@ impl StorageServer {
     /// The server's configuration.
     pub fn config(&self) -> &StorageConfig {
         &self.config
+    }
+
+    /// Attaches the owning replica's identity so `StorageCommit` trace
+    /// events carry the right node (called once at replica start-up).
+    pub fn set_node(&self, node: u64) {
+        self.node.store(node, Ordering::Relaxed);
+    }
+
+    /// The shared observability handle this server reports into.
+    pub fn obs(&self) -> &ObsHandle {
+        &self.config.obs
     }
 
     /// Spills the oldest committed PM-resident records to SSD when live PM

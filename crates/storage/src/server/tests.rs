@@ -416,6 +416,53 @@ fn stats_count_tier_hits_and_bytes() {
 }
 
 #[test]
+fn cache_hit_rate_is_zero_before_any_read() {
+    // Regression: with no reads the rate must be 0.0, not NaN/panic from
+    // a 0/0 division (guard preserved across the Counter migration).
+    let s = server();
+    assert_eq!(s.stats.cache_hit_rate(), 0.0);
+    // Still 0.0 after writes that never read.
+    s.stage(tok(1), RED, &[pl(b"x")]).unwrap();
+    s.commit(tok(1), sn(1)).unwrap();
+    assert_eq!(s.stats.cache_hit_rate(), 0.0);
+    assert!(s.stats.cache_hit_rate().is_finite());
+}
+
+#[test]
+fn stats_feed_the_shared_registry() {
+    // The same counters the server bumps must be visible, aggregated,
+    // through the obs registry snapshot.
+    let s = server();
+    s.stage(tok(1), RED, &[pl(b"abc")]).unwrap();
+    s.commit(tok(1), sn(1)).unwrap();
+    s.get(RED, sn(1));
+    let snap = s.obs().snapshot();
+    assert_eq!(snap.counter("storage.stages"), 1);
+    assert_eq!(snap.counter("storage.commits"), 1);
+    assert_eq!(snap.counter("storage.cache_hits"), 1);
+    assert_eq!(snap.counter("storage.bytes_appended"), 3);
+    let commit = snap.histogram("storage.commit_ns").expect("commit histogram");
+    assert_eq!(commit.count, 1);
+    assert!(commit.max > 0, "a PM transaction takes nonzero time");
+}
+
+#[test]
+fn commit_records_storage_commit_trace_events() {
+    let s = server();
+    s.set_node(0x1234);
+    s.stage(tok(5), RED, &[pl(b"p")]).unwrap();
+    s.commit(tok(5), sn(1)).unwrap();
+    let trace = s.obs().trace(tok(5));
+    let ev = trace
+        .events
+        .iter()
+        .find(|e| e.stage == flexlog_obs::Stage::StorageCommit)
+        .expect("StorageCommit event traced");
+    assert_eq!(ev.node, 0x1234);
+    assert_eq!(ev.detail, RED.0 as u64);
+}
+
+#[test]
 fn scan_with_tokens_returns_tokens() {
     let s = server();
     s.stage(tok(7), RED, &[pl(b"a"), pl(b"b")]).unwrap();

@@ -27,7 +27,15 @@ assert len(d["results"]) == 6, f"expected 6 rows, got {len(d['results'])}"
 for r in d["results"]:
     assert r["records"] > 0 and r["records_per_s"] > 0, r
     assert {"p50_us", "p99_us", "cache_hit_rate", "bytes_appended", "bytes_read"} <= set(r), r
-print("datapath smoke JSON OK")
+    # Per-stage latency decomposition from the flight recorder: every
+    # stage must have been exercised (non-zero percentiles and counts).
+    stages = r["stages"]
+    assert set(stages) == {"client", "sequencer", "replica", "storage"}, r
+    for name, s in stages.items():
+        assert s["count"] > 0, f"stage {name} recorded nothing: {r}"
+        assert s["p50_us"] > 0 and s["p99_us"] > 0, f"stage {name} has zero percentiles: {r}"
+        assert s["p50_us"] <= s["p99_us"], f"stage {name} p50 > p99: {r}"
+print("datapath smoke JSON OK (incl. per-stage percentiles)")
 EOF
 
 echo "==> cargo clippy -p flexlog-chaos (deny warnings)"

@@ -3,6 +3,7 @@
 //! Facade crate re-exporting the full FlexLog public API. See the workspace
 //! README and `DESIGN.md` for the architecture; the individual crates are:
 //!
+//! * [`obs`] — cross-layer metrics registry and event tracer;
 //! * [`simnet`] — simulated network substrate;
 //! * [`pm`] — simulated persistent memory + SSD devices;
 //! * [`storage`] — tiered storage server (DRAM cache / PM / SSD);
@@ -15,6 +16,7 @@
 pub use flexlog_baselines as baselines;
 pub use flexlog_core as core;
 pub use flexlog_faas as faas;
+pub use flexlog_obs as obs;
 pub use flexlog_ordering as ordering;
 pub use flexlog_pm as pm;
 pub use flexlog_replication as replication;

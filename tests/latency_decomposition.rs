@@ -1,0 +1,210 @@
+//! The flight-recorder test harness: every committed append leaves a
+//! complete client → sequencer → replica → storage span chain in the
+//! cluster tracer, stage latencies respect the simnet link model, and the
+//! *logical* trace (the canonical `(stage, node, detail)` chain) is
+//! byte-identical across same-seed runs.
+
+use std::time::Duration;
+
+use flexlog::core::{ClusterSpec, ColorId, FlexLogCluster, Stage, Token};
+use flexlog::simnet::{LinkConfig, NetConfig};
+
+const RED: ColorId = ColorId(1);
+
+/// Serial-append tokens are `Token::new(fid, 1..=n)` by construction; the
+/// first handle of a cluster gets fid 1.
+fn serial_tokens(fid: u32, n: u32) -> Vec<Token> {
+    (1..=n)
+        .map(|i| Token::new(flexlog::types::FunctionId(fid), i))
+        .collect()
+}
+
+#[test]
+fn committed_tokens_have_complete_span_chains() {
+    let c = FlexLogCluster::start(ClusterSpec::single_shard());
+    c.add_color(RED).unwrap();
+    let mut h = c.handle();
+    const N: u32 = 25;
+    for i in 0..N {
+        h.append(format!("r{i}").as_bytes(), RED).unwrap();
+    }
+    let fid = h.fid().0;
+    for token in serial_tokens(fid, N) {
+        let trace = c.trace(token);
+        assert!(
+            trace.is_complete_append(),
+            "token {token:?} missing a stage:\n{}",
+            trace.render()
+        );
+        // The chain's first timestamps follow the data-path order. Every
+        // stage is stamped from one shared monotonic epoch, and each hop
+        // is causally ordered, so first-occurrence times never invert.
+        // StorageCommit is stamped inside the replica's commit call, so in
+        // wall time it precedes the replica's own commit record.
+        let anchors = [
+            Stage::ClientSend,
+            Stage::ReplicaStaged,
+            Stage::SeqAssign,
+            Stage::StorageCommit,
+            Stage::ReplicaCommit,
+            Stage::ClientAck,
+        ];
+        for pair in anchors.windows(2) {
+            let a = trace.first_ns(pair[0]).unwrap();
+            let b = trace.first_ns(pair[1]).unwrap();
+            assert!(
+                a <= b,
+                "token {token:?}: {} at {a}ns after {} at {b}ns\n{}",
+                pair[0].name(),
+                pair[1].name(),
+                trace.render()
+            );
+        }
+        // Replication factor 3: all three replicas staged and committed.
+        let staged: std::collections::HashSet<u64> = c
+            .obs()
+            .tracer()
+            .events_for(token)
+            .into_iter()
+            .filter(|e| e.stage == Stage::ReplicaStaged)
+            .map(|e| e.node)
+            .collect();
+        assert_eq!(staged.len(), 3, "token {token:?} staged on {staged:?}");
+    }
+    c.shutdown();
+}
+
+#[test]
+fn stage_latencies_respect_the_link_delay() {
+    // A fixed-delay, zero-jitter link: every hop of Algorithm 1 costs at
+    // least `DELAY`, so the per-stage decomposition has hard lower bounds.
+    const DELAY: Duration = Duration::from_micros(200);
+    let spec = ClusterSpec {
+        net: NetConfig {
+            link: LinkConfig::slow(DELAY),
+            seed: Some(7),
+        },
+        // Keep retransmits out of the run: the round trip is < 1 ms.
+        client_retry: Duration::from_millis(500),
+        ..ClusterSpec::single_shard()
+    };
+    let c = FlexLogCluster::start(spec);
+    c.add_color(RED).unwrap();
+    let mut h = c.handle();
+    const N: u32 = 8;
+    for i in 0..N {
+        h.append(format!("r{i}").as_bytes(), RED).unwrap();
+    }
+    let delay_ns = DELAY.as_nanos() as u64;
+    let fid = h.fid().0;
+    for token in serial_tokens(fid, N) {
+        let trace = c.trace(token);
+        assert!(trace.is_complete_append(), "{}", trace.render());
+        // Each network hop of the append path: client → replica (stage),
+        // replica → sequencer → replica (order), replica → client (ack).
+        let hops = [
+            (Stage::ClientSend, Stage::ReplicaStaged),
+            (Stage::ReplicaStaged, Stage::ReplicaCommit), // OReq + OResp
+            (Stage::ReplicaCommit, Stage::ClientAck),
+        ];
+        let mins = [delay_ns, 2 * delay_ns, delay_ns];
+        for ((from, to), min_ns) in hops.iter().zip(mins) {
+            let got = trace
+                .first_ns(*to)
+                .unwrap()
+                .saturating_sub(trace.first_ns(*from).unwrap());
+            assert!(
+                got >= min_ns,
+                "token {token:?}: {}→{} took {got}ns < scheduled {min_ns}ns\n{}",
+                from.name(),
+                to.name(),
+                trace.render()
+            );
+        }
+        // End to end: at least the 4 one-way hops, and the hop spans must
+        // telescope to (i.e. sum within) the full client-observed span.
+        let total = trace.span_ns(Stage::ClientSend, Stage::ClientAck).unwrap();
+        assert!(total >= 4 * delay_ns, "end-to-end {total}ns < 4 hops");
+        let summed: u64 = hops
+            .iter()
+            .map(|(from, to)| {
+                trace
+                    .first_ns(*to)
+                    .unwrap()
+                    .saturating_sub(trace.first_ns(*from).unwrap())
+            })
+            .sum();
+        assert!(
+            summed <= total,
+            "stage decomposition {summed}ns exceeds the full span {total}ns"
+        );
+        // And the latency histogram saw this append.
+        assert!(total < Duration::from_secs(5).as_nanos() as u64);
+    }
+    let snap = c.obs().snapshot();
+    let hist = snap.histogram("client.append_ns").expect("client histogram");
+    assert_eq!(hist.count, N as u64);
+    assert!(hist.p50 >= 4 * delay_ns, "p50 {}ns below link floor", hist.p50);
+    c.shutdown();
+}
+
+/// One fixed-seed run: a tree topology, serial and pipelined appends, and
+/// the concatenated canonical traces of every token in token order.
+fn canonical_run(seed: u64) -> Vec<u8> {
+    let spec = ClusterSpec {
+        net: NetConfig {
+            link: LinkConfig::instant(),
+            seed: Some(seed),
+        },
+        ..ClusterSpec::tree(2, 2)
+    };
+    let c = FlexLogCluster::start(spec);
+    c.add_color(RED).unwrap();
+    c.add_color(ColorId(2)).unwrap();
+    let mut h = c.handle();
+    for i in 0..10u32 {
+        h.append(format!("s{i}").as_bytes(), RED).unwrap();
+    }
+    let mut tokens = serial_tokens(h.fid().0, 10);
+    for i in 0..10u32 {
+        let t = h
+            .append_pipelined(
+                &[flexlog::types::Payload::from(format!("p{i}").into_bytes())],
+                ColorId(2),
+            )
+            .unwrap();
+        tokens.push(t);
+    }
+    h.flush_appends().unwrap();
+    tokens.sort_unstable();
+    let mut out = Vec::new();
+    for token in tokens {
+        out.extend_from_slice(&c.trace(token).canonical());
+    }
+    c.shutdown();
+    out
+}
+
+#[test]
+fn same_seed_runs_produce_byte_identical_traces() {
+    let a = canonical_run(42);
+    let b = canonical_run(42);
+    assert!(!a.is_empty());
+    if a != b {
+        // Byte-compare failed: show the first differing token line.
+        let (sa, sb) = (String::from_utf8_lossy(&a), String::from_utf8_lossy(&b));
+        for (la, lb) in sa.lines().zip(sb.lines()) {
+            assert_eq!(la, lb, "canonical trace line differs across same-seed runs");
+        }
+        panic!("canonical traces differ in line count");
+    }
+    // The chain is logical: every token shows all 6 canonical append
+    // stages somewhere in its line.
+    let text = String::from_utf8(a).unwrap();
+    assert_eq!(text.lines().count(), 20);
+    for line in text.lines() {
+        for stage in ["client_send", "replica_staged", "seq_assign", "replica_commit", "storage_commit", "client_ack"] {
+            assert!(line.contains(stage), "{stage} missing from {line}");
+        }
+    }
+}

@@ -167,3 +167,47 @@ fn interleaved_multi_appends_from_two_functions() {
     assert_eq!(green.len(), 8);
     c.shutdown();
 }
+
+#[test]
+fn multi_append_trace_shows_one_sn_per_color() {
+    // Each staged set of an atomic multi-append is replayed as exactly one
+    // sub-append into its target color: the flight recorder must show one
+    // `SeqAssign` color per set, covering both target colors and nothing
+    // else (one SN per color, Algorithm 2).
+    use flexlog::core::{Stage, Token};
+    use std::collections::BTreeSet;
+
+    let c = cluster();
+    let mut h = c.handle();
+    h.multi_append(&[
+        (RED, vec![b"r".to_vec()]),
+        (GREEN, vec![b"g".to_vec()]),
+    ])
+    .unwrap();
+
+    // Phase 1 staged the two sets under the client's tokens 1 and 2; the
+    // replica-driven sub-appends derive their tokens by flipping the top
+    // bit (deterministic across replicas, disjoint from client tokens).
+    let mut seen_colors: BTreeSet<u64> = BTreeSet::new();
+    for i in 1..=2u32 {
+        let sub = Token(Token::new(h.fid(), i).0 ^ (1 << 63));
+        let assigns: Vec<_> = c
+            .obs()
+            .tracer()
+            .events_for(sub)
+            .into_iter()
+            .filter(|e| e.stage == Stage::SeqAssign)
+            .collect();
+        assert!(!assigns.is_empty(), "sub-append of set {i} was never ordered");
+        let colors: BTreeSet<u64> = assigns.iter().map(|e| e.detail).collect();
+        assert_eq!(
+            colors.len(),
+            1,
+            "set {i} must get exactly one SN color, got {colors:?}"
+        );
+        seen_colors.extend(colors);
+    }
+    let expected: BTreeSet<u64> = [RED.0 as u64, GREEN.0 as u64].into_iter().collect();
+    assert_eq!(seen_colors, expected, "one SN per target color");
+    c.shutdown();
+}
