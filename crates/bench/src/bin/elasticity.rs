@@ -1,0 +1,219 @@
+//! Elasticity benchmark (`BENCH_elasticity.json`): append throughput
+//! before, during and after a live color migration, plus the cutover
+//! stall a client actually observes.
+//!
+//! Timeline: writer threads append serially to a hot color on the seed
+//! shard; after a warm-up window the control plane scales out (adds a
+//! shard under the root leaf) and migrates the hot color onto it with the
+//! freeze → drain → copy → cutover protocol. Writers never stop and never
+//! tolerate errors — reconfiguration may *delay* an append (the freeze
+//! window nacks with `Frozen`, the cutover with `ColorMoved`) but must
+//! never fail one. After the cutover the run keeps going on the new shard.
+//!
+//! Reported per phase: completed appends and records/s. Cross-phase:
+//! the migration wall time and the **cutover stall** — the longest gap
+//! between consecutive append completions across the whole run, which in
+//! steady state is a few retry intervals and spikes only while the color
+//! is frozen. The stall is the availability price of the migration; the
+//! acceptance criterion is that it stays bounded (well under a second on
+//! the instant network) rather than the freeze window turning into an
+//! outage.
+//!
+//! Usage: `elasticity [--quick] [--out PATH]`; `scripts/bench.sh`
+//! regenerates the tracked file, `scripts/ci.sh` runs `--quick`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use flexlog_core::{ClusterSpec, FlexLogCluster};
+use flexlog_ctrl::ControlPlane;
+use flexlog_ordering::RoleId;
+use flexlog_replication::{ClientConfig, FlexLogClient};
+use flexlog_simnet::{NetConfig, NodeId};
+use flexlog_types::{ColorId, Payload};
+
+const PAYLOAD_BYTES: usize = 256;
+const REPLICATION_FACTOR: usize = 3;
+const CLIENTS: usize = 3;
+const HOT: ColorId = ColorId(7);
+const PHASE_SECS: f64 = 2.0;
+const QUICK_PHASE_SECS: f64 = 0.4;
+
+struct Phase {
+    name: &'static str,
+    records: usize,
+    secs: f64,
+    records_per_s: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_elasticity.json".to_string());
+    let phase = Duration::from_secs_f64(if quick { QUICK_PHASE_SECS } else { PHASE_SECS });
+
+    let spec = ClusterSpec {
+        leaves: 0,
+        shards_per_leaf: 1,
+        replication_factor: REPLICATION_FACTOR,
+        net: NetConfig::instant(),
+        client_retry: Duration::from_millis(5),
+        client_max_retry: Duration::from_millis(40),
+        ..Default::default()
+    };
+    let cluster = FlexLogCluster::start(spec);
+    cluster.add_color(HOT).unwrap();
+    let mut plane = ControlPlane::new(&cluster);
+
+    let t0 = Instant::now();
+    let stop = AtomicBool::new(false);
+    let start = Barrier::new(CLIENTS + 1);
+    // Completion timestamps (relative to t0) from every writer, merged.
+    let (completions, mig_start, mig_end) = std::thread::scope(|s| {
+        let stop = &stop;
+        let start = &start;
+        let cluster = &cluster;
+        let writers: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut h = cluster.handle();
+                    let payload = Payload::from(vec![0xE1u8; PAYLOAD_BYTES]);
+                    let mut done: Vec<f64> = Vec::with_capacity(1 << 14);
+                    start.wait();
+                    while !stop.load(Ordering::Relaxed) {
+                        // Reconfiguration may delay but never fail an append.
+                        h.append_payloads(std::slice::from_ref(&payload), HOT)
+                            .expect("append during migration");
+                        done.push(t0.elapsed().as_secs_f64());
+                    }
+                    done
+                })
+            })
+            .collect();
+
+        start.wait();
+        std::thread::sleep(phase);
+        let mig_start = t0.elapsed().as_secs_f64();
+        let dest = plane.add_shard(RoleId(0));
+        plane.migrate_color(HOT, dest.id).expect("migration");
+        let mig_end = t0.elapsed().as_secs_f64();
+        std::thread::sleep(phase);
+        stop.store(true, Ordering::Relaxed);
+
+        let mut all: Vec<f64> = Vec::new();
+        for w in writers {
+            all.extend(w.join().expect("writer thread"));
+        }
+        (all, mig_start, mig_end)
+    });
+
+    // Post-migration sanity: the hot color lives exactly on the new shard
+    // and the quiescent log holds every acked append in one total order.
+    let shards = cluster.data().topology.shards_of(HOT);
+    assert_eq!(shards.len(), 1, "hot color must live on exactly one shard");
+    // The spec's tight retry cap keeps the writers' stall measurement
+    // honest, but a bulk subscribe of the whole run needs a patient
+    // client: every retransmit restarts the replica's full-log scan.
+    let ep = cluster
+        .network()
+        .register(NodeId::named(NodeId::CLASS_CLIENT, 999_999));
+    let mut reader = FlexLogClient::new(
+        ep,
+        cluster.data().topology.clone(),
+        ClientConfig {
+            retry: Duration::from_millis(200),
+            max_retry: Duration::from_secs(2),
+            ..Default::default()
+        },
+    );
+    let log = reader.subscribe(HOT).expect("final subscribe");
+    assert_eq!(
+        log.len(),
+        completions.len(),
+        "quiescent log must hold exactly the acked appends"
+    );
+    for w in log.windows(2) {
+        assert!(w[0].sn < w[1].sn, "per-color total order broken");
+    }
+    let snap = cluster.obs().snapshot();
+    let migrations = snap.counter("ctrl.migrations");
+    let epoch_bumps = snap.counter("ctrl.epoch_bumps");
+    cluster.shutdown();
+
+    let mut times = completions;
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let end = t0.elapsed().as_secs_f64().min(mig_end + phase.as_secs_f64());
+    let phases = [
+        ("before", 0.0, mig_start),
+        ("during", mig_start, mig_end),
+        ("after", mig_end, end),
+    ]
+    .map(|(name, lo, hi)| {
+        let records = times.iter().filter(|&&t| t >= lo && t < hi).count();
+        let secs = (hi - lo).max(1e-9);
+        Phase {
+            name,
+            records,
+            secs,
+            records_per_s: records as f64 / secs,
+        }
+    });
+    // The longest completion gap anywhere in the run: in steady state a
+    // few retry intervals, spiking only across the freeze/cutover window.
+    let cutover_stall_ms = times
+        .windows(2)
+        .map(|w| (w[1] - w[0]) * 1e3)
+        .fold(0.0f64, f64::max);
+    let migration_ms = (mig_end - mig_start) * 1e3;
+
+    for p in &phases {
+        eprintln!(
+            "==> elasticity: {:<6} {:>7} appends in {:6.3}s  ({:>9.1} rec/s)",
+            p.name, p.records, p.secs, p.records_per_s
+        );
+    }
+    eprintln!(
+        "==> migration {migration_ms:.1} ms, cutover stall {cutover_stall_ms:.1} ms, \
+         0 failed appends"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"elasticity\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"payload_bytes\": {PAYLOAD_BYTES},\n"));
+    json.push_str(&format!(
+        "  \"replication_factor\": {REPLICATION_FACTOR},\n"
+    ));
+    json.push_str(&format!("  \"clients\": {CLIENTS},\n"));
+    json.push_str("  \"phases\": {\n");
+    let rows: Vec<String> = phases
+        .iter()
+        .map(|p| {
+            format!(
+                "    \"{}\": {{\"records\": {}, \"secs\": {:.3}, \"records_per_s\": {:.1}}}",
+                p.name, p.records, p.secs, p.records_per_s
+            )
+        })
+        .collect();
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  },\n");
+    json.push_str(&format!("  \"migration_ms\": {migration_ms:.2},\n"));
+    json.push_str(&format!(
+        "  \"cutover_stall_ms\": {cutover_stall_ms:.2},\n"
+    ));
+    json.push_str("  \"failed_appends\": 0,\n");
+    json.push_str(&format!(
+        "  \"ctrl\": {{\"migrations\": {migrations}, \"epoch_bumps\": {epoch_bumps}}}\n"
+    ));
+    json.push_str("}\n");
+
+    std::fs::write(&out, &json).expect("write bench json");
+    eprintln!("==> wrote {out}");
+}

@@ -25,6 +25,9 @@ use crate::history::{History, HistoryChecker, OpKind};
 use crate::plan::{FaultKind, FaultPlan, PlanConfig, PlanTargets};
 use crate::workload::{Workload, WorkloadConfig};
 
+/// A mid-run reconfiguration driver (see [`ChaosOptions::reconfig`]).
+pub type ReconfigFn = Box<dyn FnOnce(&FlexLogCluster) + Send>;
+
 /// Everything a chaos run needs. `seed` drives both the fault plan and the
 /// workload's operation mix.
 pub struct ChaosOptions {
@@ -35,6 +38,11 @@ pub struct ChaosOptions {
     /// Pin an exact timeline instead of generating one from the seed
     /// (scenario tests use this to aim a fault at a precise moment).
     pub scripted: Option<FaultPlan>,
+    /// Optional control-plane activity during the run: the driver is
+    /// invoked once, on its own thread, `offset` after the workload
+    /// starts. Migration-safety scenarios use this to open a
+    /// reconfiguration window and aim faults into it.
+    pub reconfig: Option<(Duration, ReconfigFn)>,
     /// How long the workload runs. Must cover the plan's horizon, or late
     /// faults fire against an idle cluster.
     pub duration: Duration,
@@ -51,6 +59,7 @@ impl ChaosOptions {
             workload: WorkloadConfig::default(),
             plan_config: PlanConfig::default(),
             scripted: None,
+            reconfig: None,
             duration: Duration::from_millis(1500),
             settle: Duration::from_millis(500),
         }
@@ -104,6 +113,8 @@ pub fn seed_from_env(default: u64) -> u64 {
 /// Runs one chaos experiment end to end. Panics (with seed + plan) on any
 /// invariant violation; returns a [`ChaosReport`] otherwise.
 pub fn run_chaos(options: ChaosOptions) -> ChaosReport {
+    let mut options = options;
+    let reconfig = options.reconfig.take();
     let cluster = FlexLogCluster::start(options.spec.clone());
     for &color in &options.workload.colors {
         // Colors may collide with ones the spec pre-registered.
@@ -179,6 +190,18 @@ pub fn run_chaos(options: ChaosOptions) -> ChaosReport {
                 }
             }
         });
+
+        // Mid-run reconfiguration (control-plane activity under fire).
+        if let Some((at, driver)) = reconfig {
+            scope.spawn(move || {
+                let target = t0 + at;
+                let now = Instant::now();
+                if target > now {
+                    std::thread::sleep(target - now);
+                }
+                driver(cluster);
+            });
+        }
 
         std::thread::sleep(options.duration);
         stop.store(true, Ordering::Relaxed);
@@ -265,12 +288,12 @@ pub fn run_chaos(options: ChaosOptions) -> ChaosReport {
 /// somewhere between the client and the storage tier. Capped so a mass
 /// outage does not drown the violation report.
 fn incomplete_token_traces(cluster: &FlexLogCluster) -> String {
-    use flexlog_core::{Stage, SYNC_TOKEN};
+    use flexlog_core::{Stage, CTRL_TOKEN, SYNC_TOKEN};
 
     const MAX_TRACES: usize = 10;
     let mut sent: HashMap<flexlog_core::Token, bool> = HashMap::new();
     for e in cluster.obs().tracer().all_events() {
-        if e.token == SYNC_TOKEN {
+        if e.token == SYNC_TOKEN || e.token == CTRL_TOKEN {
             continue;
         }
         match e.stage {

@@ -5,14 +5,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use flexlog_obs::{ObsHandle, Trace};
-use flexlog_ordering::{Directory, OrderingHandle, OrderingService, RoleId, TreeSpec};
+use flexlog_ordering::{
+    ColorRegistry, Directory, OrderingHandle, OrderingService, RoleId, RouteTable, TreeSpec,
+};
 use flexlog_replication::{
     ClientConfig, ClusterMsg, DataLayerHandle, DataLayerService, DataLayerSpec, FlexLogClient,
-    ReplicaConfig,
+    ReplicaConfig, ShardInfo,
 };
 use flexlog_simnet::{NetConfig, Network, NodeId};
 use flexlog_storage::StorageConfig;
-use flexlog_types::{ColorId, FunctionId, ShardId, Token};
+use flexlog_types::{ColorId, Epoch, FunctionId, ShardId, Token};
 
 use crate::{ColorAdmin, FlexLog};
 
@@ -89,6 +91,8 @@ pub struct FlexLogCluster {
     spec: ClusterSpec,
     next_client: AtomicU64,
     obs: ObsHandle,
+    registry: ColorRegistry,
+    routes: RouteTable,
 }
 
 impl FlexLogCluster {
@@ -110,6 +114,7 @@ impl FlexLogCluster {
             (1..=spec.leaves as u32).map(RoleId).collect()
         };
         let n_shards = spec.shards_per_leaf * leaf_roles.len();
+        let routes = RouteTable::new();
         let mut data_spec =
             DataLayerSpec::uniform(n_shards, spec.replication_factor, &leaf_roles);
         data_spec.replica = ReplicaConfig {
@@ -117,6 +122,7 @@ impl FlexLogCluster {
             read_hold: Duration::from_millis(10),
             oreq_resend: spec.delta,
             sync_timeout: spec.delta * 5,
+            routes: routes.clone(),
             ..Default::default()
         };
         let data = DataLayerService::start(&net, &directory, &data_spec);
@@ -160,6 +166,7 @@ impl FlexLogCluster {
         // Master region: owned by the root, stored anywhere.
         admin.register_master(RoleId(0), all);
 
+        let registry = tree.registry.clone();
         FlexLogCluster {
             net,
             directory,
@@ -169,6 +176,8 @@ impl FlexLogCluster {
             spec,
             next_client: AtomicU64::new(1),
             obs,
+            registry,
+            routes,
         }
     }
 
@@ -237,13 +246,51 @@ impl FlexLogCluster {
         self.obs.trace(token)
     }
 
-    /// Leaf sequencer roles in this deployment.
+    /// Leaf sequencer roles in this deployment, including leaves spawned
+    /// at runtime by the control plane. A root-only deployment reports the
+    /// root as its sole "leaf".
     pub fn leaf_roles(&self) -> Vec<RoleId> {
-        if self.spec.leaves == 0 {
+        let roles = self.ordering.roles();
+        let leaves: Vec<RoleId> = roles.iter().copied().filter(|r| r.0 != 0).collect();
+        if leaves.is_empty() {
             vec![RoleId(0)]
         } else {
-            (1..=self.spec.leaves as u32).map(RoleId).collect()
+            leaves
         }
+    }
+
+    /// The shared color → owning-sequencer registry (consulted by
+    /// sequencers on every flush; rewritten by leaf splits).
+    pub fn registry(&self) -> &ColorRegistry {
+        &self.registry
+    }
+
+    /// The shared per-color OReq route overrides (consulted by replicas;
+    /// rewritten by leaf splits).
+    pub fn routes(&self) -> &RouteTable {
+        &self.routes
+    }
+
+    /// Elastic scale-out: spawns a brand-new shard of
+    /// `replication_factor` replicas attached to `leaf`, records it in the
+    /// leaf's (and the root's) region, and returns it. The shard serves no
+    /// colors until one is created there or migrated in.
+    pub fn add_shard(&self, leaf: RoleId) -> ShardInfo {
+        let info = self
+            .data
+            .add_shard(&self.net, &self.directory, leaf, self.spec.replication_factor);
+        self.admin.add_region_shard(leaf, info.id);
+        if leaf != RoleId(0) {
+            self.admin.add_region_shard(RoleId(0), info.id);
+        }
+        info
+    }
+
+    /// Spawns a brand-new leaf sequencer under `parent` at `epoch`
+    /// (sequencer-tree split). The caller (control plane) is responsible
+    /// for reassigning colors to it via the registry and route table.
+    pub fn spawn_leaf_sequencer(&self, role: RoleId, parent: RoleId, epoch: Epoch) -> NodeId {
+        self.ordering.spawn_leaf(&self.net, role, parent, epoch)
     }
 
     /// Convenience: create a color under the master region.

@@ -52,8 +52,9 @@ pub struct ColorAdmin {
     registry: ColorRegistry,
     topology: TopologyView,
     /// Shards of each sequencer's region (the shards of every leaf in its
-    /// subtree).
-    region_shards: Arc<HashMap<RoleId, Vec<ShardId>>>,
+    /// subtree). Mutable at runtime: elastic scale-out grows a region and
+    /// leaf splits introduce new regions.
+    region_shards: Arc<RwLock<HashMap<RoleId, Vec<ShardId>>>>,
     inner: Arc<RwLock<Inner>>,
 }
 
@@ -70,7 +71,7 @@ impl ColorAdmin {
         ColorAdmin {
             registry,
             topology,
-            region_shards: Arc::new(region_shards),
+            region_shards: Arc::new(RwLock::new(region_shards)),
             inner: Arc::new(RwLock::new(Inner { parents })),
         }
     }
@@ -92,11 +93,13 @@ impl ColorAdmin {
             .ok_or(ColorError::UnknownParent(parent))?;
         let shards = self
             .region_shards
+            .read()
             .get(&owner)
             .filter(|s| !s.is_empty())
+            .cloned()
             .ok_or(ColorError::EmptyRegion(owner))?;
         self.registry.set(color, owner);
-        self.topology.set_color_shards(color, shards.clone());
+        self.topology.set_color_shards(color, shards);
         inner.parents.insert(color, Some(parent));
         Ok(())
     }
@@ -111,11 +114,13 @@ impl ColorAdmin {
         }
         let shards = self
             .region_shards
+            .read()
             .get(&role)
             .filter(|s| !s.is_empty())
+            .cloned()
             .ok_or(ColorError::EmptyRegion(role))?;
         self.registry.set(color, role);
-        self.topology.set_color_shards(color, shards.clone());
+        self.topology.set_color_shards(color, shards);
         inner.parents.insert(color, Some(ColorId::MASTER));
         Ok(())
     }
@@ -145,6 +150,52 @@ impl ColorAdmin {
     pub(crate) fn register_master(&self, owner: RoleId, shards: Vec<ShardId>) {
         self.registry.set(ColorId::MASTER, owner);
         self.topology.set_color_shards(ColorId::MASTER, shards);
+    }
+
+    /// Records a newly spawned shard as part of `role`'s region, so
+    /// colors created there afterwards land on it.
+    pub fn add_region_shard(&self, role: RoleId, shard: ShardId) {
+        let mut regions = self.region_shards.write();
+        let shards = regions.entry(role).or_default();
+        if !shards.contains(&shard) {
+            shards.push(shard);
+        }
+    }
+
+    /// Replaces (or introduces) the full shard list of `role`'s region —
+    /// used when a leaf split carves out a new region.
+    pub fn set_region(&self, role: RoleId, shards: Vec<ShardId>) {
+        self.region_shards.write().insert(role, shards);
+    }
+
+    /// The shards of `role`'s region.
+    pub fn region_of(&self, role: RoleId) -> Vec<ShardId> {
+        self.region_shards
+            .read()
+            .get(&role)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Forgets `color` entirely (destroy): removes it from the registry,
+    /// the topology is left to the control plane (which must fence the
+    /// replicas first). Children of the color are re-parented to its
+    /// parent so the tree stays connected.
+    pub fn remove_color(&self, color: ColorId) -> Result<(), ColorError> {
+        if color == ColorId::MASTER {
+            return Err(ColorError::UnknownParent(color));
+        }
+        let mut inner = self.inner.write();
+        let Some(parent) = inner.parents.remove(&color) else {
+            return Err(ColorError::UnknownParent(color));
+        };
+        for p in inner.parents.values_mut() {
+            if *p == Some(color) {
+                *p = parent;
+            }
+        }
+        self.registry.remove(color);
+        Ok(())
     }
 }
 

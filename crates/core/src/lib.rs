@@ -40,7 +40,9 @@ pub use primitives::{Barrier, DistributedLock, LockError};
 pub use queue::MessageQueue;
 
 // Re-export the vocabulary so applications depend on one crate.
-pub use flexlog_obs::{HistogramSummary, ObsHandle, Snapshot, Stage, Trace, TraceEvent, SYNC_TOKEN};
+pub use flexlog_obs::{
+    HistogramSummary, ObsHandle, Snapshot, Stage, Trace, TraceEvent, CTRL_TOKEN, SYNC_TOKEN,
+};
 pub use flexlog_replication::{ClientError, ClusterMsg};
 pub use flexlog_types::{ColorId, CommittedRecord, Epoch, FunctionId, SeqNum, Token};
 

@@ -1,0 +1,39 @@
+//! # flexlog-ctrl
+//!
+//! The elasticity control plane: the first component that *closes the
+//! loop* over a running FlexLog deployment — it observes the shared
+//! metrics registry, decides, and actuates reconfigurations.
+//!
+//! Three epoch-fenced operations (every one bumps the owning sequencer's
+//! epoch so in-flight ordering requests and appends from the old
+//! configuration are rejected and retried against the new one):
+//!
+//! * **Runtime color create / destroy** — [`ControlPlane::create_color`]
+//!   and [`ControlPlane::destroy_color`]. Creation is a metadata operation
+//!   (registry + topology); destruction fences every hosting replica with
+//!   `DropColor` before the mappings are forgotten, so a client holding a
+//!   stale route gets a terminal `Dropped` nack instead of silence.
+//! * **Shard scale-out with color migration** —
+//!   [`ControlPlane::add_shard`] plus [`ControlPlane::migrate_color`]:
+//!   freeze → drain-staged → epoch bump → copy (trim-aware span transfer
+//!   with idempotence tokens) → adopt → cutover. Every SN committed under
+//!   the old shard is readable from the new one and the per-color total
+//!   order is unbroken.
+//! * **Sequencer-tree split** — [`ControlPlane::split_leaf`]: a new leaf
+//!   joins under the root at a *higher* epoch than the donor's bumped
+//!   epoch, and half the donor's colors are re-routed to it, so per-color
+//!   SNs stay strictly monotonic across the move.
+//!
+//! [`Autoscaler`] is the policy loop on top: it reads per-color append
+//! rates (`seq.color_sns.*`), sequencer batching pressure
+//! (`seq.batch_wait_ns` p99) and per-shard PM residency, and triggers
+//! scale-out/migration/splits through the [`ControlPlane`].
+
+mod autoscaler;
+mod plane;
+
+pub use autoscaler::{Autoscaler, AutoscalerConfig, ScalingAction};
+pub use plane::{ControlPlane, CtrlError};
+
+#[cfg(test)]
+mod tests;

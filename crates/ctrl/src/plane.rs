@@ -1,0 +1,512 @@
+//! The reconfiguration actuator: epoch-fenced color create/destroy, shard
+//! scale-out with color migration, and sequencer-tree splits.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use flexlog_core::{ColorError, FlexLogCluster};
+use flexlog_obs::Counter;
+use flexlog_ordering::{OrderMsg, RoleId};
+use flexlog_replication::{ClusterMsg, DataMsg, ShardInfo};
+use flexlog_simnet::{Endpoint, NodeId, RecvError};
+use flexlog_types::{ColorId, Epoch, Payload, SeqNum, ShardId, Token};
+
+/// Errors from control-plane operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CtrlError {
+    /// Color administration failed (duplicate, unknown parent, ...).
+    Color(ColorError),
+    /// The color is not known to the deployment.
+    UnknownColor(ColorId),
+    /// The shard is not known to the deployment.
+    UnknownShard(ShardId),
+    /// No live leader for the sequencer role.
+    NoLeader(RoleId),
+    /// The leaf owns too few colors to split.
+    NothingToSplit(RoleId),
+    /// A fenced round did not complete within the control timeout. The
+    /// string names the phase that stalled.
+    Timeout(&'static str),
+    /// The control endpoint lost its network.
+    Disconnected,
+}
+
+impl fmt::Display for CtrlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtrlError::Color(e) => write!(f, "color admin: {e}"),
+            CtrlError::UnknownColor(c) => write!(f, "unknown color {c}"),
+            CtrlError::UnknownShard(s) => write!(f, "unknown shard {s:?}"),
+            CtrlError::NoLeader(r) => write!(f, "no leader for {r:?}"),
+            CtrlError::NothingToSplit(r) => write!(f, "{r:?} owns too few colors to split"),
+            CtrlError::Timeout(phase) => write!(f, "control round timed out: {phase}"),
+            CtrlError::Disconnected => write!(f, "control endpoint disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for CtrlError {}
+
+impl From<ColorError> for CtrlError {
+    fn from(e: ColorError) -> Self {
+        CtrlError::Color(e)
+    }
+}
+
+/// The reconfiguration actuator over a running cluster. One instance per
+/// deployment; operations are synchronous and fenced (each returns only
+/// once the new configuration is in force everywhere it matters).
+pub struct ControlPlane<'a> {
+    cluster: &'a FlexLogCluster,
+    ep: Endpoint<ClusterMsg>,
+    req: u64,
+    /// Per-phase bound on fenced rounds (acks, drains, epoch bumps).
+    pub timeout: Duration,
+    colors_created: Counter,
+    colors_destroyed: Counter,
+    shards_added: Counter,
+    migrations: Counter,
+    leaf_splits: Counter,
+    epoch_bumps: Counter,
+}
+
+impl<'a> ControlPlane<'a> {
+    /// Attaches a control plane to `cluster`. Registers one control node
+    /// on the simulated network.
+    pub fn new(cluster: &'a FlexLogCluster) -> Self {
+        let ep = cluster
+            .network()
+            .register(NodeId::named(0, (u64::MAX >> 4) - 2));
+        let obs = cluster.obs();
+        ControlPlane {
+            cluster,
+            ep,
+            req: 0,
+            timeout: Duration::from_secs(5),
+            colors_created: obs.counter("ctrl.colors_created"),
+            colors_destroyed: obs.counter("ctrl.colors_destroyed"),
+            shards_added: obs.counter("ctrl.shards_added"),
+            migrations: obs.counter("ctrl.migrations"),
+            leaf_splits: obs.counter("ctrl.leaf_splits"),
+            epoch_bumps: obs.counter("ctrl.epoch_bumps"),
+        }
+    }
+
+    /// The cluster this control plane drives.
+    pub fn cluster(&self) -> &'a FlexLogCluster {
+        self.cluster
+    }
+
+    fn next_req(&mut self) -> u64 {
+        self.req += 1;
+        // Namespace control requests away from client request ids.
+        (0xC7u64 << 56) | self.req
+    }
+
+    // ----- color create / destroy ---------------------------------------
+
+    /// Creates `color` as a sub-region of `parent` at runtime. Purely a
+    /// metadata operation: sequencers consult the shared registry on every
+    /// flush and clients re-resolve routes from the shared topology, so
+    /// the color is appendable the moment this returns.
+    pub fn create_color(&mut self, color: ColorId, parent: ColorId) -> Result<(), CtrlError> {
+        self.cluster.colors().add_color(color, parent)?;
+        self.colors_created.add(1);
+        Ok(())
+    }
+
+    /// Creates `color` owned directly by sequencer `role` (locally ordered
+    /// region). Used after a split to place new colors on the new leaf.
+    pub fn create_color_at(&mut self, color: ColorId, role: RoleId) -> Result<(), CtrlError> {
+        self.cluster.colors().add_color_at(color, role)?;
+        self.colors_created.add(1);
+        Ok(())
+    }
+
+    /// Destroys `color`: fences every hosting replica (subsequent appends
+    /// nack with `Dropped`, a terminal client error), then forgets the
+    /// registry and topology mappings.
+    pub fn destroy_color(&mut self, color: ColorId) -> Result<(), CtrlError> {
+        let shards = self.cluster.data().topology.shards_of(color);
+        // Registry first: the owning sequencer stops issuing SNs for it.
+        self.cluster.colors().remove_color(color)?;
+        let nodes: Vec<NodeId> = shards.iter().flat_map(|s| s.replicas.clone()).collect();
+        if !nodes.is_empty() {
+            self.ctrl_round(&nodes, |req| DataMsg::DropColor { color, req }, "drop")?;
+        }
+        self.cluster
+            .data()
+            .topology
+            .set_color_shards(color, Vec::new());
+        self.colors_destroyed.add(1);
+        Ok(())
+    }
+
+    // ----- shard scale-out ----------------------------------------------
+
+    /// Spawns a brand-new empty shard attached to `leaf` (elastic
+    /// scale-out). Colors land on it via [`ControlPlane::migrate_color`]
+    /// or subsequent color creation in the leaf's region.
+    pub fn add_shard(&mut self, leaf: RoleId) -> ShardInfo {
+        let info = self.cluster.add_shard(leaf);
+        self.shards_added.add(1);
+        info
+    }
+
+    // ----- color migration ----------------------------------------------
+
+    /// Migrates `color` onto shard `dest`: freeze → drain-staged → epoch
+    /// bump → trim-aware span copy → adopt → cutover.
+    ///
+    /// Invariants on return: every SN committed under the old shards is
+    /// readable from `dest` (tokens travel with records, so post-cutover
+    /// retries of pre-migration appends re-ack idempotently), and the
+    /// per-color total order is unbroken — the bumped epoch makes every
+    /// post-migration SN larger than every pre-migration SN.
+    ///
+    /// On failure the migration aborts: sources are unfrozen (best
+    /// effort) and the old configuration stays in force.
+    pub fn migrate_color(&mut self, color: ColorId, dest: ShardId) -> Result<(), CtrlError> {
+        if !self.cluster.colors().exists(color) {
+            return Err(CtrlError::UnknownColor(color));
+        }
+        let topology = &self.cluster.data().topology;
+        let dest_info = topology.shard(dest).ok_or(CtrlError::UnknownShard(dest))?;
+        let sources: Vec<ShardInfo> = topology
+            .shards_of(color)
+            .into_iter()
+            .filter(|s| s.id != dest)
+            .collect();
+        if sources.is_empty() {
+            // Already exactly where it should be.
+            topology.set_color_shards(color, vec![dest]);
+            return Ok(());
+        }
+        let src_nodes: Vec<NodeId> = sources.iter().flat_map(|s| s.replicas.clone()).collect();
+
+        // Phase 1: freeze. New appends of the color nack with `Frozen`
+        // (clients hold and retry); already-staged batches keep draining.
+        self.ctrl_round(&src_nodes, |req| DataMsg::FreezeColor { color, req }, "freeze")?;
+
+        let result = self.migrate_frozen(color, &sources, &src_nodes, &dest_info);
+        if result.is_err() {
+            // Abort: restore availability on the old shards. Best effort —
+            // crashed replicas lose the (volatile) freeze mark anyway.
+            let req = self.next_req();
+            for &n in &src_nodes {
+                let _ = self.ep.send(n, DataMsg::UnfreezeColor { color, req }.into());
+            }
+        }
+        result
+    }
+
+    /// Phases 2-6 of a migration, entered with the sources frozen.
+    fn migrate_frozen(
+        &mut self,
+        color: ColorId,
+        sources: &[ShardInfo],
+        src_nodes: &[NodeId],
+        dest: &ShardInfo,
+    ) -> Result<(), CtrlError> {
+        // Phase 2: drain. Wait until no source replica holds a staged
+        // batch of the color — after this, the set of committed records
+        // is stable (nothing in flight can still commit).
+        let deadline = Instant::now() + self.timeout;
+        for &node in src_nodes {
+            loop {
+                match self.color_status(node, color, deadline) {
+                    Ok((0, _, _, _)) => break,
+                    Ok(_) => std::thread::sleep(Duration::from_millis(2)),
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+
+        // Phase 3: epoch bump at the owning sequencer. Fences stale
+        // ordering traffic and guarantees every post-migration SN is
+        // larger than every pre-migration SN (SN = epoch ‖ counter).
+        let owner = self
+            .cluster
+            .registry()
+            .owner(color)
+            .ok_or(CtrlError::UnknownColor(color))?;
+        self.bump_epoch(owner)?;
+
+        // Phase 4: copy. One export per source shard (from its most
+        // complete replica), imported into every destination replica.
+        // Trim-aware: only records above the head travel, and the head
+        // itself is installed at the destination.
+        for shard in sources {
+            let (head, records) = self.export_span(shard, color, deadline)?;
+            self.import_span(&dest.replicas, color, head, records, deadline)?;
+        }
+
+        // Phase 5: adopt. Destination replicas clear any stale fencing
+        // marks from an earlier residency and start serving the color.
+        self.ctrl_round(
+            &dest.replicas,
+            |req| DataMsg::AdoptColor { color, req },
+            "adopt",
+        )?;
+
+        // Phase 6: cutover. Publish the new route first, then tell the
+        // sources to nack with `ColorMoved` — a client bounced by a source
+        // re-resolves and finds the destination already serving.
+        self.cluster
+            .data()
+            .topology
+            .set_color_shards(color, vec![dest.id]);
+        self.ctrl_round(
+            src_nodes,
+            |req| DataMsg::CutoverColor { color, req },
+            "cutover",
+        )?;
+        self.migrations.add(1);
+        Ok(())
+    }
+
+    // ----- sequencer-tree split -----------------------------------------
+
+    /// Splits leaf `hot`: spawns a new leaf under the root and re-routes
+    /// half of `hot`'s colors (the later half in color order) to it.
+    /// Returns the new leaf's role.
+    pub fn split_leaf(&mut self, hot: RoleId) -> Result<RoleId, CtrlError> {
+        let colors: Vec<ColorId> = self.owned_colors(hot);
+        if colors.len() < 2 {
+            return Err(CtrlError::NothingToSplit(hot));
+        }
+        let moved = colors[colors.len() / 2..].to_vec();
+        self.split_leaf_moving(hot, &moved).map(|r| r.0)
+    }
+
+    /// Splits leaf `hot`, moving exactly `moved` to the new leaf. Returns
+    /// the new role and the donor's bumped epoch.
+    ///
+    /// SN monotonicity across the move: the donor is bumped to epoch E',
+    /// dropping every in-flight ordering request at the fence, and the new
+    /// leaf starts at E' + 1 with fresh counters — so the first SN it
+    /// issues for a moved color is strictly above anything the donor ever
+    /// issued for it.
+    pub fn split_leaf_moving(
+        &mut self,
+        hot: RoleId,
+        moved: &[ColorId],
+    ) -> Result<(RoleId, Epoch), CtrlError> {
+        let new_role = RoleId(
+            self.cluster
+                .ordering()
+                .roles()
+                .iter()
+                .map(|r| r.0 + 1)
+                .max()
+                .unwrap_or(1),
+        );
+        // Fence the donor: in-flight OReqs for moved colors die with the
+        // epoch; replicas re-send them along the new route below.
+        let donor_epoch = self.bump_epoch(hot)?;
+        self.cluster
+            .spawn_leaf_sequencer(new_role, RoleId(0), donor_epoch.next());
+        // The new leaf orders over the same shards the donor did.
+        let region = self.cluster.colors().region_of(hot);
+        self.cluster.colors().set_region(new_role, region);
+        for &c in moved {
+            // Registry first (the donor stops assigning: ownership is
+            // registry-authoritative), then the replica-side OReq route.
+            self.cluster.registry().set(c, new_role);
+            self.cluster.routes().set_route(c, new_role);
+        }
+        self.leaf_splits.add(1);
+        Ok((new_role, donor_epoch))
+    }
+
+    /// Colors currently ordered by `role`, sorted.
+    pub fn owned_colors(&self, role: RoleId) -> Vec<ColorId> {
+        self.cluster
+            .colors()
+            .colors()
+            .into_iter()
+            .filter(|&c| self.cluster.registry().owner(c) == Some(role))
+            .collect()
+    }
+
+    // ----- fenced primitives --------------------------------------------
+
+    /// Bumps `role`'s epoch and returns the new value. The sequencer
+    /// drops its per-color counters (they restart within the new epoch)
+    /// and replicates the bump to its backups before replying.
+    pub fn bump_epoch(&mut self, role: RoleId) -> Result<Epoch, CtrlError> {
+        let leader = self
+            .cluster
+            .directory()
+            .get(role)
+            .ok_or(CtrlError::NoLeader(role))?;
+        let _ = self
+            .ep
+            .send(leader, ClusterMsg::Order(OrderMsg::BumpEpoch { role }));
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            let left = deadline
+                .checked_duration_since(Instant::now())
+                .ok_or(CtrlError::Timeout("epoch bump"))?;
+            match self.ep.recv_timeout(left) {
+                Ok((_, ClusterMsg::Order(OrderMsg::EpochIs { role: r, epoch }))) if r == role => {
+                    self.epoch_bumps.add(1);
+                    return Ok(epoch);
+                }
+                Ok(_) => {}
+                Err(RecvError::Timeout) => return Err(CtrlError::Timeout("epoch bump")),
+                Err(RecvError::Disconnected) => return Err(CtrlError::Disconnected),
+            }
+        }
+    }
+
+    /// Sends one control message to every node and waits for all acks.
+    fn ctrl_round(
+        &mut self,
+        nodes: &[NodeId],
+        msg_of: impl Fn(u64) -> DataMsg,
+        phase: &'static str,
+    ) -> Result<(), CtrlError> {
+        let req = self.next_req();
+        let msg = msg_of(req);
+        for &n in nodes {
+            let _ = self.ep.send(n, msg.clone().into());
+        }
+        let mut pending: HashSet<NodeId> = nodes.iter().copied().collect();
+        let deadline = Instant::now() + self.timeout;
+        while !pending.is_empty() {
+            let left = deadline
+                .checked_duration_since(Instant::now())
+                .ok_or(CtrlError::Timeout(phase))?;
+            match self.ep.recv_timeout(left) {
+                Ok((from, ClusterMsg::Data(DataMsg::CtrlAck { req: r }))) if r == req => {
+                    pending.remove(&from);
+                }
+                Ok(_) => {}
+                Err(RecvError::Timeout) => return Err(CtrlError::Timeout(phase)),
+                Err(RecvError::Disconnected) => return Err(CtrlError::Disconnected),
+            }
+        }
+        Ok(())
+    }
+
+    /// One replica's view of a color: (staged batches, head, tail, count).
+    fn color_status(
+        &mut self,
+        node: NodeId,
+        color: ColorId,
+        deadline: Instant,
+    ) -> Result<(u64, Option<SeqNum>, Option<SeqNum>, u64), CtrlError> {
+        let req = self.next_req();
+        let _ = self.ep.send(node, DataMsg::ColorStatus { color, req }.into());
+        loop {
+            let left = deadline
+                .checked_duration_since(Instant::now())
+                .ok_or(CtrlError::Timeout("drain"))?;
+            match self.ep.recv_timeout(left) {
+                Ok((
+                    from,
+                    ClusterMsg::Data(DataMsg::CtrlColorInfo {
+                        req: r,
+                        staged,
+                        head,
+                        tail,
+                        count,
+                    }),
+                )) if r == req && from == node => return Ok((staged, head, tail, count)),
+                Ok(_) => {}
+                Err(RecvError::Timeout) => return Err(CtrlError::Timeout("drain")),
+                Err(RecvError::Disconnected) => return Err(CtrlError::Disconnected),
+            }
+        }
+    }
+
+    /// Exports the committed span of `color` from the most complete live
+    /// replica of `shard`.
+    #[allow(clippy::type_complexity)]
+    fn export_span(
+        &mut self,
+        shard: &ShardInfo,
+        color: ColorId,
+        deadline: Instant,
+    ) -> Result<(Option<SeqNum>, Vec<(Token, SeqNum, Payload)>), CtrlError> {
+        // Rank replicas by committed-record count so a lagging or freshly
+        // recovered replica is not the one we copy from.
+        let mut ranked: Vec<(u64, NodeId)> = Vec::new();
+        for &node in &shard.replicas {
+            // Short per-node probe so one crashed replica does not burn
+            // the whole migration deadline.
+            let probe = (Instant::now() + Duration::from_millis(500)).min(deadline);
+            if let Ok((_, _, _, count)) = self.color_status(node, color, probe) {
+                ranked.push((count, node));
+            }
+        }
+        ranked.sort();
+        while let Some((_, node)) = ranked.pop() {
+            let req = self.next_req();
+            let _ = self.ep.send(node, DataMsg::ExportSpan { color, req }.into());
+            loop {
+                let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                    return Err(CtrlError::Timeout("copy"));
+                };
+                match self.ep.recv_timeout(left) {
+                    Ok((
+                        from,
+                        ClusterMsg::Data(DataMsg::SpanRecords {
+                            req: r,
+                            color: c,
+                            head,
+                            records,
+                        }),
+                    )) if r == req && c == color && from == node => {
+                        return Ok((head, records));
+                    }
+                    Ok(_) => {}
+                    Err(RecvError::Timeout) => break, // try the next replica
+                    Err(RecvError::Disconnected) => return Err(CtrlError::Disconnected),
+                }
+            }
+        }
+        Err(CtrlError::Timeout("copy"))
+    }
+
+    /// Installs an exported span on every destination replica.
+    fn import_span(
+        &mut self,
+        replicas: &[NodeId],
+        color: ColorId,
+        head: Option<SeqNum>,
+        records: Vec<(Token, SeqNum, Payload)>,
+        deadline: Instant,
+    ) -> Result<(), CtrlError> {
+        let req = self.next_req();
+        for &n in replicas {
+            let _ = self.ep.send(
+                n,
+                DataMsg::ImportSpan {
+                    color,
+                    req,
+                    head,
+                    records: records.clone(),
+                }
+                .into(),
+            );
+        }
+        let mut pending: HashSet<NodeId> = replicas.iter().copied().collect();
+        while !pending.is_empty() {
+            let left = deadline
+                .checked_duration_since(Instant::now())
+                .ok_or(CtrlError::Timeout("import"))?;
+            match self.ep.recv_timeout(left) {
+                Ok((from, ClusterMsg::Data(DataMsg::ImportAck { req: r, .. }))) if r == req => {
+                    pending.remove(&from);
+                }
+                Ok(_) => {}
+                Err(RecvError::Timeout) => return Err(CtrlError::Timeout("import")),
+                Err(RecvError::Disconnected) => return Err(CtrlError::Disconnected),
+            }
+        }
+        Ok(())
+    }
+}

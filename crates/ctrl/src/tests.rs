@@ -1,0 +1,316 @@
+//! Integration tests: reconfigurations against live clusters.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use flexlog_core::{ClusterSpec, FlexLogCluster};
+use flexlog_ordering::RoleId;
+use flexlog_types::{ColorId, SeqNum};
+
+use crate::{Autoscaler, AutoscalerConfig, ControlPlane, CtrlError, ScalingAction};
+
+fn fast_spec() -> ClusterSpec {
+    ClusterSpec {
+        client_retry: Duration::from_millis(5),
+        ..ClusterSpec::single_shard()
+    }
+}
+
+#[test]
+fn runtime_color_create_and_destroy() {
+    let cluster = FlexLogCluster::start(fast_spec());
+    let mut plane = ControlPlane::new(&cluster);
+    let red = ColorId(30);
+
+    plane.create_color(red, ColorId::MASTER).unwrap();
+    let mut h = cluster.handle();
+    let sn = h.append(b"alive", red).unwrap();
+    assert_eq!(h.read(sn, red).unwrap().unwrap(), b"alive");
+
+    plane.destroy_color(red).unwrap();
+    // The terminal nack: appends fail fast with UnknownColor, not a
+    // deadline timeout.
+    let err = h.append(b"dead", red).unwrap_err();
+    assert!(
+        matches!(err, flexlog_core::ClientError::UnknownColor(c) if c == red),
+        "append to a destroyed color must be terminal, got {err:?}"
+    );
+    // Destroying again is an error, not a panic.
+    assert!(matches!(
+        plane.destroy_color(red),
+        Err(CtrlError::Color(_))
+    ));
+
+    let snap = cluster.obs().snapshot();
+    assert_eq!(snap.counter("ctrl.colors_created"), 1);
+    assert_eq!(snap.counter("ctrl.colors_destroyed"), 1);
+    cluster.shutdown();
+}
+
+#[test]
+fn migrate_color_under_concurrent_writes() {
+    let cluster = FlexLogCluster::start(fast_spec());
+    let mut plane = ControlPlane::new(&cluster);
+    let red = ColorId(40);
+    plane.create_color(red, ColorId::MASTER).unwrap();
+
+    let mut h = cluster.handle();
+    let mut pre: Vec<SeqNum> = Vec::new();
+    for i in 0..20u32 {
+        pre.push(h.append(format!("pre{i}").as_bytes(), red).unwrap());
+    }
+
+    let dest = plane.add_shard(RoleId(0));
+    assert_ne!(dest.id, cluster.data().topology.shards_of(red)[0].id);
+
+    let stop = AtomicBool::new(false);
+    let during = std::thread::scope(|s| {
+        let stop = &stop;
+        let cluster = &cluster;
+        let writer = s.spawn(move || {
+            let mut h = cluster.handle();
+            let mut sns = Vec::new();
+            let mut i = 0u32;
+            while !stop.load(Ordering::Relaxed) {
+                sns.push(h.append(format!("mid{i}").as_bytes(), red).unwrap());
+                i += 1;
+            }
+            sns
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        plane.migrate_color(red, dest.id).unwrap();
+        // Keep writing a little after the cutover too.
+        std::thread::sleep(Duration::from_millis(20));
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap()
+    });
+
+    // The color now lives exactly on the destination.
+    let shards = cluster.data().topology.shards_of(red);
+    assert_eq!(shards.len(), 1);
+    assert_eq!(shards[0].id, dest.id);
+
+    // Every SN committed under the old shard is readable from the new
+    // one, the per-color order is unbroken, and nothing was duplicated.
+    let mut reader = cluster.handle();
+    let log = reader.subscribe(red).unwrap();
+    let log_sns: Vec<SeqNum> = log.iter().map(|r| r.sn).collect();
+    for w in log_sns.windows(2) {
+        assert!(w[0] < w[1], "per-color total order broken: {:?}", w);
+    }
+    let mut acked: Vec<SeqNum> = pre.iter().chain(during.iter()).copied().collect();
+    acked.sort();
+    acked.dedup();
+    assert_eq!(
+        log_sns, acked,
+        "migrated log must hold exactly the acked appends"
+    );
+    // Old epoch < new epoch: the bump fences the configurations apart.
+    let post = reader.append(b"post", red).unwrap();
+    assert!(
+        post.epoch() > pre[0].epoch(),
+        "epoch must bump across migration ({:?} vs {:?})",
+        post.epoch(),
+        pre[0].epoch()
+    );
+    assert_eq!(cluster.obs().snapshot().counter("ctrl.migrations"), 1);
+    cluster.shutdown();
+}
+
+#[test]
+fn migration_is_trim_aware() {
+    let cluster = FlexLogCluster::start(fast_spec());
+    let mut plane = ControlPlane::new(&cluster);
+    let red = ColorId(41);
+    plane.create_color(red, ColorId::MASTER).unwrap();
+
+    let mut h = cluster.handle();
+    let mut sns = Vec::new();
+    for i in 0..10u32 {
+        sns.push(h.append(format!("r{i}").as_bytes(), red).unwrap());
+    }
+    h.trim(sns[4], red).unwrap();
+
+    let dest = plane.add_shard(RoleId(0));
+    plane.migrate_color(red, dest.id).unwrap();
+
+    let mut reader = cluster.handle();
+    // Only the surviving span traveled.
+    let log = reader.subscribe(red).unwrap();
+    assert_eq!(
+        log.iter().map(|r| r.sn).collect::<Vec<_>>(),
+        &sns[5..],
+        "exactly the untrimmed suffix must survive the migration"
+    );
+    // The head traveled too: trimmed SNs stay invisible at the dest.
+    assert_eq!(reader.read(sns[0], red).unwrap(), None);
+    cluster.shutdown();
+}
+
+#[test]
+fn split_leaf_keeps_per_color_sns_monotonic() {
+    let mut spec = ClusterSpec::tree(1, 1);
+    spec.client_retry = Duration::from_millis(5);
+    let cluster = FlexLogCluster::start(spec);
+    let leaf = RoleId(1);
+    let a = ColorId(50);
+    let b = ColorId(51);
+    cluster.colors().add_color_at(a, leaf).unwrap();
+    cluster.colors().add_color_at(b, leaf).unwrap();
+
+    let mut h = cluster.handle();
+    let mut last_a = SeqNum::ZERO;
+    let mut last_b = SeqNum::ZERO;
+    for i in 0..15u32 {
+        last_a = h.append(format!("a{i}").as_bytes(), a).unwrap();
+        last_b = h.append(format!("b{i}").as_bytes(), b).unwrap();
+    }
+
+    let mut plane = ControlPlane::new(&cluster);
+    let new_role = plane.split_leaf(leaf).unwrap();
+    assert_ne!(new_role, leaf);
+    assert!(cluster.leaf_roles().contains(&new_role));
+    // Half the colors (the later half in color order) moved.
+    assert_eq!(cluster.registry().owner(a), Some(leaf));
+    assert_eq!(cluster.registry().owner(b), Some(new_role));
+
+    // Appends to both colors keep working and SNs never go backwards,
+    // even for the color whose ordering authority moved mid-stream.
+    for i in 0..15u32 {
+        let sa = h.append(format!("A{i}").as_bytes(), a).unwrap();
+        let sb = h.append(format!("B{i}").as_bytes(), b).unwrap();
+        assert!(sa > last_a, "a: {sa:?} must exceed {last_a:?}");
+        assert!(sb > last_b, "b: {sb:?} must exceed {last_b:?}");
+        last_a = sa;
+        last_b = sb;
+    }
+    // The moved color's new SNs come from a strictly later epoch.
+    assert!(last_b.epoch().0 >= 2, "split must bump b's epoch");
+
+    // Full-log check: one unbroken total order per color.
+    let log_b = h.subscribe(b).unwrap();
+    assert_eq!(log_b.len(), 30);
+    for w in log_b.windows(2) {
+        assert!(w[0].sn < w[1].sn);
+    }
+    assert_eq!(cluster.obs().snapshot().counter("ctrl.leaf_splits"), 1);
+    cluster.shutdown();
+}
+
+/// The acceptance scenario: a live cluster under hot-color load; the
+/// autoscaler observes the heat, adds a shard and migrates the color to
+/// it, then splits the overloaded leaf — with zero failed client appends
+/// and one unbroken per-color order across both epoch bumps.
+#[test]
+fn autoscaler_observes_heat_and_scales_out() {
+    let mut spec = ClusterSpec::tree(1, 1);
+    spec.client_retry = Duration::from_millis(5);
+    let cluster = FlexLogCluster::start(spec);
+    let leaf = RoleId(1);
+    let hot = ColorId(60);
+    let cold = ColorId(61);
+    cluster.colors().add_color_at(hot, leaf).unwrap();
+    cluster.colors().add_color_at(cold, leaf).unwrap();
+
+    let plane = ControlPlane::new(&cluster);
+    let mut scaler = Autoscaler::new(
+        plane,
+        AutoscalerConfig {
+            hot_color_rate: 50.0,
+            min_cohabitants: 1,
+            split_wait_p99_ns: 1,
+            pm_pressure_bytes: usize::MAX,
+            max_actions_per_tick: 2,
+        },
+    );
+    scaler.tick().unwrap(); // primes the rate counters
+
+    let stop = AtomicBool::new(false);
+    let (hot_sns, cold_sns) = std::thread::scope(|s| {
+        let stop = &stop;
+        let cluster = &cluster;
+        let writer = s.spawn(move || {
+            let mut h = cluster.handle();
+            let mut hot_sns = Vec::new();
+            let mut cold_sns = Vec::new();
+            let mut i = 0u32;
+            while !stop.load(Ordering::Relaxed) {
+                // Every append must succeed — reconfigurations may delay
+                // but never fail a client.
+                hot_sns.push(h.append(format!("h{i}").as_bytes(), hot).unwrap());
+                if i % 64 == 0 {
+                    cold_sns.push(h.append(format!("c{i}").as_bytes(), cold).unwrap());
+                }
+                i += 1;
+            }
+            (hot_sns, cold_sns)
+        });
+
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            std::thread::sleep(Duration::from_millis(100));
+            scaler.tick().unwrap();
+            let migrated = scaler
+                .history()
+                .iter()
+                .any(|a| matches!(a, ScalingAction::MigratedColor { color, .. } if *color == hot));
+            let split = scaler
+                .history()
+                .iter()
+                .any(|a| matches!(a, ScalingAction::SplitLeaf { .. }));
+            if (migrated && split) || Instant::now() > deadline {
+                break;
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap()
+    });
+
+    // The loop actually closed: observe → decide → actuate, twice.
+    let history = scaler.history().to_vec();
+    let added = history
+        .iter()
+        .any(|a| matches!(a, ScalingAction::AddedShard { .. }));
+    let migrated = history
+        .iter()
+        .any(|a| matches!(a, ScalingAction::MigratedColor { color, .. } if *color == hot));
+    let split = history
+        .iter()
+        .find(|a| matches!(a, ScalingAction::SplitLeaf { .. }));
+    assert!(added, "autoscaler never added a shard: {history:?}");
+    assert!(migrated, "autoscaler never migrated the hot color: {history:?}");
+    let Some(ScalingAction::SplitLeaf { from, to, .. }) = split else {
+        panic!("autoscaler never split the leaf: {history:?}");
+    };
+    assert_eq!(*from, leaf);
+
+    // Both reconfigurations bumped an epoch.
+    let snap = cluster.obs().snapshot();
+    assert!(
+        snap.counter("ctrl.epoch_bumps") >= 2,
+        "migration and split must each bump an epoch"
+    );
+    assert!(cluster.leaf_roles().contains(to));
+
+    // The hot color sits alone on its new shard.
+    let hot_shards = cluster.data().topology.shards_of(hot);
+    assert_eq!(hot_shards.len(), 1);
+
+    // Zero failed appends (the writer unwrapped every one), and the
+    // quiescent log is exactly the acked history, in one total order.
+    let mut reader = cluster.handle();
+    for (color, acked) in [(hot, &hot_sns), (cold, &cold_sns)] {
+        let log = reader.subscribe(color).unwrap();
+        let log_sns: Vec<SeqNum> = log.iter().map(|r| r.sn).collect();
+        for w in log_sns.windows(2) {
+            assert!(w[0] < w[1], "{color}: total order broken at {w:?}");
+        }
+        assert_eq!(&log_sns, acked, "{color}: lost or duplicated records");
+    }
+    // Per-color order survived across the epoch bumps: ack order matches
+    // SN order for the single hot writer.
+    for w in hot_sns.windows(2) {
+        assert!(w[0] < w[1], "hot acks out of order at {w:?}");
+    }
+    cluster.shutdown();
+}

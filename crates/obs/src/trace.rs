@@ -27,6 +27,12 @@ use flexlog_types::Token;
 /// phases): all-ones, never produced by `Token::new`.
 pub const SYNC_TOKEN: Token = Token(u64::MAX);
 
+/// Sentinel token for control-plane events (color migration, leaf splits):
+/// all-ones minus one, never produced by `Token::new` (which would require
+/// fid == u32::MAX and counter == u32::MAX - 1, but the all-ones fid is
+/// reserved for sentinels by convention).
+pub const CTRL_TOKEN: Token = Token(u64::MAX - 1);
+
 /// Pipeline stage of a traced event. The discriminant is the canonical
 /// ordering rank (the order stages appear along the append data path).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -52,6 +58,15 @@ pub enum Stage {
     SyncStart = 8,
     /// The sync phase finished; the replica serves again.
     SyncDone = 9,
+    /// The control plane froze a color on its source shard(s) before a
+    /// migration (detail = color id).
+    MigrateFreeze = 10,
+    /// A committed span was exported from the source and imported at the
+    /// destination (detail = color id).
+    MigrateCopy = 11,
+    /// The color→shard mapping was cut over to the destination and the
+    /// epoch was bumped (detail = color id).
+    MigrateCutover = 12,
 }
 
 impl Stage {
@@ -71,6 +86,9 @@ impl Stage {
             Stage::ClientAck => "client_ack",
             Stage::SyncStart => "sync_start",
             Stage::SyncDone => "sync_done",
+            Stage::MigrateFreeze => "migrate_freeze",
+            Stage::MigrateCopy => "migrate_copy",
+            Stage::MigrateCutover => "migrate_cutover",
         }
     }
 
@@ -83,7 +101,13 @@ impl Stage {
     pub const fn is_canonical(self) -> bool {
         !matches!(
             self,
-            Stage::ClientRetransmit | Stage::OReqSent | Stage::SyncStart | Stage::SyncDone
+            Stage::ClientRetransmit
+                | Stage::OReqSent
+                | Stage::SyncStart
+                | Stage::SyncDone
+                | Stage::MigrateFreeze
+                | Stage::MigrateCopy
+                | Stage::MigrateCutover
         )
     }
 }
@@ -344,7 +368,7 @@ impl Trace {
     }
 }
 
-const STAGE_BY_RANK: [Stage; 10] = [
+const STAGE_BY_RANK: [Stage; 13] = [
     Stage::ClientSend,
     Stage::ClientRetransmit,
     Stage::ReplicaStaged,
@@ -355,6 +379,9 @@ const STAGE_BY_RANK: [Stage; 10] = [
     Stage::ClientAck,
     Stage::SyncStart,
     Stage::SyncDone,
+    Stage::MigrateFreeze,
+    Stage::MigrateCopy,
+    Stage::MigrateCutover,
 ];
 
 #[cfg(test)]

@@ -106,6 +106,43 @@ impl ColorRegistry {
     pub fn contains(&self, color: flexlog_types::ColorId) -> bool {
         self.map.read().contains_key(&color)
     }
+
+    /// Unregisters a color (runtime color destroy). Returns the previous
+    /// owner, if any.
+    pub fn remove(&self, color: flexlog_types::ColorId) -> Option<RoleId> {
+        self.map.write().remove(&color)
+    }
+}
+
+/// Per-color OReq routing overrides, layered over the shard's static
+/// `leaf_role`. After a leaf-sequencer split re-homes a color, replicas
+/// must send that color's order requests to the *new* leaf even though
+/// their shard still hangs under the old one; the control plane installs
+/// the override here and every delegate consults it at send time.
+#[derive(Clone, Default)]
+pub struct RouteTable {
+    map: Arc<RwLock<HashMap<flexlog_types::ColorId, RoleId>>>,
+}
+
+impl RouteTable {
+    pub fn new() -> Self {
+        RouteTable::default()
+    }
+
+    /// The role OReqs for `color` should go to, if overridden.
+    pub fn route(&self, color: flexlog_types::ColorId) -> Option<RoleId> {
+        self.map.read().get(&color).copied()
+    }
+
+    /// Installs (or replaces) an override.
+    pub fn set_route(&self, color: flexlog_types::ColorId, role: RoleId) {
+        self.map.write().insert(color, role);
+    }
+
+    /// Drops an override; OReqs fall back to the shard's leaf role.
+    pub fn clear_route(&self, color: flexlog_types::ColorId) {
+        self.map.write().remove(&color);
+    }
 }
 
 #[cfg(test)]

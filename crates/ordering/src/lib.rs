@@ -32,7 +32,7 @@ mod sequencer;
 mod service;
 
 pub use backup::{BackupConfig, BackupNode};
-pub use directory::{ColorRegistry, Directory, RoleId};
+pub use directory::{ColorRegistry, Directory, RoleId, RouteTable};
 pub use msg::{OrderMsg, OrderWire};
 pub use sequencer::{SequencerConfig, SequencerNode, SequencerStats};
 pub use service::{request_order, OrderingHandle, OrderingService, PositionSpec, TreeSpec};

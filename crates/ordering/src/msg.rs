@@ -51,6 +51,15 @@ pub enum OrderMsg {
     /// Replica → new leader: initialization complete.
     InitAck { epoch: Epoch },
 
+    /// Control plane → sequencer: fence the current configuration. The
+    /// sequencer advances its epoch, clears its per-color counters (fresh
+    /// epoch ⇒ counters restart at 0, so every post-fence SN compares
+    /// greater than every pre-fence SN), replicates the new epoch to its
+    /// backups, and answers with [`OrderMsg::EpochIs`].
+    BumpEpoch { role: RoleId },
+    /// Sequencer → control plane: the epoch now in force at `role`.
+    EpochIs { role: RoleId, epoch: Epoch },
+
     /// Orderly shutdown (test harness).
     Shutdown,
 }

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use flexlog_obs::{Histogram, ObsHandle, Stage};
+use flexlog_obs::{Counter, Histogram, ObsHandle, Stage};
 use flexlog_simnet::{Endpoint, NodeId, RecvError};
 use flexlog_types::{ColorId, Epoch, SeqNum, Token};
 
@@ -143,6 +143,14 @@ pub struct SequencerNode {
     /// Time each color batch spent open in the aggregation window before
     /// it was flushed (assigned or forwarded).
     batch_wait_hist: Histogram,
+    /// OReqs dropped because no one above this node owns the color (stale
+    /// routing during a reconfiguration; the replica's resend tick retries
+    /// against the new route).
+    misrouted_dropped: Counter,
+    /// Per-color SNs issued (`seq.color_sns.<id>`), the autoscaler's
+    /// per-color append-rate signal. Cached so a flush does not re-register
+    /// the counter.
+    color_sn_counters: HashMap<ColorId, Counter>,
 }
 
 impl SequencerNode {
@@ -154,6 +162,7 @@ impl SequencerNode {
     /// Creates a sequencer resuming at a given epoch (promotion path).
     pub fn with_epoch(config: SequencerConfig, directory: Directory, epoch: Epoch) -> Self {
         let batch_wait_hist = config.obs.histogram("seq.batch_wait_ns");
+        let misrouted_dropped = config.obs.counter("seq.misrouted_dropped");
         SequencerNode {
             config,
             directory,
@@ -169,6 +178,8 @@ impl SequencerNode {
             responded_order: VecDeque::new(),
             stats: Arc::new(SequencerStats::default()),
             batch_wait_hist,
+            misrouted_dropped,
+            color_sn_counters: HashMap::new(),
         }
     }
 
@@ -273,6 +284,29 @@ impl SequencerNode {
                                 hb_acks.clear();
                             }
                         }
+                        OrderMsg::BumpEpoch { role } if role == self.config.role => {
+                            // Reconfiguration fence: everything ordered so
+                            // far belongs to the old epoch; the counters
+                            // restart so every SN issued from here on
+                            // compares greater (epoch is the high half of
+                            // the SN). Replicate before answering so a
+                            // later backup promotion resumes past us.
+                            self.epoch = self.epoch.next();
+                            self.counters.clear();
+                            if !self.config.backups.is_empty() {
+                                let _ = ep.broadcast(
+                                    &self.config.backups,
+                                    W::from_order(OrderMsg::ReplicateEpoch { epoch: self.epoch }),
+                                );
+                            }
+                            let _ = ep.send(
+                                from,
+                                W::from_order(OrderMsg::EpochIs {
+                                    role: self.config.role,
+                                    epoch: self.epoch,
+                                }),
+                            );
+                        }
                         // A backup (or old peer) probing with other control
                         // traffic — a live leader ignores it; demotion only
                         // ever happens through lost heartbeat majorities.
@@ -330,8 +364,14 @@ impl SequencerNode {
             self.stats.batches.fetch_add(1, Ordering::Relaxed);
             self.batch_wait_hist
                 .record_ns(now.saturating_duration_since(buf.opened_at));
-            let owned = self.config.owned.contains(&color)
-                || self.config.registry.owner(color) == Some(self.config.role);
+            // The registry is authoritative when it knows the color: after a
+            // leaf split re-homes a color, the old leaf must stop assigning
+            // for it even though its static `owned` set still lists it. The
+            // static set only decides for colors the registry never saw.
+            let owned = match self.config.registry.owner(color) {
+                Some(r) => r == self.config.role,
+                None => self.config.owned.contains(&color),
+            };
             if owned {
                 // This node is the ordering root for the color: assign the
                 // whole range with one counter bump.
@@ -341,11 +381,19 @@ impl SequencerNode {
                 self.stats
                     .sns_issued
                     .fetch_add(buf.total as u64, Ordering::Relaxed);
+                let obs = &self.config.obs;
+                self.color_sn_counters
+                    .entry(color)
+                    .or_insert_with(|| obs.counter(&format!("seq.color_sns.{}", color.0)))
+                    .add(buf.total as u64);
                 self.distribute(ep, color, buf.constituents, last_sn, buf.total);
             } else {
                 // Forward one merged request to the parent.
                 let Some(parent_role) = self.config.parent else {
-                    // Misrouted OReq for a color nobody above owns: drop.
+                    // Misrouted OReq for a color nobody above owns (stale
+                    // routing during a reconfiguration): drop; the replica's
+                    // staged-token resend retries against the new route.
+                    self.misrouted_dropped.add(1);
                     continue;
                 };
                 let Some(parent) = self.directory.get(parent_role) else {

@@ -4,12 +4,12 @@
 //! replication layer to obtain sequence numbers.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use flexlog_simnet::{Endpoint, Network, NodeId, RecvError};
-use flexlog_types::{ColorId, SeqNum, Token};
+use flexlog_types::{ColorId, Epoch, SeqNum, Token};
 
 use crate::msg::{OrderMsg, OrderWire};
 use crate::{BackupConfig, BackupNode, ColorRegistry, Directory, RoleId, SequencerConfig, SequencerNode, SequencerStats};
@@ -137,14 +137,19 @@ impl TreeSpec {
     }
 }
 
-/// Running ordering layer.
+/// Running ordering layer. Interior mutability on the role maps lets the
+/// control plane spawn new leaf sequencers into a live tree
+/// ([`OrderingHandle::spawn_leaf`]).
 pub struct OrderingHandle<W: OrderWire> {
     pub directory: Directory,
-    threads: Vec<JoinHandle<()>>,
+    /// The spec the layer was started from; dynamic leaves inherit its
+    /// timing parameters, registry, and obs surface.
+    spec: TreeSpec,
+    threads: Mutex<Vec<JoinHandle<()>>>,
     /// Initial leader node per role.
-    leaders: HashMap<RoleId, NodeId>,
-    backups: HashMap<RoleId, Vec<NodeId>>,
-    stats: HashMap<RoleId, Arc<SequencerStats>>,
+    leaders: Mutex<HashMap<RoleId, NodeId>>,
+    backups: Mutex<HashMap<RoleId, Vec<NodeId>>>,
+    stats: Mutex<HashMap<RoleId, Arc<SequencerStats>>>,
     control: Endpoint<W>,
 }
 
@@ -229,10 +234,11 @@ impl OrderingService {
         let control = net.register(NodeId::named(0, u64::MAX >> 4));
         OrderingHandle {
             directory,
-            threads,
-            leaders,
-            backups: backups_map,
-            stats,
+            spec: spec.clone(),
+            threads: Mutex::new(threads),
+            leaders: Mutex::new(leaders),
+            backups: Mutex::new(backups_map),
+            stats: Mutex::new(stats),
             control,
         }
     }
@@ -246,17 +252,63 @@ impl<W: OrderWire> OrderingHandle<W> {
 
     /// The node that initially led `role`.
     pub fn initial_leader(&self, role: RoleId) -> NodeId {
-        self.leaders[&role]
+        self.leaders.lock().unwrap()[&role]
     }
 
     /// The backup nodes of `role`.
-    pub fn backup_nodes(&self, role: RoleId) -> &[NodeId] {
-        &self.backups[&role]
+    pub fn backup_nodes(&self, role: RoleId) -> Vec<NodeId> {
+        self.backups
+            .lock()
+            .unwrap()
+            .get(&role)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Stats of the *initial* sequencer of `role`.
     pub fn stats(&self, role: RoleId) -> Arc<SequencerStats> {
-        Arc::clone(&self.stats[&role])
+        Arc::clone(&self.stats.lock().unwrap()[&role])
+    }
+
+    /// All roles currently known to the layer, sorted.
+    pub fn roles(&self) -> Vec<RoleId> {
+        let mut v: Vec<RoleId> = self.leaders.lock().unwrap().keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Spawns a brand-new leaf sequencer into the live tree (no backups —
+    /// a dynamically added leaf can be re-spawned by the control plane).
+    /// `epoch` must exceed every epoch its colors were previously ordered
+    /// under, so re-homed colors keep SN monotonicity. The leaf owns
+    /// nothing statically; ownership arrives via the shared registry.
+    pub fn spawn_leaf(&self, net: &Network<W>, role: RoleId, parent: RoleId, epoch: Epoch) -> NodeId {
+        let node_id = NodeId::named(NodeId::CLASS_SEQUENCER, role.0 as u64);
+        let cfg = SequencerConfig {
+            role,
+            owned: std::collections::HashSet::new(),
+            parent: Some(parent),
+            backups: Vec::new(),
+            batch_interval: self.spec.batch_interval,
+            heartbeat_interval: self.spec.heartbeat_interval,
+            delta: self.spec.delta,
+            resend_timeout: self.spec.resend_timeout,
+            registry: self.spec.registry.clone(),
+            obs: self.spec.obs.clone(),
+        };
+        let node = SequencerNode::with_epoch(cfg, self.directory.clone(), epoch);
+        self.stats.lock().unwrap().insert(role, node.stats());
+        self.directory.set(role, node_id);
+        let ep = net.register(node_id);
+        self.threads.lock().unwrap().push(
+            std::thread::Builder::new()
+                .name(format!("seq-{}", role.0))
+                .spawn(move || node.run(ep))
+                .expect("spawn sequencer"),
+        );
+        self.leaders.lock().unwrap().insert(role, node_id);
+        self.backups.lock().unwrap().insert(role, Vec::new());
+        node_id
     }
 
     /// Crashes the node currently serving `role`.
@@ -268,17 +320,19 @@ impl<W: OrderWire> OrderingHandle<W> {
 
     /// Sends shutdown to every ordering node and joins the threads.
     pub fn shutdown(self, net: &Network<W>) {
-        for (&role, &leader) in &self.leaders {
+        let leaders = self.leaders.into_inner().unwrap();
+        let backups = self.backups.into_inner().unwrap();
+        for (&role, &leader) in &leaders {
             // The current leader might be a promoted backup.
             if let Some(current) = self.directory.get(role) {
                 let _ = self.control.send(current, W::from_order(OrderMsg::Shutdown));
             }
             let _ = self.control.send(leader, W::from_order(OrderMsg::Shutdown));
-            for &b in &self.backups[&role] {
+            for &b in &backups[&role] {
                 let _ = self.control.send(b, W::from_order(OrderMsg::Shutdown));
             }
         }
-        for t in self.threads {
+        for t in self.threads.into_inner().unwrap() {
             // Crashed nodes' threads exit via Disconnected.
             let _ = t.join();
         }

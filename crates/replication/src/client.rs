@@ -31,7 +31,7 @@ use flexlog_obs::{Histogram, ObsHandle, Stage};
 use flexlog_simnet::{Endpoint, NodeId, RecvError};
 use flexlog_types::{ColorId, CommittedRecord, FunctionId, Payload, SeqNum, ShardId, Token};
 
-use crate::msg::{ClusterMsg, DataMsg};
+use crate::msg::{ClusterMsg, DataMsg, RejectReason};
 use crate::replica::encode_multi_set;
 use crate::TopologyView;
 
@@ -169,6 +169,7 @@ pub(crate) fn merge_span(
 
 /// One append in flight through the pipelined path.
 struct InflightAppend {
+    color: ColorId,
     shard: ShardId,
     replicas: Vec<NodeId>,
     /// The retransmittable message (payloads inside are refcounted — a
@@ -199,6 +200,9 @@ pub struct FlexLogClient {
     /// End-to-end append latency, serial and pipelined alike
     /// (`client.append_ns`).
     append_hist: Histogram,
+    /// Terminal failure (e.g. a `Dropped` reject) discovered while pumping
+    /// pipelined appends; surfaced on the next pump.
+    pending_error: Option<ClientError>,
 }
 
 impl FlexLogClient {
@@ -215,6 +219,7 @@ impl FlexLogClient {
             inflight: HashMap::new(),
             completed: Vec::new(),
             append_hist,
+            pending_error: None,
         }
     }
 
@@ -273,6 +278,11 @@ impl FlexLogClient {
         let mut silent_rounds: u32 = 0;
         let mut acked: HashSet<NodeId> = HashSet::new();
         let mut first_send = true;
+        // A migration cutover may re-home the color mid-op; the replica set
+        // is then re-resolved from the topology (the token keeps the retry
+        // idempotent across the move).
+        let mut shard = shard;
+        let mut replicas: Vec<NodeId> = replicas.to_vec();
         #[allow(unused_assignments)]
         let mut last_sn: Option<SeqNum> = None;
         loop {
@@ -283,7 +293,7 @@ impl FlexLogClient {
             };
             first_send = false;
             self.config.obs.trace_event(token, stage, self.ep.id().0, 0);
-            let _ = self.ep.broadcast(replicas, msg.clone());
+            let _ = self.ep.broadcast(&replicas, msg.clone());
             let retry_at = Instant::now() + backoff.next_wait(&mut self.rng);
             loop {
                 let now = Instant::now();
@@ -320,6 +330,43 @@ impl FlexLogClient {
                         // serial op runs: credit it so the pipelined op
                         // completes without waiting for a retransmit.
                         self.note_stray_ack(from, t, sn);
+                    }
+                    Ok((from, ClusterMsg::Data(DataMsg::Rejected { token: t, reason })))
+                        if t == token =>
+                    {
+                        // Any nack proves the shard is alive — don't let a
+                        // fence trip the unreachable fail-fast.
+                        silent_rounds = 0;
+                        match reason {
+                            RejectReason::Frozen => {
+                                // Migration in progress: the pre-cutover
+                                // shard still answers; keep retransmitting
+                                // on the normal backoff.
+                                let _ = from;
+                            }
+                            RejectReason::ColorMoved => {
+                                // Cutover happened: re-resolve the shard and
+                                // retransmit there. The token makes the
+                                // retry idempotent even if some old replica
+                                // already committed.
+                                if let Some(s) =
+                                    self.topology.random_shard_of(color, &mut self.rng)
+                                {
+                                    if s.id != shard {
+                                        shard = s.id;
+                                        replicas = s.replicas;
+                                        acked.clear();
+                                    }
+                                }
+                                break; // resend to the (possibly new) shard
+                            }
+                            RejectReason::Dropped => {
+                                return Err(ClientError::UnknownColor(color));
+                            }
+                        }
+                    }
+                    Ok((from, ClusterMsg::Data(DataMsg::Rejected { token: t, reason }))) => {
+                        self.note_reject(from, t, reason);
                     }
                     Ok(_) => {} // stale message from a previous op
                     Err(RecvError::Timeout) => break,
@@ -385,6 +432,7 @@ impl FlexLogClient {
         self.inflight.insert(
             token,
             InflightAppend {
+                color,
                 shard: shard.id,
                 replicas: shard.replicas.clone(),
                 msg,
@@ -407,6 +455,16 @@ impl FlexLogClient {
     /// op is dropped and the error returned; other in-flight ops stay
     /// queued and a later `flush` can still complete them.
     pub fn flush(&mut self) -> Result<Vec<(Token, SeqNum)>, ClientError> {
+        // The per-op deadlines were stamped when each append *entered* the
+        // pipeline, which may be long before this call — a deep window
+        // could expire ops the moment flush starts even though the cluster
+        // is healthy. The configured deadline bounds the *flush*, so give
+        // every in-flight op the full budget from flush entry (never
+        // shortening a later deadline).
+        let flush_deadline = Instant::now() + self.config.deadline;
+        for op in self.inflight.values_mut() {
+            op.deadline = op.deadline.max(flush_deadline);
+        }
         while !self.inflight.is_empty() {
             self.pump_inflight()?;
         }
@@ -437,6 +495,9 @@ impl FlexLogClient {
     /// retransmit/expire whatever is overdue.
     fn pump_inflight(&mut self) -> Result<(), ClientError> {
         debug_assert!(!self.inflight.is_empty());
+        if let Some(e) = self.pending_error.take() {
+            return Err(e);
+        }
         let now = Instant::now();
         let next_due = self
             .inflight
@@ -452,6 +513,10 @@ impl FlexLogClient {
                     // Keep draining whatever already queued, without waiting.
                     wait = Duration::ZERO;
                 }
+                Ok((from, ClusterMsg::Data(DataMsg::Rejected { token, reason }))) => {
+                    self.note_reject(from, token, reason);
+                    wait = Duration::ZERO;
+                }
                 Ok(_) => {} // stale response of some earlier blocking op
                 Err(RecvError::Timeout) => break,
                 Err(RecvError::Disconnected) => return Err(ClientError::Disconnected),
@@ -459,6 +524,9 @@ impl FlexLogClient {
             if Instant::now() >= next_due {
                 break;
             }
+        }
+        if let Some(e) = self.pending_error.take() {
+            return Err(e);
         }
         // Retransmit overdue ops; fail the expired ones.
         let now = Instant::now();
@@ -510,6 +578,45 @@ impl FlexLogClient {
                 .obs
                 .trace_event(token, Stage::ClientAck, self.ep.id().0, 0);
             self.completed.push((token, sn));
+        }
+    }
+
+    /// Applies a [`DataMsg::Rejected`] nack to the matching pipelined
+    /// append (reconfiguration fencing: retry, re-route, or fail).
+    fn note_reject(&mut self, from: NodeId, token: Token, reason: RejectReason) {
+        let Some(op) = self.inflight.get_mut(&token) else {
+            return;
+        };
+        if !op.replicas.contains(&from) {
+            return;
+        }
+        // A nack proves the shard is alive: never count it towards the
+        // unreachable fail-fast.
+        op.silent_rounds = 0;
+        match reason {
+            RejectReason::Frozen => {
+                // Pre-cutover freeze window: keep the op queued; the normal
+                // backoff retransmits until the color thaws or moves.
+            }
+            RejectReason::ColorMoved => {
+                let color = op.color;
+                let old_shard = op.shard;
+                if let Some(s) = self.topology.random_shard_of(color, &mut self.rng) {
+                    if s.id != old_shard {
+                        op.shard = s.id;
+                        op.replicas = s.replicas;
+                        op.acked.clear();
+                        op.last_sn = None;
+                    }
+                }
+                // Retransmit (to the possibly new shard) on the next pump.
+                op.retry_at = Instant::now();
+            }
+            RejectReason::Dropped => {
+                let color = op.color;
+                self.inflight.remove(&token);
+                self.pending_error = Some(ClientError::UnknownColor(color));
+            }
         }
     }
 

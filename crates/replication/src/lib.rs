@@ -32,7 +32,7 @@ mod service;
 mod topology;
 
 pub use client::{ClientConfig, ClientError, FlexLogClient};
-pub use msg::{ClusterMsg, DataMsg};
+pub use msg::{ClusterMsg, DataMsg, RejectReason};
 pub use replica::{ReplicaConfig, ReplicaNode};
 pub use service::{DataLayerHandle, DataLayerService, DataLayerSpec};
 pub use topology::{ShardInfo, TopologyView};

@@ -79,8 +79,78 @@ pub enum DataMsg {
     /// all-to-all barrier of §6.3).
     SyncDone { round: u64 },
 
+    // ----- reconfiguration control (color migration, §elasticity) -----
+    /// Control plane → source replicas: stop admitting NEW appends of
+    /// `color`. Already-staged records keep flowing (their OReq resends and
+    /// OResp commits proceed), which is what drains the staged set; fresh
+    /// appends are nacked with [`DataMsg::Rejected`] and the client retries
+    /// until cutover re-routes it.
+    FreezeColor { color: ColorId, req: u64 },
+    /// Control plane → source replicas: migration aborted, admit again.
+    UnfreezeColor { color: ColorId, req: u64 },
+    /// Control plane → one replica: report `color`'s local state (drain
+    /// polling and span-export bounds).
+    ColorStatus { color: ColorId, req: u64 },
+    /// Reply to [`DataMsg::ColorStatus`].
+    CtrlColorInfo {
+        req: u64,
+        /// Tokens staged here but not yet committed (any color — staging is
+        /// not per color, but a zero means nothing can still commit).
+        staged: u64,
+        head: Option<SeqNum>,
+        tail: Option<SeqNum>,
+        /// Committed records of the color on this replica.
+        count: u64,
+    },
+    /// Control plane → one source replica: ship `color`'s committed span
+    /// (trim-aware: only records above the head, with their tokens).
+    ExportSpan { color: ColorId, req: u64 },
+    /// Reply to [`DataMsg::ExportSpan`].
+    SpanRecords {
+        req: u64,
+        color: ColorId,
+        head: Option<SeqNum>,
+        records: Vec<(Token, SeqNum, Payload)>,
+    },
+    /// Control plane → destination replicas: install an exported span
+    /// (idempotent per (color, sn); tokens feed the idempotence map so
+    /// post-cutover client retries of pre-migration appends re-ack).
+    ImportSpan {
+        color: ColorId,
+        req: u64,
+        head: Option<SeqNum>,
+        records: Vec<(Token, SeqNum, Payload)>,
+    },
+    /// Reply to [`DataMsg::ImportSpan`]: `imported` new records installed.
+    ImportAck { req: u64, imported: u64 },
+    /// Control plane → destination replicas: begin serving `color` (clears
+    /// any frozen/moved/dropped marks from an earlier residency).
+    AdoptColor { color: ColorId, req: u64 },
+    /// Control plane → source replicas: the color now lives elsewhere;
+    /// nack its appends with `ColorMoved` so clients re-resolve the shard.
+    CutoverColor { color: ColorId, req: u64 },
+    /// Control plane → replicas: the color was destroyed.
+    DropColor { color: ColorId, req: u64 },
+    /// Generic ack for the fire-and-forget control messages above.
+    CtrlAck { req: u64 },
+    /// Replica → client: this replica refuses the append; the reason tells
+    /// the client whether to back off (`Frozen`), re-resolve the shard
+    /// (`ColorMoved`), or fail (`Dropped`).
+    Rejected { token: Token, reason: RejectReason },
+
     /// Orderly shutdown (test harness).
     Shutdown,
+}
+
+/// Why a replica nacked an append (epoch-fencing during reconfiguration).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Color is frozen for migration; retry shortly (same or new shard).
+    Frozen,
+    /// Color was cut over to another shard; re-resolve from the topology.
+    ColorMoved,
+    /// Color was destroyed; the append can never succeed.
+    Dropped,
 }
 
 /// The cluster-wide message type: everything that can travel on a FlexLog

@@ -24,13 +24,13 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use flexlog_obs::{Histogram, Stage, SYNC_TOKEN};
-use flexlog_ordering::{Directory, OrderMsg, RoleId};
+use flexlog_obs::{Histogram, Stage, CTRL_TOKEN, SYNC_TOKEN};
+use flexlog_ordering::{Directory, OrderMsg, RoleId, RouteTable};
 use flexlog_simnet::{Endpoint, NodeId, RecvError};
 use flexlog_storage::{StorageConfig, StorageServer};
 use flexlog_types::{ColorId, Epoch, FunctionId, Payload, SeqNum, ShardId, Token};
 
-use crate::msg::{ClusterMsg, DataMsg};
+use crate::msg::{ClusterMsg, DataMsg, RejectReason};
 use crate::TopologyView;
 
 /// Magic prefix of a multi-color-append set staged in the special color.
@@ -52,6 +52,9 @@ pub struct ReplicaConfig {
     pub oreq_resend: Duration,
     /// Restart window for a stalled sync-phase.
     pub sync_timeout: Duration,
+    /// Per-color OReq routing overrides (leaf-sequencer splits re-home
+    /// colors away from `leaf_role` without moving the shard).
+    pub routes: RouteTable,
 }
 
 impl Default for ReplicaConfig {
@@ -64,6 +67,7 @@ impl Default for ReplicaConfig {
             read_hold: Duration::from_millis(20),
             oreq_resend: Duration::from_millis(200),
             sync_timeout: Duration::from_millis(500),
+            routes: RouteTable::new(),
         }
     }
 }
@@ -139,6 +143,14 @@ pub struct ReplicaNode {
     start_with_sync: bool,
     /// Wall time of one batched OResp commit (`replica.commit_batch_ns`).
     commit_hist: Histogram,
+    /// Colors fenced for migration: new appends are nacked `Frozen` while
+    /// already-staged records drain through their OResp commits.
+    frozen: HashSet<ColorId>,
+    /// Colors cut over to another shard: appends are nacked `ColorMoved`
+    /// so the client re-resolves from the topology.
+    moved: HashSet<ColorId>,
+    /// Colors destroyed at runtime: appends are nacked `Dropped`.
+    dropped: HashSet<ColorId>,
 }
 
 enum Deferred {
@@ -192,6 +204,9 @@ impl ReplicaNode {
             rng: StdRng::seed_from_u64(0xF1E7),
             start_with_sync,
             commit_hist,
+            frozen: HashSet::new(),
+            moved: HashSet::new(),
+            dropped: HashSet::new(),
         }
     }
 
@@ -412,8 +427,93 @@ impl ReplicaNode {
                     }
                 }
             }
+            // ----- reconfiguration control plane --------------------------
+            DataMsg::FreezeColor { color, req } => {
+                self.frozen.insert(color);
+                self.config.storage.obs.trace_event(
+                    CTRL_TOKEN,
+                    Stage::MigrateFreeze,
+                    ep.id().0,
+                    color.0 as u64,
+                );
+                let _ = ep.send(from, DataMsg::CtrlAck { req }.into());
+            }
+            DataMsg::UnfreezeColor { color, req } => {
+                self.frozen.remove(&color);
+                let _ = ep.send(from, DataMsg::CtrlAck { req }.into());
+            }
+            DataMsg::ColorStatus { color, req } => {
+                let staged = self
+                    .storage
+                    .staged_tokens()
+                    .into_iter()
+                    .filter(|&(_, c, _)| c == color)
+                    .count() as u64;
+                let _ = ep.send(
+                    from,
+                    DataMsg::CtrlColorInfo {
+                        req,
+                        staged,
+                        head: self.storage.head(color),
+                        tail: self.storage.tail(color),
+                        count: self.storage.record_count(color) as u64,
+                    }
+                    .into(),
+                );
+            }
+            DataMsg::ExportSpan { color, req } => {
+                // Trim-aware: scan starts above the head, and the head
+                // itself ships so the destination hides the trimmed prefix.
+                let head = self.storage.head(color);
+                let records = self
+                    .storage
+                    .scan_with_tokens(color, head.unwrap_or(SeqNum::ZERO));
+                let _ = ep.send(from, DataMsg::SpanRecords { req, color, head, records }.into());
+            }
+            DataMsg::ImportSpan { color, req, head, records } => {
+                let mut imported = 0u64;
+                for (token, sn, payload) in records {
+                    if self.storage.import(color, sn, token, &payload).unwrap_or(false) {
+                        imported += 1;
+                    }
+                }
+                if let Some(h) = head {
+                    let _ = self.storage.install_head(color, h);
+                }
+                self.config.storage.obs.trace_event(
+                    CTRL_TOKEN,
+                    Stage::MigrateCopy,
+                    ep.id().0,
+                    color.0 as u64,
+                );
+                let _ = ep.send(from, DataMsg::ImportAck { req, imported }.into());
+            }
+            DataMsg::AdoptColor { color, req } => {
+                self.frozen.remove(&color);
+                self.moved.remove(&color);
+                self.dropped.remove(&color);
+                let _ = ep.send(from, DataMsg::CtrlAck { req }.into());
+            }
+            DataMsg::CutoverColor { color, req } => {
+                self.frozen.remove(&color);
+                self.moved.insert(color);
+                self.config.storage.obs.trace_event(
+                    CTRL_TOKEN,
+                    Stage::MigrateCutover,
+                    ep.id().0,
+                    color.0 as u64,
+                );
+                let _ = ep.send(from, DataMsg::CtrlAck { req }.into());
+            }
+            DataMsg::DropColor { color, req } => {
+                self.frozen.remove(&color);
+                self.dropped.insert(color);
+                let _ = ep.send(from, DataMsg::CtrlAck { req }.into());
+            }
             DataMsg::ReadResp { .. } | DataMsg::SubscribeResp { .. } | DataMsg::TrimAck { .. }
-            | DataMsg::MultiAck { .. } => {
+            | DataMsg::MultiAck { .. } | DataMsg::CtrlAck { .. } | DataMsg::CtrlColorInfo { .. }
+            | DataMsg::SpanRecords { .. } | DataMsg::ImportAck { .. }
+            | DataMsg::Rejected { .. } => {
                 // Client-side messages; a replica can ignore strays.
             }
             DataMsg::Shutdown => return false,
@@ -460,13 +560,27 @@ impl ReplicaNode {
         payloads: Vec<Payload>,
         reply_to: NodeId,
     ) {
-        self.reply_tos.entry(token).or_default().insert(reply_to);
         if let Some(sn) = self.storage.committed_sn(token) {
             // Duplicate of a completed append: re-ack (client retry or the
-            // multi-color replay path).
+            // multi-color replay path). This must run BEFORE any
+            // reconfiguration fence — a late retransmit of a pre-migration
+            // append still deserves its ack (post-cutover, the imported
+            // token map answers the same way at the destination).
             let _ = ep.send(reply_to, DataMsg::AppendAck { token, last_sn: sn }.into());
             return;
         }
+        if let Some(reason) = self.fence_reason(color) {
+            if reason == RejectReason::Frozen && self.storage.is_staged(token) {
+                // The batch is already in the pre-freeze pipeline: its
+                // OResp is still coming (freeze does not stop the drain),
+                // so register the ack target and stay silent.
+                self.reply_tos.entry(token).or_default().insert(reply_to);
+                return;
+            }
+            let _ = ep.send(reply_to, DataMsg::Rejected { token, reason }.into());
+            return;
+        }
+        self.reply_tos.entry(token).or_default().insert(reply_to);
         let n = payloads.len() as u32;
         let newly = match self.storage.stage(token, color, &payloads) {
             Ok(newly) => newly,
@@ -498,13 +612,30 @@ impl ReplicaNode {
         }
     }
 
+    /// The reconfiguration fence for `color`, if one is in force. `Dropped`
+    /// wins over `ColorMoved` wins over `Frozen`.
+    fn fence_reason(&self, color: ColorId) -> Option<RejectReason> {
+        if self.dropped.contains(&color) {
+            Some(RejectReason::Dropped)
+        } else if self.moved.contains(&color) {
+            Some(RejectReason::ColorMoved)
+        } else if self.frozen.contains(&color) {
+            Some(RejectReason::Frozen)
+        } else {
+            None
+        }
+    }
+
     /// Whether this replica is its shard's designated eager-OReq sender.
     fn is_oreq_delegate(&self, ep: &Endpoint<ClusterMsg>) -> bool {
         self.config.peers.iter().all(|&p| ep.id() < p)
     }
 
     fn send_oreq(&mut self, ep: &Endpoint<ClusterMsg>, color: ColorId, token: Token, n: u32) {
-        let Some(leaf) = self.directory.get(self.config.leaf_role) else {
+        // A route override (installed by a leaf split) beats the shard's
+        // static leaf role; either way the directory resolves the node.
+        let role = self.config.routes.route(color).unwrap_or(self.config.leaf_role);
+        let Some(leaf) = self.directory.get(role) else {
             return; // sequencer fail-over window; the resend tick retries
         };
         let mut shard: Vec<NodeId> = self.config.peers.clone();

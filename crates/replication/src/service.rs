@@ -68,6 +68,8 @@ pub struct DataLayerHandle {
     threads: Mutex<Vec<JoinHandle<()>>>,
     slots: Mutex<HashMap<NodeId, ReplicaSlot>>,
     control: flexlog_simnet::Endpoint<ClusterMsg>,
+    /// Per-replica template for shards added at runtime (scale-out).
+    template: ReplicaConfig,
 }
 
 /// Spawner for data layers.
@@ -145,6 +147,7 @@ impl DataLayerService {
             threads: Mutex::new(threads),
             slots: Mutex::new(slots),
             control,
+            template: spec.replica.clone(),
         }
     }
 }
@@ -219,6 +222,75 @@ impl DataLayerHandle {
     /// Default storage configuration helper for specs.
     pub fn default_storage() -> StorageConfig {
         StorageConfig::default()
+    }
+
+    /// Spawns a brand-new shard of `r` replicas attached to `leaf_role`
+    /// (elastic scale-out). The shard starts empty and serves no colors
+    /// until the control plane migrates or creates one there.
+    pub fn add_shard(
+        &self,
+        net: &Network<ClusterMsg>,
+        directory: &Directory,
+        leaf_role: RoleId,
+        r: usize,
+    ) -> ShardInfo {
+        let mut slots = self.slots.lock();
+        let shard_id = ShardId(
+            self.topology
+                .all_shards()
+                .iter()
+                .map(|s| s.id.0 + 1)
+                .max()
+                .unwrap_or(0),
+        );
+        let mut next = slots
+            .keys()
+            .filter(|n| n.class() == NodeId::CLASS_REPLICA)
+            .map(|n| n.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let nodes: Vec<NodeId> = (0..r)
+            .map(|_| {
+                let id = NodeId::named(NodeId::CLASS_REPLICA, next);
+                next += 1;
+                id
+            })
+            .collect();
+        let info = ShardInfo {
+            id: shard_id,
+            replicas: nodes.clone(),
+            leaf: leaf_role,
+        };
+        self.topology.add_shard(info.clone());
+        let mut threads = self.threads.lock();
+        for &node in &nodes {
+            let peers: Vec<NodeId> = nodes.iter().copied().filter(|&p| p != node).collect();
+            let config = ReplicaConfig {
+                shard: shard_id,
+                peers,
+                leaf_role,
+                ..self.template.clone()
+            };
+            let replica = ReplicaNode::new(config.clone(), directory.clone(), self.topology.clone());
+            let storage = replica.storage();
+            let devices = storage.devices();
+            slots.insert(
+                node,
+                ReplicaSlot {
+                    config,
+                    devices,
+                    storage,
+                },
+            );
+            let ep = net.register(node);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("{node}"))
+                    .spawn(move || replica.run(ep))
+                    .expect("spawn replica"),
+            );
+        }
+        info
     }
 
     /// Sends shutdown to every replica and joins the threads.

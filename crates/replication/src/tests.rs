@@ -597,3 +597,51 @@ fn pipelined_and_serial_appends_interleave() {
     }
     c.shutdown();
 }
+
+/// Regression: `flush()` budgets the configured deadline from *flush
+/// entry*, not from when each op entered the pipeline. An op stalled past
+/// its original per-op deadline (here: a crashed write-all replica held
+/// the ack back longer than `ClientConfig::deadline`) must still complete
+/// once the cluster heals, rather than `flush` failing instantly with a
+/// deadline error for an op the healthy cluster could finish.
+#[test]
+fn flush_rebases_deadline_from_flush_entry() {
+    let mut c = cluster(1, 3, 0);
+    c.next_client += 1;
+    let ep = c
+        .net
+        .register(NodeId::named(NodeId::CLASS_CLIENT, c.next_client));
+    let mut cl = FlexLogClient::new(
+        ep,
+        c.data.topology.clone(),
+        ClientConfig {
+            fid: FunctionId(7),
+            retry: Duration::from_millis(20),
+            max_retry: Duration::from_millis(100),
+            // Short per-op deadline: the stall below outlives it.
+            deadline: Duration::from_millis(300),
+            ..Default::default()
+        },
+    );
+
+    // Write-all: with one replica down the append cannot complete.
+    let victim = c.data.shard_replicas(ShardId(0))[2];
+    c.data.crash_replica(&c.net, victim);
+    let token = cl.append_pipelined(RED, &[p(b"stalled")]).unwrap();
+
+    // Outlive the op's original deadline while the client is idle (no
+    // pumping), then heal and let the restarted replica finish its sync.
+    std::thread::sleep(Duration::from_millis(500));
+    c.data.restart_replica(&c.net, &c.directory, victim);
+    std::thread::sleep(Duration::from_millis(200));
+
+    // The op's original deadline is long gone; flush must re-base it and
+    // drive the append home instead of returning `Timeout` immediately.
+    let done = cl.flush().unwrap();
+    assert_eq!(done.len(), 1);
+    let (t, sn) = done[0];
+    assert_eq!(t, token);
+    assert_eq!(cl.read(RED, sn).unwrap().unwrap(), b"stalled");
+    assert_eq!(cl.pending_appends(), 0);
+    c.shutdown();
+}

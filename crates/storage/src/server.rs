@@ -712,6 +712,17 @@ impl StorageServer {
         color: ColorId,
         up_to: SeqNum,
     ) -> Result<(Option<SeqNum>, Option<SeqNum>), StorageError> {
+        {
+            // A color never appended to (no committed records, no prior
+            // trim) has nothing to trim: do NOT fabricate a head entry, or
+            // the stripe map gains a phantom color that shows up in scans
+            // of per-color state forever after.
+            let stripe = self.stripe_of(color).lock();
+            let no_records = stripe.committed.get(&color).is_none_or(|m| m.is_empty());
+            if no_records && !stripe.heads.contains_key(&color) {
+                return Ok((None, None));
+            }
+        }
         let victims: Vec<(SeqNum, bool)> = {
             let stripe = self.stripe_of(color).lock();
             match stripe.committed.get(&color) {
@@ -783,6 +794,29 @@ impl StorageServer {
         self.stripe_of(color).lock().heads.get(&color).copied()
     }
 
+    /// Durably installs a trim head without deleting anything (migration
+    /// span transfer: the destination must not serve records the source
+    /// had already trimmed). Never moves an existing head backwards.
+    pub fn install_head(&self, color: ColorId, head: SeqNum) -> Result<(), StorageError> {
+        {
+            let stripe = self.stripe_of(color).lock();
+            if stripe.heads.get(&color).is_some_and(|&h| head <= h) {
+                return Ok(());
+            }
+        }
+        let mut tx = self.pool.begin();
+        tx.put(head_key(color), &head.0.to_le_bytes());
+        tx.commit()?;
+        self.stripe_of(color).lock().heads.insert(color, head);
+        Ok(())
+    }
+
+    /// Bytes of committed payload currently resident in PM (the
+    /// autoscaler's per-shard memory-pressure signal).
+    pub fn pm_live_bytes(&self) -> usize {
+        self.pm_live_bytes.load(Ordering::Relaxed)
+    }
+
     /// Highest committed SN across *all* colors (failure-recovery sync
     /// state, §6.3).
     pub fn max_committed_sn(&self) -> Option<SeqNum> {
@@ -821,6 +855,12 @@ impl StorageServer {
     /// The SN a committed token's batch ended at, if committed.
     pub fn committed_sn(&self, token: Token) -> Option<SeqNum> {
         self.tokens.lock().committed_tokens.get(&token).map(|&(_, sn)| sn)
+    }
+
+    /// True if `token` is staged (or mid-commit) but not yet committed.
+    pub fn is_staged(&self, token: Token) -> bool {
+        let idx = self.tokens.lock();
+        idx.staged.contains_key(&token) || idx.committing.contains(&token)
     }
 
     /// Number of entries in the token-idempotence map (bounded-memory

@@ -258,6 +258,46 @@ fn trim_covers_ssd_resident_records() {
 }
 
 #[test]
+fn trim_of_never_appended_color_is_a_noop() {
+    let s = server();
+    // RED has never seen an append: trimming it must not fabricate a head.
+    let (head, tail) = s.trim(RED, sn(100)).unwrap();
+    assert_eq!((head, tail), (None, None));
+    assert_eq!(s.head(RED), None, "no phantom trim-head entry");
+    assert_eq!(s.tail(RED), None);
+    // The no-op is per color: a real color is unaffected.
+    s.stage(tok(1), GREEN, &[pl(b"g")]).unwrap();
+    s.commit(tok(1), sn(1)).unwrap();
+    s.trim(RED, sn(100)).unwrap();
+    assert_eq!(s.head(RED), None);
+    // And a first append after the bogus trim is fully readable (an
+    // installed phantom head at sn(100) would have hidden it).
+    s.stage(tok(2), RED, &[pl(b"r")]).unwrap();
+    s.commit(tok(2), sn(7)).unwrap();
+    assert_eq!(s.get(RED, sn(7)).unwrap(), b"r");
+    // Once the color exists, trim works and stays monotonic as before.
+    let (head, _) = s.trim(RED, sn(7)).unwrap();
+    assert_eq!(head, Some(sn(7)));
+}
+
+#[test]
+fn install_head_is_durable_and_monotonic() {
+    let s = server();
+    for i in 1..=5u32 {
+        s.stage(tok(i), RED, &[pl(vec![i as u8])]).unwrap();
+        s.commit(tok(i), sn(i)).unwrap();
+    }
+    // Migration-import path: adopt the source's trim head without deleting.
+    s.install_head(RED, sn(2)).unwrap();
+    assert_eq!(s.head(RED), Some(sn(2)));
+    assert_eq!(s.get(RED, sn(2)), None, "head filters reads");
+    assert_eq!(s.get(RED, sn(3)).unwrap(), vec![3u8]);
+    // Never backwards.
+    s.install_head(RED, sn(1)).unwrap();
+    assert_eq!(s.head(RED), Some(sn(2)));
+}
+
+#[test]
 fn trim_is_monotonic() {
     let s = server();
     for i in 1..=5u32 {

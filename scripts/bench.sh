@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Regenerates the tracked data-path benchmark artifact (BENCH_datapath.json)
-# with a full-length run, then sanity-checks the result against the embedded
-# pre-PR baseline. Commit the refreshed JSON together with any data-path
-# change so the history of the numbers tracks the history of the code.
+# Regenerates the tracked benchmark artifacts (BENCH_datapath.json,
+# BENCH_elasticity.json) with full-length runs, then sanity-checks the
+# results. Commit the refreshed JSON together with any data-path or
+# control-plane change so the history of the numbers tracks the history
+# of the code.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,5 +26,26 @@ for (shards, mode), r in sorted(rows.items()):
 speedup = rows[(4, "pipelined")]["records_per_s"] / base["shards_4"]
 if speedup < 2.0:
     print(f"WARNING: 4-shard pipelined speedup {speedup:.2f}x is below the 2x target "
+          "(noisy host? rerun before committing)")
+EOF
+
+echo "==> cargo build --release -p flexlog-bench --bin elasticity"
+cargo build --release -p flexlog-bench --bin elasticity
+
+echo "==> elasticity (full run, writes BENCH_elasticity.json)"
+./target/release/elasticity --out BENCH_elasticity.json
+
+python3 - <<'EOF'
+import json
+d = json.load(open("BENCH_elasticity.json"))
+p = d["phases"]
+print(f"{'phase':>8} {'records':>9} {'secs':>7} {'rec/s':>10}")
+for name in ("before", "during", "after"):
+    r = p[name]
+    print(f"{name:>8} {r['records']:>9} {r['secs']:>7.3f} {r['records_per_s']:>10.1f}")
+print(f"migration {d['migration_ms']:.1f} ms, cutover stall {d['cutover_stall_ms']:.1f} ms, "
+      f"{d['failed_appends']} failed appends")
+if p["after"]["records_per_s"] < p["before"]["records_per_s"] / 2:
+    print("WARNING: post-migration throughput did not recover to half the warm-up rate "
           "(noisy host? rerun before committing)")
 EOF

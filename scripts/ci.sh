@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI gate: release build, full test suite, a bounded nemesis smoke run
-# (fixed seed, ~5 s of injected faults under load), and a zero-warning
-# clippy pass over the chaos crate.
+# (fixed seed, ~5 s of injected faults under load), bench smokes
+# (datapath + elasticity, --quick, JSON shape checks), one migration-crash
+# nemesis scenario, and a zero-warning clippy pass over the chaos crate.
 #
 # Replay a failing smoke run with: FLEXLOG_CHAOS_SEED=<seed> scripts/ci.sh
 set -euo pipefail
@@ -37,6 +38,28 @@ for r in d["results"]:
         assert s["p50_us"] <= s["p99_us"], f"stage {name} p50 > p99: {r}"
 print("datapath smoke JSON OK (incl. per-stage percentiles)")
 EOF
+
+echo "==> elasticity bench smoke (--quick, JSON shape check)"
+cargo run --release -p flexlog-bench --bin elasticity -- --quick --out /tmp/flexlog_elasticity_smoke.json
+python3 - <<'EOF'
+import json
+d = json.load(open("/tmp/flexlog_elasticity_smoke.json"))
+assert d["bench"] == "elasticity" and d["quick"] is True
+assert d["failed_appends"] == 0, d
+assert d["ctrl"]["migrations"] == 1 and d["ctrl"]["epoch_bumps"] >= 1, d
+p = d["phases"]
+assert set(p) == {"before", "during", "after"}
+assert p["before"]["records"] > 0 and p["after"]["records"] > 0, p
+# Availability price of the migration: the stall must stay bounded (the
+# freeze window plus client backoff), never an outage.
+assert 0 < d["cutover_stall_ms"] < 2000, d["cutover_stall_ms"]
+# Throughput must recover after the cutover: within 2x of the warm-up rate.
+assert p["after"]["records_per_s"] > p["before"]["records_per_s"] / 2, p
+print("elasticity smoke JSON OK (bounded stall, throughput recovered)")
+EOF
+
+echo "==> migration-crash nemesis (source replica dies mid-migration)"
+cargo test --release -q -p flexlog-chaos --test migration_nemesis source_replica_crash_mid_migration
 
 echo "==> cargo clippy -p flexlog-chaos (deny warnings)"
 cargo clippy -p flexlog-chaos --all-targets -- -D warnings
