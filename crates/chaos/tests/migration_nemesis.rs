@@ -133,6 +133,69 @@ fn dest_replica_crash_mid_migration() {
     );
 }
 
+/// A driver that holds the pre-freeze catch-up window open (threshold 0
+/// never converges; the round cap or budget ends it), so scripted faults
+/// land *inside* a catch-up round rather than the freeze window.
+fn catchup_migrate_driver() -> ReconfigFn {
+    Box::new(|cluster: &FlexLogCluster| {
+        let mut plane = ControlPlane::new(cluster);
+        plane.timeout = Duration::from_millis(800);
+        plane.catchup_threshold = 0;
+        plane.max_catchup_rounds = 64;
+        let dest = plane.add_shard(RoleId(0));
+        let _ = plane.migrate_color(RED, dest.id);
+    })
+}
+
+/// Scenario 4: a *source* replica and the owning sequencer both die while
+/// chained catch-up rounds are streaming the span (ROADMAP item 2's
+/// crash-points-in-catch-up requirement). The migration may limp through
+/// on the surviving replicas, stall until the election, or abort and
+/// unfreeze — under every outcome the §7 history invariants must hold:
+/// no acked record lost, none duplicated, per-color order unbroken.
+#[test]
+fn source_and_sequencer_crash_mid_catchup_round() {
+    let seed = seed_from_env(0x316_A004);
+    let victim = {
+        let probe = FlexLogCluster::start(resilient_spec());
+        let node = probe.data().shard_replicas(ShardId(0))[1];
+        probe.shutdown();
+        node
+    };
+
+    let mut options = ChaosOptions::new(seed);
+    options.spec = resilient_spec();
+    options.workload = workload();
+    options.scripted = Some(FaultPlan::scripted(
+        seed,
+        vec![
+            // The driver starts at 150 ms and its first rounds run in
+            // milliseconds, so by 200 ms the migration is mid-catch-up.
+            FaultEvent {
+                at: Duration::from_millis(200),
+                kind: FaultKind::CrashReplica { node: victim },
+            },
+            FaultEvent {
+                at: Duration::from_millis(260),
+                kind: FaultKind::CrashSequencer { role: RoleId(0) },
+            },
+            FaultEvent {
+                at: Duration::from_millis(700),
+                kind: FaultKind::RestartReplica { node: victim },
+            },
+        ],
+    ));
+    options.reconfig = Some((Duration::from_millis(150), catchup_migrate_driver()));
+    options.duration = Duration::from_millis(1800);
+    options.settle = Duration::from_millis(900);
+
+    let report = run_chaos(options);
+    assert!(
+        report.ok_appends > 0,
+        "appends must make progress around the catch-up faults: {report:?}"
+    );
+}
+
 /// Scenario 3: the *owning sequencer* (the root) is crashed inside the
 /// migration window, overlapping the epoch-bump fence with a leader
 /// election. The bump may land on the old leader (lost) or the new one;

@@ -1,12 +1,12 @@
 //! The reconfiguration actuator: epoch-fenced color create/destroy, shard
 //! scale-out with color migration, and sequencer-tree splits.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::time::{Duration, Instant};
 
 use flexlog_core::{ColorError, FlexLogCluster};
-use flexlog_obs::Counter;
+use flexlog_obs::{Counter, Stage, CTRL_TOKEN};
 use flexlog_ordering::{OrderMsg, RoleId};
 use flexlog_replication::{ClusterMsg, DataMsg, ShardInfo};
 use flexlog_simnet::{Endpoint, NodeId, RecvError};
@@ -63,12 +63,30 @@ pub struct ControlPlane<'a> {
     req: u64,
     /// Per-phase bound on fenced rounds (acks, drains, epoch bumps).
     pub timeout: Duration,
+    /// A migration freezes only once the pre-freeze catch-up delta drops
+    /// to at most this many records — the freeze-window copy is then O(1)
+    /// in the span size. Set to 0 to force the maximum number of rounds
+    /// (tests use this to hold the catch-up window open).
+    pub catchup_threshold: usize,
+    /// Hard cap on catch-up rounds: under a write rate the copy cannot
+    /// outrun, the delta never converges and the migration must freeze
+    /// with whatever residual remains rather than loop forever.
+    pub max_catchup_rounds: u32,
+    /// Records per catch-up export request. The export scan runs inside
+    /// the source replica's event loop, stalling appends for its duration
+    /// — chunking keeps that pause at single-digit milliseconds no matter
+    /// how large the span is.
+    pub catchup_chunk: usize,
     colors_created: Counter,
     colors_destroyed: Counter,
     shards_added: Counter,
     migrations: Counter,
+    migration_aborts: Counter,
     leaf_splits: Counter,
     epoch_bumps: Counter,
+    catchup_rounds: Counter,
+    catchup_records: Counter,
+    final_sliver_records: Counter,
 }
 
 impl<'a> ControlPlane<'a> {
@@ -84,12 +102,19 @@ impl<'a> ControlPlane<'a> {
             ep,
             req: 0,
             timeout: Duration::from_secs(5),
+            catchup_threshold: 64,
+            max_catchup_rounds: 16,
+            catchup_chunk: 1024,
             colors_created: obs.counter("ctrl.colors_created"),
             colors_destroyed: obs.counter("ctrl.colors_destroyed"),
             shards_added: obs.counter("ctrl.shards_added"),
             migrations: obs.counter("ctrl.migrations"),
+            migration_aborts: obs.counter("ctrl.migration_aborts"),
             leaf_splits: obs.counter("ctrl.leaf_splits"),
             epoch_bumps: obs.counter("ctrl.epoch_bumps"),
+            catchup_rounds: obs.counter("ctrl.catchup_rounds"),
+            catchup_records: obs.counter("ctrl.catchup_records"),
+            final_sliver_records: obs.counter("ctrl.final_sliver_records"),
         }
     }
 
@@ -156,8 +181,14 @@ impl<'a> ControlPlane<'a> {
 
     // ----- color migration ----------------------------------------------
 
-    /// Migrates `color` onto shard `dest`: freeze → drain-staged → epoch
-    /// bump → trim-aware span copy → adopt → cutover.
+    /// Migrates `color` onto shard `dest`: chained catch-up rounds (bulk
+    /// copy while the sources keep serving) → freeze → drain-staged →
+    /// epoch bump → final-sliver copy + digest check → adopt → cutover.
+    ///
+    /// The freeze window copies only the residual above the catch-up
+    /// watermark (at most [`ControlPlane::catchup_threshold`] records plus
+    /// whatever committed during the last round), so the append stall is
+    /// O(threshold), independent of the span size.
     ///
     /// Invariants on return: every SN committed under the old shards is
     /// readable from `dest` (tokens travel with records, so post-cutover
@@ -165,8 +196,11 @@ impl<'a> ControlPlane<'a> {
     /// per-color total order is unbroken — the bumped epoch makes every
     /// post-migration SN larger than every pre-migration SN.
     ///
-    /// On failure the migration aborts: sources are unfrozen (best
-    /// effort) and the old configuration stays in force.
+    /// On failure the migration aborts: sources are unfrozen (retried
+    /// with acks until every live source confirms) and the old
+    /// configuration stays in force. Records cold-imported by completed
+    /// catch-up rounds stay at the destination — harmless (it does not
+    /// serve the color) and they make a retried migration cheaper.
     pub fn migrate_color(&mut self, color: ColorId, dest: ShardId) -> Result<(), CtrlError> {
         if !self.cluster.colors().exists(color) {
             return Err(CtrlError::UnknownColor(color));
@@ -185,29 +219,108 @@ impl<'a> ControlPlane<'a> {
         }
         let src_nodes: Vec<NodeId> = sources.iter().flat_map(|s| s.replicas.clone()).collect();
 
+        // Phase 0: catch-up. Ship the span in rounds while the sources
+        // keep admitting appends — no freeze, no availability cost. Each
+        // round exports the delta above the per-shard watermark (the
+        // highest SN already shipped) and cold-imports it at the
+        // destination; the delta shrinks geometrically as long as the
+        // copy outruns the write rate. Errors here need no unfreeze
+        // (nothing is frozen yet) and leave the old routing untouched.
+        let marks = self.catch_up(color, &sources, &dest_info)?;
+
         // Phase 1: freeze. New appends of the color nack with `Frozen`
         // (clients hold and retry); already-staged batches keep draining.
-        self.ctrl_round(&src_nodes, |req| DataMsg::FreezeColor { color, req }, "freeze")?;
+        // A failed round may still have frozen a subset of the replicas —
+        // the abort must unfreeze them or the color hangs forever.
+        if let Err(e) =
+            self.ctrl_round(&src_nodes, |req| DataMsg::FreezeColor { color, req }, "freeze")
+        {
+            self.abort_unfreeze(&src_nodes, color);
+            return Err(e);
+        }
 
-        let result = self.migrate_frozen(color, &sources, &src_nodes, &dest_info);
+        let result = self.migrate_frozen(color, &sources, &src_nodes, &dest_info, &marks);
         if result.is_err() {
-            // Abort: restore availability on the old shards. Best effort —
-            // crashed replicas lose the (volatile) freeze mark anyway.
-            let req = self.next_req();
-            for &n in &src_nodes {
-                let _ = self.ep.send(n, DataMsg::UnfreezeColor { color, req }.into());
-            }
+            self.abort_unfreeze(&src_nodes, color);
         }
         result
     }
 
-    /// Phases 2-6 of a migration, entered with the sources frozen.
+    /// Phase 0 of a migration: pre-freeze catch-up rounds. Returns the
+    /// per-source-shard watermark (highest SN shipped) that bounds the
+    /// final freeze-window sliver.
+    fn catch_up(
+        &mut self,
+        color: ColorId,
+        sources: &[ShardInfo],
+        dest: &ShardInfo,
+    ) -> Result<HashMap<ShardId, SeqNum>, CtrlError> {
+        let mut marks: HashMap<ShardId, SeqNum> = HashMap::new();
+        // Overall budget across rounds: with a source replica crashed,
+        // every round pays a probe timeout, and unbounded rounds would
+        // stall the migration far past the operator's per-phase timeout.
+        let budget = Instant::now() + self.timeout * 4;
+        let chunk = self.catchup_chunk.max(1);
+        for _round in 0..self.max_catchup_rounds.max(1) {
+            let deadline = (Instant::now() + self.timeout).min(budget);
+            let mut shipped = 0usize;
+            for shard in sources {
+                // First chunk ranks the shard's replicas and picks the
+                // export source; later chunks reuse it (re-ranking per
+                // chunk would crawl through probe timeouts whenever a
+                // replica is down).
+                let above = marks.get(&shard.id).copied();
+                let (src, head, records) =
+                    self.export_span(shard, color, above, chunk as u64, deadline)?;
+                let mut got = records.len();
+                shipped += got;
+                let mut mark = *marks.entry(shard.id).or_insert(SeqNum::ZERO);
+                // Records arrive in SN order; the head bounds the span
+                // from below even when nothing is live (trimmed prefix).
+                if let Some(&(_, sn, _)) = records.last() {
+                    mark = mark.max(sn);
+                }
+                if let Some(h) = head {
+                    mark = mark.max(h);
+                }
+                self.import_span(&dest.replicas, color, head, records, true, deadline)?;
+                while got == chunk {
+                    let (head, records) =
+                        self.export_from(src, color, Some(mark), chunk as u64, deadline)?;
+                    got = records.len();
+                    shipped += got;
+                    if let Some(&(_, sn, _)) = records.last() {
+                        mark = mark.max(sn);
+                    }
+                    self.import_span(&dest.replicas, color, head, records, true, deadline)?;
+                }
+                marks.insert(shard.id, mark);
+            }
+            self.catchup_rounds.add(1);
+            self.catchup_records.add(shipped as u64);
+            self.cluster.obs().trace_event(
+                CTRL_TOKEN,
+                Stage::MigrateCatchup,
+                self.ep.id().0,
+                color.0 as u64,
+            );
+            if shipped <= self.catchup_threshold || Instant::now() >= budget {
+                break;
+            }
+        }
+        Ok(marks)
+    }
+
+    /// Phases 2-6 of a migration, entered with the sources frozen and the
+    /// bulk of the span already at the destination (`marks` = per-shard
+    /// catch-up watermarks).
     fn migrate_frozen(
         &mut self,
         color: ColorId,
         sources: &[ShardInfo],
         src_nodes: &[NodeId],
         dest: &ShardInfo,
+        marks: &HashMap<ShardId, SeqNum>,
     ) -> Result<(), CtrlError> {
         // Phase 2: drain. Wait until no source replica holds a staged
         // batch of the color — after this, the set of committed records
@@ -217,7 +330,7 @@ impl<'a> ControlPlane<'a> {
             loop {
                 match self.color_status(node, color, deadline) {
                     Ok((0, _, _, _)) => break,
-                    Ok(_) => std::thread::sleep(Duration::from_millis(2)),
+                    Ok(_) => std::thread::sleep(Duration::from_micros(500)),
                     Err(e) => return Err(e),
                 }
             }
@@ -233,13 +346,22 @@ impl<'a> ControlPlane<'a> {
             .ok_or(CtrlError::UnknownColor(color))?;
         self.bump_epoch(owner)?;
 
-        // Phase 4: copy. One export per source shard (from its most
-        // complete replica), imported into every destination replica.
-        // Trim-aware: only records above the head travel, and the head
-        // itself is installed at the destination.
+        // Phase 4: final sliver. Only the residual above the catch-up
+        // watermark travels inside the freeze window — O(threshold), not
+        // O(span). It imports hot (PM + cache): these are the records a
+        // client is most likely to re-read right after cutover.
         for shard in sources {
-            let (head, records) = self.export_span(shard, color, deadline)?;
-            self.import_span(&dest.replicas, color, head, records, deadline)?;
+            let above = marks.get(&shard.id).copied();
+            let (src, head, records) =
+                self.export_span(shard, color, above, u64::MAX, deadline)?;
+            self.final_sliver_records.add(records.len() as u64);
+            self.import_span(&dest.replicas, color, head, records, false, deadline)?;
+            // Completeness check: the watermark is a max over shipped
+            // SNs, and the commit order allows holes below it that fill
+            // between rounds (an OResp can outrun its append broadcast).
+            // Diff the SN digests and fetch exactly what the destination
+            // still misses — cheap (SNs only) and exact.
+            self.ship_missing(src, &dest.replicas, color, deadline)?;
         }
 
         // Phase 5: adopt. Destination replicas clear any stale fencing
@@ -422,62 +544,190 @@ impl<'a> ControlPlane<'a> {
         }
     }
 
-    /// Exports the committed span of `color` from the most complete live
-    /// replica of `shard`.
+    /// Exports the committed span of `color` (strictly above `above`, if
+    /// given; at most `limit` records) from the most complete live replica
+    /// of `shard`. Returns the replica used, so chunked catch-up and
+    /// follow-up digest checks ask the same node.
     #[allow(clippy::type_complexity)]
     fn export_span(
         &mut self,
         shard: &ShardInfo,
         color: ColorId,
+        above: Option<SeqNum>,
+        limit: u64,
         deadline: Instant,
-    ) -> Result<(Option<SeqNum>, Vec<(Token, SeqNum, Payload)>), CtrlError> {
+    ) -> Result<(NodeId, Option<SeqNum>, Vec<(Token, SeqNum, Payload)>), CtrlError> {
         // Rank replicas by committed-record count so a lagging or freshly
         // recovered replica is not the one we copy from.
         let mut ranked: Vec<(u64, NodeId)> = Vec::new();
         for &node in &shard.replicas {
             // Short per-node probe so one crashed replica does not burn
-            // the whole migration deadline.
-            let probe = (Instant::now() + Duration::from_millis(500)).min(deadline);
+            // the whole migration deadline — catch-up rounds repeat the
+            // probe every round, so it is also capped by the timeout.
+            let probe_window = Duration::from_millis(500).min(self.timeout / 4);
+            let probe = (Instant::now() + probe_window).min(deadline);
             if let Ok((_, _, _, count)) = self.color_status(node, color, probe) {
                 ranked.push((count, node));
             }
         }
         ranked.sort();
         while let Some((_, node)) = ranked.pop() {
-            let req = self.next_req();
-            let _ = self.ep.send(node, DataMsg::ExportSpan { color, req }.into());
-            loop {
-                let Some(left) = deadline.checked_duration_since(Instant::now()) else {
-                    return Err(CtrlError::Timeout("copy"));
-                };
-                match self.ep.recv_timeout(left) {
-                    Ok((
-                        from,
-                        ClusterMsg::Data(DataMsg::SpanRecords {
-                            req: r,
-                            color: c,
-                            head,
-                            records,
-                        }),
-                    )) if r == req && c == color && from == node => {
-                        return Ok((head, records));
-                    }
-                    Ok(_) => {}
-                    Err(RecvError::Timeout) => break, // try the next replica
-                    Err(RecvError::Disconnected) => return Err(CtrlError::Disconnected),
+            match self.export_from(node, color, above, limit, deadline) {
+                Ok((head, records)) => return Ok((node, head, records)),
+                Err(CtrlError::Timeout(_)) if !ranked.is_empty() => {
+                    // Try the next-best replica inside the same deadline.
                 }
+                Err(e) => return Err(e),
             }
         }
         Err(CtrlError::Timeout("copy"))
     }
 
-    /// Installs an exported span on every destination replica.
+    /// One export request against a specific replica.
+    #[allow(clippy::type_complexity)]
+    fn export_from(
+        &mut self,
+        node: NodeId,
+        color: ColorId,
+        above: Option<SeqNum>,
+        limit: u64,
+        deadline: Instant,
+    ) -> Result<(Option<SeqNum>, Vec<(Token, SeqNum, Payload)>), CtrlError> {
+        let req = self.next_req();
+        let _ = self
+            .ep
+            .send(node, DataMsg::ExportSpan { color, req, above, limit }.into());
+        loop {
+            let left = deadline
+                .checked_duration_since(Instant::now())
+                .ok_or(CtrlError::Timeout("copy"))?;
+            match self.ep.recv_timeout(left) {
+                Ok((
+                    from,
+                    ClusterMsg::Data(DataMsg::SpanRecords { req: r, color: c, head, records }),
+                )) if r == req && c == color && from == node => return Ok((head, records)),
+                Ok(_) => {}
+                Err(RecvError::Timeout) => return Err(CtrlError::Timeout("copy")),
+                Err(RecvError::Disconnected) => return Err(CtrlError::Disconnected),
+            }
+        }
+    }
+
+    /// The SN digest (head + committed SNs above it) of `color` at `node`.
+    fn span_digest(
+        &mut self,
+        node: NodeId,
+        color: ColorId,
+        deadline: Instant,
+    ) -> Result<(Option<SeqNum>, Vec<SeqNum>), CtrlError> {
+        let req = self.next_req();
+        let _ = self.ep.send(node, DataMsg::SpanDigest { color, req }.into());
+        loop {
+            let left = deadline
+                .checked_duration_since(Instant::now())
+                .ok_or(CtrlError::Timeout("digest"))?;
+            match self.ep.recv_timeout(left) {
+                Ok((
+                    from,
+                    ClusterMsg::Data(DataMsg::SpanDigestResp { req: r, color: c, head, sns }),
+                )) if r == req && c == color && from == node => return Ok((head, sns)),
+                Ok(_) => {}
+                Err(RecvError::Timeout) => return Err(CtrlError::Timeout("digest")),
+                Err(RecvError::Disconnected) => return Err(CtrlError::Disconnected),
+            }
+        }
+    }
+
+    /// Freeze-window completeness check: every committed SN on the chosen
+    /// source replica must be at the destination. Fetches and imports
+    /// exactly the missing records (normally none — the final sliver
+    /// already shipped everything above the watermark; this catches
+    /// commit-order holes the watermark stepped over).
+    fn ship_missing(
+        &mut self,
+        src: NodeId,
+        dest: &[NodeId],
+        color: ColorId,
+        deadline: Instant,
+    ) -> Result<(), CtrlError> {
+        let (_, src_sns) = self.span_digest(src, color, deadline)?;
+        // Every destination replica acked the same imports, so any one of
+        // them testifies for all.
+        let (_, dest_sns) = self.span_digest(dest[0], color, deadline)?;
+        let have: HashSet<SeqNum> = dest_sns.into_iter().collect();
+        let missing: Vec<SeqNum> =
+            src_sns.into_iter().filter(|sn| !have.contains(sn)).collect();
+        if missing.is_empty() {
+            return Ok(());
+        }
+        let req = self.next_req();
+        let _ = self
+            .ep
+            .send(src, DataMsg::FetchRecords { color, req, sns: missing }.into());
+        let records = loop {
+            let left = deadline
+                .checked_duration_since(Instant::now())
+                .ok_or(CtrlError::Timeout("digest"))?;
+            match self.ep.recv_timeout(left) {
+                Ok((
+                    from,
+                    ClusterMsg::Data(DataMsg::SpanRecords { req: r, color: c, records, .. }),
+                )) if r == req && c == color && from == src => break records,
+                Ok(_) => {}
+                Err(RecvError::Timeout) => return Err(CtrlError::Timeout("digest")),
+                Err(RecvError::Disconnected) => return Err(CtrlError::Disconnected),
+            }
+        };
+        self.final_sliver_records.add(records.len() as u64);
+        self.import_span(dest, color, None, records, false, deadline)
+    }
+
+    /// Abort path: restore availability on the source shards. Retried
+    /// with acks — the freeze marks are volatile but the replicas are
+    /// alive, so a single dropped `UnfreezeColor` (the old fire-and-forget
+    /// send) would leave the color frozen forever and every client append
+    /// timing out. A node that never acks is dropped after the attempts
+    /// are exhausted: a replica crashed mid-abort loses its freeze mark on
+    /// restart anyway.
+    fn abort_unfreeze(&mut self, src_nodes: &[NodeId], color: ColorId) {
+        self.migration_aborts.add(1);
+        let mut pending: HashSet<NodeId> = src_nodes.iter().copied().collect();
+        let attempt_window = (self.timeout / 4).max(Duration::from_millis(25));
+        for _ in 0..8 {
+            if pending.is_empty() {
+                return;
+            }
+            let req = self.next_req();
+            for &n in &pending {
+                let _ = self.ep.send(n, DataMsg::UnfreezeColor { color, req }.into());
+            }
+            let deadline = Instant::now() + attempt_window;
+            while let Some(left) = deadline.checked_duration_since(Instant::now()) {
+                match self.ep.recv_timeout(left) {
+                    Ok((from, ClusterMsg::Data(DataMsg::CtrlAck { req: r }))) if r == req => {
+                        pending.remove(&from);
+                        if pending.is_empty() {
+                            return;
+                        }
+                    }
+                    Ok(_) => {}
+                    Err(RecvError::Timeout) => break,
+                    Err(RecvError::Disconnected) => return,
+                }
+            }
+        }
+    }
+
+    /// Installs an exported span on every destination replica. `cold`
+    /// routes the records straight to the destination's SSD tier (bulk
+    /// catch-up history must not evict its PM/cache working set).
     fn import_span(
         &mut self,
         replicas: &[NodeId],
         color: ColorId,
         head: Option<SeqNum>,
         records: Vec<(Token, SeqNum, Payload)>,
+        cold: bool,
         deadline: Instant,
     ) -> Result<(), CtrlError> {
         let req = self.next_req();
@@ -489,6 +739,7 @@ impl<'a> ControlPlane<'a> {
                     req,
                     head,
                     records: records.clone(),
+                    cold,
                 }
                 .into(),
             );

@@ -1,10 +1,13 @@
 //! Integration tests: reconfigurations against live clusters.
 
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use flexlog_core::{ClusterSpec, FlexLogCluster};
 use flexlog_ordering::RoleId;
+use flexlog_replication::{ClusterMsg, DataMsg};
+use flexlog_simnet::NodeId;
 use flexlog_types::{ColorId, SeqNum};
 
 use crate::{Autoscaler, AutoscalerConfig, ControlPlane, CtrlError, ScalingAction};
@@ -13,6 +16,38 @@ fn fast_spec() -> ClusterSpec {
     ClusterSpec {
         client_retry: Duration::from_millis(5),
         ..ClusterSpec::single_shard()
+    }
+}
+
+/// Sends `msg_of(req)` to every node from a throwaway control endpoint and
+/// waits for every `CtrlAck` — test-side freeze/unfreeze injection. `tag`
+/// must be unique per call (endpoint ids cannot be re-registered).
+fn ctrl_blast(
+    cluster: &FlexLogCluster,
+    tag: u64,
+    nodes: &[NodeId],
+    msg_of: impl Fn(u64) -> DataMsg,
+) {
+    let ep = cluster
+        .network()
+        .register(NodeId::named(0, (u64::MAX >> 4) - 16 - tag));
+    let req = (0xE5u64 << 56) | tag;
+    for &n in nodes {
+        let _ = ep.send(n, msg_of(req).into());
+    }
+    let mut pending: HashSet<NodeId> = nodes.iter().copied().collect();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !pending.is_empty() {
+        let left = deadline
+            .checked_duration_since(Instant::now())
+            .expect("ctrl blast timed out");
+        match ep.recv_timeout(left) {
+            Ok((from, ClusterMsg::Data(DataMsg::CtrlAck { req: r }))) if r == req => {
+                pending.remove(&from);
+            }
+            Ok(_) => {}
+            Err(e) => panic!("ctrl blast: {e:?}"),
+        }
     }
 }
 
@@ -238,7 +273,7 @@ fn autoscaler_observes_heat_and_scales_out() {
                 // Every append must succeed — reconfigurations may delay
                 // but never fail a client.
                 hot_sns.push(h.append(format!("h{i}").as_bytes(), hot).unwrap());
-                if i % 64 == 0 {
+                if i.is_multiple_of(64) {
                     cold_sns.push(h.append(format!("c{i}").as_bytes(), cold).unwrap());
                 }
                 i += 1;
@@ -312,5 +347,113 @@ fn autoscaler_observes_heat_and_scales_out() {
     for w in hot_sns.windows(2) {
         assert!(w[0] < w[1], "hot acks out of order at {w:?}");
     }
+    cluster.shutdown();
+}
+
+/// Satellite regression: an aborted migration must retry the unfreeze
+/// until every reachable source replica acks. Here one source replica is
+/// frozen out-of-band and then isolated: the migration's own freeze round
+/// cannot complete (the victim never acks) and every `UnfreezeColor` sent
+/// while the victim is cut off is lost. The old fire-and-forget abort —
+/// which on a failed *freeze* round sent nothing at all — left the color
+/// frozen forever; the retried abort thaws the partially-frozen replicas
+/// immediately and the victim as soon as the partition heals.
+#[test]
+fn aborted_migration_retries_unfreeze_until_acked() {
+    let mut spec = fast_spec();
+    spec.client_deadline = Duration::from_secs(2);
+    let cluster = FlexLogCluster::start(spec);
+    let mut plane = ControlPlane::new(&cluster);
+    plane.timeout = Duration::from_millis(300);
+    let red = ColorId(42);
+    plane.create_color(red, ColorId::MASTER).unwrap();
+
+    let mut h = cluster.handle();
+    for i in 0..8u32 {
+        h.append(format!("r{i}").as_bytes(), red).unwrap();
+    }
+    let dest = plane.add_shard(RoleId(0));
+    let src = cluster.data().topology.shards_of(red)[0].clone();
+    assert_ne!(src.id, dest.id);
+    let victim = src.replicas[1];
+
+    // Freeze the victim out-of-band, then cut it off.
+    ctrl_blast(&cluster, 1, &[victim], |req| DataMsg::FreezeColor { color: red, req });
+    cluster.network().isolate(victim);
+
+    let result = std::thread::scope(|s| {
+        let t = s.spawn(|| plane.migrate_color(red, dest.id));
+        // Heal only after the freeze round has timed out (300ms) and the
+        // first abort attempts have fired into the partition and been
+        // lost; later attempts must still be pending then.
+        std::thread::sleep(Duration::from_millis(500));
+        cluster.network().heal();
+        t.join().unwrap()
+    });
+    assert_eq!(result, Err(CtrlError::Timeout("freeze")));
+
+    // The old routing stays in force and every source replica is thawed:
+    // the append completes instead of dying on the victim's Frozen nacks.
+    assert_eq!(cluster.data().topology.shards_of(red)[0].id, src.id);
+    let sn = h.append(b"thawed", red).unwrap();
+    assert!(h.read(sn, red).unwrap().is_some());
+    let snap = cluster.obs().snapshot();
+    assert_eq!(snap.counter("ctrl.migration_aborts"), 1);
+    assert_eq!(snap.counter("ctrl.migrations"), 0);
+    cluster.shutdown();
+}
+
+/// Satellite regression: an op held queued under `Frozen` nacks re-bases
+/// its deadline on every nack (the same rule `flush()` applies at entry),
+/// so a freeze that outlasts the client's configured deadline delays the
+/// append instead of surfacing a spurious Timeout once the color thaws.
+/// Exercises both the serial and the pipelined paths.
+#[test]
+fn freeze_outlasting_client_deadline_does_not_time_out_appends() {
+    let mut spec = fast_spec();
+    spec.client_deadline = Duration::from_millis(250);
+    let cluster = FlexLogCluster::start(spec);
+    let red = ColorId(43);
+    let mut h = cluster.handle();
+    h.add_color(red, ColorId::MASTER).unwrap();
+    h.append(b"warm", red).unwrap();
+    let replicas = cluster.data().topology.shards_of(red)[0].replicas.clone();
+
+    // Serial append under a freeze 2.4x longer than the deadline.
+    ctrl_blast(&cluster, 2, &replicas, |req| DataMsg::FreezeColor { color: red, req });
+    let held = Instant::now();
+    let sn = std::thread::scope(|s| {
+        s.spawn(|| {
+            std::thread::sleep(Duration::from_millis(600));
+            ctrl_blast(&cluster, 3, &replicas, |req| DataMsg::UnfreezeColor {
+                color: red,
+                req,
+            });
+        });
+        h.append(b"held-serial", red)
+    })
+    .expect("append across a long freeze must succeed, not Timeout");
+    assert!(
+        held.elapsed() >= Duration::from_millis(500),
+        "append returned before the freeze lifted"
+    );
+    assert!(h.read(sn, red).unwrap().is_some());
+
+    // Pipelined append + flush under a second long freeze.
+    ctrl_blast(&cluster, 4, &replicas, |req| DataMsg::FreezeColor { color: red, req });
+    let done = std::thread::scope(|s| {
+        s.spawn(|| {
+            std::thread::sleep(Duration::from_millis(600));
+            ctrl_blast(&cluster, 5, &replicas, |req| DataMsg::UnfreezeColor {
+                color: red,
+                req,
+            });
+        });
+        h.append_pipelined(&[flexlog_types::Payload::from(&b"held-pipelined"[..])], red)
+            .unwrap();
+        h.flush_appends()
+    })
+    .expect("flush across a long freeze must succeed, not Timeout");
+    assert_eq!(done.len(), 1);
     cluster.shutdown();
 }

@@ -67,6 +67,10 @@ pub enum Stage {
     /// The color→shard mapping was cut over to the destination and the
     /// epoch was bumped (detail = color id).
     MigrateCutover = 12,
+    /// One pre-freeze catch-up round of an incremental migration shipped
+    /// a delta span to the destination (detail = color id). Emitted once
+    /// per round, while the source keeps serving appends.
+    MigrateCatchup = 13,
 }
 
 impl Stage {
@@ -89,6 +93,7 @@ impl Stage {
             Stage::MigrateFreeze => "migrate_freeze",
             Stage::MigrateCopy => "migrate_copy",
             Stage::MigrateCutover => "migrate_cutover",
+            Stage::MigrateCatchup => "migrate_catchup",
         }
     }
 
@@ -108,6 +113,7 @@ impl Stage {
                 | Stage::MigrateFreeze
                 | Stage::MigrateCopy
                 | Stage::MigrateCutover
+                | Stage::MigrateCatchup
         )
     }
 }
@@ -368,7 +374,7 @@ impl Trace {
     }
 }
 
-const STAGE_BY_RANK: [Stage; 13] = [
+const STAGE_BY_RANK: [Stage; 14] = [
     Stage::ClientSend,
     Stage::ClientRetransmit,
     Stage::ReplicaStaged,
@@ -382,6 +388,7 @@ const STAGE_BY_RANK: [Stage; 13] = [
     Stage::MigrateFreeze,
     Stage::MigrateCopy,
     Stage::MigrateCutover,
+    Stage::MigrateCatchup,
 ];
 
 #[cfg(test)]

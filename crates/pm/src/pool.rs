@@ -19,8 +19,18 @@
 //!   Compaction rewrites the live set into the *inactive* half and then
 //!   atomically flips the superblock (8 bytes = the PM power-fail atomicity
 //!   unit), so a crash at any point leaves one fully valid half.
+//!
+//! Compaction is **incremental**: once the active half passes a fill
+//! threshold, each commit also copies a bounded batch of live records into
+//! the inactive half and mirrors its own operations there, so the copy
+//! rides along with foreground commits instead of stopping the world. When
+//! the pass has copied every key it flips the superblock. Crash safety is
+//! unchanged — the inactive half is garbage until the flip persists, and
+//! every transaction is durable in the active half first. The synchronous
+//! full rewrite remains as the fallback for a half that fills before a
+//! pass completes (and for the explicit [`PmPool::compact`] API).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -70,7 +80,38 @@ struct PoolState {
     /// Next append offset (absolute device offset inside the active half).
     tail: usize,
     next_txid: u64,
+    /// Incremental compaction pass in flight, if any.
+    compacting: Option<CompactPass>,
 }
+
+/// State of an in-flight incremental compaction pass. The inactive half is
+/// being filled with (a) bounded batches of live records copied per commit
+/// and (b) a mirror of every commit that lands while the pass runs. Until
+/// the superblock flips, nothing here matters for durability — a crash
+/// recovers the active half as if the pass never existed.
+struct CompactPass {
+    /// The half being built (the inactive one when the pass started).
+    target: u8,
+    /// Keys live when the pass started; copied in order.
+    snapshot: Vec<u128>,
+    /// Next snapshot position to copy.
+    cursor: usize,
+    /// Keys written or deleted *during* the pass: the mirror already holds
+    /// their latest state, so the copy skips them (a stale snapshot value
+    /// must not land at a later log position than the mirrored one).
+    handled: HashSet<u128>,
+    /// Append tail in the target half.
+    tail: usize,
+    /// The index as it will read after the flip (offsets in the target half).
+    index: HashMap<u128, (usize, usize)>,
+}
+
+/// Fill fraction of the active half that starts an incremental pass
+/// (numerator/denominator of the half size).
+const COMPACT_START_NUM: usize = 3;
+const COMPACT_START_DEN: usize = 4;
+/// Minimum live records copied per commit during a pass.
+const COMPACT_STEP_MIN: usize = 64;
 
 /// See module docs.
 pub struct PmPool {
@@ -111,6 +152,7 @@ impl PmPool {
                 active: 0,
                 tail: 0,
                 next_txid: 1,
+                compacting: None,
             }),
         };
         pool.state.lock().tail = pool.half_bounds(0).0;
@@ -130,6 +172,7 @@ impl PmPool {
                 active,
                 tail: 0,
                 next_txid: 1,
+                compacting: None,
             }),
         };
         let (start, end) = pool.half_bounds(active);
@@ -269,6 +312,10 @@ impl PmPool {
     }
 
     fn compact_locked(&self, st: &mut PoolState) -> Result<(), PoolError> {
+        // A full rewrite owns the inactive half: any incremental pass that
+        // was building it is void (and must not outlive the flip, or its
+        // mirror would write into the half that just became active).
+        st.compacting = None;
         let txid = st.next_txid;
         st.next_txid += 1;
         let target: u8 = 1 - st.active;
@@ -326,6 +373,9 @@ impl PmPool {
             .sum::<usize>()
             + REC_HDR * 2; // commit record + terminator
         if st.tail + needed > self.half_bounds(st.active).1 {
+            // The half filled before an incremental pass could finish (or
+            // none was running): fall back to the synchronous full rewrite.
+            st.compacting = None;
             self.compact_locked(&mut st)?;
             if st.tail + needed > self.half_bounds(st.active).1 {
                 return Err(PoolError::PoolFull);
@@ -335,6 +385,7 @@ impl PmPool {
         let start = st.tail;
         let mut offset = start;
         let mut index_updates: Vec<(u128, Option<(usize, usize)>)> = Vec::with_capacity(ops.len());
+        let mut encoded: Vec<Vec<u8>> = Vec::with_capacity(ops.len());
         for op in ops {
             match op {
                 StagedOp::Put(key, value) => {
@@ -342,12 +393,14 @@ impl PmPool {
                     self.device.write(offset, &rec)?;
                     index_updates.push((*key, Some((offset + REC_HDR, value.len()))));
                     offset += rec.len();
+                    encoded.push(rec);
                 }
                 StagedOp::Delete(key) => {
                     let rec = encode_record(txid, KIND_DELETE, *key, &[]);
                     self.device.write(offset, &rec)?;
                     index_updates.push((*key, None));
                     offset += rec.len();
+                    encoded.push(rec);
                 }
             }
         }
@@ -362,18 +415,169 @@ impl PmPool {
         self.device.persist(offset, commit.len() + REC_HDR)?;
         offset += commit.len();
 
-        for (key, loc) in index_updates {
+        for (key, loc) in &index_updates {
             match loc {
                 Some(l) => {
-                    st.index.insert(key, l);
+                    st.index.insert(*key, *l);
                 }
                 None => {
-                    st.index.remove(&key);
+                    st.index.remove(key);
                 }
             }
         }
         st.tail = offset;
+
+        // The transaction is durable in the active half; mirror it into an
+        // in-flight compaction pass and advance the pass by one step.
+        self.mirror_into_pass(&mut st, txid, &encoded, &index_updates);
+        self.compact_step_locked(&mut st);
         Ok(())
+    }
+
+    /// Appends `recs` plus a commit record at the pass tail. Returns the new
+    /// tail, or `None` if the target half cannot hold them (the pass is then
+    /// abandoned by the caller; the synchronous fallback still works).
+    fn append_to_pass(
+        &self,
+        pass: &mut CompactPass,
+        recs: &[Vec<u8>],
+        txid: u64,
+    ) -> Option<usize> {
+        let (_, end) = self.half_bounds(pass.target);
+        let needed: usize = recs.iter().map(Vec::len).sum::<usize>() + REC_HDR * 2;
+        if pass.tail + needed > end {
+            return None;
+        }
+        let start = pass.tail;
+        let mut offset = start;
+        for rec in recs {
+            self.device.write(offset, rec).ok()?;
+            offset += rec.len();
+        }
+        let commit = encode_record(txid, KIND_COMMIT, 0, &[]);
+        self.device.write(offset, &commit).ok()?;
+        self.device.write(offset + commit.len(), &[0u8; REC_HDR]).ok()?;
+        self.device.persist(start, offset + commit.len() + REC_HDR - start).ok()?;
+        Some(offset + commit.len())
+    }
+
+    /// Replays a just-committed transaction into the in-flight pass, so the
+    /// target half stays a superset of every commit since the pass began.
+    /// Mirrored keys are marked handled: the copy must not later write a
+    /// stale snapshot value at a higher log position than the mirror.
+    fn mirror_into_pass(
+        &self,
+        st: &mut PoolState,
+        txid: u64,
+        encoded: &[Vec<u8>],
+        index_updates: &[(u128, Option<(usize, usize)>)],
+    ) {
+        let Some(mut pass) = st.compacting.take() else {
+            return;
+        };
+        let Some(new_tail) = self.append_to_pass(&mut pass, encoded, txid) else {
+            return; // target full: abandon the pass
+        };
+        // Record target-half offsets: each op record's payload starts
+        // REC_HDR past where the record landed.
+        let mut offset = pass.tail;
+        for (rec, (key, loc)) in encoded.iter().zip(index_updates) {
+            match loc {
+                Some((_, len)) => {
+                    pass.index.insert(*key, (offset + REC_HDR, *len));
+                }
+                None => {
+                    pass.index.remove(key);
+                }
+            }
+            pass.handled.insert(*key);
+            offset += rec.len();
+        }
+        pass.tail = new_tail;
+        st.compacting = Some(pass);
+    }
+
+    /// Starts a pass when the active half is filling, or copies the next
+    /// bounded batch of snapshot keys into the target half. Runs after every
+    /// commit; errors only abandon the pass (never the commit).
+    fn compact_step_locked(&self, st: &mut PoolState) {
+        if st.compacting.is_none() {
+            let (start, end) = self.half_bounds(st.active);
+            if (st.tail - start) * COMPACT_START_DEN < (end - start) * COMPACT_START_NUM {
+                return;
+            }
+            let target = 1 - st.active;
+            let target_start = self.half_bounds(target).0;
+            // Terminator at the target start: even a pass that flips with
+            // nothing to copy must not leave recovery reading stale (but
+            // CRC-valid) records from an earlier tenancy of this half.
+            if self.device.write(target_start, &[0u8; REC_HDR]).is_err() {
+                return;
+            }
+            if self.device.persist(target_start, REC_HDR).is_err() {
+                return;
+            }
+            st.compacting = Some(CompactPass {
+                target,
+                snapshot: st.index.keys().copied().collect(),
+                cursor: 0,
+                handled: HashSet::new(),
+                tail: target_start,
+                index: HashMap::new(),
+            });
+        }
+        let Some(mut pass) = st.compacting.take() else {
+            return;
+        };
+        // Size the batch so the pass finishes in at most ~128 commits —
+        // comfortably inside the quarter-half of headroom left when it
+        // started — while each step stays far too small to stall one.
+        let step = COMPACT_STEP_MIN.max(pass.snapshot.len().div_ceil(128));
+        let txid = st.next_txid;
+        st.next_txid += 1;
+        let mut recs: Vec<Vec<u8>> = Vec::with_capacity(step);
+        let mut locs: Vec<(u128, usize)> = Vec::with_capacity(step);
+        while pass.cursor < pass.snapshot.len() && recs.len() < step {
+            let key = pass.snapshot[pass.cursor];
+            pass.cursor += 1;
+            if pass.handled.contains(&key) {
+                continue; // the mirror already holds its latest state
+            }
+            let Some(&(off, len)) = st.index.get(&key) else {
+                continue;
+            };
+            let Ok(value) = self.device.read(off, len) else {
+                return; // abandon the pass; the active half is untouched
+            };
+            recs.push(encode_record(txid, KIND_PUT, key, &value));
+            locs.push((key, len));
+        }
+        if !recs.is_empty() {
+            let Some(new_tail) = self.append_to_pass(&mut pass, &recs, txid) else {
+                return; // target full: abandon the pass
+            };
+            let mut offset = pass.tail;
+            for (rec, (key, len)) in recs.iter().zip(&locs) {
+                pass.index.insert(*key, (offset + REC_HDR, *len));
+                offset += rec.len();
+            }
+            pass.tail = new_tail;
+        }
+        if pass.cursor < pass.snapshot.len() {
+            st.compacting = Some(pass);
+            return;
+        }
+        // Every key is in the target half: flip the superblock (8-byte
+        // power-fail-atomic write) and retire the old half.
+        if self.device.write(0, &(pass.target as u64).to_le_bytes()).is_err() {
+            return;
+        }
+        if self.device.persist(0, SUPERBLOCK).is_err() {
+            return;
+        }
+        st.active = pass.target;
+        st.index = pass.index;
+        st.tail = pass.tail;
     }
 }
 

@@ -8,7 +8,7 @@
 //! the paper's Figure 5 analysis ("sync syscalls to synchronize the OS's
 //! write buffer with the SSD").
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -42,8 +42,11 @@ impl fmt::Display for SsdError {
 impl std::error::Error for SsdError {}
 
 struct SsdInner {
-    /// Durable blocks (survive crash).
-    durable: HashMap<u128, Vec<u8>>,
+    /// Durable blocks (survive crash). A BTreeMap so that block-count
+    /// growth never triggers an O(n) table rehash mid-write — spill batches
+    /// run on the commit path, where a multi-ms rehash spike of a
+    /// hundred-thousand-block device becomes an append stall.
+    durable: BTreeMap<u128, Vec<u8>>,
     /// Dirty blocks in the page cache (lost on crash).
     dirty: HashMap<u128, Vec<u8>>,
     /// Blocks deleted in the cache but not yet synced.
@@ -74,7 +77,7 @@ impl SsdDevice {
     pub fn new(clock: DeviceClock) -> Self {
         SsdDevice {
             inner: Mutex::new(SsdInner {
-                durable: HashMap::new(),
+                durable: BTreeMap::new(),
                 dirty: HashMap::new(),
                 dirty_deletes: Vec::new(),
                 read_cache: HashSet::new(),

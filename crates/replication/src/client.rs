@@ -273,7 +273,7 @@ impl FlexLogClient {
         }
         .into();
         let started = Instant::now();
-        let deadline = started + self.config.deadline;
+        let mut deadline = started + self.config.deadline;
         let mut backoff = Backoff::from_config(&self.config);
         let mut silent_rounds: u32 = 0;
         let mut acked: HashSet<NodeId> = HashSet::new();
@@ -340,8 +340,20 @@ impl FlexLogClient {
                         match reason {
                             RejectReason::Frozen => {
                                 // Migration in progress: the pre-cutover
-                                // shard still answers; keep retransmitting
-                                // on the normal backoff.
+                                // shard still answers. Re-base the
+                                // deadline — time spent frozen is the
+                                // migration's fault, not the shard being
+                                // slow, and must not surface as Timeout
+                                // once the freeze lifts (same rule as
+                                // `flush()` re-basing queued ops). Reset
+                                // the backoff too: freeze windows are
+                                // millisecond-scale by design, and an
+                                // exponentially grown retransmit gap would
+                                // both stretch the cutover stall and
+                                // outlive the re-based deadline.
+                                deadline =
+                                    deadline.max(Instant::now() + self.config.deadline);
+                                backoff = Backoff::from_config(&self.config);
                                 let _ = from;
                             }
                             RejectReason::ColorMoved => {
@@ -595,8 +607,16 @@ impl FlexLogClient {
         op.silent_rounds = 0;
         match reason {
             RejectReason::Frozen => {
-                // Pre-cutover freeze window: keep the op queued; the normal
-                // backoff retransmits until the color thaws or moves.
+                // Pre-cutover freeze window: keep the op queued and keep
+                // retransmitting. Time spent frozen must not surface as
+                // Timeout once the color thaws — re-base the deadline
+                // exactly like `flush()` does for ops queued at its entry
+                // (a freeze can outlast the original per-op deadline) and
+                // reset the backoff, whose exponentially grown gap would
+                // otherwise outlive the re-based deadline and stretch the
+                // cutover stall.
+                op.deadline = op.deadline.max(Instant::now() + self.config.deadline);
+                op.backoff = Backoff::from_config(&self.config);
             }
             RejectReason::ColorMoved => {
                 let color = op.color;

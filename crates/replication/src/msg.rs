@@ -104,7 +104,18 @@ pub enum DataMsg {
     },
     /// Control plane → one source replica: ship `color`'s committed span
     /// (trim-aware: only records above the head, with their tokens).
-    ExportSpan { color: ColorId, req: u64 },
+    /// `above` narrows the export to records strictly above that SN — the
+    /// catch-up watermark of an incremental migration round; `None` means
+    /// the full span above the head. `limit` caps the records shipped per
+    /// request (the scan runs inside the replica's event loop and blocks
+    /// appends for its duration, so bulk exports chunk); `u64::MAX` means
+    /// unbounded.
+    ExportSpan {
+        color: ColorId,
+        req: u64,
+        above: Option<SeqNum>,
+        limit: u64,
+    },
     /// Reply to [`DataMsg::ExportSpan`].
     SpanRecords {
         req: u64,
@@ -120,9 +131,35 @@ pub enum DataMsg {
         req: u64,
         head: Option<SeqNum>,
         records: Vec<(Token, SeqNum, Payload)>,
+        /// Cold imports land directly on the SSD tier: bulk catch-up
+        /// history must not evict the destination's PM headroom (the hot
+        /// append path runs there) nor pollute its DRAM cache. The final
+        /// freeze-window sliver ships hot (`false`) so the records a
+        /// client is about to re-read stay warm.
+        cold: bool,
     },
     /// Reply to [`DataMsg::ImportSpan`]: `imported` new records installed.
     ImportAck { req: u64, imported: u64 },
+    /// Control plane → one replica: list the SNs of `color`'s committed
+    /// records above the head. Used inside the freeze window to verify the
+    /// destination holds a superset of the source — the catch-up watermark
+    /// can step over a commit-order hole that fills later, so counts alone
+    /// cannot prove completeness.
+    SpanDigest { color: ColorId, req: u64 },
+    /// Reply to [`DataMsg::SpanDigest`].
+    SpanDigestResp {
+        req: u64,
+        color: ColorId,
+        head: Option<SeqNum>,
+        sns: Vec<SeqNum>,
+    },
+    /// Control plane → one source replica: ship exactly these records of
+    /// `color` (the digest diff). Answered with [`DataMsg::SpanRecords`].
+    FetchRecords {
+        color: ColorId,
+        req: u64,
+        sns: Vec<SeqNum>,
+    },
     /// Control plane → destination replicas: begin serving `color` (clears
     /// any frozen/moved/dropped marks from an earlier residency).
     AdoptColor { color: ColorId, req: u64 },

@@ -461,20 +461,38 @@ impl ReplicaNode {
                     .into(),
                 );
             }
-            DataMsg::ExportSpan { color, req } => {
+            DataMsg::ExportSpan { color, req, above, limit } => {
                 // Trim-aware: scan starts above the head, and the head
                 // itself ships so the destination hides the trimmed prefix.
+                // Catch-up rounds narrow the scan further (above the
+                // control plane's last-shipped watermark) and cap it, so
+                // concurrent appends interleave between chunks instead of
+                // stalling behind one full-span scan.
                 let head = self.storage.head(color);
-                let records = self
-                    .storage
-                    .scan_with_tokens(color, head.unwrap_or(SeqNum::ZERO));
+                let from_sn = head.unwrap_or(SeqNum::ZERO).max(above.unwrap_or(SeqNum::ZERO));
+                let cap = usize::try_from(limit).unwrap_or(usize::MAX);
+                let records = self.storage.scan_with_tokens_capped(color, from_sn, cap);
                 let _ = ep.send(from, DataMsg::SpanRecords { req, color, head, records }.into());
             }
-            DataMsg::ImportSpan { color, req, head, records } => {
+            DataMsg::SpanDigest { color, req } => {
+                let head = self.storage.head(color);
+                let sns = self.storage.committed_sns(color, head.unwrap_or(SeqNum::ZERO));
+                let _ = ep.send(from, DataMsg::SpanDigestResp { req, color, head, sns }.into());
+            }
+            DataMsg::FetchRecords { color, req, sns } => {
+                let head = self.storage.head(color);
+                let records = self.storage.fetch_with_tokens(color, &sns);
+                let _ = ep.send(from, DataMsg::SpanRecords { req, color, head, records }.into());
+            }
+            DataMsg::ImportSpan { color, req, head, records, cold } => {
                 let mut imported = 0u64;
-                for (token, sn, payload) in records {
-                    if self.storage.import(color, sn, token, &payload).unwrap_or(false) {
-                        imported += 1;
+                if cold {
+                    imported = self.storage.import_cold(color, &records).unwrap_or(0);
+                } else {
+                    for (token, sn, payload) in records {
+                        if self.storage.import(color, sn, token, &payload).unwrap_or(false) {
+                            imported += 1;
+                        }
                     }
                 }
                 if let Some(h) = head {
@@ -513,7 +531,7 @@ impl ReplicaNode {
             DataMsg::ReadResp { .. } | DataMsg::SubscribeResp { .. } | DataMsg::TrimAck { .. }
             | DataMsg::MultiAck { .. } | DataMsg::CtrlAck { .. } | DataMsg::CtrlColorInfo { .. }
             | DataMsg::SpanRecords { .. } | DataMsg::ImportAck { .. }
-            | DataMsg::Rejected { .. } => {
+            | DataMsg::SpanDigestResp { .. } | DataMsg::Rejected { .. } => {
                 // Client-side messages; a replica can ignore strays.
             }
             DataMsg::Shutdown => return false,

@@ -637,11 +637,26 @@ impl StorageServer {
     /// recovery, and by the multi-color append protocol to find a
     /// function's staged sets.
     pub fn scan_with_tokens(&self, color: ColorId, from: SeqNum) -> Vec<(Token, SeqNum, Payload)> {
+        self.scan_with_tokens_capped(color, from, usize::MAX)
+    }
+
+    /// Like [`StorageServer::scan_with_tokens`] but returns at most `cap`
+    /// records (in SN order, so the caller can resume above the last one).
+    /// Bounds the work done per call: a full-span scan runs inside the
+    /// replica's single-threaded event loop and blocks appends for its
+    /// duration, so migration catch-up exports ship the span in chunks.
+    pub fn scan_with_tokens_capped(
+        &self,
+        color: ColorId,
+        from: SeqNum,
+        cap: usize,
+    ) -> Vec<(Token, SeqNum, Payload)> {
         let sns: Vec<(SeqNum, bool)> = {
             let stripe = self.stripe_of(color).lock();
             match stripe.committed.get(&color) {
                 Some(m) => m
                     .range((std::ops::Bound::Excluded(from), std::ops::Bound::Unbounded))
+                    .take(cap)
                     .map(|(&sn, &on_ssd)| (sn, on_ssd))
                     .collect(),
                 None => return Vec::new(),
@@ -700,6 +715,108 @@ impl StorageServer {
         self.cache_of(color, sn).lock().put((color, sn), payload.clone());
         self.maybe_spill()?;
         Ok(true)
+    }
+
+    /// Bulk-installs migration catch-up records directly on the SSD tier.
+    /// Cold history shipped by pre-freeze catch-up rounds must not evict
+    /// the destination's PM headroom (its hot append path lives there) nor
+    /// pollute its DRAM cache — importing a whole span through
+    /// [`StorageServer::import`] pins the destination at the spill
+    /// watermark and puts synchronous SSD spills on the commit path of
+    /// every subsequent append. Durable after a single fsync; idempotent
+    /// per (color, sn). Returns how many records were newly installed.
+    pub fn import_cold(
+        &self,
+        color: ColorId,
+        records: &[(Token, SeqNum, Payload)],
+    ) -> Result<u64, StorageError> {
+        let fresh: Vec<&(Token, SeqNum, Payload)> = {
+            let stripe = self.stripe_of(color).lock();
+            let head = stripe.heads.get(&color).copied();
+            let committed = stripe.committed.get(&color);
+            records
+                .iter()
+                .filter(|(_, sn, _)| {
+                    head.is_none_or(|h| *sn > h)
+                        && !committed.is_some_and(|m| m.contains_key(sn))
+                })
+                .collect()
+        };
+        if fresh.is_empty() {
+            return Ok(0);
+        }
+        for (token, sn, payload) in &fresh {
+            let mut value = Vec::with_capacity(8 + payload.len());
+            value.extend_from_slice(&token.0.to_le_bytes());
+            value.extend_from_slice(payload);
+            self.ssd.write_block(ssd_block_id(color, *sn), &value);
+        }
+        self.ssd.fsync();
+        {
+            let mut stripe = self.stripe_of(color).lock();
+            let m = stripe.committed.entry(color).or_default();
+            for (_, sn, _) in &fresh {
+                m.insert(*sn, true);
+            }
+        }
+        {
+            let mut idx = self.tokens.lock();
+            for (token, sn, _) in &fresh {
+                let e = idx.committed_tokens.entry(*token).or_insert((color, *sn));
+                if *sn > e.1 {
+                    *e = (color, *sn);
+                }
+            }
+        }
+        Ok(fresh.len() as u64)
+    }
+
+    /// The SNs of every committed record of `color` above `from`, cheapest
+    /// possible form (no payload reads). Serves the freeze-window digest
+    /// check of a migration: the catch-up watermark can step over a
+    /// commit-order hole that fills later, so the control plane diffs
+    /// source and destination SN sets instead of trusting counts.
+    pub fn committed_sns(&self, color: ColorId, from: SeqNum) -> Vec<SeqNum> {
+        let stripe = self.stripe_of(color).lock();
+        match stripe.committed.get(&color) {
+            Some(m) => m
+                .range((std::ops::Bound::Excluded(from), std::ops::Bound::Unbounded))
+                .map(|(&sn, _)| sn)
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Reads exactly the requested records of `color`, with tokens —
+    /// the digest-diff fetch of a migration's freeze window. SNs not held
+    /// here are silently skipped (the caller diffs against our digest, so
+    /// a miss means a concurrent trim).
+    pub fn fetch_with_tokens(
+        &self,
+        color: ColorId,
+        sns: &[SeqNum],
+    ) -> Vec<(Token, SeqNum, Payload)> {
+        let placed: Vec<(SeqNum, bool)> = {
+            let stripe = self.stripe_of(color).lock();
+            let Some(m) = stripe.committed.get(&color) else {
+                return Vec::new();
+            };
+            sns.iter()
+                .filter_map(|sn| m.get(sn).map(|&on_ssd| (*sn, on_ssd)))
+                .collect()
+        };
+        placed
+            .into_iter()
+            .filter_map(|(sn, on_ssd)| {
+                let raw = if on_ssd {
+                    self.ssd.read_block(ssd_block_id(color, sn)).ok()
+                } else {
+                    self.pool.get(committed_key(color, sn))
+                }?;
+                let token = Token(u64::from_le_bytes(raw[..8].try_into().unwrap()));
+                Some((token, sn, Payload::from(raw[8..].to_vec())))
+            })
+            .collect()
     }
 
     /// Deletes every record of `color` with `sn <= up_to` and durably

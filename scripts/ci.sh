@@ -50,12 +50,18 @@ assert d["ctrl"]["migrations"] == 1 and d["ctrl"]["epoch_bumps"] >= 1, d
 p = d["phases"]
 assert set(p) == {"before", "during", "after"}
 assert p["before"]["records"] > 0 and p["after"]["records"] > 0, p
-# Availability price of the migration: the stall must stay bounded (the
-# freeze window plus client backoff), never an outage.
-assert 0 < d["cutover_stall_ms"] < 2000, d["cutover_stall_ms"]
+# Incremental migration: the bulk ships in catch-up rounds while the
+# source still serves, so the client-visible stall is the freeze window
+# over the residual sliver only — independent of span size. The quick run
+# is short and noisy, so the gate is 60 ms (full mode asserts < 10 ms in
+# the bench itself), but it must never regress toward the old O(span)
+# freeze-the-whole-copy behaviour (~90 ms even in --quick).
+assert 0 < d["cutover_stall_ms"] < 60, d["cutover_stall_ms"]
+assert d["catchup_rounds"] >= 1, d
+assert "final_sliver_records" in d, d
 # Throughput must recover after the cutover: within 2x of the warm-up rate.
 assert p["after"]["records_per_s"] > p["before"]["records_per_s"] / 2, p
-print("elasticity smoke JSON OK (bounded stall, throughput recovered)")
+print("elasticity smoke JSON OK (bounded stall, catch-up rounds ran, throughput recovered)")
 EOF
 
 echo "==> migration-crash nemesis (source replica dies mid-migration)"
