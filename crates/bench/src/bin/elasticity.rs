@@ -27,7 +27,7 @@ use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
 use flexlog_core::{ClusterSpec, FlexLogCluster};
-use flexlog_ctrl::ControlPlane;
+use flexlog_ctrl::{ControlPlane, CtrlError, CtrlPhase};
 use flexlog_ordering::RoleId;
 use flexlog_replication::{ClientConfig, FlexLogClient};
 use flexlog_simnet::{NetConfig, NodeId};
@@ -141,6 +141,35 @@ fn main() {
     for w in log.windows(2) {
         assert!(w[0].sn < w[1].sn, "per-color total order broken");
     }
+
+    // Controller-crash recovery drill (`controller_recovery_ms`): start a
+    // second migration and kill the controller right after its freeze
+    // round — the worst place to die, since the color is unavailable until
+    // somebody thaws it. Time the successor's full recovery: durable
+    // generation bump, hello round, WAL scan, and the roll-back (unfreeze
+    // + discard of the partial import). The append probe proves the color
+    // serves again the moment recovery returns.
+    let dest2 = plane.add_shard(RoleId(0));
+    plane.crash_after = Some(CtrlPhase::Frozen);
+    let crashed = plane.migrate_color(HOT, dest2.id);
+    assert_eq!(crashed, Err(CtrlError::Crashed), "injected crash must fire");
+    let t_rec = Instant::now();
+    let (_successor, report) = ControlPlane::recover(&cluster);
+    let controller_recovery_ms = t_rec.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(report.in_flight, 1, "recovery must find the orphaned migration");
+    assert_eq!(report.rolled_back, 1, "a freeze-phase crash must roll back");
+    cluster
+        .handle()
+        .append(b"post-recovery", HOT)
+        .expect("append after controller recovery");
+    eprintln!("==> controller recovery {controller_recovery_ms:.2} ms (freeze-phase crash, rolled back)");
+    if !quick {
+        assert!(
+            controller_recovery_ms < 250.0,
+            "controller recovery must stay interactive, got {controller_recovery_ms:.2} ms"
+        );
+    }
+
     let snap = cluster.obs().snapshot();
     let migrations = snap.counter("ctrl.migrations");
     let epoch_bumps = snap.counter("ctrl.epoch_bumps");
@@ -246,6 +275,9 @@ fn main() {
         "  \"cutover_stall_ms\": {cutover_stall_ms:.2},\n"
     ));
     json.push_str(&format!("  \"catchup_rounds\": {catchup_rounds},\n"));
+    json.push_str(&format!(
+        "  \"controller_recovery_ms\": {controller_recovery_ms:.2},\n"
+    ));
     json.push_str(&format!(
         "  \"final_sliver_records\": {final_sliver_records},\n"
     ));

@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use flexlog_core::{FlexLog, FlexLogCluster, ClusterSpec};
+use flexlog_ctrl::ControlPlane;
 use flexlog_types::{ColorId, SeqNum};
 
 use crate::history::{History, HistoryChecker, OpKind};
@@ -27,6 +28,11 @@ use crate::workload::{Workload, WorkloadConfig};
 
 /// A mid-run reconfiguration driver (see [`ChaosOptions::reconfig`]).
 pub type ReconfigFn = Box<dyn FnOnce(&FlexLogCluster) + Send>;
+
+/// A post-run invariant check (see [`ChaosOptions::post`]): runs against
+/// the quiescent cluster after the history checker and returns extra
+/// violations (empty = pass).
+pub type PostCheckFn = Box<dyn FnOnce(&FlexLogCluster) -> Vec<String> + Send>;
 
 /// Everything a chaos run needs. `seed` drives both the fault plan and the
 /// workload's operation mix.
@@ -43,6 +49,12 @@ pub struct ChaosOptions {
     /// starts. Migration-safety scenarios use this to open a
     /// reconfiguration window and aim faults into it.
     pub reconfig: Option<(Duration, ReconfigFn)>,
+    /// Scenario-specific invariants checked on the quiescent cluster after
+    /// the workload stops and the §7 history checker runs (controller-crash
+    /// scenarios assert "no color left frozen", recovery-counter
+    /// consistency, topology shape). Violations merge into the same
+    /// panic-with-plan report.
+    pub post: Option<PostCheckFn>,
     /// How long the workload runs. Must cover the plan's horizon, or late
     /// faults fire against an idle cluster.
     pub duration: Duration,
@@ -60,6 +72,7 @@ impl ChaosOptions {
             plan_config: PlanConfig::default(),
             scripted: None,
             reconfig: None,
+            post: None,
             duration: Duration::from_millis(1500),
             settle: Duration::from_millis(500),
         }
@@ -115,6 +128,7 @@ pub fn seed_from_env(default: u64) -> u64 {
 pub fn run_chaos(options: ChaosOptions) -> ChaosReport {
     let mut options = options;
     let reconfig = options.reconfig.take();
+    let post = options.post.take();
     let cluster = FlexLogCluster::start(options.spec.clone());
     for &color in &options.workload.colors {
         // Colors may collide with ones the spec pre-registered.
@@ -186,6 +200,16 @@ pub fn run_chaos(options: ChaosOptions) -> ChaosReport {
                             net.isolate(n);
                         }
                     }
+                    FaultKind::CrashController => {
+                        cluster.crash_controller();
+                    }
+                    FaultKind::RestartController => {
+                        // A successor attaches to the surviving intent WAL,
+                        // fences the zombie generation, and rolls every
+                        // in-flight reconfiguration forward or back before
+                        // this call returns.
+                        let _ = ControlPlane::recover(cluster);
+                    }
                     FaultKind::Heal => net.heal(),
                 }
             }
@@ -230,6 +254,9 @@ pub fn run_chaos(options: ChaosOptions) -> ChaosReport {
     }
 
     violations.extend(HistoryChecker::new(&observations, &final_logs).check());
+    if let Some(post) = post {
+        violations.extend(post(&cluster));
+    }
     if !violations.is_empty() {
         let shown = violations.iter().take(20).cloned().collect::<Vec<_>>();
         panic!(

@@ -28,7 +28,7 @@ mod history;
 mod plan;
 mod workload;
 
-pub use harness::{run_chaos, seed_from_env, ChaosOptions, ChaosReport, ReconfigFn};
+pub use harness::{run_chaos, seed_from_env, ChaosOptions, ChaosReport, PostCheckFn, ReconfigFn};
 pub use history::{History, HistoryChecker, Observation, OpKind};
 pub use plan::{FaultEvent, FaultKind, FaultPlan, PlanConfig, PlanTargets};
 pub use workload::{Workload, WorkloadConfig};

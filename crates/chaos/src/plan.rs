@@ -28,6 +28,14 @@ pub enum FaultKind {
     /// Cut every replica of a shard off from the rest of the world
     /// (clients included) until the next heal.
     PartitionShard { shard: ShardId, replicas: Vec<NodeId> },
+    /// Kill the active controller: its network endpoint goes dark and any
+    /// in-flight reconfiguration it was driving stalls mid-phase. The
+    /// intent WAL (a separate PM device) survives.
+    CrashController,
+    /// Start a successor controller: replays the intent WAL, bumps the
+    /// generation (fencing the zombie), and rolls every in-flight
+    /// reconfiguration forward or back.
+    RestartController,
     /// Restore full connectivity.
     Heal,
 }
@@ -41,6 +49,8 @@ impl fmt::Display for FaultKind {
             FaultKind::PartitionShard { shard, .. } => {
                 write!(f, "partition shard {shard:?} away")
             }
+            FaultKind::CrashController => write!(f, "crash controller"),
+            FaultKind::RestartController => write!(f, "restart controller"),
             FaultKind::Heal => write!(f, "heal all partitions"),
         }
     }

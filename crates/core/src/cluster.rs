@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use flexlog_obs::{ObsHandle, Trace};
@@ -12,6 +13,7 @@ use flexlog_replication::{
     ClientConfig, ClusterMsg, DataLayerHandle, DataLayerService, DataLayerSpec, FlexLogClient,
     ReplicaConfig, ShardInfo,
 };
+use flexlog_pm::{PmDevice, PmDeviceConfig, PmPool};
 use flexlog_simnet::{NetConfig, Network, NodeId};
 use flexlog_storage::StorageConfig;
 use flexlog_types::{ColorId, Epoch, FunctionId, ShardId, Token};
@@ -93,6 +95,15 @@ pub struct FlexLogCluster {
     obs: ObsHandle,
     registry: ColorRegistry,
     routes: RouteTable,
+    /// The controller's durable PM device, surfaced as a shared pool. It
+    /// models hardware that outlives any one controller process: a
+    /// controller crash kills the controller's *node* (and its volatile
+    /// state), never this pool.
+    ctrl_wal: Arc<PmPool>,
+    /// Highest controller generation that has attached to this cluster.
+    ctrl_gen: AtomicU64,
+    /// Highest controller generation whose node has been crashed.
+    ctrl_killed: AtomicU64,
 }
 
 impl FlexLogCluster {
@@ -167,6 +178,10 @@ impl FlexLogCluster {
         admin.register_master(RoleId(0), all);
 
         let registry = tree.registry.clone();
+        let ctrl_wal = Arc::new(PmPool::create(Arc::new(PmDevice::new(PmDeviceConfig {
+            capacity: 256 * 1024,
+            ..Default::default()
+        }))));
         FlexLogCluster {
             net,
             directory,
@@ -178,6 +193,9 @@ impl FlexLogCluster {
             obs,
             registry,
             routes,
+            ctrl_wal,
+            ctrl_gen: AtomicU64::new(0),
+            ctrl_killed: AtomicU64::new(0),
         }
     }
 
@@ -291,6 +309,47 @@ impl FlexLogCluster {
     /// for reassigning colors to it via the registry and route table.
     pub fn spawn_leaf_sequencer(&self, role: RoleId, parent: RoleId, epoch: Epoch) -> NodeId {
         self.ordering.spawn_leaf(&self.net, role, parent, epoch)
+    }
+
+    /// The controller's durable intent-WAL pool. Shared: it models the
+    /// controller's PM device, which survives controller crashes.
+    pub fn ctrl_wal(&self) -> Arc<PmPool> {
+        Arc::clone(&self.ctrl_wal)
+    }
+
+    /// Records that a controller of `gen` attached (monotonic max).
+    pub fn note_ctrl_generation(&self, gen: u64) {
+        self.ctrl_gen.fetch_max(gen, Ordering::SeqCst);
+    }
+
+    /// Highest controller generation that has attached to this cluster.
+    pub fn ctrl_generation(&self) -> u64 {
+        self.ctrl_gen.load(Ordering::SeqCst)
+    }
+
+    /// Highest controller generation whose node has been crashed.
+    pub fn ctrl_killed_generation(&self) -> u64 {
+        self.ctrl_killed.load(Ordering::SeqCst)
+    }
+
+    /// The network identity of the controller of `gen`. Each generation
+    /// gets its own node so a successor's endpoint never receives acks
+    /// addressed to a crashed predecessor.
+    pub fn ctrl_node(gen: u64) -> NodeId {
+        NodeId::named(0, (u64::MAX >> 4) - 1024 - gen)
+    }
+
+    /// Kills every controller generation attached so far: their network
+    /// nodes are crashed (in-flight messages dropped, endpoints
+    /// disconnected). The WAL device is NOT touched — PM survives a
+    /// process crash. Returns the highest generation killed.
+    pub fn crash_controller(&self) -> u64 {
+        let cur = self.ctrl_generation();
+        let prev = self.ctrl_killed.fetch_max(cur, Ordering::SeqCst);
+        for gen in (prev + 1)..=cur {
+            self.net.crash(Self::ctrl_node(gen));
+        }
+        cur
     }
 
     /// Convenience: create a color under the master region.

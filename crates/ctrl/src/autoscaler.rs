@@ -33,6 +33,12 @@ pub struct AutoscalerConfig {
     /// At most one scaling action per tick (reconfigurations are fenced
     /// and relatively heavy; let the system settle between them).
     pub max_actions_per_tick: usize,
+    /// Minimum interval a rate observation must span before it can drive
+    /// an action. A tick arriving sooner only refreshes the baselines —
+    /// dividing a counter delta by a near-zero elapsed time would turn a
+    /// handful of appends into an apparent rate spike (the restart
+    /// hysteresis guard).
+    pub min_observation: Duration,
 }
 
 impl Default for AutoscalerConfig {
@@ -43,6 +49,7 @@ impl Default for AutoscalerConfig {
             split_wait_p99_ns: 200_000,
             pm_pressure_bytes: usize::MAX,
             max_actions_per_tick: 1,
+            min_observation: Duration::from_millis(50),
         }
     }
 }
@@ -75,11 +82,25 @@ pub struct Autoscaler<'a> {
 
 impl<'a> Autoscaler<'a> {
     pub fn new(plane: ControlPlane<'a>, config: AutoscalerConfig) -> Self {
+        // Prime the rate baselines from the metrics registry NOW: a
+        // controller that restarts mid-deployment inherits counters with
+        // the entire history in them, and without this priming the first
+        // tick would read that history as one observation window's worth
+        // of appends and fire a spurious scale-out.
+        let mut last_sns = HashMap::new();
+        let snap = plane.cluster().obs().snapshot();
+        for (name, &total) in &snap.counters {
+            let Some(id) = name.strip_prefix("seq.color_sns.") else {
+                continue;
+            };
+            let Ok(id) = id.parse::<u32>() else { continue };
+            last_sns.insert(ColorId(id), total);
+        }
         Autoscaler {
             plane,
             config,
-            last_sns: HashMap::new(),
-            last_tick: None,
+            last_sns,
+            last_tick: Some(Instant::now()),
             history: Vec::new(),
         }
     }
@@ -106,6 +127,14 @@ impl<'a> Autoscaler<'a> {
             .last_tick
             .map(|t| now.duration_since(t))
             .unwrap_or(Duration::ZERO);
+        if elapsed < self.config.min_observation {
+            // Too short a window for a meaningful rate. Crucially the
+            // baselines are NOT advanced: the pending counter delta stays
+            // attributed to the full interval since the last real tick,
+            // instead of being compressed into a near-zero window (which
+            // would read as an enormous rate and fire a spurious action).
+            return Ok(Vec::new());
+        }
         self.last_tick = Some(now);
         let mut rates: HashMap<ColorId, f64> = HashMap::new();
         for (name, &total) in &snap.counters {
@@ -115,16 +144,10 @@ impl<'a> Autoscaler<'a> {
             let Ok(id) = id.parse::<u32>() else { continue };
             let color = ColorId(id);
             let prev = self.last_sns.insert(color, total).unwrap_or(0);
-            if elapsed > Duration::ZERO {
-                rates.insert(
-                    color,
-                    total.saturating_sub(prev) as f64 / elapsed.as_secs_f64(),
-                );
-            }
-        }
-        if elapsed.is_zero() {
-            // First tick only primes the counters; rates need an interval.
-            return Ok(Vec::new());
+            rates.insert(
+                color,
+                total.saturating_sub(prev) as f64 / elapsed.as_secs_f64(),
+            );
         }
         let wait_p99 = snap
             .histogram("seq.batch_wait_ns")

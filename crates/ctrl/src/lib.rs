@@ -28,12 +28,23 @@
 //! rates (`seq.color_sns.*`), sequencer batching pressure
 //! (`seq.batch_wait_ns` p99) and per-shard PM residency, and triggers
 //! scale-out/migration/splits through the [`ControlPlane`].
+//!
+//! Every reconfiguration is **crash-recoverable**: the plane logs its
+//! intent and per-phase progress into a durable [`IntentWal`] (a
+//! `flexlog-pm` pool — the same transactional PM API the data path runs
+//! on), and [`ControlPlane::recover`] rolls any operation that was
+//! in flight at the crash forward past its point of no return or back to
+//! a clean revert. A durable **controller generation** fences zombies:
+//! every mutating ctrl message carries the generation, and replicas and
+//! sequencers nack anything stale.
 
 mod autoscaler;
 mod plane;
+mod wal;
 
 pub use autoscaler::{Autoscaler, AutoscalerConfig, ScalingAction};
-pub use plane::{ControlPlane, CtrlError};
+pub use plane::{ControlPlane, CtrlError, RecoveryReport};
+pub use wal::{CtrlPhase, InFlightOp, IntentRecord, IntentWal, OpKind};
 
 #[cfg(test)]
 mod tests;

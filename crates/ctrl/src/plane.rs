@@ -1,5 +1,12 @@
 //! The reconfiguration actuator: epoch-fenced color create/destroy, shard
 //! scale-out with color migration, and sequencer-tree splits.
+//!
+//! Every reconfiguration is crash-recoverable: intent and per-phase
+//! progress are logged to the durable [`IntentWal`] before/after each
+//! phase takes effect, and [`ControlPlane::recover`] rolls in-flight
+//! operations forward (past the point of no return) or back. Mutating
+//! control messages carry the controller generation; replicas and
+//! sequencers nack anything from a superseded (zombie) controller.
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -11,6 +18,8 @@ use flexlog_ordering::{OrderMsg, RoleId};
 use flexlog_replication::{ClusterMsg, DataMsg, ShardInfo};
 use flexlog_simnet::{Endpoint, NodeId, RecvError};
 use flexlog_types::{ColorId, Epoch, Payload, SeqNum, ShardId, Token};
+
+use crate::wal::{CtrlPhase, IntentWal, OpKind};
 
 /// Errors from control-plane operations.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -30,6 +39,13 @@ pub enum CtrlError {
     Timeout(&'static str),
     /// The control endpoint lost its network.
     Disconnected,
+    /// This controller crashed mid-operation (injected or real). The
+    /// operation's fate is decided by the next controller's recovery scan.
+    Crashed,
+    /// This controller's generation was superseded: a replica or sequencer
+    /// nacked the command. A zombie must stop — the successor owns every
+    /// in-flight operation now.
+    Fenced,
 }
 
 impl fmt::Display for CtrlError {
@@ -42,6 +58,8 @@ impl fmt::Display for CtrlError {
             CtrlError::NothingToSplit(r) => write!(f, "{r:?} owns too few colors to split"),
             CtrlError::Timeout(phase) => write!(f, "control round timed out: {phase}"),
             CtrlError::Disconnected => write!(f, "control endpoint disconnected"),
+            CtrlError::Crashed => write!(f, "controller crashed mid-operation"),
+            CtrlError::Fenced => write!(f, "controller generation superseded"),
         }
     }
 }
@@ -54,13 +72,41 @@ impl From<ColorError> for CtrlError {
     }
 }
 
+/// What a controller restart found and did (see [`ControlPlane::recover`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Operations found without a terminal WAL record.
+    pub in_flight: usize,
+    /// Completed on the new controller's behalf (past the point of no
+    /// return when the old one died).
+    pub rolled_forward: usize,
+    /// Fully reverted (unfrozen, partial imports discarded).
+    pub rolled_back: usize,
+}
+
+/// Which way one in-flight operation was resolved.
+enum Recovered {
+    Forward,
+    Back,
+}
+
 /// The reconfiguration actuator over a running cluster. One instance per
-/// deployment; operations are synchronous and fenced (each returns only
-/// once the new configuration is in force everywhere it matters).
+/// deployment *generation*; operations are synchronous and fenced (each
+/// returns only once the new configuration is in force everywhere it
+/// matters). Constructing a plane durably bumps the controller generation,
+/// turning every earlier plane on the same cluster into a fenced zombie.
 pub struct ControlPlane<'a> {
     cluster: &'a FlexLogCluster,
     ep: Endpoint<ClusterMsg>,
     req: u64,
+    /// This controller's fencing token, carried on every mutating message.
+    generation: u64,
+    /// Durable intent log; every reconfiguration brackets its phases here.
+    wal: IntentWal,
+    /// Test hook: crash this controller right after the given phase's WAL
+    /// record persists (the operation's effects up to and including that
+    /// phase are real; everything after never happens). Consumed on fire.
+    pub crash_after: Option<CtrlPhase>,
     /// Per-phase bound on fenced rounds (acks, drains, epoch bumps).
     pub timeout: Duration,
     /// A migration freezes only once the pre-freeze catch-up delta drops
@@ -87,20 +133,47 @@ pub struct ControlPlane<'a> {
     catchup_rounds: Counter,
     catchup_records: Counter,
     final_sliver_records: Counter,
+    unfreeze_retries: Counter,
+    recovery_scans: Counter,
+    recovery_rolled_forward: Counter,
+    recovery_rolled_back: Counter,
 }
 
 impl<'a> ControlPlane<'a> {
     /// Attaches a control plane to `cluster`. Registers one control node
-    /// on the simulated network.
+    /// on the simulated network and durably bumps the controller
+    /// generation. Equivalent to [`ControlPlane::recover`] with the report
+    /// dropped — on a fresh cluster the recovery scan finds nothing.
     pub fn new(cluster: &'a FlexLogCluster) -> Self {
+        Self::recover(cluster).0
+    }
+
+    /// Starts a controller as the *successor* of whatever controller ran
+    /// before (possibly none): durably bumps the generation in the shared
+    /// intent WAL (fencing every predecessor), announces itself to the
+    /// replicas, then scans the WAL and resolves every operation that was
+    /// in flight when the predecessor died — forward past the point of no
+    /// return (the destination provably holds every committed record),
+    /// back otherwise (retry-until-acked unfreeze + discard of the partial
+    /// import). An operation whose resolution round fails stays in the WAL
+    /// for the *next* recovery.
+    pub fn recover(cluster: &'a FlexLogCluster) -> (Self, RecoveryReport) {
+        let (wal, generation) = IntentWal::attach(cluster.ctrl_wal());
+        cluster.note_ctrl_generation(generation);
+        // A per-generation endpoint: a successor must never consume acks
+        // addressed to its crashed predecessor (and the predecessor's node
+        // may already be crashed on the simulated network).
         let ep = cluster
             .network()
-            .register(NodeId::named(0, (u64::MAX >> 4) - 2));
+            .register(FlexLogCluster::ctrl_node(generation));
         let obs = cluster.obs();
-        ControlPlane {
+        let mut plane = ControlPlane {
             cluster,
             ep,
             req: 0,
+            generation,
+            wal,
+            crash_after: None,
             timeout: Duration::from_secs(5),
             catchup_threshold: 64,
             max_catchup_rounds: 16,
@@ -115,12 +188,292 @@ impl<'a> ControlPlane<'a> {
             catchup_rounds: obs.counter("ctrl.catchup_rounds"),
             catchup_records: obs.counter("ctrl.catchup_records"),
             final_sliver_records: obs.counter("ctrl.final_sliver_records"),
-        }
+            unfreeze_retries: obs.counter("ctrl.unfreeze_retries"),
+            recovery_scans: obs.counter("ctrl.recovery.scans"),
+            recovery_rolled_forward: obs.counter("ctrl.recovery.rolled_forward"),
+            recovery_rolled_back: obs.counter("ctrl.recovery.rolled_back"),
+        };
+        plane.hello();
+        let report = plane.recover_in_flight();
+        (plane, report)
     }
 
     /// The cluster this control plane drives.
     pub fn cluster(&self) -> &'a FlexLogCluster {
         self.cluster
+    }
+
+    /// This controller's fencing token.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Whether this controller is still the live one on its cluster (its
+    /// node has not been crashed). A dead controller must not touch the
+    /// WAL or the network — its successor owns every in-flight operation.
+    fn alive(&self) -> bool {
+        self.generation > self.cluster.ctrl_killed_generation()
+    }
+
+    /// Crash-injection hook: fires when `crash_after` names this phase.
+    /// The controller's node dies on the network and the operation's
+    /// in-memory state is abandoned exactly as a real crash would leave it
+    /// — the WAL record of `phase` is already durable.
+    fn maybe_crash(&mut self, phase: CtrlPhase) -> Result<(), CtrlError> {
+        if self.crash_after == Some(phase) {
+            self.crash_after = None;
+            self.cluster.crash_controller();
+            return Err(CtrlError::Crashed);
+        }
+        Ok(())
+    }
+
+    /// Logs `phase` complete, then honors any injected crash at it.
+    fn wal_phase(&mut self, op: u64, phase: CtrlPhase) -> Result<(), CtrlError> {
+        self.wal.phase(op, phase);
+        self.maybe_crash(phase)
+    }
+
+    /// Failure epilogue of a WAL-logged operation: aborts the intent and
+    /// (for migrations) restores source availability — unless this
+    /// controller is dead or fenced, in which case the successor owns the
+    /// cleanup and we must touch nothing.
+    fn fail_op(
+        &mut self,
+        op: u64,
+        e: CtrlError,
+        unfreeze: Option<(&[NodeId], ColorId)>,
+    ) -> CtrlError {
+        if e == CtrlError::Crashed || !self.alive() {
+            return CtrlError::Crashed;
+        }
+        if e != CtrlError::Fenced {
+            if let Some((nodes, color)) = unfreeze {
+                self.abort_unfreeze(nodes, color);
+            }
+        }
+        self.wal.abort(op);
+        e
+    }
+
+    /// Announces this generation to every replica so the fencing floor
+    /// rises cluster-wide even before the first command. Best-effort with
+    /// a short bound: a replica that misses the hello still fences on the
+    /// first real command it sees from this generation.
+    fn hello(&mut self) {
+        let nodes: Vec<NodeId> = self
+            .cluster
+            .data()
+            .topology
+            .all_shards()
+            .iter()
+            .flat_map(|s| s.replicas.clone())
+            .collect();
+        if nodes.is_empty() {
+            return;
+        }
+        let gen = self.generation;
+        let req = self.next_req();
+        for &n in &nodes {
+            let _ = self.ep.send(n, DataMsg::ControllerHello { gen, req }.into());
+        }
+        let mut pending: HashSet<NodeId> = nodes.into_iter().collect();
+        let deadline = Instant::now() + self.timeout.min(Duration::from_millis(250));
+        while !pending.is_empty() {
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                break;
+            };
+            match self.ep.recv_timeout(left) {
+                Ok((from, ClusterMsg::Data(DataMsg::CtrlAck { req: r }))) if r == req => {
+                    pending.remove(&from);
+                }
+                Ok(_) => {}
+                Err(RecvError::Timeout) | Err(RecvError::Disconnected) => break,
+            }
+        }
+    }
+
+    // ----- recovery scan ---------------------------------------------------
+
+    /// Resolves every operation the WAL holds without a terminal record.
+    /// Decision table (see DESIGN.md "Control-plane recovery"):
+    ///
+    /// | kind     | condition                         | action       |
+    /// |----------|-----------------------------------|--------------|
+    /// | Migrate  | phase ≥ Copied                    | roll forward |
+    /// | Migrate  | otherwise                         | roll back    |
+    /// | ScaleOut | always (orphan shard is harmless) | roll back    |
+    /// | Split    | new leaf live in the directory    | roll forward |
+    /// | Split    | otherwise                         | roll back    |
+    fn recover_in_flight(&mut self) -> RecoveryReport {
+        self.recovery_scans.add(1);
+        let open = self.wal.in_flight();
+        let mut report = RecoveryReport {
+            in_flight: open.len(),
+            ..Default::default()
+        };
+        for item in open {
+            let outcome = match &item.kind {
+                OpKind::Migrate { color, dest, sources } => {
+                    // Point of no return: `Copied` means the destination
+                    // provably held every committed record (digest-checked)
+                    // under the epoch fence — finishing is both safe and
+                    // cheaper than re-shipping later.
+                    if item.phase >= Some(CtrlPhase::Copied) {
+                        self.roll_forward_migration(item.op, *color, *dest, sources)
+                    } else {
+                        self.roll_back_migration(item.op, *color, *dest, sources)
+                    }
+                }
+                OpKind::ScaleOut { .. } => {
+                    // Whether or not the shard spawned before the crash, an
+                    // empty shard serves no colors — nothing to undo.
+                    self.wal.abort(item.op);
+                    Ok(Recovered::Back)
+                }
+                OpKind::Split { donor, new_role, moved } => {
+                    self.recover_split(item.op, *donor, *new_role, moved)
+                }
+            };
+            match outcome {
+                Ok(Recovered::Forward) => {
+                    report.rolled_forward += 1;
+                    self.recovery_rolled_forward.add(1);
+                    self.cluster.obs().trace_event(
+                        CTRL_TOKEN,
+                        Stage::CtrlRecover,
+                        self.ep.id().0,
+                        item.op,
+                    );
+                }
+                Ok(Recovered::Back) => {
+                    report.rolled_back += 1;
+                    self.recovery_rolled_back.add(1);
+                    self.cluster.obs().trace_event(
+                        CTRL_TOKEN,
+                        Stage::CtrlRecover,
+                        self.ep.id().0,
+                        item.op,
+                    );
+                }
+                Err(_) => {
+                    // The resolution round itself failed (e.g. a replica
+                    // down past the timeout). The intent stays in the WAL;
+                    // the next recovery scan retries it.
+                }
+            }
+        }
+        report
+    }
+
+    /// Finishes a migration whose predecessor died past the point of no
+    /// return: re-issues adopt and cutover (idempotent on the replicas)
+    /// and publishes the route. The WAL's `Begin` record supplies the
+    /// source list — the crashed controller may already have rewritten
+    /// the topology.
+    fn roll_forward_migration(
+        &mut self,
+        op: u64,
+        color: ColorId,
+        dest: ShardId,
+        sources: &[ShardId],
+    ) -> Result<Recovered, CtrlError> {
+        let dest_info = self
+            .cluster
+            .data()
+            .topology
+            .shard(dest)
+            .ok_or(CtrlError::UnknownShard(dest))?;
+        let gen = self.generation;
+        self.ctrl_round(
+            &dest_info.replicas,
+            |req| DataMsg::AdoptColor { color, gen, req },
+            "recover-adopt",
+        )?;
+        self.cluster
+            .data()
+            .topology
+            .set_color_shards(color, vec![dest]);
+        let src_nodes: Vec<NodeId> = sources
+            .iter()
+            .filter_map(|&s| self.cluster.data().topology.shard(s))
+            .flat_map(|s| s.replicas)
+            .collect();
+        if !src_nodes.is_empty() {
+            self.ctrl_round(
+                &src_nodes,
+                |req| DataMsg::CutoverColor { color, gen, req },
+                "recover-cutover",
+            )?;
+        }
+        self.wal.commit(op);
+        self.migrations.add(1);
+        Ok(Recovered::Forward)
+    }
+
+    /// Reverts a migration that died before the point of no return:
+    /// unfreezes the sources (always — a failed freeze round may have
+    /// frozen a subset even when no `Frozen` record persisted) and
+    /// discards whatever the destination partially imported. The epoch
+    /// bump, if it happened, stays — a bumped epoch only fences harder
+    /// and never breaks SN monotonicity.
+    fn roll_back_migration(
+        &mut self,
+        op: u64,
+        color: ColorId,
+        dest: ShardId,
+        sources: &[ShardId],
+    ) -> Result<Recovered, CtrlError> {
+        let src_nodes: Vec<NodeId> = sources
+            .iter()
+            .filter_map(|&s| self.cluster.data().topology.shard(s))
+            .flat_map(|s| s.replicas)
+            .collect();
+        self.abort_unfreeze(&src_nodes, color);
+        if let Some(dest_info) = self.cluster.data().topology.shard(dest) {
+            let gen = self.generation;
+            self.ctrl_round(
+                &dest_info.replicas,
+                |req| DataMsg::DiscardColor { color, gen, req },
+                "recover-discard",
+            )?;
+        }
+        self.wal.abort(op);
+        Ok(Recovered::Back)
+    }
+
+    /// Resolves an in-flight leaf split. Forward iff the new leaf is live
+    /// in the directory (the spawn is the split's point of no return —
+    /// re-pointing registry and routes is pure idempotent metadata);
+    /// otherwise nothing observable happened and the intent aborts after
+    /// making sure no color points at the ghost role.
+    fn recover_split(
+        &mut self,
+        op: u64,
+        donor: RoleId,
+        new_role: RoleId,
+        moved: &[ColorId],
+    ) -> Result<Recovered, CtrlError> {
+        if self.cluster.directory().get(new_role).is_some() {
+            let region = self.cluster.colors().region_of(donor);
+            self.cluster.colors().set_region(new_role, region);
+            for &c in moved {
+                self.cluster.registry().set(c, new_role);
+                self.cluster.routes().set_route(c, new_role);
+            }
+            self.leaf_splits.add(1);
+            self.wal.commit(op);
+            Ok(Recovered::Forward)
+        } else {
+            for &c in moved {
+                if self.cluster.registry().owner(c) == Some(new_role) {
+                    self.cluster.registry().set(c, donor);
+                    self.cluster.routes().set_route(c, donor);
+                }
+            }
+            self.wal.abort(op);
+            Ok(Recovered::Back)
+        }
     }
 
     fn next_req(&mut self) -> u64 {
@@ -158,7 +511,8 @@ impl<'a> ControlPlane<'a> {
         self.cluster.colors().remove_color(color)?;
         let nodes: Vec<NodeId> = shards.iter().flat_map(|s| s.replicas.clone()).collect();
         if !nodes.is_empty() {
-            self.ctrl_round(&nodes, |req| DataMsg::DropColor { color, req }, "drop")?;
+            let gen = self.generation;
+            self.ctrl_round(&nodes, |req| DataMsg::DropColor { color, gen, req }, "drop")?;
         }
         self.cluster
             .data()
@@ -174,8 +528,13 @@ impl<'a> ControlPlane<'a> {
     /// scale-out). Colors land on it via [`ControlPlane::migrate_color`]
     /// or subsequent color creation in the leaf's region.
     pub fn add_shard(&mut self, leaf: RoleId) -> ShardInfo {
+        // WAL-bracketed for uniformity; recovery of a dangling scale-out
+        // is a plain abort (an orphan empty shard serves nothing). No
+        // crash injection here — the interesting windows are migration's.
+        let op = self.wal.begin(&OpKind::ScaleOut { leaf });
         let info = self.cluster.add_shard(leaf);
         self.shards_added.add(1);
+        self.wal.commit(op);
         info
     }
 
@@ -202,6 +561,9 @@ impl<'a> ControlPlane<'a> {
     /// catch-up rounds stay at the destination — harmless (it does not
     /// serve the color) and they make a retried migration cheaper.
     pub fn migrate_color(&mut self, color: ColorId, dest: ShardId) -> Result<(), CtrlError> {
+        if !self.alive() {
+            return Err(CtrlError::Crashed);
+        }
         if !self.cluster.colors().exists(color) {
             return Err(CtrlError::UnknownColor(color));
         }
@@ -219,6 +581,15 @@ impl<'a> ControlPlane<'a> {
         }
         let src_nodes: Vec<NodeId> = sources.iter().flat_map(|s| s.replicas.clone()).collect();
 
+        // Durable intent first: from here a controller crash leaves a WAL
+        // trail recovery can classify.
+        let op = self.wal.begin(&OpKind::Migrate {
+            color,
+            dest,
+            sources: sources.iter().map(|s| s.id).collect(),
+        });
+        self.maybe_crash(CtrlPhase::Begun)?;
+
         // Phase 0: catch-up. Ship the span in rounds while the sources
         // keep admitting appends — no freeze, no availability cost. Each
         // round exports the delta above the per-shard watermark (the
@@ -226,24 +597,33 @@ impl<'a> ControlPlane<'a> {
         // destination; the delta shrinks geometrically as long as the
         // copy outruns the write rate. Errors here need no unfreeze
         // (nothing is frozen yet) and leave the old routing untouched.
-        let marks = self.catch_up(color, &sources, &dest_info)?;
+        let marks = match self.catch_up(color, &sources, &dest_info) {
+            Ok(m) => m,
+            Err(e) => return Err(self.fail_op(op, e, None)),
+        };
+        self.wal_phase(op, CtrlPhase::CatchUp)?;
 
         // Phase 1: freeze. New appends of the color nack with `Frozen`
         // (clients hold and retry); already-staged batches keep draining.
         // A failed round may still have frozen a subset of the replicas —
         // the abort must unfreeze them or the color hangs forever.
-        if let Err(e) =
-            self.ctrl_round(&src_nodes, |req| DataMsg::FreezeColor { color, req }, "freeze")
-        {
-            self.abort_unfreeze(&src_nodes, color);
-            return Err(e);
+        let gen = self.generation;
+        if let Err(e) = self.ctrl_round(
+            &src_nodes,
+            |req| DataMsg::FreezeColor { color, gen, req },
+            "freeze",
+        ) {
+            return Err(self.fail_op(op, e, Some((&src_nodes, color))));
         }
+        self.wal_phase(op, CtrlPhase::Frozen)?;
 
-        let result = self.migrate_frozen(color, &sources, &src_nodes, &dest_info, &marks);
-        if result.is_err() {
-            self.abort_unfreeze(&src_nodes, color);
+        match self.migrate_frozen(op, color, &sources, &src_nodes, &dest_info, &marks) {
+            Ok(()) => {
+                self.wal.commit(op);
+                Ok(())
+            }
+            Err(e) => Err(self.fail_op(op, e, Some((&src_nodes, color)))),
         }
-        result
     }
 
     /// Phase 0 of a migration: pre-freeze catch-up rounds. Returns the
@@ -316,6 +696,7 @@ impl<'a> ControlPlane<'a> {
     /// catch-up watermarks).
     fn migrate_frozen(
         &mut self,
+        op: u64,
         color: ColorId,
         sources: &[ShardInfo],
         src_nodes: &[NodeId],
@@ -335,6 +716,7 @@ impl<'a> ControlPlane<'a> {
                 }
             }
         }
+        self.wal_phase(op, CtrlPhase::Drained)?;
 
         // Phase 3: epoch bump at the owning sequencer. Fences stale
         // ordering traffic and guarantees every post-migration SN is
@@ -345,6 +727,7 @@ impl<'a> ControlPlane<'a> {
             .owner(color)
             .ok_or(CtrlError::UnknownColor(color))?;
         self.bump_epoch(owner)?;
+        self.wal_phase(op, CtrlPhase::Fenced)?;
 
         // Phase 4: final sliver. Only the residual above the catch-up
         // watermark travels inside the freeze window — O(threshold), not
@@ -363,14 +746,20 @@ impl<'a> ControlPlane<'a> {
             // still misses — cheap (SNs only) and exact.
             self.ship_missing(src, &dest.replicas, color, deadline)?;
         }
+        // The point of no return: the destination provably holds every
+        // committed record and the epoch fence is in force. Recovery of a
+        // crash after this record rolls FORWARD.
+        self.wal_phase(op, CtrlPhase::Copied)?;
 
         // Phase 5: adopt. Destination replicas clear any stale fencing
         // marks from an earlier residency and start serving the color.
+        let gen = self.generation;
         self.ctrl_round(
             &dest.replicas,
-            |req| DataMsg::AdoptColor { color, req },
+            |req| DataMsg::AdoptColor { color, gen, req },
             "adopt",
         )?;
+        self.wal_phase(op, CtrlPhase::Adopted)?;
 
         // Phase 6: cutover. Publish the new route first, then tell the
         // sources to nack with `ColorMoved` — a client bounced by a source
@@ -381,9 +770,10 @@ impl<'a> ControlPlane<'a> {
             .set_color_shards(color, vec![dest.id]);
         self.ctrl_round(
             src_nodes,
-            |req| DataMsg::CutoverColor { color, req },
+            |req| DataMsg::CutoverColor { color, gen, req },
             "cutover",
         )?;
+        self.wal_phase(op, CtrlPhase::CutOver)?;
         self.migrations.add(1);
         Ok(())
     }
@@ -415,6 +805,9 @@ impl<'a> ControlPlane<'a> {
         hot: RoleId,
         moved: &[ColorId],
     ) -> Result<(RoleId, Epoch), CtrlError> {
+        if !self.alive() {
+            return Err(CtrlError::Crashed);
+        }
         let new_role = RoleId(
             self.cluster
                 .ordering()
@@ -424,11 +817,24 @@ impl<'a> ControlPlane<'a> {
                 .max()
                 .unwrap_or(1),
         );
+        let op = self.wal.begin(&OpKind::Split {
+            donor: hot,
+            new_role,
+            moved: moved.to_vec(),
+        });
+        self.maybe_crash(CtrlPhase::Begun)?;
         // Fence the donor: in-flight OReqs for moved colors die with the
         // epoch; replicas re-send them along the new route below.
-        let donor_epoch = self.bump_epoch(hot)?;
+        let donor_epoch = match self.bump_epoch(hot) {
+            Ok(e) => e,
+            Err(e) => return Err(self.fail_op(op, e, None)),
+        };
         self.cluster
             .spawn_leaf_sequencer(new_role, RoleId(0), donor_epoch.next());
+        // The spawn is the split's point of no return: a crash after this
+        // record rolls forward (the leaf is live in the directory and the
+        // remaining steps are idempotent metadata).
+        self.wal_phase(op, CtrlPhase::Fenced)?;
         // The new leaf orders over the same shards the donor did.
         let region = self.cluster.colors().region_of(hot);
         self.cluster.colors().set_region(new_role, region);
@@ -439,6 +845,7 @@ impl<'a> ControlPlane<'a> {
             self.cluster.routes().set_route(c, new_role);
         }
         self.leaf_splits.add(1);
+        self.wal.commit(op);
         Ok((new_role, donor_epoch))
     }
 
@@ -463,9 +870,10 @@ impl<'a> ControlPlane<'a> {
             .directory()
             .get(role)
             .ok_or(CtrlError::NoLeader(role))?;
+        let gen = self.generation;
         let _ = self
             .ep
-            .send(leader, ClusterMsg::Order(OrderMsg::BumpEpoch { role }));
+            .send(leader, ClusterMsg::Order(OrderMsg::BumpEpoch { role, gen }));
         let deadline = Instant::now() + self.timeout;
         loop {
             let left = deadline
@@ -475,6 +883,9 @@ impl<'a> ControlPlane<'a> {
                 Ok((_, ClusterMsg::Order(OrderMsg::EpochIs { role: r, epoch }))) if r == role => {
                     self.epoch_bumps.add(1);
                     return Ok(epoch);
+                }
+                Ok((_, ClusterMsg::Order(OrderMsg::BumpFenced { role: r, .. }))) if r == role => {
+                    return Err(CtrlError::Fenced);
                 }
                 Ok(_) => {}
                 Err(RecvError::Timeout) => return Err(CtrlError::Timeout("epoch bump")),
@@ -504,6 +915,12 @@ impl<'a> ControlPlane<'a> {
             match self.ep.recv_timeout(left) {
                 Ok((from, ClusterMsg::Data(DataMsg::CtrlAck { req: r }))) if r == req => {
                     pending.remove(&from);
+                }
+                Ok((_, ClusterMsg::Data(DataMsg::CtrlNack { req: r, .. }))) if r == req => {
+                    // A replica has seen a higher controller generation:
+                    // we are a zombie. Stop immediately — the successor
+                    // owns every in-flight operation.
+                    return Err(CtrlError::Fenced);
                 }
                 Ok(_) => {}
                 Err(RecvError::Timeout) => return Err(CtrlError::Timeout(phase)),
@@ -690,16 +1107,29 @@ impl<'a> ControlPlane<'a> {
     /// are exhausted: a replica crashed mid-abort loses its freeze mark on
     /// restart anyway.
     fn abort_unfreeze(&mut self, src_nodes: &[NodeId], color: ColorId) {
+        // A dead controller must not touch the cluster: its successor's
+        // recovery scan owns the unfreeze now.
+        if !self.alive() {
+            return;
+        }
         self.migration_aborts.add(1);
+        let gen = self.generation;
         let mut pending: HashSet<NodeId> = src_nodes.iter().copied().collect();
         let attempt_window = (self.timeout / 4).max(Duration::from_millis(25));
-        for _ in 0..8 {
+        for attempt in 0..8 {
             if pending.is_empty() {
                 return;
             }
+            if attempt > 0 {
+                // Observable retry pressure: how many unfreeze sends went
+                // out beyond the first attempt (ctrl.unfreeze_retries).
+                self.unfreeze_retries.add(pending.len() as u64);
+            }
             let req = self.next_req();
             for &n in &pending {
-                let _ = self.ep.send(n, DataMsg::UnfreezeColor { color, req }.into());
+                let _ = self
+                    .ep
+                    .send(n, DataMsg::UnfreezeColor { color, gen, req }.into());
             }
             let deadline = Instant::now() + attempt_window;
             while let Some(left) = deadline.checked_duration_since(Instant::now()) {
@@ -709,6 +1139,10 @@ impl<'a> ControlPlane<'a> {
                         if pending.is_empty() {
                             return;
                         }
+                    }
+                    Ok((_, ClusterMsg::Data(DataMsg::CtrlNack { req: r, .. }))) if r == req => {
+                        // Fenced: the successor controller unfreezes.
+                        return;
                     }
                     Ok(_) => {}
                     Err(RecvError::Timeout) => break,
@@ -731,11 +1165,13 @@ impl<'a> ControlPlane<'a> {
         deadline: Instant,
     ) -> Result<(), CtrlError> {
         let req = self.next_req();
+        let gen = self.generation;
         for &n in replicas {
             let _ = self.ep.send(
                 n,
                 DataMsg::ImportSpan {
                     color,
+                    gen,
                     req,
                     head,
                     records: records.clone(),
@@ -752,6 +1188,9 @@ impl<'a> ControlPlane<'a> {
             match self.ep.recv_timeout(left) {
                 Ok((from, ClusterMsg::Data(DataMsg::ImportAck { req: r, .. }))) if r == req => {
                     pending.remove(&from);
+                }
+                Ok((_, ClusterMsg::Data(DataMsg::CtrlNack { req: r, .. }))) if r == req => {
+                    return Err(CtrlError::Fenced);
                 }
                 Ok(_) => {}
                 Err(RecvError::Timeout) => return Err(CtrlError::Timeout("import")),

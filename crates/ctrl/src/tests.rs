@@ -6,11 +6,11 @@ use std::time::{Duration, Instant};
 
 use flexlog_core::{ClusterSpec, FlexLogCluster};
 use flexlog_ordering::RoleId;
-use flexlog_replication::{ClusterMsg, DataMsg};
+use flexlog_replication::{ClusterMsg, DataMsg, RejectReason};
 use flexlog_simnet::NodeId;
-use flexlog_types::{ColorId, SeqNum};
+use flexlog_types::{ColorId, Payload, SeqNum, Token};
 
-use crate::{Autoscaler, AutoscalerConfig, ControlPlane, CtrlError, ScalingAction};
+use crate::{Autoscaler, AutoscalerConfig, ControlPlane, CtrlError, CtrlPhase, ScalingAction};
 
 fn fast_spec() -> ClusterSpec {
     ClusterSpec {
@@ -47,6 +47,52 @@ fn ctrl_blast(
             }
             Ok(_) => {}
             Err(e) => panic!("ctrl blast: {e:?}"),
+        }
+    }
+}
+
+/// Sends a raw `Append` for `color` to `nodes` from a throwaway endpoint
+/// and returns the first reply addressed to its token: the committed SN,
+/// or the fencing nack reason. Bypasses the client library (which holds
+/// and retries on `Frozen` forever) so a test can observe the fencing
+/// state of specific replicas directly.
+fn probe_append(
+    cluster: &FlexLogCluster,
+    tag: u64,
+    nodes: &[NodeId],
+    color: ColorId,
+    body: &[u8],
+) -> Result<SeqNum, RejectReason> {
+    let ep = cluster
+        .network()
+        .register(NodeId::named(0, (u64::MAX >> 4) - 4096 - tag));
+    let token = Token((0xBEu64 << 56) | tag);
+    for &n in nodes {
+        let _ = ep.send(
+            n,
+            DataMsg::Append {
+                color,
+                token,
+                payloads: vec![Payload::from(body)],
+                reply_to: ep.id(),
+            }
+            .into(),
+        );
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let left = deadline
+            .checked_duration_since(Instant::now())
+            .expect("probe append timed out");
+        match ep.recv_timeout(left) {
+            Ok((_, ClusterMsg::Data(DataMsg::AppendAck { token: t, last_sn }))) if t == token => {
+                return Ok(last_sn);
+            }
+            Ok((_, ClusterMsg::Data(DataMsg::Rejected { token: t, reason }))) if t == token => {
+                return Err(reason);
+            }
+            Ok(_) => {}
+            Err(e) => panic!("probe append: {e:?}"),
         }
     }
 }
@@ -256,9 +302,9 @@ fn autoscaler_observes_heat_and_scales_out() {
             split_wait_p99_ns: 1,
             pm_pressure_bytes: usize::MAX,
             max_actions_per_tick: 2,
+            min_observation: Duration::from_millis(50),
         },
     );
-    scaler.tick().unwrap(); // primes the rate counters
 
     let stop = AtomicBool::new(false);
     let (hot_sns, cold_sns) = std::thread::scope(|s| {
@@ -378,7 +424,8 @@ fn aborted_migration_retries_unfreeze_until_acked() {
     let victim = src.replicas[1];
 
     // Freeze the victim out-of-band, then cut it off.
-    ctrl_blast(&cluster, 1, &[victim], |req| DataMsg::FreezeColor { color: red, req });
+    let gen = cluster.ctrl_generation();
+    ctrl_blast(&cluster, 1, &[victim], |req| DataMsg::FreezeColor { color: red, gen, req });
     cluster.network().isolate(victim);
 
     let result = std::thread::scope(|s| {
@@ -399,6 +446,12 @@ fn aborted_migration_retries_unfreeze_until_acked() {
     assert!(h.read(sn, red).unwrap().is_some());
     let snap = cluster.obs().snapshot();
     assert_eq!(snap.counter("ctrl.migration_aborts"), 1);
+    // The abort observably retried: at least one unfreeze send went out
+    // beyond the first attempt while the victim was cut off.
+    assert!(
+        snap.counter("ctrl.unfreeze_retries") >= 1,
+        "retried abort must surface in ctrl.unfreeze_retries"
+    );
     assert_eq!(snap.counter("ctrl.migrations"), 0);
     cluster.shutdown();
 }
@@ -418,15 +471,17 @@ fn freeze_outlasting_client_deadline_does_not_time_out_appends() {
     h.add_color(red, ColorId::MASTER).unwrap();
     h.append(b"warm", red).unwrap();
     let replicas = cluster.data().topology.shards_of(red)[0].replicas.clone();
+    let gen = cluster.ctrl_generation();
 
     // Serial append under a freeze 2.4x longer than the deadline.
-    ctrl_blast(&cluster, 2, &replicas, |req| DataMsg::FreezeColor { color: red, req });
+    ctrl_blast(&cluster, 2, &replicas, |req| DataMsg::FreezeColor { color: red, gen, req });
     let held = Instant::now();
     let sn = std::thread::scope(|s| {
         s.spawn(|| {
             std::thread::sleep(Duration::from_millis(600));
             ctrl_blast(&cluster, 3, &replicas, |req| DataMsg::UnfreezeColor {
                 color: red,
+                gen,
                 req,
             });
         });
@@ -440,12 +495,13 @@ fn freeze_outlasting_client_deadline_does_not_time_out_appends() {
     assert!(h.read(sn, red).unwrap().is_some());
 
     // Pipelined append + flush under a second long freeze.
-    ctrl_blast(&cluster, 4, &replicas, |req| DataMsg::FreezeColor { color: red, req });
+    ctrl_blast(&cluster, 4, &replicas, |req| DataMsg::FreezeColor { color: red, gen, req });
     let done = std::thread::scope(|s| {
         s.spawn(|| {
             std::thread::sleep(Duration::from_millis(600));
             ctrl_blast(&cluster, 5, &replicas, |req| DataMsg::UnfreezeColor {
                 color: red,
+                gen,
                 req,
             });
         });
@@ -455,5 +511,304 @@ fn freeze_outlasting_client_deadline_does_not_time_out_appends() {
     })
     .expect("flush across a long freeze must succeed, not Timeout");
     assert_eq!(done.len(), 1);
+    cluster.shutdown();
+}
+
+/// Tentpole: a controller crash after EVERY migration phase leaves a WAL
+/// trail the successor resolves deterministically — forward once the
+/// destination provably holds the span (`Copied` and later), back before
+/// that. In both cases the color ends on exactly one shard, no color
+/// stays frozen, and the quiescent log holds exactly the acked appends in
+/// one total order.
+#[test]
+fn controller_crash_at_every_phase_rolls_forward_or_back() {
+    for phase in [
+        CtrlPhase::Begun,
+        CtrlPhase::CatchUp,
+        CtrlPhase::Frozen,
+        CtrlPhase::Drained,
+        CtrlPhase::Fenced,
+        CtrlPhase::Copied,
+        CtrlPhase::Adopted,
+        CtrlPhase::CutOver,
+    ] {
+        let forward = phase >= CtrlPhase::Copied;
+        let cluster = FlexLogCluster::start(fast_spec());
+        let mut plane = ControlPlane::new(&cluster);
+        let red = ColorId(70);
+        plane.create_color(red, ColorId::MASTER).unwrap();
+        let mut h = cluster.handle();
+        let mut acked = Vec::new();
+        for i in 0..12u32 {
+            acked.push(h.append(format!("r{i}").as_bytes(), red).unwrap());
+        }
+        let src = cluster.data().topology.shards_of(red)[0].id;
+        let dest = plane.add_shard(RoleId(0));
+
+        plane.crash_after = Some(phase);
+        assert_eq!(
+            plane.migrate_color(red, dest.id),
+            Err(CtrlError::Crashed),
+            "{phase:?}: injected crash must fire"
+        );
+        // A dead controller is inert: re-driving it touches nothing.
+        assert_eq!(plane.migrate_color(red, dest.id), Err(CtrlError::Crashed));
+
+        let (_successor, report) = ControlPlane::recover(&cluster);
+        assert_eq!(report.in_flight, 1, "{phase:?}");
+        assert_eq!(report.rolled_forward, usize::from(forward), "{phase:?}");
+        assert_eq!(report.rolled_back, usize::from(!forward), "{phase:?}");
+
+        // The migration either completed or fully reverted — never half.
+        let shards = cluster.data().topology.shards_of(red);
+        assert_eq!(shards.len(), 1, "{phase:?}: split routing after recovery");
+        assert_eq!(
+            shards[0].id,
+            if forward { dest.id } else { src },
+            "{phase:?}: wrong resolution"
+        );
+
+        // No color left frozen: a fresh append completes immediately, and
+        // the log is exactly the acked history in one unbroken order.
+        acked.push(h.append(b"post-recovery", red).unwrap());
+        let log: Vec<SeqNum> = h.subscribe(red).unwrap().iter().map(|r| r.sn).collect();
+        for w in log.windows(2) {
+            assert!(w[0] < w[1], "{phase:?}: per-color order broken at {w:?}");
+        }
+        assert_eq!(log, acked, "{phase:?}: lost or duplicated records");
+
+        let snap = cluster.obs().snapshot();
+        assert_eq!(snap.counter("ctrl.recovery.scans"), 2, "{phase:?}");
+        assert_eq!(
+            snap.counter("ctrl.migrations"),
+            u64::from(forward),
+            "{phase:?}"
+        );
+        assert_eq!(
+            snap.counter("ctrl.migration_aborts"),
+            u64::from(!forward),
+            "{phase:?}"
+        );
+        cluster.shutdown();
+    }
+}
+
+/// Tentpole: zombie fencing end to end. Once a successor controller has
+/// announced itself, the predecessor's rounds die with `Fenced`, its raw
+/// commands bounce off every replica with `CtrlNack`, and — the part that
+/// matters — they provably have NO effect: an append probed straight at
+/// the nacking replica commits instead of seeing `Frozen`/`ColorMoved`.
+#[test]
+fn zombie_controller_commands_are_nacked_end_to_end() {
+    let cluster = FlexLogCluster::start(fast_spec());
+    let mut zombie = ControlPlane::new(&cluster);
+    let red = ColorId(71);
+    zombie.create_color(red, ColorId::MASTER).unwrap();
+    let mut h = cluster.handle();
+    let mut acked = Vec::new();
+    for i in 0..8u32 {
+        acked.push(h.append(format!("r{i}").as_bytes(), red).unwrap());
+    }
+    let dest = zombie.add_shard(RoleId(0));
+    let src = cluster.data().topology.shards_of(red)[0].clone();
+
+    let (mut successor, report) = ControlPlane::recover(&cluster);
+    assert_eq!(report.in_flight, 0);
+    assert!(successor.generation() > zombie.generation());
+
+    // The zombie's own migration dies on its first fenced round and must
+    // not leave the color frozen (fenced abort skips the unfreeze: the
+    // successor owns the cluster now).
+    assert_eq!(
+        zombie.migrate_color(red, dest.id),
+        Err(CtrlError::Fenced),
+        "superseded controller must stop, not reconfigure"
+    );
+
+    // Raw stale commands bounce with the successor's generation...
+    let ep = cluster
+        .network()
+        .register(NodeId::named(0, (u64::MAX >> 4) - 8_192));
+    let stale = zombie.generation();
+    for (req, msg) in [
+        (0xA1u64, DataMsg::FreezeColor { color: red, gen: stale, req: 0xA1 }),
+        (0xA2u64, DataMsg::CutoverColor { color: red, gen: stale, req: 0xA2 }),
+    ] {
+        let _ = ep.send(src.replicas[0], msg.into());
+        match ep.recv_timeout(Duration::from_secs(5)) {
+            Ok((_, ClusterMsg::Data(DataMsg::CtrlNack { req: r, gen }))) => {
+                assert_eq!(r, req);
+                assert_eq!(gen, successor.generation(), "nack must name the floor");
+            }
+            other => panic!("stale command must be nacked, got {other:?}"),
+        }
+    }
+    // ... and had no effect: the probed append commits at the very
+    // replica that nacked, instead of bouncing Frozen or ColorMoved.
+    match probe_append(&cluster, 1, &src.replicas, red, b"still-serving") {
+        Ok(sn) => acked.push(sn),
+        Err(reason) => panic!("zombie command took effect: append nacked with {reason:?}"),
+    }
+
+    // The successor still owns the cluster: its migration completes and
+    // the full history (including the probe) survives the move.
+    successor.migrate_color(red, dest.id).unwrap();
+    acked.push(h.append(b"post-takeover", red).unwrap());
+    let log: Vec<SeqNum> = h.subscribe(red).unwrap().iter().map(|r| r.sn).collect();
+    assert_eq!(log, acked, "takeover must not lose or duplicate records");
+    cluster.shutdown();
+}
+
+/// Satellite: the freeze mark is volatile replica state, so a source
+/// replica that power-fails inside the freeze window boots thawed — and
+/// would admit appends into the middle of the migration copy. The §6.3
+/// sync handshake re-asserts the mark from the surviving peers: a raw
+/// append probed at the restarted replica must bounce `Frozen`.
+#[test]
+fn frozen_source_replica_restart_reasserts_freeze() {
+    let cluster = FlexLogCluster::start(fast_spec());
+    let _plane = ControlPlane::new(&cluster); // fencing floor at gen 1
+    let red = ColorId(72);
+    cluster.add_color(red).unwrap();
+    let mut h = cluster.handle();
+    for i in 0..6u32 {
+        h.append(format!("r{i}").as_bytes(), red).unwrap();
+    }
+    let src = cluster.data().topology.shards_of(red)[0].clone();
+    let gen = cluster.ctrl_generation();
+    ctrl_blast(&cluster, 6, &src.replicas, |req| DataMsg::FreezeColor { color: red, gen, req });
+
+    // Power-fail one frozen replica and bring it back.
+    let victim = src.replicas[1];
+    let net = cluster.network();
+    cluster.data().crash_replica(net, victim);
+    cluster.data().restart_replica(net, cluster.directory(), victim);
+    std::thread::sleep(Duration::from_millis(500)); // sync round settles
+
+    // The restarted replica re-learned the freeze from its peers.
+    assert_eq!(
+        probe_append(&cluster, 2, &[victim], red, b"inside-freeze"),
+        Err(RejectReason::Frozen),
+        "restart must not forget a freeze its shard is under"
+    );
+
+    // Thaw everywhere; the color serves again end to end.
+    ctrl_blast(&cluster, 7, &src.replicas, |req| DataMsg::UnfreezeColor { color: red, gen, req });
+    let sn = h.append(b"thawed", red).unwrap();
+    assert!(h.read(sn, red).unwrap().is_some());
+    cluster.shutdown();
+}
+
+/// Satellite: a source replica that is already dead when the migration's
+/// freeze round fires can never ack the abort's unfreeze either. The
+/// abort must thaw the survivors immediately, exhaust its retries against
+/// the corpse (observable in `ctrl.unfreeze_retries`), and the victim —
+/// whose freeze mark was volatile — must come back thawed because its
+/// peers have nothing frozen to re-assert.
+#[test]
+fn replica_crashed_mid_abort_does_not_leave_color_frozen() {
+    let mut spec = fast_spec();
+    spec.client_deadline = Duration::from_secs(2);
+    let cluster = FlexLogCluster::start(spec);
+    let mut plane = ControlPlane::new(&cluster);
+    plane.timeout = Duration::from_millis(200);
+    let red = ColorId(73);
+    plane.create_color(red, ColorId::MASTER).unwrap();
+    let mut h = cluster.handle();
+    for i in 0..8u32 {
+        h.append(format!("r{i}").as_bytes(), red).unwrap();
+    }
+    let dest = plane.add_shard(RoleId(0));
+    let src = cluster.data().topology.shards_of(red)[0].clone();
+    let victim = src.replicas[1];
+
+    // Freeze every source out-of-band (a completed freeze round), then
+    // power-fail one frozen replica before the migration's own round.
+    let gen = cluster.ctrl_generation();
+    ctrl_blast(&cluster, 8, &src.replicas, |req| DataMsg::FreezeColor { color: red, gen, req });
+    let net = cluster.network();
+    cluster.data().crash_replica(net, victim);
+
+    // Freeze round cannot complete; the abort thaws the survivors and
+    // burns all retry attempts against the dead node.
+    assert_eq!(
+        plane.migrate_color(red, dest.id),
+        Err(CtrlError::Timeout("freeze"))
+    );
+    let snap = cluster.obs().snapshot();
+    assert_eq!(snap.counter("ctrl.migration_aborts"), 1);
+    assert!(
+        snap.counter("ctrl.unfreeze_retries") >= 7,
+        "all retries must have fired at the dead replica, got {}",
+        snap.counter("ctrl.unfreeze_retries")
+    );
+    assert_eq!(snap.counter("ctrl.migrations"), 0);
+
+    // The victim restarts thawed (volatile mark, thawed peers) and the
+    // old routing serves appends again.
+    cluster.data().restart_replica(net, cluster.directory(), victim);
+    std::thread::sleep(Duration::from_millis(300));
+    assert_eq!(cluster.data().topology.shards_of(red)[0].id, src.id);
+    let sn = h.append(b"thawed", red).unwrap();
+    assert!(h.read(sn, red).unwrap().is_some());
+    cluster.shutdown();
+}
+
+/// Satellite: a controller that restarts mid-deployment inherits metric
+/// counters holding the entire append history. The autoscaler must prime
+/// its rate baselines from the registry at construction — not observe the
+/// history as one window's delta and fire a spurious scale-out — while
+/// still reacting to genuine post-restart load.
+#[test]
+fn restarted_autoscaler_rebuilds_baselines_without_spurious_actions() {
+    let mut spec = ClusterSpec::tree(1, 1);
+    spec.client_retry = Duration::from_millis(5);
+    let cluster = FlexLogCluster::start(spec);
+    let leaf = RoleId(1);
+    let hot = ColorId(74);
+    let cold = ColorId(75);
+    cluster.colors().add_color_at(hot, leaf).unwrap();
+    cluster.colors().add_color_at(cold, leaf).unwrap();
+    let mut h = cluster.handle();
+    for i in 0..400u32 {
+        h.append(format!("h{i}").as_bytes(), hot).unwrap();
+    }
+
+    // Controller restart: the successor attaches over the full history.
+    let (plane, _) = ControlPlane::recover(&cluster);
+    let mut scaler = Autoscaler::new(
+        plane,
+        AutoscalerConfig {
+            hot_color_rate: 50.0,
+            min_cohabitants: 1,
+            split_wait_p99_ns: u64::MAX,
+            pm_pressure_bytes: usize::MAX,
+            max_actions_per_tick: 2,
+            min_observation: Duration::from_millis(50),
+        },
+    );
+    // Inside the hysteresis window: no observation, no baseline reset.
+    assert!(scaler.tick().unwrap().is_empty());
+    // Past the window with zero new writes: the 400 historical appends
+    // must not read as rate (the old bug: empty baselines made the first
+    // delta equal the whole history).
+    std::thread::sleep(Duration::from_millis(120));
+    let actions = scaler.tick().unwrap();
+    assert!(actions.is_empty(), "spurious restart scale-out: {actions:?}");
+    assert!(scaler.history().is_empty());
+    assert_eq!(cluster.obs().snapshot().counter("ctrl.shards_added"), 0);
+
+    // Genuine post-restart load still trips the rule.
+    let until = Instant::now() + Duration::from_millis(150);
+    while Instant::now() < until {
+        h.append(b"x", hot).unwrap();
+    }
+    let actions = scaler.tick().unwrap();
+    assert!(
+        actions
+            .iter()
+            .any(|a| matches!(a, ScalingAction::MigratedColor { color, .. } if *color == hot)),
+        "restarted autoscaler went blind: {actions:?}"
+    );
     cluster.shutdown();
 }

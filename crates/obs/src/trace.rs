@@ -71,6 +71,9 @@ pub enum Stage {
     /// a delta span to the destination (detail = color id). Emitted once
     /// per round, while the source keeps serving appends.
     MigrateCatchup = 13,
+    /// A restarting controller rolled one in-flight reconfiguration
+    /// forward or back from its intent WAL (detail = the WAL op id).
+    CtrlRecover = 14,
 }
 
 impl Stage {
@@ -94,6 +97,7 @@ impl Stage {
             Stage::MigrateCopy => "migrate_copy",
             Stage::MigrateCutover => "migrate_cutover",
             Stage::MigrateCatchup => "migrate_catchup",
+            Stage::CtrlRecover => "ctrl_recover",
         }
     }
 
@@ -114,6 +118,7 @@ impl Stage {
                 | Stage::MigrateCopy
                 | Stage::MigrateCutover
                 | Stage::MigrateCatchup
+                | Stage::CtrlRecover
         )
     }
 }
@@ -374,7 +379,7 @@ impl Trace {
     }
 }
 
-const STAGE_BY_RANK: [Stage; 14] = [
+const STAGE_BY_RANK: [Stage; 15] = [
     Stage::ClientSend,
     Stage::ClientRetransmit,
     Stage::ReplicaStaged,
@@ -389,6 +394,7 @@ const STAGE_BY_RANK: [Stage; 14] = [
     Stage::MigrateCopy,
     Stage::MigrateCutover,
     Stage::MigrateCatchup,
+    Stage::CtrlRecover,
 ];
 
 #[cfg(test)]

@@ -56,9 +56,15 @@ pub enum OrderMsg {
     /// epoch ⇒ counters restart at 0, so every post-fence SN compares
     /// greater than every pre-fence SN), replicates the new epoch to its
     /// backups, and answers with [`OrderMsg::EpochIs`].
-    BumpEpoch { role: RoleId },
+    /// Carries the controller generation `gen`: a sequencer that has seen
+    /// a higher generation refuses with [`OrderMsg::BumpFenced`] instead
+    /// of bumping (zombie-controller fencing).
+    BumpEpoch { role: RoleId, gen: u64 },
     /// Sequencer → control plane: the epoch now in force at `role`.
     EpochIs { role: RoleId, epoch: Epoch },
+    /// Sequencer → control plane: the bump was refused — the sender's
+    /// controller generation is stale (`gen` is the highest seen here).
+    BumpFenced { role: RoleId, gen: u64 },
 
     /// Orderly shutdown (test harness).
     Shutdown,

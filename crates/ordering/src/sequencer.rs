@@ -151,6 +151,12 @@ pub struct SequencerNode {
     /// per-color append-rate signal. Cached so a flush does not re-register
     /// the counter.
     color_sn_counters: HashMap<ColorId, Counter>,
+    /// Highest controller generation seen on a `BumpEpoch` — the zombie
+    /// fence. Volatile (NOT replicated to backups): a promoted backup
+    /// starts at 0, so a zombie could in principle bump a freshly promoted
+    /// leaf once — harmless, as a stray epoch bump only fences harder (SNs
+    /// stay monotonic) and cannot cut a color over. Documented in DESIGN.md.
+    ctrl_gen: u64,
 }
 
 impl SequencerNode {
@@ -180,6 +186,7 @@ impl SequencerNode {
             batch_wait_hist,
             misrouted_dropped,
             color_sn_counters: HashMap::new(),
+            ctrl_gen: 0,
         }
     }
 
@@ -284,7 +291,20 @@ impl SequencerNode {
                                 hb_acks.clear();
                             }
                         }
-                        OrderMsg::BumpEpoch { role } if role == self.config.role => {
+                        OrderMsg::BumpEpoch { role, gen } if role == self.config.role => {
+                            // Zombie-controller fence: refuse bumps from a
+                            // generation lower than any we have obeyed.
+                            if gen < self.ctrl_gen {
+                                let _ = ep.send(
+                                    from,
+                                    W::from_order(OrderMsg::BumpFenced {
+                                        role: self.config.role,
+                                        gen: self.ctrl_gen,
+                                    }),
+                                );
+                                continue;
+                            }
+                            self.ctrl_gen = gen;
                             // Reconfiguration fence: everything ordered so
                             // far belongs to the old epoch; the counters
                             // restart so every SN issued from here on

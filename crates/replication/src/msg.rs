@@ -59,11 +59,21 @@ pub enum DataMsg {
     /// Recovering replica → shard peers: begin a sync-phase round (§6.3).
     SyncRequest { round: u64 },
     /// Replica → all shard peers: my state for this round — known sequencer
-    /// epoch and per-color (tail, record count).
+    /// epoch and per-color (tail, record count), plus the reconfiguration
+    /// marks (controller generation and frozen/moved/dropped colors) so a
+    /// restarted peer re-learns a freeze it lost with its volatile state.
     SyncState {
         round: u64,
         epoch: Epoch,
         tails: Vec<(ColorId, SeqNum, u64)>,
+        /// Highest controller generation this peer has obeyed.
+        ctrl_gen: u64,
+        /// Colors currently frozen for migration on this peer.
+        frozen: Vec<ColorId>,
+        /// Colors cut over to another shard.
+        moved: Vec<ColorId>,
+        /// Colors destroyed.
+        dropped: Vec<ColorId>,
     },
     /// Replica → most-up-to-date peer: send me `color` records above `from`.
     SyncFetch { round: u64, color: ColorId, from: SeqNum },
@@ -85,9 +95,11 @@ pub enum DataMsg {
     /// OResp commits proceed), which is what drains the staged set; fresh
     /// appends are nacked with [`DataMsg::Rejected`] and the client retries
     /// until cutover re-routes it.
-    FreezeColor { color: ColorId, req: u64 },
+    /// Carries the controller generation `gen`: a replica that has seen a
+    /// higher generation nacks with [`DataMsg::CtrlNack`] (zombie fencing).
+    FreezeColor { color: ColorId, gen: u64, req: u64 },
     /// Control plane → source replicas: migration aborted, admit again.
-    UnfreezeColor { color: ColorId, req: u64 },
+    UnfreezeColor { color: ColorId, gen: u64, req: u64 },
     /// Control plane → one replica: report `color`'s local state (drain
     /// polling and span-export bounds).
     ColorStatus { color: ColorId, req: u64 },
@@ -128,6 +140,7 @@ pub enum DataMsg {
     /// post-cutover client retries of pre-migration appends re-ack).
     ImportSpan {
         color: ColorId,
+        gen: u64,
         req: u64,
         head: Option<SeqNum>,
         records: Vec<(Token, SeqNum, Payload)>,
@@ -162,14 +175,25 @@ pub enum DataMsg {
     },
     /// Control plane → destination replicas: begin serving `color` (clears
     /// any frozen/moved/dropped marks from an earlier residency).
-    AdoptColor { color: ColorId, req: u64 },
+    AdoptColor { color: ColorId, gen: u64, req: u64 },
     /// Control plane → source replicas: the color now lives elsewhere;
     /// nack its appends with `ColorMoved` so clients re-resolve the shard.
-    CutoverColor { color: ColorId, req: u64 },
+    CutoverColor { color: ColorId, gen: u64, req: u64 },
     /// Control plane → replicas: the color was destroyed.
-    DropColor { color: ColorId, req: u64 },
+    DropColor { color: ColorId, gen: u64, req: u64 },
+    /// Control plane → destination replicas: discard every committed
+    /// record of `color` (roll-back of a partially imported migration).
+    /// The trim head is kept — heads only ever advance.
+    DiscardColor { color: ColorId, gen: u64, req: u64 },
+    /// New controller → all replicas: generation announcement. Replicas
+    /// raise their fencing floor and ack; commands from lower generations
+    /// are nacked from this point on.
+    ControllerHello { gen: u64, req: u64 },
     /// Generic ack for the fire-and-forget control messages above.
     CtrlAck { req: u64 },
+    /// Replica → controller: command refused — sender's generation is
+    /// stale (`gen` is the highest this replica has seen).
+    CtrlNack { req: u64, gen: u64 },
     /// Replica → client: this replica refuses the append; the reason tells
     /// the client whether to back off (`Frozen`), re-resolve the shard
     /// (`ColorMoved`), or fail (`Dropped`).

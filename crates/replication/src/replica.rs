@@ -151,6 +151,9 @@ pub struct ReplicaNode {
     moved: HashSet<ColorId>,
     /// Colors destroyed at runtime: appends are nacked `Dropped`.
     dropped: HashSet<ColorId>,
+    /// Highest controller generation seen — the zombie fence. Mutating
+    /// ctrl messages carrying a lower generation are nacked.
+    ctrl_gen: u64,
 }
 
 enum Deferred {
@@ -207,7 +210,20 @@ impl ReplicaNode {
             frozen: HashSet::new(),
             moved: HashSet::new(),
             dropped: HashSet::new(),
+            ctrl_gen: 0,
         }
+    }
+
+    /// Zombie fence: raises the generation floor, or — for a command from
+    /// a generation we have already seen superseded — nacks and reports
+    /// `true` so the caller drops the command on the floor.
+    fn ctrl_stale(&mut self, ep: &Endpoint<ClusterMsg>, from: NodeId, gen: u64, req: u64) -> bool {
+        if gen < self.ctrl_gen {
+            let _ = ep.send(from, DataMsg::CtrlNack { req, gen: self.ctrl_gen }.into());
+            return true;
+        }
+        self.ctrl_gen = gen;
+        false
     }
 
     /// Shared storage handle (benchmarks read tier stats through it).
@@ -366,10 +382,11 @@ impl ReplicaNode {
             DataMsg::SyncRequest { round } => {
                 self.join_sync(ep, round, None);
             }
-            DataMsg::SyncState { round, epoch, tails } => {
+            DataMsg::SyncState { round, epoch, tails, ctrl_gen, frozen, moved, dropped } => {
                 if epoch > self.known_epoch {
                     self.known_epoch = epoch;
                 }
+                self.merge_ctrl_marks(ctrl_gen, &frozen, &moved, &dropped);
                 if let Mode::Syncing(ref mut s) = self.mode {
                     if s.round == round {
                         s.states.insert(from, tails);
@@ -428,7 +445,10 @@ impl ReplicaNode {
                 }
             }
             // ----- reconfiguration control plane --------------------------
-            DataMsg::FreezeColor { color, req } => {
+            DataMsg::FreezeColor { color, gen, req } => {
+                if self.ctrl_stale(ep, from, gen, req) {
+                    return true;
+                }
                 self.frozen.insert(color);
                 self.config.storage.obs.trace_event(
                     CTRL_TOKEN,
@@ -438,7 +458,10 @@ impl ReplicaNode {
                 );
                 let _ = ep.send(from, DataMsg::CtrlAck { req }.into());
             }
-            DataMsg::UnfreezeColor { color, req } => {
+            DataMsg::UnfreezeColor { color, gen, req } => {
+                if self.ctrl_stale(ep, from, gen, req) {
+                    return true;
+                }
                 self.frozen.remove(&color);
                 let _ = ep.send(from, DataMsg::CtrlAck { req }.into());
             }
@@ -484,7 +507,10 @@ impl ReplicaNode {
                 let records = self.storage.fetch_with_tokens(color, &sns);
                 let _ = ep.send(from, DataMsg::SpanRecords { req, color, head, records }.into());
             }
-            DataMsg::ImportSpan { color, req, head, records, cold } => {
+            DataMsg::ImportSpan { color, gen, req, head, records, cold } => {
+                if self.ctrl_stale(ep, from, gen, req) {
+                    return true;
+                }
                 let mut imported = 0u64;
                 if cold {
                     imported = self.storage.import_cold(color, &records).unwrap_or(0);
@@ -506,13 +532,19 @@ impl ReplicaNode {
                 );
                 let _ = ep.send(from, DataMsg::ImportAck { req, imported }.into());
             }
-            DataMsg::AdoptColor { color, req } => {
+            DataMsg::AdoptColor { color, gen, req } => {
+                if self.ctrl_stale(ep, from, gen, req) {
+                    return true;
+                }
                 self.frozen.remove(&color);
                 self.moved.remove(&color);
                 self.dropped.remove(&color);
                 let _ = ep.send(from, DataMsg::CtrlAck { req }.into());
             }
-            DataMsg::CutoverColor { color, req } => {
+            DataMsg::CutoverColor { color, gen, req } => {
+                if self.ctrl_stale(ep, from, gen, req) {
+                    return true;
+                }
                 self.frozen.remove(&color);
                 self.moved.insert(color);
                 self.config.storage.obs.trace_event(
@@ -523,15 +555,35 @@ impl ReplicaNode {
                 );
                 let _ = ep.send(from, DataMsg::CtrlAck { req }.into());
             }
-            DataMsg::DropColor { color, req } => {
+            DataMsg::DropColor { color, gen, req } => {
+                if self.ctrl_stale(ep, from, gen, req) {
+                    return true;
+                }
                 self.frozen.remove(&color);
                 self.dropped.insert(color);
+                let _ = ep.send(from, DataMsg::CtrlAck { req }.into());
+            }
+            DataMsg::DiscardColor { color, gen, req } => {
+                if self.ctrl_stale(ep, from, gen, req) {
+                    return true;
+                }
+                // Roll-back of a partial import: wipe the color's committed
+                // records (idempotent — a repeat discard finds nothing).
+                let _ = self.storage.discard_color(color);
+                self.frozen.remove(&color);
+                let _ = ep.send(from, DataMsg::CtrlAck { req }.into());
+            }
+            DataMsg::ControllerHello { gen, req } => {
+                if self.ctrl_stale(ep, from, gen, req) {
+                    return true;
+                }
                 let _ = ep.send(from, DataMsg::CtrlAck { req }.into());
             }
             DataMsg::ReadResp { .. } | DataMsg::SubscribeResp { .. } | DataMsg::TrimAck { .. }
             | DataMsg::MultiAck { .. } | DataMsg::CtrlAck { .. } | DataMsg::CtrlColorInfo { .. }
             | DataMsg::SpanRecords { .. } | DataMsg::ImportAck { .. }
-            | DataMsg::SpanDigestResp { .. } | DataMsg::Rejected { .. } => {
+            | DataMsg::SpanDigestResp { .. } | DataMsg::Rejected { .. }
+            | DataMsg::CtrlNack { .. } => {
                 // Client-side messages; a replica can ignore strays.
             }
             DataMsg::Shutdown => return false,
@@ -921,10 +973,39 @@ impl ReplicaNode {
                 round,
                 epoch: self.known_epoch,
                 tails: self.my_tails(),
+                ctrl_gen: self.ctrl_gen,
+                frozen: self.frozen.iter().copied().collect(),
+                moved: self.moved.iter().copied().collect(),
+                dropped: self.dropped.iter().copied().collect(),
             }
             .into(),
         );
         self.advance_sync(ep);
+    }
+
+    /// Re-learn reconfiguration marks from a sync peer. The marks are
+    /// volatile, so a replica that crashed mid-migration boots with them
+    /// cleared and would otherwise accept appends inside the copy window;
+    /// peers that stayed up re-assert them through the §6.3 handshake.
+    /// Marks UNION in (a union can only add fencing, never weaken it);
+    /// clears arrive exclusively as acked controller commands, which the
+    /// controller retries until every live replica has applied them. The
+    /// one unprotected configuration is a single-replica shard (no peer
+    /// remembers the mark) — documented in DESIGN.md.
+    fn merge_ctrl_marks(
+        &mut self,
+        ctrl_gen: u64,
+        frozen: &[ColorId],
+        moved: &[ColorId],
+        dropped: &[ColorId],
+    ) {
+        if ctrl_gen < self.ctrl_gen {
+            return; // stale peer: its marks may predate an unfreeze
+        }
+        self.ctrl_gen = ctrl_gen;
+        self.frozen.extend(frozen.iter().copied());
+        self.moved.extend(moved.iter().copied());
+        self.dropped.extend(dropped.iter().copied());
     }
 
     fn my_tails(&self) -> Vec<(ColorId, SeqNum, u64)> {

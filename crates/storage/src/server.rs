@@ -897,6 +897,53 @@ impl StorageServer {
         Ok((head, tail))
     }
 
+    /// Deletes every committed record of `color` across all tiers — the
+    /// roll-back of a partially imported migration on its destination.
+    /// Unlike [`StorageServer::trim`] the head is KEPT (heads only ever
+    /// advance; a later re-migration re-installs the source's head anyway
+    /// and an orphaned head is harmless). Idempotent: a repeat discard
+    /// finds nothing and returns 0. Returns the record count removed.
+    pub fn discard_color(&self, color: ColorId) -> Result<u64, StorageError> {
+        let victims: Vec<(SeqNum, bool)> = {
+            let stripe = self.stripe_of(color).lock();
+            match stripe.committed.get(&color) {
+                Some(m) => m.iter().map(|(&sn, &on_ssd)| (sn, on_ssd)).collect(),
+                None => Vec::new(),
+            }
+        };
+        if victims.is_empty() {
+            return Ok(0);
+        }
+        let mut tx = self.pool.begin();
+        let mut freed = 0usize;
+        for &(sn, on_ssd) in &victims {
+            if on_ssd {
+                self.ssd.delete_block(ssd_block_id(color, sn));
+            } else {
+                if let Some(v) = self.pool.get(committed_key(color, sn)) {
+                    freed += v.len();
+                }
+                tx.delete(committed_key(color, sn));
+            }
+        }
+        tx.commit()?;
+        self.ssd.fsync();
+        for &(sn, _) in &victims {
+            self.cache_of(color, sn).lock().remove(&(color, sn));
+        }
+        self.stripe_of(color).lock().committed.remove(&color);
+        // The discarded records' tokens must not re-ack as committed: the
+        // append never happened as far as the log is concerned, and the
+        // client's retry must go through the real (source) shard.
+        self.tokens
+            .lock()
+            .committed_tokens
+            .retain(|_, &mut (c, _)| c != color);
+        self.pm_live_bytes
+            .fetch_sub(freed.min(self.pm_live_bytes.load(Ordering::Relaxed)), Ordering::Relaxed);
+        Ok(victims.len() as u64)
+    }
+
     /// Highest committed SN of `color` on this replica.
     pub fn tail(&self, color: ColorId) -> Option<SeqNum> {
         self.stripe_of(color)

@@ -2,7 +2,8 @@
 # CI gate: release build, full test suite, a bounded nemesis smoke run
 # (fixed seed, ~5 s of injected faults under load), bench smokes
 # (datapath + elasticity, --quick, JSON shape checks), one migration-crash
-# nemesis scenario, and a zero-warning clippy pass over the chaos crate.
+# and one controller-crash nemesis scenario, and a zero-warning clippy
+# pass over the chaos crate.
 #
 # Replay a failing smoke run with: FLEXLOG_CHAOS_SEED=<seed> scripts/ci.sh
 set -euo pipefail
@@ -59,6 +60,11 @@ assert p["before"]["records"] > 0 and p["after"]["records"] > 0, p
 assert 0 < d["cutover_stall_ms"] < 60, d["cutover_stall_ms"]
 assert d["catchup_rounds"] >= 1, d
 assert "final_sliver_records" in d, d
+# Controller-crash recovery drill: a successor controller attaches to the
+# intent WAL, fences the dead generation and rolls the orphaned migration
+# back. Recovery is a handful of fenced rounds on the instant network —
+# the gate catches it regressing toward a span-sized or retry-bound scan.
+assert 0 < d["controller_recovery_ms"] < 250, d["controller_recovery_ms"]
 # Throughput must recover after the cutover: within 2x of the warm-up rate.
 assert p["after"]["records_per_s"] > p["before"]["records_per_s"] / 2, p
 print("elasticity smoke JSON OK (bounded stall, catch-up rounds ran, throughput recovered)")
@@ -66,6 +72,9 @@ EOF
 
 echo "==> migration-crash nemesis (source replica dies mid-migration)"
 cargo test --release -q -p flexlog-chaos --test migration_nemesis source_replica_crash_mid_migration
+
+echo "==> controller-crash nemesis (controller dies mid-catch-up round)"
+cargo test --release -q -p flexlog-chaos --test controller_nemesis controller_crash_mid_catchup_round
 
 echo "==> cargo clippy -p flexlog-chaos (deny warnings)"
 cargo clippy -p flexlog-chaos --all-targets -- -D warnings
