@@ -222,6 +222,7 @@ mod tests {
             let net = Network::new(NetConfig {
                 link: LinkConfig::slow(delay),
                 seed: Some(1),
+                ..NetConfig::default()
             });
             let chain = Chain::start(&net, r);
             let ep = net.register(NodeId::named(NodeId::CLASS_CLIENT, 1));

@@ -15,6 +15,17 @@
 //! on this single-CPU host measure software overhead (copies, locks,
 //! context switches), which is exactly what the overhaul targets.
 //!
+//! **Scaling curve.** Wall clock on one CPU cannot show shard scaling (total
+//! CPU work is shard-independent, so every shard count saturates the same
+//! core). Following the virtual-clock substitution documented in DESIGN.md,
+//! each run also reports a *modelled* throughput: every node accrues a
+//! `node.busy_ns.*` counter (per-message/per-record handling costs plus
+//! virtual PM device time), and `records_per_s_modelled` is the workload
+//! divided by the **busiest node's** busy time — the capacity of the
+//! pipeline's bottleneck stage if every node ran on its own core. The
+//! top-level `scaling_4x_over_1x` field is the modelled pipelined 4-shard /
+//! 1-shard ratio; `scripts/ci.sh` gates on it.
+//!
 //! Usage: `datapath [--quick] [--out PATH]`; `scripts/bench.sh` regenerates
 //! the tracked file, `scripts/ci.sh` runs `--quick` as a smoke test.
 
@@ -25,7 +36,9 @@ use std::time::{Duration, Instant};
 use std::collections::HashMap;
 
 use flexlog_core::{ClusterSpec, FlexLogCluster};
+use flexlog_pm::ClockMode;
 use flexlog_simnet::NetConfig;
+use flexlog_storage::StorageConfig;
 use flexlog_types::{ColorId, Payload, Token};
 
 /// Fixed workload shape: everything below is part of the tracked-bench
@@ -75,6 +88,12 @@ struct ModeResult {
     cache_hit_rate: f64,
     bytes_appended: u64,
     bytes_read: u64,
+    /// Busiest node by modelled busy time (`node.busy_ns.*` counter name).
+    busiest_node: String,
+    /// That node's modelled busy time over the run, in milliseconds.
+    busiest_node_busy_ms: f64,
+    /// Modelled capacity: records ÷ busiest-node busy time (see module docs).
+    records_per_s_modelled: f64,
     breakdown: StageBreakdown,
 }
 
@@ -88,10 +107,21 @@ fn percentile(sorted_us: &[f64], p: f64) -> f64 {
 
 fn run_mode(shards: usize, per_client: usize, window: usize) -> ModeResult {
     let spec = ClusterSpec {
-        leaves: 0,
-        shards_per_leaf: shards,
+        // One leaf sequencer per shard: scale-out in FlexLog adds ordering
+        // capacity together with data-layer shards (§5.2); a fixed root
+        // sequencer would otherwise cap the modelled curve at every shard
+        // count (it serves one OReq per record regardless of shards).
+        leaves: shards,
+        shards_per_leaf: 1,
         replication_factor: REPLICATION_FACTOR,
         net: NetConfig::instant(),
+        // Virtual device clock: PM latencies are charged to the per-node
+        // `node.busy_ns.*` counters instead of spin-waited, feeding the
+        // modelled scaling curve without distorting wall-clock numbers.
+        storage: StorageConfig {
+            clock: ClockMode::Virtual,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let cluster = FlexLogCluster::start(spec);
@@ -168,6 +198,19 @@ fn run_mode(shards: usize, per_client: usize, window: usize) -> ModeResult {
     }
     let elapsed = t0.elapsed();
 
+    // Snapshot the per-node capacity counters now, before the read-back
+    // phase adds post-window work to them. The bottleneck node's busy time
+    // is the modelled service demand of the whole run.
+    let (busiest_node, busiest_busy_ns) = cluster
+        .obs()
+        .snapshot()
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("node.busy_ns."))
+        .max_by_key(|&(_, &v)| v)
+        .map(|(name, &v)| (name.clone(), v))
+        .unwrap_or_default();
+
     let mut lats: Vec<f64> = Vec::new();
     let mut written: Vec<(ColorId, flexlog_core::SeqNum)> = Vec::new();
     for (l, w) in lat_rx.iter() {
@@ -233,6 +276,13 @@ fn run_mode(shards: usize, per_client: usize, window: usize) -> ModeResult {
         cache_hit_rate,
         bytes_appended,
         bytes_read,
+        busiest_node,
+        busiest_node_busy_ms: busiest_busy_ns as f64 / 1e6,
+        records_per_s_modelled: if busiest_busy_ns > 0 {
+            records as f64 / (busiest_busy_ns as f64 / 1e9)
+        } else {
+            0.0
+        },
         breakdown,
     }
 }
@@ -264,6 +314,10 @@ fn main() {
             eprintln!(
                 "    {:>9} rec/s  p50 {:7.1} us  p99 {:7.1} us  ({:.2?})",
                 r.records_per_s as u64, r.p50_us, r.p99_us, r.elapsed
+            );
+            eprintln!(
+                "    modelled {:>9} rec/s  bottleneck {} busy {:.1} ms",
+                r.records_per_s_modelled as u64, r.busiest_node, r.busiest_node_busy_ms
             );
             let decomp: Vec<String> = r
                 .breakdown
@@ -310,11 +364,14 @@ fn main() {
                 })
                 .collect();
             format!(
-                "    {{\"shards\": {}, \"mode\": \"{}\", \"records\": {}, \"records_per_s\": {:.1}, \"mb_per_s\": {:.2}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"cache_hit_rate\": {:.4}, \"bytes_appended\": {}, \"bytes_read\": {}, \"stages\": {{{}}}}}",
+                "    {{\"shards\": {}, \"mode\": \"{}\", \"records\": {}, \"records_per_s\": {:.1}, \"records_per_s_modelled\": {:.1}, \"busiest_node\": \"{}\", \"busiest_node_busy_ms\": {:.2}, \"mb_per_s\": {:.2}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"cache_hit_rate\": {:.4}, \"bytes_appended\": {}, \"bytes_read\": {}, \"stages\": {{{}}}}}",
                 r.shards,
                 r.mode,
                 r.records,
                 r.records_per_s,
+                r.records_per_s_modelled,
+                r.busiest_node,
+                r.busiest_node_busy_ms,
                 r.mb_per_s,
                 r.p50_us,
                 r.p99_us,
@@ -326,7 +383,31 @@ fn main() {
         })
         .collect();
     json.push_str(&rows.join(",\n"));
-    json.push_str("\n  ]\n}\n");
+    json.push_str("\n  ],\n");
+
+    // Modelled pipelined scaling ratio (4 shards over 1) — the headline
+    // scaling-curve number `scripts/ci.sh` gates on.
+    let modelled = |shards: usize, mode: &str| {
+        results
+            .iter()
+            .find(|r| r.shards == shards && r.mode == mode)
+            .map(|r| r.records_per_s_modelled)
+            .unwrap_or(0.0)
+    };
+    let p1 = modelled(1, "pipelined");
+    let p4 = modelled(4, "pipelined");
+    let scaling = if p1 > 0.0 { p4 / p1 } else { 0.0 };
+    let s1 = modelled(1, "serial");
+    let s4 = modelled(4, "serial");
+    let scaling_serial = if s1 > 0.0 { s4 / s1 } else { 0.0 };
+    json.push_str(&format!("  \"scaling_4x_over_1x\": {scaling:.3},\n"));
+    json.push_str(&format!(
+        "  \"scaling_4x_over_1x_serial\": {scaling_serial:.3}\n"
+    ));
+    json.push_str("}\n");
+    eprintln!(
+        "==> scaling_4x_over_1x: {scaling:.3} (pipelined modelled), {scaling_serial:.3} (serial modelled)"
+    );
 
     std::fs::write(&out, &json).expect("write bench json");
     eprintln!("==> wrote {out}");

@@ -5,6 +5,11 @@
 //! The seed is fixed so CI is reproducible; export `FLEXLOG_CHAOS_SEED` to
 //! replay a different schedule. Exits non-zero (panic) on any invariant
 //! violation, printing the seed and the full fault plan.
+//!
+//! By default the cluster runs on an instant network. Export
+//! `FLEXLOG_NEMESIS_NET=datacenter` to run the same schedule over delayed,
+//! jittered links with all four delay-scheduler shards active — CI runs
+//! both, so faults are injected while the sharded data plane is live.
 
 use std::time::Duration;
 
@@ -15,11 +20,15 @@ use flexlog_types::ColorId;
 
 fn main() {
     let seed = seed_from_env(0x000C_15A0);
+    let net = match std::env::var("FLEXLOG_NEMESIS_NET").as_deref() {
+        Ok("datacenter") => NetConfig::datacenter().with_scheduler_shards(4),
+        _ => NetConfig::instant(),
+    };
     let mut options = ChaosOptions::new(seed);
     options.spec = ClusterSpec {
         backups_per_sequencer: 2,
         delta: Duration::from_millis(80),
-        net: NetConfig::instant(),
+        net,
         client_retry: Duration::from_millis(50),
         client_max_retry: Duration::from_millis(400),
         ..ClusterSpec::single_shard()
@@ -43,7 +52,10 @@ fn main() {
     options.duration = Duration::from_millis(2000);
     options.settle = Duration::from_millis(600);
 
-    println!("nemesis smoke: seed {seed:#x}");
+    println!(
+        "nemesis smoke: seed {seed:#x}, net {}",
+        if options.spec.net.link.delay.is_zero() { "instant" } else { "datacenter(4 scheduler shards)" }
+    );
     let report = run_chaos(options);
     println!("{}", report.plan);
     println!(

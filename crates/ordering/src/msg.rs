@@ -31,6 +31,12 @@ pub enum OrderMsg {
     /// Ordering response broadcast by the leaf to all replicas of the
     /// requesting shard: `last_sn` is the SN of the batch's final record.
     OResp { token: Token, last_sn: SeqNum },
+    /// Batched ordering responses: when one aggregation flush assigns SNs to
+    /// several appends bound for the *same* shard, the leaf broadcasts one
+    /// message carrying all of them (in assignment order) instead of one
+    /// OResp per token — the sequencer batch fast path. Semantically
+    /// equivalent to the unrolled sequence of [`OrderMsg::OResp`]s.
+    ORespBatch { resps: Vec<(Token, SeqNum)> },
 
     /// Leader → backups: replicate the epoch before serving (§5.2 Safety).
     ReplicateEpoch { epoch: Epoch },

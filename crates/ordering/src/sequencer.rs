@@ -66,6 +66,12 @@ const HANDLE_OREQ_NS: u64 = 500;
 const HANDLE_PER_RECORD_NS: u64 = 800;
 const HANDLE_AGG_NS: u64 = 1_500;
 
+/// Max messages drained from the inbox per run-loop pass. A whole burst is
+/// processed before the aggregation buffers are flushed, so OReqs that
+/// arrive together are assigned SNs with one counter bump and answered with
+/// per-shard [`OrderMsg::ORespBatch`]es — the sequencer batch fast path.
+const RECV_BURST: usize = 128;
+
 /// Counters exposed to benchmarks (shared, updated by the node thread).
 #[derive(Debug, Default)]
 pub struct SequencerStats {
@@ -119,6 +125,12 @@ struct PendingUp {
 /// Bounded memory for replayed child responses.
 const RESPONDED_CAP: usize = 100_000;
 
+/// Run-loop control flow after handling one message.
+enum Flow {
+    Continue,
+    Stop,
+}
+
 /// See module docs.
 pub struct SequencerNode {
     config: SequencerConfig,
@@ -147,6 +159,10 @@ pub struct SequencerNode {
     /// routing during a reconfiguration; the replica's resend tick retries
     /// against the new route).
     misrouted_dropped: Counter,
+    /// Per-node modelled busy time (`node.busy_ns.seq.<role>`): the obs
+    /// mirror of [`SequencerStats::busy_ns`], so capacity benchmarks can
+    /// read every node's modelled load from one snapshot.
+    busy_counter: Counter,
     /// Per-color SNs issued (`seq.color_sns.<id>`), the autoscaler's
     /// per-color append-rate signal. Cached so a flush does not re-register
     /// the counter.
@@ -169,6 +185,9 @@ impl SequencerNode {
     pub fn with_epoch(config: SequencerConfig, directory: Directory, epoch: Epoch) -> Self {
         let batch_wait_hist = config.obs.histogram("seq.batch_wait_ns");
         let misrouted_dropped = config.obs.counter("seq.misrouted_dropped");
+        let busy_counter = config
+            .obs
+            .counter(&format!("node.busy_ns.seq.{}", config.role.0));
         SequencerNode {
             config,
             directory,
@@ -185,6 +204,7 @@ impl SequencerNode {
             stats: Arc::new(SequencerStats::default()),
             batch_wait_hist,
             misrouted_dropped,
+            busy_counter,
             color_sn_counters: HashMap::new(),
             ctrl_gen: 0,
         }
@@ -207,6 +227,7 @@ impl SequencerNode {
         let mut hb_last_sent = Instant::now() - self.config.heartbeat_interval;
         let mut hb_acks: HashSet<NodeId> = HashSet::new();
         let mut hb_last_majority = Instant::now();
+        let mut burst: Vec<(NodeId, W)> = Vec::new();
 
         loop {
             // Only poll at the (microsecond-scale) batching interval while
@@ -225,112 +246,18 @@ impl SequencerNode {
             } else {
                 idle_tick.max(Duration::from_millis(1))
             };
-            match ep.recv_timeout(wait) {
-                Ok((from, wire)) => {
-                    let Some(msg) = wire.into_order() else { continue };
-                    match msg {
-                        OrderMsg::Shutdown => return,
-                        OrderMsg::OReq {
-                            color,
-                            token,
-                            nrecords,
-                            shard,
-                        } => {
-                            self.stats.oreqs.fetch_add(1, Ordering::Relaxed);
-                            self.stats.busy_ns.fetch_add(
-                                HANDLE_OREQ_NS + HANDLE_PER_RECORD_NS * nrecords as u64,
-                                Ordering::Relaxed,
-                            );
-                            if !self.seen_tokens.insert(token) {
-                                // Idempotence (Alg 1 line 31) — but if this
-                                // token was already assigned, replay the
-                                // response so late/partitioned replicas can
-                                // still commit.
-                                if let Some(&sn) = self.answered_tokens.get(&token) {
-                                    let _ = ep.broadcast(
-                                        &shard,
-                                        W::from_order(OrderMsg::OResp {
-                                            token,
-                                            last_sn: sn,
-                                        }),
-                                    );
-                                }
-                                continue;
-                            }
-                            self.buffer(
-                                color,
-                                Constituent::Origin {
-                                    token,
-                                    nrecords,
-                                    shard,
-                                },
-                            );
+            // Drain a whole burst, handle every message, and only then run
+            // the flush: co-arriving OReqs land in the same color buffers
+            // and are answered by a single assignment pass.
+            burst.clear();
+            match ep.recv_batch(wait, RECV_BURST, &mut burst) {
+                Ok(_) => {
+                    for (from, wire) in burst.drain(..) {
+                        let Some(msg) = wire.into_order() else { continue };
+                        match self.handle(&ep, from, msg, &mut hb_acks, &mut hb_last_majority) {
+                            Flow::Continue => {}
+                            Flow::Stop => return,
                         }
-                        OrderMsg::AggReq { color, batch, total } => {
-                            self.stats.busy_ns.fetch_add(HANDLE_AGG_NS, Ordering::Relaxed);
-                            if let Some(&sn) = self.responded.get(&(from, batch)) {
-                                // Child resend of an answered batch.
-                                let _ = ep.send(
-                                    from,
-                                    W::from_order(OrderMsg::AggResp { batch, last_sn: sn }),
-                                );
-                                continue;
-                            }
-                            self.buffer(color, Constituent::Child { from, batch, total });
-                        }
-                        OrderMsg::AggResp { batch, last_sn } => {
-                            self.stats.busy_ns.fetch_add(HANDLE_AGG_NS, Ordering::Relaxed);
-                            if let Some(p) = self.pending_up.remove(&batch) {
-                                self.distribute(&ep, p.color, p.constituents, last_sn, p.total);
-                            }
-                        }
-                        OrderMsg::HeartbeatAck { epoch } if epoch == self.epoch => {
-                            hb_acks.insert(from);
-                            if hb_acks.len() >= majority(self.config.backups.len()) {
-                                hb_last_majority = Instant::now();
-                                hb_acks.clear();
-                            }
-                        }
-                        OrderMsg::BumpEpoch { role, gen } if role == self.config.role => {
-                            // Zombie-controller fence: refuse bumps from a
-                            // generation lower than any we have obeyed.
-                            if gen < self.ctrl_gen {
-                                let _ = ep.send(
-                                    from,
-                                    W::from_order(OrderMsg::BumpFenced {
-                                        role: self.config.role,
-                                        gen: self.ctrl_gen,
-                                    }),
-                                );
-                                continue;
-                            }
-                            self.ctrl_gen = gen;
-                            // Reconfiguration fence: everything ordered so
-                            // far belongs to the old epoch; the counters
-                            // restart so every SN issued from here on
-                            // compares greater (epoch is the high half of
-                            // the SN). Replicate before answering so a
-                            // later backup promotion resumes past us.
-                            self.epoch = self.epoch.next();
-                            self.counters.clear();
-                            if !self.config.backups.is_empty() {
-                                let _ = ep.broadcast(
-                                    &self.config.backups,
-                                    W::from_order(OrderMsg::ReplicateEpoch { epoch: self.epoch }),
-                                );
-                            }
-                            let _ = ep.send(
-                                from,
-                                W::from_order(OrderMsg::EpochIs {
-                                    role: self.config.role,
-                                    epoch: self.epoch,
-                                }),
-                            );
-                        }
-                        // A backup (or old peer) probing with other control
-                        // traffic — a live leader ignores it; demotion only
-                        // ever happens through lost heartbeat majorities.
-                        _ => {}
                     }
                 }
                 Err(RecvError::Timeout) => {}
@@ -358,6 +285,118 @@ impl SequencerNode {
                 }
             }
         }
+    }
+
+    /// Handles one inbound message; [`Flow::Stop`] terminates the run loop.
+    fn handle<W: OrderWire>(
+        &mut self,
+        ep: &Endpoint<W>,
+        from: NodeId,
+        msg: OrderMsg,
+        hb_acks: &mut HashSet<NodeId>,
+        hb_last_majority: &mut Instant,
+    ) -> Flow {
+        match msg {
+            OrderMsg::Shutdown => return Flow::Stop,
+            OrderMsg::OReq {
+                color,
+                token,
+                nrecords,
+                shard,
+            } => {
+                self.stats.oreqs.fetch_add(1, Ordering::Relaxed);
+                let cost = HANDLE_OREQ_NS + HANDLE_PER_RECORD_NS * nrecords as u64;
+                self.stats.busy_ns.fetch_add(cost, Ordering::Relaxed);
+                self.busy_counter.add(cost);
+                if !self.seen_tokens.insert(token) {
+                    // Idempotence (Alg 1 line 31) — but if this token was
+                    // already assigned, replay the response so
+                    // late/partitioned replicas can still commit.
+                    if let Some(&sn) = self.answered_tokens.get(&token) {
+                        let _ = ep.broadcast(
+                            &shard,
+                            W::from_order(OrderMsg::OResp {
+                                token,
+                                last_sn: sn,
+                            }),
+                        );
+                    }
+                    return Flow::Continue;
+                }
+                self.buffer(
+                    color,
+                    Constituent::Origin {
+                        token,
+                        nrecords,
+                        shard,
+                    },
+                );
+            }
+            OrderMsg::AggReq { color, batch, total } => {
+                self.stats.busy_ns.fetch_add(HANDLE_AGG_NS, Ordering::Relaxed);
+                self.busy_counter.add(HANDLE_AGG_NS);
+                if let Some(&sn) = self.responded.get(&(from, batch)) {
+                    // Child resend of an answered batch.
+                    let _ = ep.send(from, W::from_order(OrderMsg::AggResp { batch, last_sn: sn }));
+                    return Flow::Continue;
+                }
+                self.buffer(color, Constituent::Child { from, batch, total });
+            }
+            OrderMsg::AggResp { batch, last_sn } => {
+                self.stats.busy_ns.fetch_add(HANDLE_AGG_NS, Ordering::Relaxed);
+                self.busy_counter.add(HANDLE_AGG_NS);
+                if let Some(p) = self.pending_up.remove(&batch) {
+                    self.distribute(ep, p.color, p.constituents, last_sn, p.total);
+                }
+            }
+            OrderMsg::HeartbeatAck { epoch } if epoch == self.epoch => {
+                hb_acks.insert(from);
+                if hb_acks.len() >= majority(self.config.backups.len()) {
+                    *hb_last_majority = Instant::now();
+                    hb_acks.clear();
+                }
+            }
+            OrderMsg::BumpEpoch { role, gen } if role == self.config.role => {
+                // Zombie-controller fence: refuse bumps from a generation
+                // lower than any we have obeyed.
+                if gen < self.ctrl_gen {
+                    let _ = ep.send(
+                        from,
+                        W::from_order(OrderMsg::BumpFenced {
+                            role: self.config.role,
+                            gen: self.ctrl_gen,
+                        }),
+                    );
+                    return Flow::Continue;
+                }
+                self.ctrl_gen = gen;
+                // Reconfiguration fence: everything ordered so far belongs
+                // to the old epoch; the counters restart so every SN issued
+                // from here on compares greater (epoch is the high half of
+                // the SN). Replicate before answering so a later backup
+                // promotion resumes past us.
+                self.epoch = self.epoch.next();
+                self.counters.clear();
+                if !self.config.backups.is_empty() {
+                    let _ = ep.broadcast(
+                        &self.config.backups,
+                        W::from_order(OrderMsg::ReplicateEpoch { epoch: self.epoch }),
+                    );
+                }
+                let _ = ep.send(
+                    from,
+                    W::from_order(OrderMsg::EpochIs {
+                        role: self.config.role,
+                        epoch: self.epoch,
+                    }),
+                );
+            }
+            // A backup (or old peer) probing with other control traffic — a
+            // live leader ignores it; demotion only ever happens through
+            // lost heartbeat majorities.
+            _ => {}
+        }
+        Flow::Continue
     }
 
     fn buffer(&mut self, color: ColorId, c: Constituent) {
@@ -447,6 +486,11 @@ impl SequencerNode {
 
     /// Splits an assigned range `[last_sn - total + 1, last_sn]` across the
     /// batch constituents in arrival order.
+    ///
+    /// Origin replies bound for the same shard are coalesced into one
+    /// [`OrderMsg::ORespBatch`] broadcast (singletons stay plain OResp), so
+    /// a flush costs one message per destination shard instead of one per
+    /// token — the emission half of the batch fast path.
     fn distribute<W: OrderWire>(
         &mut self,
         ep: &Endpoint<W>,
@@ -455,8 +499,13 @@ impl SequencerNode {
         last_sn: SeqNum,
         total: u32,
     ) {
+        // Order-preserving per-shard groups (shard sets are tiny and few per
+        // flush; linear search beats hashing a Vec<NodeId> key).
+        type ShardGroup = (Vec<NodeId>, Vec<(Token, SeqNum)>);
         let epoch = last_sn.epoch();
         let mut cursor = last_sn.counter() - total + 1;
+        let mut groups: Vec<ShardGroup> = Vec::new();
+        let mut spans: Vec<(Token, Stage, u64, u64)> = Vec::new();
         for c in constituents {
             match c {
                 Constituent::Origin {
@@ -467,19 +516,11 @@ impl SequencerNode {
                     let sub_last = SeqNum::new(epoch, cursor + nrecords - 1);
                     // The SN now exists for this record: one SeqAssign per
                     // (token, color), stamped with the answering sequencer.
-                    self.config.obs.tracer().record(
-                        token,
-                        Stage::SeqAssign,
-                        ep.id().0,
-                        color.0 as u64,
-                    );
-                    let _ = ep.broadcast(
-                        &shard,
-                        W::from_order(OrderMsg::OResp {
-                            token,
-                            last_sn: sub_last,
-                        }),
-                    );
+                    spans.push((token, Stage::SeqAssign, ep.id().0, color.0 as u64));
+                    match groups.iter_mut().find(|(s, _)| *s == shard) {
+                        Some((_, resps)) => resps.push((token, sub_last)),
+                        None => groups.push((shard, vec![(token, sub_last)])),
+                    }
                     self.remember_token(token, sub_last);
                     cursor += nrecords;
                 }
@@ -496,6 +537,16 @@ impl SequencerNode {
                     cursor += total;
                 }
             }
+        }
+        self.config.obs.tracer().record_many(&spans);
+        for (shard, resps) in groups {
+            let msg = if resps.len() == 1 {
+                let (token, last_sn) = resps[0];
+                OrderMsg::OResp { token, last_sn }
+            } else {
+                OrderMsg::ORespBatch { resps }
+            };
+            let _ = ep.broadcast(&shard, W::from_order(msg));
         }
         debug_assert_eq!(cursor, last_sn.counter() + 1, "range fully distributed");
     }

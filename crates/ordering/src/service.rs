@@ -367,13 +367,19 @@ pub fn request_order<W: OrderWire>(
         let deadline = std::time::Instant::now() + retry;
         while std::time::Instant::now() < deadline {
             match ep.recv_timeout(retry) {
-                Ok((_, wire)) => {
-                    if let Some(OrderMsg::OResp { token: t, last_sn }) = wire.into_order() {
-                        if t == token {
+                Ok((_, wire)) => match wire.into_order() {
+                    Some(OrderMsg::OResp { token: t, last_sn }) if t == token => {
+                        return Ok(last_sn);
+                    }
+                    Some(OrderMsg::ORespBatch { resps }) => {
+                        if let Some(&(_, last_sn)) =
+                            resps.iter().find(|&&(t, _)| t == token)
+                        {
                             return Ok(last_sn);
                         }
                     }
-                }
+                    _ => {}
+                },
                 Err(RecvError::Timeout) => break,
                 Err(e @ RecvError::Disconnected) => return Err(e),
             }

@@ -518,18 +518,27 @@ impl FlexLogClient {
             .min()
             .expect("non-empty inflight");
         let mut wait = next_due.saturating_duration_since(now);
+        // Acks arrive in bursts (a replica's batched commit acks every token
+        // of the burst back to back): drain each burst under one inbox lock.
+        let mut burst: Vec<(NodeId, ClusterMsg)> = Vec::new();
         loop {
-            match self.ep.recv_timeout(wait) {
-                Ok((from, ClusterMsg::Data(DataMsg::AppendAck { token, last_sn }))) => {
-                    self.note_stray_ack(from, token, last_sn);
+            burst.clear();
+            match self.ep.recv_batch(wait, 256, &mut burst) {
+                Ok(_) => {
+                    for (from, msg) in burst.drain(..) {
+                        match msg {
+                            ClusterMsg::Data(DataMsg::AppendAck { token, last_sn }) => {
+                                self.note_stray_ack(from, token, last_sn);
+                            }
+                            ClusterMsg::Data(DataMsg::Rejected { token, reason }) => {
+                                self.note_reject(from, token, reason);
+                            }
+                            _ => {} // stale response of some earlier blocking op
+                        }
+                    }
                     // Keep draining whatever already queued, without waiting.
                     wait = Duration::ZERO;
                 }
-                Ok((from, ClusterMsg::Data(DataMsg::Rejected { token, reason }))) => {
-                    self.note_reject(from, token, reason);
-                    wait = Duration::ZERO;
-                }
-                Ok(_) => {} // stale response of some earlier blocking op
                 Err(RecvError::Timeout) => break,
                 Err(RecvError::Disconnected) => return Err(ClientError::Disconnected),
             }

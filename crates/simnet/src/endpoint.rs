@@ -78,6 +78,26 @@ impl<M: Send + 'static> Endpoint<M> {
         })
     }
 
+    /// Blocks until at least one message arrives (or `timeout` elapses),
+    /// then drains up to `max` queued messages into `out` under a single
+    /// inbox lock acquisition, preserving arrival order. Returns how many
+    /// were appended. This is the consumption half of the batched data
+    /// plane: node run loops wake once per burst instead of once per
+    /// message.
+    pub fn recv_batch(
+        &self,
+        timeout: Duration,
+        max: usize,
+        out: &mut Vec<(NodeId, M)>,
+    ) -> Result<usize, RecvError> {
+        self.rx
+            .recv_batch_timeout(timeout, max, out)
+            .map_err(|e| match e {
+                RecvTimeoutError::Timeout => RecvError::Timeout,
+                RecvTimeoutError::Disconnected => RecvError::Disconnected,
+            })
+    }
+
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Result<(NodeId, M), RecvError> {
         self.rx.try_recv().map_err(|e| match e {

@@ -1,16 +1,14 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Sender};
 use flexlog_obs::{Counter, Histogram, ObsHandle};
 use parking_lot::{Mutex, RwLock};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::endpoint::Endpoint;
+use crate::node::link_shard;
 use crate::scheduler::DelayQueue;
 use crate::{LinkConfig, NetConfig, NodeId, SendError};
 
@@ -52,30 +50,40 @@ pub(crate) struct Inner<M> {
     groups: RwLock<HashMap<NodeId, u32>>,
     /// Fully isolated nodes (no traffic in or out).
     isolated: RwLock<HashSet<NodeId>>,
-    /// Last scheduled delivery instant per (src, dst), to keep links FIFO
-    /// even with jitter.
-    last_delivery: Mutex<HashMap<(NodeId, NodeId), Instant>>,
-    rng: Mutex<StdRng>,
-    queue: Option<Arc<DelayQueue<Envelope<M>>>>,
+    /// Scheduler shards; empty on an instant network. Each (src, dst) link
+    /// hashes to exactly one shard, which owns that link's FIFO clamp and
+    /// jitter RNG — see [`DelayQueue`].
+    queues: Vec<Arc<DelayQueue<Envelope<M>>>>,
     pub stats: NetStats,
-    obs: RwLock<Option<NetObs>>,
+    /// Metrics mirrors. `OnceLock` so the hot send/deliver path pays one
+    /// atomic load and ZERO lock acquisitions per message.
+    obs: OnceLock<NetObs>,
+}
+
+/// True if traffic from `a` to `b` is allowed under the given partition
+/// state (isolation set + group map).
+fn connected_locked(
+    isolated: &HashSet<NodeId>,
+    groups: &HashMap<NodeId, u32>,
+    a: NodeId,
+    b: NodeId,
+) -> bool {
+    if a == b {
+        return true;
+    }
+    if isolated.contains(&a) || isolated.contains(&b) {
+        return false;
+    }
+    match (groups.get(&a), groups.get(&b)) {
+        (Some(ga), Some(gb)) => ga == gb,
+        _ => true,
+    }
 }
 
 impl<M: Send + 'static> Inner<M> {
     /// True if traffic from `a` to `b` is currently allowed.
     fn connected(&self, a: NodeId, b: NodeId) -> bool {
-        if a == b {
-            return true;
-        }
-        let isolated = self.isolated.read();
-        if isolated.contains(&a) || isolated.contains(&b) {
-            return false;
-        }
-        let groups = self.groups.read();
-        match (groups.get(&a), groups.get(&b)) {
-            (Some(ga), Some(gb)) => ga == gb,
-            _ => true,
-        }
+        connected_locked(&self.isolated.read(), &self.groups.read(), a, b)
     }
 
     fn deliver(&self, env: Envelope<M>) {
@@ -95,7 +103,7 @@ impl<M: Send + 'static> Inner<M> {
         if let Some(tx) = nodes.get(&env.to) {
             if tx.send((env.from, env.msg)).is_ok() {
                 self.stats.delivered.fetch_add(1, Ordering::Relaxed);
-                if let Some(o) = self.obs.read().as_ref() {
+                if let Some(o) = self.obs.get() {
                     o.delivered.inc();
                 }
             } else {
@@ -103,6 +111,65 @@ impl<M: Send + 'static> Inner<M> {
             }
         } else {
             self.stats.dropped_crashed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Delivers a whole scheduler-pass worth of due envelopes: the crash /
+    /// partition / node tables are read **once** for the batch, envelopes
+    /// are grouped per destination (preserving arrival order, so per-link
+    /// FIFO survives), and each destination inbox is filled with one
+    /// batched push — one channel lock + one wake-up per destination
+    /// instead of one per message.
+    fn deliver_batch(&self, envs: &mut Vec<Envelope<M>>) {
+        if envs.len() == 1 {
+            let env = envs.pop().expect("len checked");
+            self.deliver(env);
+            return;
+        }
+        let crashed = self.crashed.read();
+        let isolated = self.isolated.read();
+        let groups = self.groups.read();
+        let nodes = self.nodes.read();
+        let mut by_dest: Vec<(NodeId, Vec<(NodeId, M)>)> = Vec::new();
+        let mut dropped_crashed = 0u64;
+        let mut dropped_partitioned = 0u64;
+        for env in envs.drain(..) {
+            if crashed.contains(&env.to) || !nodes.contains_key(&env.to) {
+                dropped_crashed += 1;
+                continue;
+            }
+            if !connected_locked(&isolated, &groups, env.from, env.to) {
+                dropped_partitioned += 1;
+                continue;
+            }
+            match by_dest.iter_mut().find(|(d, _)| *d == env.to) {
+                Some((_, batch)) => batch.push((env.from, env.msg)),
+                None => by_dest.push((env.to, vec![(env.from, env.msg)])),
+            }
+        }
+        let mut delivered = 0u64;
+        for (to, batch) in by_dest {
+            let n = batch.len() as u64;
+            match nodes.get(&to) {
+                Some(tx) if tx.send_batch(batch).is_ok() => delivered += n,
+                _ => dropped_crashed += n,
+            }
+        }
+        if delivered > 0 {
+            self.stats.delivered.fetch_add(delivered, Ordering::Relaxed);
+            if let Some(o) = self.obs.get() {
+                o.delivered.add(delivered);
+            }
+        }
+        if dropped_crashed > 0 {
+            self.stats
+                .dropped_crashed
+                .fetch_add(dropped_crashed, Ordering::Relaxed);
+        }
+        if dropped_partitioned > 0 {
+            self.stats
+                .dropped_partitioned
+                .fetch_add(dropped_partitioned, Ordering::Relaxed);
         }
     }
 
@@ -125,7 +192,8 @@ impl<M: Send + 'static> Inner<M> {
             return Err(SendError::UnknownNode(to));
         }
         self.stats.sent.fetch_add(1, Ordering::Relaxed);
-        if let Some(o) = self.obs.read().as_ref() {
+        let obs = self.obs.get();
+        if let Some(o) = obs {
             o.sent.inc();
         }
         if !self.connected(from, to) {
@@ -134,41 +202,26 @@ impl<M: Send + 'static> Inner<M> {
             self.stats
                 .dropped_partitioned
                 .fetch_add(1, Ordering::Relaxed);
-            if let Some(o) = self.obs.read().as_ref() {
+            if let Some(o) = obs {
                 o.dropped.inc();
             }
             return Ok(());
         }
-        match &self.queue {
-            None => {
-                if let Some(o) = self.obs.read().as_ref() {
-                    o.delay_hist.record(extra.as_nanos() as u64);
-                }
-                self.deliver(Envelope { from, to, msg });
+        if self.queues.is_empty() {
+            if let Some(o) = obs {
+                o.delay_hist.record(extra.as_nanos() as u64);
             }
-            Some(queue) => {
-                let jitter_ns = if self.link.jitter.is_zero() {
-                    0
-                } else {
-                    self.rng.lock().gen_range(0..=self.link.jitter.as_nanos() as u64)
-                };
-                let scheduled = extra
-                    + self.link.delay
-                    + std::time::Duration::from_nanos(jitter_ns);
-                if let Some(o) = self.obs.read().as_ref() {
-                    o.delay_hist.record(scheduled.as_nanos() as u64);
-                }
-                let mut deliver_at = Instant::now() + scheduled;
-                // Clamp to keep per-link FIFO despite jitter.
-                let mut last = self.last_delivery.lock();
-                let slot = last.entry((from, to)).or_insert(deliver_at);
-                if *slot > deliver_at {
-                    deliver_at = *slot;
-                } else {
-                    *slot = deliver_at;
-                }
-                drop(last);
-                queue.push(deliver_at, Envelope { from, to, msg });
+            self.deliver(Envelope { from, to, msg });
+        } else {
+            let shard = &self.queues[link_shard(from, to, self.queues.len())];
+            let scheduled = shard.schedule(
+                (from, to),
+                extra + self.link.delay,
+                self.link.jitter,
+                Envelope { from, to, msg },
+            );
+            if let Some(o) = obs {
+                o.delay_hist.record(scheduled.as_nanos() as u64);
             }
         }
         Ok(())
@@ -177,7 +230,7 @@ impl<M: Send + 'static> Inner<M> {
 
 /// Handle to a simulated network. Cloning is cheap; all clones control the
 /// same network. Dropping the last [`Network`] handle shuts down the delay
-/// scheduler thread (endpoints may outlive it but delayed messages stop
+/// scheduler threads (endpoints may outlive them but delayed messages stop
 /// flowing — tests keep the handle alive for the duration of the run).
 pub struct Network<M: Send + 'static> {
     inner: Arc<Inner<M>>,
@@ -186,14 +239,16 @@ pub struct Network<M: Send + 'static> {
 }
 
 struct SchedulerGuard<M: Send + 'static> {
-    queue: Arc<DelayQueue<Envelope<M>>>,
-    handle: Mutex<Option<JoinHandle<()>>>,
+    queues: Vec<Arc<DelayQueue<Envelope<M>>>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl<M: Send + 'static> Drop for SchedulerGuard<M> {
     fn drop(&mut self) {
-        self.queue.shutdown();
-        if let Some(h) = self.handle.lock().take() {
+        for q in &self.queues {
+            q.shutdown();
+        }
+        for h in self.handles.lock().drain(..) {
             let _ = h.join();
         }
     }
@@ -212,10 +267,17 @@ impl<M: Send + 'static> Network<M> {
     /// Creates a network with the given configuration.
     pub fn new(config: NetConfig) -> Self {
         let seed = config.seed.unwrap_or_else(rand::random);
-        let queue = if config.link.is_instant() {
-            None
+        let queues: Vec<Arc<DelayQueue<Envelope<M>>>> = if config.link.is_instant() {
+            Vec::new()
         } else {
-            Some(DelayQueue::new())
+            (0..config.shards())
+                .map(|i| {
+                    // Distinct deterministic jitter stream per shard.
+                    DelayQueue::with_seed(
+                        seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    )
+                })
+                .collect()
         };
         let inner = Arc::new(Inner {
             link: config.link,
@@ -223,24 +285,30 @@ impl<M: Send + 'static> Network<M> {
             crashed: RwLock::new(HashSet::new()),
             groups: RwLock::new(HashMap::new()),
             isolated: RwLock::new(HashSet::new()),
-            last_delivery: Mutex::new(HashMap::new()),
-            rng: Mutex::new(StdRng::seed_from_u64(seed)),
-            queue: queue.clone(),
+            queues: queues.clone(),
             stats: NetStats::default(),
-            obs: RwLock::new(None),
+            obs: OnceLock::new(),
         });
-        let scheduler = queue.map(|q| {
-            let inner2 = Arc::clone(&inner);
-            let q2 = Arc::clone(&q);
-            let handle = std::thread::Builder::new()
-                .name("simnet-scheduler".into())
-                .spawn(move || q2.run(move |env| inner2.deliver(env)))
-                .expect("spawn simnet scheduler");
-            Arc::new(SchedulerGuard {
-                queue: q,
-                handle: Mutex::new(Some(handle)),
-            })
-        });
+        let scheduler = if queues.is_empty() {
+            None
+        } else {
+            let handles = queues
+                .iter()
+                .enumerate()
+                .map(|(i, q)| {
+                    let inner2 = Arc::clone(&inner);
+                    let q2 = Arc::clone(q);
+                    std::thread::Builder::new()
+                        .name(format!("simnet-scheduler-{i}"))
+                        .spawn(move || q2.run(move |batch| inner2.deliver_batch(batch)))
+                        .expect("spawn simnet scheduler shard")
+                })
+                .collect();
+            Some(Arc::new(SchedulerGuard {
+                queues,
+                handles: Mutex::new(handles),
+            }))
+        };
         Network { inner, scheduler }
     }
 
@@ -301,12 +369,19 @@ impl<M: Send + 'static> Network<M> {
         self.inner.isolated.write().clear();
     }
 
+    /// Number of scheduler shards servicing delayed links (0 on an instant
+    /// network).
+    pub fn scheduler_shards(&self) -> usize {
+        self.inner.queues.len()
+    }
+
     /// Mirrors delivery counters and the scheduled link latency into the
     /// given observability registry (`net.sent`, `net.delivered`,
-    /// `net.dropped`, `net.delay_ns`). Call once per cluster; later calls
-    /// re-point the mirrors at the new registry.
+    /// `net.dropped`, `net.delay_ns`). Call once per cluster; the first
+    /// call wins — the mirrors are install-once so the per-message hot
+    /// path never takes a lock to reach them.
     pub fn attach_obs(&self, obs: &ObsHandle) {
-        *self.inner.obs.write() = Some(NetObs {
+        let _ = self.inner.obs.set(NetObs {
             sent: obs.counter("net.sent"),
             delivered: obs.counter("net.delivered"),
             dropped: obs.counter("net.dropped"),

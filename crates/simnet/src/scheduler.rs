@@ -1,9 +1,13 @@
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::NodeId;
 
 /// An item scheduled for future delivery.
 pub(crate) struct Scheduled<T> {
@@ -38,33 +42,63 @@ struct State<T> {
     heap: BinaryHeap<Scheduled<T>>,
     next_seq: u64,
     shutdown: bool,
+    /// Last scheduled delivery instant per (src, dst) link homed on this
+    /// shard, keeping links FIFO despite jitter. A link always hashes to
+    /// exactly one shard, so shard-local clamps are equivalent to the old
+    /// global map.
+    clamp: HashMap<(NodeId, NodeId), Instant>,
+    /// Jitter RNG for links homed on this shard (drawn under the same lock
+    /// acquisition that pushes the envelope).
+    rng: StdRng,
+    /// Last clamp-prune pass (see [`DelayQueue::run`]).
+    last_prune: Instant,
 }
 
-/// A time-ordered delivery queue serviced by a dedicated thread.
+/// Clamp entries whose instant is already in the past are dead weight —
+/// any later send on that link schedules at `now + delay`, which is
+/// necessarily later. Prune them periodically so long chaos runs with
+/// churned node ids do not leak map entries forever.
+const CLAMP_PRUNE_INTERVAL: Duration = Duration::from_millis(100);
+
+/// One shard of the delay scheduler: a time-ordered delivery queue serviced
+/// by a dedicated thread.
 ///
-/// The network's delayed messages are pushed here; the service thread pops
-/// them when their delivery instant is due and hands them to the delivery
-/// callback. Equal instants are delivered in push order, which (together
-/// with the per-link monotonic delivery times computed by the network)
-/// guarantees per-link FIFO.
+/// The network hashes each (src, dst) link to one shard; a shard owns the
+/// heap, the per-link FIFO clamps, and the jitter RNG for its links, all
+/// behind a single mutex, so scheduling a message is exactly one lock
+/// acquisition. The service thread drains **all** due items per pass under
+/// one lock acquisition and hands them to the delivery callback as a batch.
+/// Equal instants are delivered in push order, which (together with the
+/// clamped per-link delivery times) guarantees per-link FIFO.
 pub(crate) struct DelayQueue<T> {
     state: Mutex<State<T>>,
     cond: Condvar,
 }
 
 impl<T: Send + 'static> DelayQueue<T> {
+    #[cfg(test)]
     pub fn new() -> Arc<Self> {
+        Self::with_seed(0)
+    }
+
+    /// Creates a shard whose jitter RNG is seeded with `seed` (each shard
+    /// of a network gets a distinct, deterministic seed).
+    pub fn with_seed(seed: u64) -> Arc<Self> {
         Arc::new(DelayQueue {
             state: Mutex::new(State {
                 heap: BinaryHeap::new(),
                 next_seq: 0,
                 shutdown: false,
+                clamp: HashMap::new(),
+                rng: StdRng::seed_from_u64(seed),
+                last_prune: Instant::now(),
             }),
             cond: Condvar::new(),
         })
     }
 
-    /// Schedules `item` for delivery at `deliver_at`.
+    /// Schedules `item` for delivery at `deliver_at` (raw path, no clamp).
+    #[cfg(test)]
     pub fn push(&self, deliver_at: Instant, item: T) {
         let mut st = self.state.lock();
         let seq = st.next_seq;
@@ -78,30 +112,82 @@ impl<T: Send + 'static> DelayQueue<T> {
         self.cond.notify_one();
     }
 
+    /// Schedules `item` on `link` after `base` plus a jitter draw in
+    /// `0..=jitter`, clamped so the link stays FIFO — jitter draw, clamp
+    /// lookup/update and heap push all happen under ONE lock acquisition.
+    /// Returns the scheduled one-way latency (base + jitter, pre-clamp),
+    /// which is the link model's intent for the delay metric.
+    pub fn schedule(
+        &self,
+        link: (NodeId, NodeId),
+        base: Duration,
+        jitter: Duration,
+        item: T,
+    ) -> Duration {
+        let mut st = self.state.lock();
+        let jitter_ns = if jitter.is_zero() {
+            0
+        } else {
+            st.rng.gen_range(0..=jitter.as_nanos() as u64)
+        };
+        let scheduled = base + Duration::from_nanos(jitter_ns);
+        let mut deliver_at = Instant::now() + scheduled;
+        let slot = st.clamp.entry(link).or_insert(deliver_at);
+        if *slot > deliver_at {
+            deliver_at = *slot;
+        } else {
+            *slot = deliver_at;
+        }
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.heap.push(Scheduled {
+            deliver_at,
+            seq,
+            item,
+        });
+        drop(st);
+        self.cond.notify_one();
+        scheduled
+    }
+
     /// Stops the service loop; items still queued are dropped.
     pub fn shutdown(&self) {
         self.state.lock().shutdown = true;
         self.cond.notify_all();
     }
 
-    /// Runs the delivery loop until shutdown, invoking `deliver` for each due
-    /// item. Intended to run on a dedicated thread.
-    pub fn run(self: Arc<Self>, mut deliver: impl FnMut(T)) {
+    /// Runs the delivery loop until shutdown. Each pass drains every due
+    /// item under one lock acquisition into `due` (in delivery order) and
+    /// invokes `deliver` with the batch outside the lock; the callback
+    /// consumes the vector. Intended to run on a dedicated thread.
+    pub fn run(self: Arc<Self>, mut deliver: impl FnMut(&mut Vec<T>)) {
+        let mut due: Vec<T> = Vec::new();
         loop {
-            let item = {
+            {
                 let mut st = self.state.lock();
                 loop {
                     if st.shutdown {
                         return;
                     }
                     let now = Instant::now();
-                    match st.heap.peek() {
-                        Some(top) if top.deliver_at <= now => {
-                            break st.heap.pop().expect("peeked item present");
+                    while st
+                        .heap
+                        .peek()
+                        .is_some_and(|top| top.deliver_at <= now)
+                    {
+                        due.push(st.heap.pop().expect("peeked item present").item);
+                    }
+                    if !due.is_empty() {
+                        if now.duration_since(st.last_prune) >= CLAMP_PRUNE_INTERVAL {
+                            st.clamp.retain(|_, &mut at| at > now);
+                            st.last_prune = now;
                         }
+                        break;
+                    }
+                    match st.heap.peek() {
                         Some(top) => {
                             let wait = top.deliver_at - now;
-                            if wait < std::time::Duration::from_micros(150) {
+                            if wait < Duration::from_micros(150) {
                                 // Sub-150 µs waits: condvar wake-up slop
                                 // would dominate the modelled link delay —
                                 // yield-spin instead (deliberately trading
@@ -118,9 +204,17 @@ impl<T: Send + 'static> DelayQueue<T> {
                         }
                     }
                 }
-            };
-            deliver(item.item);
+            }
+            deliver(&mut due);
+            due.clear();
         }
+    }
+
+    /// Number of live per-link clamp entries (test hook for the pruning
+    /// behaviour).
+    #[cfg(test)]
+    pub fn clamp_len(&self) -> usize {
+        self.state.lock().clamp.len()
     }
 }
 
@@ -129,12 +223,28 @@ mod tests {
     use super::*;
     use std::time::Duration;
 
+    fn run_to_channel(
+        q: &Arc<DelayQueue<u32>>,
+    ) -> (
+        crossbeam::channel::Receiver<u32>,
+        std::thread::JoinHandle<()>,
+    ) {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let q2 = Arc::clone(q);
+        let handle = std::thread::spawn(move || {
+            q2.run(move |batch: &mut Vec<u32>| {
+                for v in batch.drain(..) {
+                    tx.send(v).unwrap();
+                }
+            })
+        });
+        (rx, handle)
+    }
+
     #[test]
     fn delivers_in_time_order() {
         let q = DelayQueue::new();
-        let (tx, rx) = crossbeam::channel::unbounded();
-        let q2 = Arc::clone(&q);
-        let handle = std::thread::spawn(move || q2.run(move |v: u32| tx.send(v).unwrap()));
+        let (rx, handle) = run_to_channel(&q);
 
         let now = Instant::now();
         q.push(now + Duration::from_millis(30), 3);
@@ -152,9 +262,7 @@ mod tests {
     #[test]
     fn equal_instants_preserve_push_order() {
         let q = DelayQueue::new();
-        let (tx, rx) = crossbeam::channel::unbounded();
-        let q2 = Arc::clone(&q);
-        let handle = std::thread::spawn(move || q2.run(move |v: u32| tx.send(v).unwrap()));
+        let (rx, handle) = run_to_channel(&q);
 
         let at = Instant::now() + Duration::from_millis(5);
         for i in 0..100 {
@@ -163,6 +271,79 @@ mod tests {
         for i in 0..100 {
             assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), i);
         }
+        q.shutdown();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn schedule_clamps_links_fifo_and_prunes_dead_clamps() {
+        let q = DelayQueue::with_seed(99);
+        let (rx, handle) = run_to_channel(&q);
+
+        // Huge jitter vs tiny base delay: without the clamp these would
+        // reorder almost surely.
+        let link = (NodeId(1), NodeId(2));
+        for i in 0..200 {
+            q.schedule(link, Duration::from_micros(10), Duration::from_millis(2), i);
+        }
+        for i in 0..200 {
+            assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), i);
+        }
+        assert_eq!(q.clamp_len(), 1);
+        // After the prune interval passes, the next delivery pass drops the
+        // stale clamp entry.
+        std::thread::sleep(CLAMP_PRUNE_INTERVAL + Duration::from_millis(20));
+        q.schedule(
+            (NodeId(3), NodeId(4)),
+            Duration::from_micros(10),
+            Duration::ZERO,
+            999,
+        );
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 999);
+        std::thread::sleep(CLAMP_PRUNE_INTERVAL + Duration::from_millis(20));
+        q.schedule(
+            (NodeId(3), NodeId(4)),
+            Duration::from_micros(10),
+            Duration::ZERO,
+            1000,
+        );
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 1000);
+        assert!(
+            q.clamp_len() <= 1,
+            "stale clamps survived pruning: {}",
+            q.clamp_len()
+        );
+        q.shutdown();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn due_items_drain_as_one_batch() {
+        let q = DelayQueue::new();
+        let (batch_tx, batch_rx) = crossbeam::channel::unbounded();
+        let q2 = Arc::clone(&q);
+        let handle = std::thread::spawn(move || {
+            q2.run(move |batch: &mut Vec<u32>| {
+                batch_tx.send(std::mem::take(batch)).unwrap();
+            })
+        });
+        // All due at the same past-adjacent instant: one pass must pick up
+        // the lot in a single callback.
+        let at = Instant::now() + Duration::from_millis(20);
+        for i in 0..50 {
+            q.push(at, i);
+        }
+        let first = batch_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(
+            first.len() > 1,
+            "expected a batched drain, got {} item(s)",
+            first.len()
+        );
+        let mut got = first;
+        while got.len() < 50 {
+            got.extend(batch_rx.recv_timeout(Duration::from_secs(5)).unwrap());
+        }
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
         q.shutdown();
         handle.join().unwrap();
     }

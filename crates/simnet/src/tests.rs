@@ -41,6 +41,7 @@ fn per_link_fifo_with_jitter() {
             serialize: Duration::ZERO,
         },
         seed: Some(42),
+        ..NetConfig::default()
     });
     let (a, b) = two_nodes(&net);
     for i in 0..500 {
@@ -56,6 +57,7 @@ fn delay_is_applied() {
     let net: Network<()> = Network::new(NetConfig {
         link: LinkConfig::slow(Duration::from_millis(20)),
         seed: Some(0),
+        ..NetConfig::default()
     });
     let (a, b) = two_nodes(&net);
     let start = Instant::now();
@@ -144,6 +146,7 @@ fn partition_applies_to_in_flight_messages() {
     let net: Network<u32> = Network::new(NetConfig {
         link: LinkConfig::slow(Duration::from_millis(50)),
         seed: Some(0),
+        ..NetConfig::default()
     });
     let (a, b) = two_nodes(&net);
     a.send(b.id(), 1).unwrap();
@@ -215,6 +218,49 @@ fn stats_count_sent_and_delivered() {
     assert_eq!(delivered, 10);
 }
 
+#[test]
+fn recv_batch_drains_bursts_in_order() {
+    let net: Network<u32> = Network::instant();
+    let (a, b) = two_nodes(&net);
+    for i in 0..100 {
+        a.send(b.id(), i).unwrap();
+    }
+    let mut out = Vec::new();
+    // Bounded drain first, then the rest.
+    assert_eq!(b.recv_batch(Duration::from_secs(1), 30, &mut out).unwrap(), 30);
+    while out.len() < 100 {
+        b.recv_batch(Duration::from_secs(1), usize::MAX, &mut out)
+            .unwrap();
+    }
+    let values: Vec<u32> = out.iter().map(|&(_, v)| v).collect();
+    assert_eq!(values, (0..100).collect::<Vec<_>>());
+    // Empty inbox: times out.
+    assert_eq!(
+        b.recv_batch(Duration::from_millis(5), 8, &mut out),
+        Err(RecvError::Timeout)
+    );
+}
+
+#[test]
+fn delayed_network_spawns_configured_scheduler_shards() {
+    let net: Network<u32> = Network::new(NetConfig {
+        link: LinkConfig::slow(Duration::from_micros(100)),
+        seed: Some(3),
+        scheduler_shards: 3,
+    });
+    assert_eq!(net.scheduler_shards(), 3);
+    // Instant networks bypass the scheduler entirely.
+    let inst: Network<u32> = Network::instant();
+    assert_eq!(inst.scheduler_shards(), 0);
+    // 0 = auto default.
+    let auto: Network<u32> = Network::new(NetConfig {
+        link: LinkConfig::slow(Duration::from_micros(100)),
+        seed: Some(3),
+        scheduler_shards: 0,
+    });
+    assert_eq!(auto.scheduler_shards(), 4);
+}
+
 mod properties {
     use super::*;
     use proptest::prelude::*;
@@ -222,13 +268,16 @@ mod properties {
     proptest! {
         #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
 
-        /// FIFO per link holds for any mix of link delays and message
-        /// bursts: receivers always observe each sender's messages in send
-        /// order.
+        /// FIFO per link holds for any mix of link delays, jitter,
+        /// scheduler shard counts, receive batch sizes and message bursts:
+        /// receivers always observe each sender's messages in send order,
+        /// whether they drain one message per wake-up or whole batches.
         #[test]
-        fn fifo_holds_for_any_delay_and_burst(
+        fn fifo_holds_for_any_delay_shards_and_batch(
             delay_us in 0u64..200,
             jitter_us in 0u64..300,
+            shards in 1usize..6,
+            recv_batch_max in 1usize..40,
             bursts in proptest::collection::vec(1usize..30, 1..6),
         ) {
             let net: Network<(usize, usize)> = Network::new(NetConfig {
@@ -238,23 +287,39 @@ mod properties {
                     serialize: Duration::ZERO,
                 },
                 seed: Some(7),
+                scheduler_shards: shards,
             });
             let a = net.register(NodeId(1));
             let b = net.register(NodeId(2));
+            let c = net.register(NodeId(3));
             let mut sent = 0usize;
             for (burst_no, n) in bursts.iter().enumerate() {
                 for i in 0..*n {
+                    // Two independent links into b: each must stay FIFO on
+                    // its own, whatever shard each hashes to.
                     a.send(b.id(), (burst_no, i)).unwrap();
-                    sent += 1;
+                    c.send(b.id(), (burst_no, i)).unwrap();
+                    sent += 2;
                 }
             }
-            let mut last: Option<(usize, usize)> = None;
-            for _ in 0..sent {
-                let (_, msg) = b.recv_timeout(Duration::from_secs(5)).unwrap();
-                if let Some(prev) = last {
-                    prop_assert!(msg > prev, "reordered: {msg:?} after {prev:?}");
+            let mut last_a: Option<(usize, usize)> = None;
+            let mut last_c: Option<(usize, usize)> = None;
+            let mut got = 0usize;
+            let mut out: Vec<(NodeId, (usize, usize))> = Vec::new();
+            while got < sent {
+                out.clear();
+                let n = b
+                    .recv_batch(Duration::from_secs(5), recv_batch_max, &mut out)
+                    .unwrap();
+                prop_assert!(n > 0 && n <= recv_batch_max);
+                for &(from, msg) in &out {
+                    let last = if from == a.id() { &mut last_a } else { &mut last_c };
+                    if let Some(prev) = *last {
+                        prop_assert!(msg > prev, "link {from} reordered: {msg:?} after {prev:?}");
+                    }
+                    *last = Some(msg);
                 }
-                last = Some(msg);
+                got += n;
             }
         }
     }

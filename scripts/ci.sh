@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# CI gate: release build, full test suite, a bounded nemesis smoke run
-# (fixed seed, ~5 s of injected faults under load), bench smokes
-# (datapath + elasticity, --quick, JSON shape checks), one migration-crash
-# and one controller-crash nemesis scenario, and a zero-warning clippy
-# pass over the chaos crate.
+# CI gate: release build, full test suite, two bounded nemesis smoke runs
+# (fixed seed, ~5 s of injected faults under load — once on the instant
+# network, once over delayed links with 4 delay-scheduler shards), bench
+# smokes (datapath + elasticity, --quick, JSON shape + scaling-ratio
+# checks), one migration-crash and one controller-crash nemesis scenario,
+# and a zero-warning clippy pass over the chaos crate.
 #
 # Replay a failing smoke run with: FLEXLOG_CHAOS_SEED=<seed> scripts/ci.sh
 set -euo pipefail
@@ -18,6 +19,9 @@ cargo test --workspace -q
 echo "==> nemesis smoke (bounded chaos run, fixed seed)"
 cargo run --release -p flexlog-chaos --example nemesis_smoke
 
+echo "==> nemesis smoke over delayed links (4 delay-scheduler shards)"
+FLEXLOG_NEMESIS_NET=datacenter cargo run --release -p flexlog-chaos --example nemesis_smoke
+
 echo "==> datapath bench smoke (--quick, JSON shape check)"
 cargo run --release -p flexlog-bench --bin datapath -- --quick --out /tmp/flexlog_datapath_smoke.json
 python3 - <<'EOF'
@@ -29,6 +33,11 @@ assert len(d["results"]) == 6, f"expected 6 rows, got {len(d['results'])}"
 for r in d["results"]:
     assert r["records"] > 0 and r["records_per_s"] > 0, r
     assert {"p50_us", "p99_us", "cache_hit_rate", "bytes_appended", "bytes_read"} <= set(r), r
+    # Modelled capacity metric (virtual-clock substitution, see DESIGN.md):
+    # every row must name its bottleneck node and carry a positive rate.
+    assert r["records_per_s_modelled"] > 0, r
+    assert r["busiest_node"].startswith("node.busy_ns."), r
+    assert r["busiest_node_busy_ms"] > 0, r
     # Per-stage latency decomposition from the flight recorder: every
     # stage must have been exercised (non-zero percentiles and counts).
     stages = r["stages"]
@@ -37,7 +46,11 @@ for r in d["results"]:
         assert s["count"] > 0, f"stage {name} recorded nothing: {r}"
         assert s["p50_us"] > 0 and s["p99_us"] > 0, f"stage {name} has zero percentiles: {r}"
         assert s["p50_us"] <= s["p99_us"], f"stage {name} p50 > p99: {r}"
-print("datapath smoke JSON OK (incl. per-stage percentiles)")
+# Scaling-curve gate: modelled pipelined throughput at 4 shards must beat
+# 1 shard by >= 1.5x even in the short, noisy --quick run (the tracked
+# full-mode BENCH_datapath.json targets >= 2.0).
+assert d["scaling_4x_over_1x"] >= 1.5, f"scaling_4x_over_1x regressed: {d['scaling_4x_over_1x']}"
+print(f"datapath smoke JSON OK (incl. per-stage percentiles, scaling {d['scaling_4x_over_1x']:.2f}x)")
 EOF
 
 echo "==> elasticity bench smoke (--quick, JSON shape check)"

@@ -58,6 +58,25 @@ pub mod channel {
             self.shared.cond.notify_one();
             Ok(())
         }
+
+        /// Enqueues a whole batch under one lock acquisition with one
+        /// receiver wake-up, preserving the batch's order. Returns the
+        /// values if every receiver is gone (mirroring [`Sender::send`]).
+        pub fn send_batch(&self, values: Vec<T>) -> Result<(), SendError<Vec<T>>> {
+            if values.is_empty() {
+                return Ok(());
+            }
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            if st.receivers == 0 {
+                return Err(SendError(values));
+            }
+            st.queue.extend(values);
+            drop(st);
+            // One wake-up for the whole burst; a multi-receiver channel
+            // re-notifies from `recv_batch_timeout`/`recv` as items remain.
+            self.shared.cond.notify_one();
+            Ok(())
+        }
     }
 
     impl<T> Clone for Sender<T> {
@@ -109,6 +128,48 @@ pub mod channel {
             loop {
                 if let Some(v) = st.queue.pop_front() {
                     return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (g, _res) = self
+                    .shared
+                    .cond
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                st = g;
+            }
+        }
+
+        /// Blocks until at least one value is available (or `timeout`
+        /// elapses), then drains up to `max` queued values into `out` under
+        /// a single lock acquisition. Returns how many were appended.
+        ///
+        /// If values remain queued after the drain, one more waiter is
+        /// notified so a multi-receiver channel never strands a burst
+        /// delivered by [`Sender::send_batch`]'s single wake-up.
+        pub fn recv_batch_timeout(
+            &self,
+            timeout: Duration,
+            max: usize,
+            out: &mut Vec<T>,
+        ) -> Result<usize, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if !st.queue.is_empty() {
+                    let n = st.queue.len().min(max.max(1));
+                    out.extend(st.queue.drain(..n));
+                    let leftover = !st.queue.is_empty();
+                    drop(st);
+                    if leftover {
+                        self.shared.cond.notify_one();
+                    }
+                    return Ok(n);
                 }
                 if st.senders == 0 {
                     return Err(RecvTimeoutError::Disconnected);
@@ -259,6 +320,54 @@ pub mod channel {
             let (tx, rx) = unbounded();
             drop(rx);
             assert!(tx.send(9).is_err());
+        }
+
+        #[test]
+        fn batch_send_and_batch_recv_preserve_order() {
+            let (tx, rx) = unbounded();
+            tx.send_batch((0..10).collect::<Vec<_>>()).unwrap();
+            tx.send(10).unwrap();
+            let mut out = Vec::new();
+            // Bounded drain: only `max` items come out per call.
+            let n = rx
+                .recv_batch_timeout(Duration::from_secs(1), 4, &mut out)
+                .unwrap();
+            assert_eq!(n, 4);
+            let n = rx
+                .recv_batch_timeout(Duration::from_secs(1), 100, &mut out)
+                .unwrap();
+            assert_eq!(n, 7);
+            assert_eq!(out, (0..=10).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn batch_recv_times_out_and_disconnects() {
+            let (tx, rx) = unbounded::<u8>();
+            let mut out = Vec::new();
+            assert_eq!(
+                rx.recv_batch_timeout(Duration::from_millis(5), 8, &mut out),
+                Err(RecvTimeoutError::Timeout)
+            );
+            drop(tx);
+            assert_eq!(
+                rx.recv_batch_timeout(Duration::from_millis(5), 8, &mut out),
+                Err(RecvTimeoutError::Disconnected)
+            );
+            assert!(out.is_empty());
+        }
+
+        #[test]
+        fn batch_send_wakes_blocked_receiver() {
+            let (tx, rx) = unbounded();
+            let t = std::thread::spawn(move || {
+                let mut out = Vec::new();
+                rx.recv_batch_timeout(Duration::from_secs(5), 64, &mut out)
+                    .unwrap();
+                out
+            });
+            std::thread::sleep(Duration::from_millis(10));
+            tx.send_batch(vec![1u32, 2, 3]).unwrap();
+            assert_eq!(t.join().unwrap(), vec![1, 2, 3]);
         }
 
         #[test]
