@@ -82,6 +82,9 @@ impl LsmConfig {
     }
 }
 
+/// An ordered key/value dump, as returned by [`Db::scan`].
+pub type KvPairs = Vec<(Vec<u8>, Vec<u8>)>;
+
 /// Errors from DB operations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LsmError {
@@ -198,17 +201,12 @@ impl Db {
         let mut memtable = BTreeMap::new();
         let mut memtable_bytes = 0usize;
         let mut entry = 0u64;
-        loop {
-            match ssd.read_block(wal_block(wal_seg, entry)) {
-                Ok(data) => {
-                    if let Some((k, v)) = decode_entries(&data).next() {
-                        memtable_bytes += k.len() + v.as_ref().map_or(0, |v| v.len());
-                        memtable.insert(k, v);
-                    }
-                    entry += 1;
-                }
-                Err(SsdError::NotFound(_)) => break,
+        while let Ok(data) = ssd.read_block(wal_block(wal_seg, entry)) {
+            if let Some((k, v)) = decode_entries(&data).next() {
+                memtable_bytes += k.len() + v.as_ref().map_or(0, |v| v.len());
+                memtable.insert(k, v);
             }
+            entry += 1;
         }
         let clock = DeviceClock::new(config.clock);
         Ok(Db {
@@ -293,7 +291,7 @@ impl Db {
     }
 
     /// Full ordered scan (merges memtable and every run, newest wins).
-    pub fn scan(&self) -> Result<Vec<(Vec<u8>, Vec<u8>)>, LsmError> {
+    pub fn scan(&self) -> Result<KvPairs, LsmError> {
         let inner = self.inner.lock();
         let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
         // Oldest first so newer layers overwrite.

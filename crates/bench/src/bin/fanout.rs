@@ -1,0 +1,374 @@
+//! Read-path / fan-out benchmark (`BENCH_fanout.json`).
+//!
+//! Two workloads over the subscription subsystem:
+//!
+//! * `mixed` — closed-loop clients interleaving appends with point reads
+//!   (1 append : 4 reads), run once against bare write-quorum shards and
+//!   once with a read-only replica per shard. Client read routing prefers
+//!   read replicas, so the second run shows the read traffic leaving the
+//!   quorum: the JSON carries each run's bottleneck node (`node.busy_ns.*`)
+//!   and a modelled throughput (workload ÷ busiest node's busy time), the
+//!   same virtual-clock substitution BENCH_datapath.json uses.
+//! * `fanout` — one writer appends a fixed log while S subscribers consume
+//!   it; goodput is records·subscribers delivered per second, counted only
+//!   when every subscriber holds the complete log. S = 1 polling
+//!   (`subscribe_from` in a loop — the pre-PR read path) is the baseline;
+//!   S = 1 and S = 100 over push subscriptions (`SubPushBatch`) are the
+//!   measurements. The headline `goodput_100x_over_poll` ratio is the
+//!   100-subscriber push goodput over the single-subscriber polling
+//!   baseline; `scripts/ci.sh` gates it at ≥ 20×.
+//!
+//! Per-stage push latency comes from the shared registry: `sub.push_ns` is
+//! stamped around each batch push on the serving replica, and every pushed
+//! record also carries a `SubPush` stage in the flight recorder (see the
+//! latency-decomposition tests).
+//!
+//! Usage: `fanout [--quick] [--out PATH]`; `scripts/bench.sh` regenerates
+//! the tracked file, `scripts/ci.sh` runs `--quick` as a smoke.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use flexlog_core::{ClusterSpec, FlexLogCluster, SeqNum};
+use flexlog_pm::ClockMode;
+use flexlog_simnet::NetConfig;
+use flexlog_storage::StorageConfig;
+use flexlog_types::{ColorId, Payload};
+
+/// Fixed workload shape: part of the tracked-bench contract; change only
+/// together with `BENCH_fanout.json`.
+const PAYLOAD_BYTES: usize = 128;
+const REPLICATION_FACTOR: usize = 3;
+const SHARDS: usize = 2;
+const MIXED_CLIENTS: usize = 4;
+const READS_PER_APPEND: usize = 4;
+const MIXED_OPS_PER_CLIENT: usize = 2000;
+const QUICK_MIXED_OPS_PER_CLIENT: usize = 300;
+const FANOUT_RECORDS: usize = 1500;
+const QUICK_FANOUT_RECORDS: usize = 250;
+const FANOUT_SUBS: usize = 100;
+const SEED: u64 = 42;
+
+fn cluster(read_replicas_per_shard: usize) -> FlexLogCluster {
+    let spec = ClusterSpec {
+        leaves: SHARDS,
+        shards_per_leaf: 1,
+        replication_factor: REPLICATION_FACTOR,
+        read_replicas_per_shard,
+        net: NetConfig {
+            seed: Some(SEED),
+            ..NetConfig::instant()
+        },
+        // Virtual device clock: PM latencies feed the modelled counters
+        // instead of being spin-waited (see BENCH_datapath.json docs).
+        storage: StorageConfig {
+            clock: ClockMode::Virtual,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let c = FlexLogCluster::start(spec);
+    c.add_color(ColorId(1)).unwrap();
+    c
+}
+
+fn busiest_node(c: &FlexLogCluster) -> (String, u64) {
+    c.obs()
+        .snapshot()
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("node.busy_ns."))
+        .max_by_key(|&(_, &v)| v)
+        .map(|(name, &v)| (name.clone(), v))
+        .unwrap_or_default()
+}
+
+struct MixedResult {
+    read_replicas: usize,
+    appends: u64,
+    reads: u64,
+    elapsed: Duration,
+    ops_per_s: f64,
+    busiest_node: String,
+    busiest_node_busy_ms: f64,
+    ops_per_s_modelled: f64,
+    /// Share of the modelled read-serving work done off-quorum.
+    rreplica_busy_ms: f64,
+}
+
+fn run_mixed(read_replicas: usize, ops_per_client: usize) -> MixedResult {
+    let c = cluster(read_replicas);
+    let color = ColorId(1);
+    let barrier = Barrier::new(MIXED_CLIENTS + 1);
+    let t0 = std::thread::scope(|scope| {
+        for cl in 0..MIXED_CLIENTS {
+            let mut h = c.handle();
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let payload = Payload::from(vec![0x5Au8; PAYLOAD_BYTES]);
+                let mut written: Vec<SeqNum> = Vec::new();
+                barrier.wait();
+                for i in 0..ops_per_client {
+                    if i % (READS_PER_APPEND + 1) == 0 {
+                        let sn = h
+                            .append_payloads(std::slice::from_ref(&payload), color)
+                            .expect("append");
+                        written.push(sn);
+                    } else {
+                        let sn = written[(cl + i * 7) % written.len()];
+                        let got = h.read(sn, color).expect("read");
+                        assert!(got.is_some(), "committed record missing at {sn:?}");
+                    }
+                }
+            });
+        }
+        barrier.wait();
+        Instant::now()
+    });
+    let elapsed = t0.elapsed();
+    let (node, busy_ns) = busiest_node(&c);
+    let snap = c.obs().snapshot();
+    let rreplica_busy_ns: u64 = snap
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("node.busy_ns.rreplica."))
+        .map(|(_, &v)| v)
+        .sum();
+    c.shutdown();
+
+    let total_ops = (MIXED_CLIENTS * ops_per_client) as u64;
+    let appends = total_ops / (READS_PER_APPEND + 1) as u64
+        + u64::from(!total_ops.is_multiple_of((READS_PER_APPEND + 1) as u64));
+    MixedResult {
+        read_replicas,
+        appends,
+        reads: total_ops - appends,
+        elapsed,
+        ops_per_s: total_ops as f64 / elapsed.as_secs_f64(),
+        busiest_node: node,
+        busiest_node_busy_ms: busy_ns as f64 / 1e6,
+        ops_per_s_modelled: if busy_ns > 0 {
+            total_ops as f64 / (busy_ns as f64 / 1e9)
+        } else {
+            0.0
+        },
+        rreplica_busy_ms: rreplica_busy_ns as f64 / 1e6,
+    }
+}
+
+struct FanoutResult {
+    mode: &'static str,
+    subscribers: usize,
+    records: usize,
+    elapsed: Duration,
+    /// records·subscribers delivered per second, complete-log-at-every-
+    /// subscriber semantics (stragglers count).
+    goodput: f64,
+    push_p50_us: f64,
+    push_p99_us: f64,
+    push_batches: u64,
+    push_records: u64,
+}
+
+/// One writer appends `records`; `subs` consumers drain them, each via a
+/// standing push subscription (`push = true`) or a `subscribe_from` polling
+/// loop (`push = false`, the pre-PR read path).
+fn run_fanout(subs: usize, records: usize, push: bool) -> FanoutResult {
+    let c = cluster(1);
+    let color = ColorId(1);
+    let done = AtomicUsize::new(0);
+    let barrier = Barrier::new(subs + 1);
+
+    let (t0, elapsed) = std::thread::scope(|scope| {
+        for _ in 0..subs {
+            let mut h = c.handle();
+            let done = &done;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let mut got = 0usize;
+                if push {
+                    let sub = h.subscribe_push(color).expect("attach");
+                    barrier.wait();
+                    while got < records {
+                        got += h
+                            .poll_subscription(sub, Duration::from_millis(20))
+                            .expect("live subscription")
+                            .len();
+                    }
+                } else {
+                    let mut cursor = SeqNum::ZERO;
+                    barrier.wait();
+                    while got < records {
+                        let batch = h.subscribe_from(color, cursor).expect("poll");
+                        if let Some(last) = batch.last() {
+                            cursor = last.sn;
+                        }
+                        got += batch.len();
+                    }
+                }
+                done.fetch_add(1, Ordering::Release);
+            });
+        }
+
+        let mut writer = c.handle();
+        let payload = Payload::from(vec![0xC3u8; PAYLOAD_BYTES]);
+        barrier.wait();
+        let t0 = Instant::now();
+        for _ in 0..records {
+            writer
+                .append_payloads(std::slice::from_ref(&payload), color)
+                .expect("append");
+        }
+        // The window closes when the slowest subscriber holds the full log.
+        while done.load(Ordering::Acquire) < subs {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        (t0, t0.elapsed())
+    });
+    let _ = t0;
+
+    let snap = c.obs().snapshot();
+    let push_hist = snap.histogram("sub.push_ns");
+    let r = FanoutResult {
+        mode: if push { "push" } else { "poll" },
+        subscribers: subs,
+        records,
+        elapsed,
+        goodput: (subs * records) as f64 / elapsed.as_secs_f64(),
+        push_p50_us: push_hist.map_or(0.0, |h| h.p50 as f64 / 1e3),
+        push_p99_us: push_hist.map_or(0.0, |h| h.p99 as f64 / 1e3),
+        push_batches: snap.counter("sub.push_batches"),
+        push_records: snap.counter("sub.push_records"),
+    };
+    c.shutdown();
+    r
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_fanout.json".to_string());
+    let mixed_ops = if quick {
+        QUICK_MIXED_OPS_PER_CLIENT
+    } else {
+        MIXED_OPS_PER_CLIENT
+    };
+    let fanout_records = if quick {
+        QUICK_FANOUT_RECORDS
+    } else {
+        FANOUT_RECORDS
+    };
+
+    let mut mixed: Vec<MixedResult> = Vec::new();
+    for &rr in &[0usize, 1] {
+        eprintln!("==> fanout: mixed rw, read_replicas_per_shard={rr}");
+        let r = run_mixed(rr, mixed_ops);
+        eprintln!(
+            "    {:>9} ops/s  modelled {:>9} ops/s  bottleneck {} ({:.1} ms, rreplica {:.1} ms)",
+            r.ops_per_s as u64,
+            r.ops_per_s_modelled as u64,
+            r.busiest_node,
+            r.busiest_node_busy_ms,
+            r.rreplica_busy_ms
+        );
+        mixed.push(r);
+    }
+
+    let mut fanout: Vec<FanoutResult> = Vec::new();
+    for &(subs, push) in &[(1usize, false), (1, true), (FANOUT_SUBS, true)] {
+        eprintln!(
+            "==> fanout: {} x{subs}, {fanout_records} records",
+            if push { "push" } else { "poll" }
+        );
+        let r = run_fanout(subs, fanout_records, push);
+        eprintln!(
+            "    goodput {:>11.0} rec·sub/s  push p50/p99 {:.0}/{:.0} us  ({:.2?})",
+            r.goodput, r.push_p50_us, r.push_p99_us, r.elapsed
+        );
+        fanout.push(r);
+    }
+
+    let poll_baseline = fanout
+        .iter()
+        .find(|r| r.mode == "poll" && r.subscribers == 1)
+        .map(|r| r.goodput)
+        .unwrap_or(0.0);
+    let push_100 = fanout
+        .iter()
+        .find(|r| r.mode == "push" && r.subscribers == FANOUT_SUBS)
+        .map(|r| r.goodput)
+        .unwrap_or(0.0);
+    let ratio = if poll_baseline > 0.0 {
+        push_100 / poll_baseline
+    } else {
+        0.0
+    };
+    eprintln!("==> goodput_100x_over_poll: {ratio:.1}x");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"fanout\",\n");
+    json.push_str(&format!("  \"seed\": {SEED},\n"));
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"payload_bytes\": {PAYLOAD_BYTES},\n"));
+    json.push_str(&format!("  \"replication_factor\": {REPLICATION_FACTOR},\n"));
+    json.push_str(&format!("  \"shards\": {SHARDS},\n"));
+    json.push_str(&format!("  \"mixed_clients\": {MIXED_CLIENTS},\n"));
+    json.push_str(&format!("  \"reads_per_append\": {READS_PER_APPEND},\n"));
+    json.push_str(&format!("  \"mixed_ops_per_client\": {mixed_ops},\n"));
+    json.push_str(&format!("  \"fanout_records\": {fanout_records},\n"));
+    json.push_str(&format!("  \"fanout_subscribers\": {FANOUT_SUBS},\n"));
+    json.push_str("  \"mixed\": [\n");
+    let rows: Vec<String> = mixed
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"read_replicas_per_shard\": {}, \"appends\": {}, \"reads\": {}, \"ops_per_s\": {:.1}, \"ops_per_s_modelled\": {:.1}, \"busiest_node\": \"{}\", \"busiest_node_busy_ms\": {:.2}, \"rreplica_busy_ms\": {:.2}, \"elapsed_ms\": {:.1}}}",
+                r.read_replicas,
+                r.appends,
+                r.reads,
+                r.ops_per_s,
+                r.ops_per_s_modelled,
+                r.busiest_node,
+                r.busiest_node_busy_ms,
+                r.rreplica_busy_ms,
+                r.elapsed.as_secs_f64() * 1e3
+            )
+        })
+        .collect();
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ],\n");
+    json.push_str("  \"fanout\": [\n");
+    let rows: Vec<String> = fanout
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"mode\": \"{}\", \"subscribers\": {}, \"records\": {}, \"goodput_rec_sub_per_s\": {:.1}, \"push_p50_us\": {:.1}, \"push_p99_us\": {:.1}, \"push_batches\": {}, \"push_records\": {}, \"elapsed_ms\": {:.1}}}",
+                r.mode,
+                r.subscribers,
+                r.records,
+                r.goodput,
+                r.push_p50_us,
+                r.push_p99_us,
+                r.push_batches,
+                r.push_records,
+                r.elapsed.as_secs_f64() * 1e3
+            )
+        })
+        .collect();
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ],\n");
+    json.push_str(&format!(
+        "  \"goodput_100x_over_poll\": {ratio:.2}\n"
+    ));
+    json.push_str("}\n");
+
+    std::fs::write(&out, &json).expect("write bench json");
+    eprintln!("==> wrote {out}");
+}

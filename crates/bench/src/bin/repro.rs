@@ -2,10 +2,12 @@
 //! paper's evaluation, in order. Pass `--quick` for a fast smoke run.
 use flexlog_bench::experiments as exp;
 
+type Suite = (&'static str, fn(bool) -> Vec<flexlog_bench::Table>);
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     println!("FlexLog reproduction suite (quick={quick})\n");
-    let suites: Vec<(&str, fn(bool) -> Vec<flexlog_bench::Table>)> = vec![
+    let suites: Vec<Suite> = vec![
         ("Table 1", exp::table1::run),
         ("Figure 1", exp::fig1::run),
         ("Figure 4", exp::fig4::run),

@@ -210,6 +210,12 @@ pub fn run_chaos(options: ChaosOptions) -> ChaosReport {
                         // this call returns.
                         let _ = ControlPlane::recover(cluster);
                     }
+                    FaultKind::CrashReadReplica { node } => {
+                        cluster.data().crash_read_replica(net, *node);
+                    }
+                    FaultKind::RestartReadReplica { node } => {
+                        cluster.data().restart_read_replica(net, *node);
+                    }
                     FaultKind::Heal => net.heal(),
                 }
             }

@@ -36,6 +36,12 @@ pub enum FaultKind {
     /// generation (fencing the zombie), and rolls every in-flight
     /// reconfiguration forward or back.
     RestartController,
+    /// Power-fail one read-only replica (it leaves the read path; clients
+    /// re-route reads and push subscriptions to the quorum).
+    CrashReadReplica { node: NodeId },
+    /// Restart a crashed read replica; it recovers from media and refills
+    /// through its steady-state sync pull — no quorum barrier.
+    RestartReadReplica { node: NodeId },
     /// Restore full connectivity.
     Heal,
 }
@@ -51,6 +57,10 @@ impl fmt::Display for FaultKind {
             }
             FaultKind::CrashController => write!(f, "crash controller"),
             FaultKind::RestartController => write!(f, "restart controller"),
+            FaultKind::CrashReadReplica { node } => write!(f, "crash read replica {node}"),
+            FaultKind::RestartReadReplica { node } => {
+                write!(f, "restart read replica {node}")
+            }
             FaultKind::Heal => write!(f, "heal all partitions"),
         }
     }

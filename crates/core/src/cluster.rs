@@ -30,6 +30,10 @@ pub struct ClusterSpec {
     pub shards_per_leaf: usize,
     /// Replicas per shard (paper default 3).
     pub replication_factor: usize,
+    /// Read-only replicas attached to each shard (0 = the write quorum
+    /// serves reads). Read replicas follow the quorum via the sync path
+    /// and absorb the read/subscription fan-out.
+    pub read_replicas_per_shard: usize,
     /// Backups per sequencer position (the paper's 2f; 0 disables
     /// fail-over machinery for benchmarks).
     pub backups_per_sequencer: usize,
@@ -53,6 +57,7 @@ impl Default for ClusterSpec {
             leaves: 0,
             shards_per_leaf: 1,
             replication_factor: 3,
+            read_replicas_per_shard: 0,
             backups_per_sequencer: 0,
             net: NetConfig::instant(),
             storage: StorageConfig::default(),
@@ -128,6 +133,7 @@ impl FlexLogCluster {
         let routes = RouteTable::new();
         let mut data_spec =
             DataLayerSpec::uniform(n_shards, spec.replication_factor, &leaf_roles);
+        data_spec.read_replicas_per_shard = spec.read_replicas_per_shard;
         data_spec.replica = ReplicaConfig {
             storage: spec.storage.clone(),
             read_hold: Duration::from_millis(10),
@@ -302,6 +308,12 @@ impl FlexLogCluster {
             self.admin.add_region_shard(RoleId(0), info.id);
         }
         info
+    }
+
+    /// Attaches one more read-only replica to `shard` at runtime and
+    /// registers it as a read target.
+    pub fn add_read_replica(&self, shard: ShardId) -> NodeId {
+        self.data.add_read_replica(&self.net, shard)
     }
 
     /// Spawns a brand-new leaf sequencer under `parent` at `epoch`

@@ -210,6 +210,7 @@ mod tests {
             id: ShardId(0),
             replicas: vec![flexlog_simnet::NodeId(1)],
             leaf: RoleId(1),
+            read_replicas: Vec::new(),
         });
         let mut regions = HashMap::new();
         regions.insert(RoleId(0), vec![ShardId(0)]);

@@ -1,6 +1,8 @@
 //! The per-function FlexLog handle: the FlexLog-API of Table 2.
 
-use flexlog_replication::{ClientError, FlexLogClient};
+use std::time::Duration;
+
+use flexlog_replication::{ClientError, FlexLogClient, Subscription};
 use flexlog_types::{ColorId, CommittedRecord, FunctionId, Payload, SeqNum, Token};
 
 use crate::{ColorAdmin, ColorError};
@@ -100,6 +102,37 @@ impl FlexLog {
         from: SeqNum,
     ) -> Result<Vec<CommittedRecord>, ClientError> {
         self.client.subscribe_from(color, from)
+    }
+
+    /// Opens a standing push subscription on `color`: the serving replicas
+    /// push committed spans as they land instead of this handle polling.
+    /// Drain with [`FlexLog::poll_subscription`].
+    pub fn subscribe_push(&mut self, color: ColorId) -> Result<Subscription, ClientError> {
+        self.client.subscribe_push(color)
+    }
+
+    /// [`FlexLog::subscribe_push`] starting above `from`.
+    pub fn subscribe_push_from(
+        &mut self,
+        color: ColorId,
+        from: SeqNum,
+    ) -> Result<Subscription, ClientError> {
+        self.client.subscribe_push_from(color, from)
+    }
+
+    /// Waits up to `wait` for pushed records on `sub` (possibly empty).
+    /// Returns [`ClientError::UnknownColor`] once the color is dropped.
+    pub fn poll_subscription(
+        &mut self,
+        sub: Subscription,
+        wait: Duration,
+    ) -> Result<Vec<CommittedRecord>, ClientError> {
+        self.client.poll_subscription(sub, wait)
+    }
+
+    /// Closes a push subscription.
+    pub fn unsubscribe(&mut self, sub: Subscription) {
+        self.client.unsubscribe(sub)
     }
 
     /// `Trim(SN, c)`: garbage-collects all records with SN ≤ `sn`; returns

@@ -41,9 +41,10 @@ pub use queue::MessageQueue;
 
 // Re-export the vocabulary so applications depend on one crate.
 pub use flexlog_obs::{
-    HistogramSummary, ObsHandle, Snapshot, Stage, Trace, TraceEvent, CTRL_TOKEN, SYNC_TOKEN,
+    HistogramSummary, ObsHandle, Snapshot, Stage, Trace, TraceEvent, CTRL_TOKEN, SUB_TOKEN,
+    SYNC_TOKEN,
 };
-pub use flexlog_replication::{ClientError, ClusterMsg};
+pub use flexlog_replication::{ClientError, ClusterMsg, Subscription};
 pub use flexlog_types::{ColorId, CommittedRecord, Epoch, FunctionId, SeqNum, Token};
 
 #[cfg(test)]

@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 use flexlog_core::{ColorError, FlexLogCluster};
 use flexlog_obs::{Counter, Stage, CTRL_TOKEN};
 use flexlog_ordering::{OrderMsg, RoleId};
-use flexlog_replication::{ClusterMsg, DataMsg, ShardInfo};
+use flexlog_replication::{ClusterMsg, DataMsg, ShardInfo, SubCursor};
 use flexlog_simnet::{Endpoint, NodeId, RecvError};
 use flexlog_types::{ColorId, Epoch, Payload, SeqNum, ShardId, Token};
 
@@ -650,7 +650,7 @@ impl<'a> ControlPlane<'a> {
                 // chunk would crawl through probe timeouts whenever a
                 // replica is down).
                 let above = marks.get(&shard.id).copied();
-                let (src, head, records) =
+                let (src, head, records, _) =
                     self.export_span(shard, color, above, chunk as u64, deadline)?;
                 let mut got = records.len();
                 shipped += got;
@@ -663,16 +663,18 @@ impl<'a> ControlPlane<'a> {
                 if let Some(h) = head {
                     mark = mark.max(h);
                 }
-                self.import_span(&dest.replicas, color, head, records, true, deadline)?;
+                // Catch-up rounds never hand cursors over — the source
+                // keeps pushing until the final freeze-window sliver.
+                self.import_span(&dest.replicas, color, head, records, true, Vec::new(), deadline)?;
                 while got == chunk {
-                    let (head, records) =
+                    let (head, records, _) =
                         self.export_from(src, color, Some(mark), chunk as u64, deadline)?;
                     got = records.len();
                     shipped += got;
                     if let Some(&(_, sn, _)) = records.last() {
                         mark = mark.max(sn);
                     }
-                    self.import_span(&dest.replicas, color, head, records, true, deadline)?;
+                    self.import_span(&dest.replicas, color, head, records, true, Vec::new(), deadline)?;
                 }
                 marks.insert(shard.id, mark);
             }
@@ -735,10 +737,14 @@ impl<'a> ControlPlane<'a> {
         // client is most likely to re-read right after cutover.
         for shard in sources {
             let above = marks.get(&shard.id).copied();
-            let (src, head, records) =
+            let (src, head, records, cursors) =
                 self.export_span(shard, color, above, u64::MAX, deadline)?;
             self.final_sliver_records.add(records.len() as u64);
-            self.import_span(&dest.replicas, color, head, records, false, deadline)?;
+            // The final hot sliver carries the source's subscription
+            // cursors: the destination's delegate replica adopts them and
+            // resumes pushing where the source stopped (subscribers the
+            // source later redirects re-register idempotently).
+            self.import_span(&dest.replicas, color, head, records, false, cursors, deadline)?;
             // Completeness check: the watermark is a max over shipped
             // SNs, and the commit order allows holes below it that fill
             // between rounds (an OResp can outrun its append broadcast).
@@ -973,7 +979,15 @@ impl<'a> ControlPlane<'a> {
         above: Option<SeqNum>,
         limit: u64,
         deadline: Instant,
-    ) -> Result<(NodeId, Option<SeqNum>, Vec<(Token, SeqNum, Payload)>), CtrlError> {
+    ) -> Result<
+        (
+            NodeId,
+            Option<SeqNum>,
+            Vec<(Token, SeqNum, Payload)>,
+            Vec<SubCursor>,
+        ),
+        CtrlError,
+    > {
         // Rank replicas by committed-record count so a lagging or freshly
         // recovered replica is not the one we copy from.
         let mut ranked: Vec<(u64, NodeId)> = Vec::new();
@@ -990,7 +1004,7 @@ impl<'a> ControlPlane<'a> {
         ranked.sort();
         while let Some((_, node)) = ranked.pop() {
             match self.export_from(node, color, above, limit, deadline) {
-                Ok((head, records)) => return Ok((node, head, records)),
+                Ok((head, records, cursors)) => return Ok((node, head, records, cursors)),
                 Err(CtrlError::Timeout(_)) if !ranked.is_empty() => {
                     // Try the next-best replica inside the same deadline.
                 }
@@ -1009,7 +1023,7 @@ impl<'a> ControlPlane<'a> {
         above: Option<SeqNum>,
         limit: u64,
         deadline: Instant,
-    ) -> Result<(Option<SeqNum>, Vec<(Token, SeqNum, Payload)>), CtrlError> {
+    ) -> Result<(Option<SeqNum>, Vec<(Token, SeqNum, Payload)>, Vec<SubCursor>), CtrlError> {
         let req = self.next_req();
         let _ = self
             .ep
@@ -1021,8 +1035,16 @@ impl<'a> ControlPlane<'a> {
             match self.ep.recv_timeout(left) {
                 Ok((
                     from,
-                    ClusterMsg::Data(DataMsg::SpanRecords { req: r, color: c, head, records }),
-                )) if r == req && c == color && from == node => return Ok((head, records)),
+                    ClusterMsg::Data(DataMsg::SpanRecords {
+                        req: r,
+                        color: c,
+                        head,
+                        records,
+                        cursors,
+                    }),
+                )) if r == req && c == color && from == node => {
+                    return Ok((head, records, cursors))
+                }
                 Ok(_) => {}
                 Err(RecvError::Timeout) => return Err(CtrlError::Timeout("copy")),
                 Err(RecvError::Disconnected) => return Err(CtrlError::Disconnected),
@@ -1096,7 +1118,7 @@ impl<'a> ControlPlane<'a> {
             }
         };
         self.final_sliver_records.add(records.len() as u64);
-        self.import_span(dest, color, None, records, false, deadline)
+        self.import_span(dest, color, None, records, false, Vec::new(), deadline)
     }
 
     /// Abort path: restore availability on the source shards. Retried
@@ -1155,6 +1177,7 @@ impl<'a> ControlPlane<'a> {
     /// Installs an exported span on every destination replica. `cold`
     /// routes the records straight to the destination's SSD tier (bulk
     /// catch-up history must not evict its PM/cache working set).
+    #[allow(clippy::too_many_arguments)]
     fn import_span(
         &mut self,
         replicas: &[NodeId],
@@ -1162,6 +1185,7 @@ impl<'a> ControlPlane<'a> {
         head: Option<SeqNum>,
         records: Vec<(Token, SeqNum, Payload)>,
         cold: bool,
+        cursors: Vec<SubCursor>,
         deadline: Instant,
     ) -> Result<(), CtrlError> {
         let req = self.next_req();
@@ -1176,6 +1200,7 @@ impl<'a> ControlPlane<'a> {
                     head,
                     records: records.clone(),
                     cold,
+                    cursors: cursors.clone(),
                 }
                 .into(),
             );

@@ -21,7 +21,9 @@ mod trace;
 pub use registry::{
     bucket_bounds, Counter, Gauge, Histogram, HistogramSummary, Registry, Snapshot, NUM_BUCKETS,
 };
-pub use trace::{Stage, Trace, TraceEvent, Tracer, CTRL_TOKEN, DEFAULT_TRACE_CAPACITY, SYNC_TOKEN};
+pub use trace::{
+    Stage, Trace, TraceEvent, Tracer, CTRL_TOKEN, DEFAULT_TRACE_CAPACITY, SUB_TOKEN, SYNC_TOKEN,
+};
 
 use flexlog_types::Token;
 

@@ -33,6 +33,11 @@ pub const SYNC_TOKEN: Token = Token(u64::MAX);
 /// reserved for sentinels by convention).
 pub const CTRL_TOKEN: Token = Token(u64::MAX - 1);
 
+/// Sentinel token for subscription-push events not attributable to a
+/// single record (backlog catch-up batches whose per-record tokens have
+/// aged out of the replica's recent-token window).
+pub const SUB_TOKEN: Token = Token(u64::MAX - 2);
+
 /// Pipeline stage of a traced event. The discriminant is the canonical
 /// ordering rank (the order stages appear along the append data path).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -74,6 +79,11 @@ pub enum Stage {
     /// A restarting controller rolled one in-flight reconfiguration
     /// forward or back from its intent WAL (detail = the WAL op id).
     CtrlRecover = 14,
+    /// A replica pushed a committed record to a registered subscriber
+    /// (detail = color id). Which replica serves a subscription and how
+    /// records fold into push batches both depend on timing, so the stage
+    /// is excluded from the canonical chain.
+    SubPush = 15,
 }
 
 impl Stage {
@@ -98,6 +108,7 @@ impl Stage {
             Stage::MigrateCutover => "migrate_cutover",
             Stage::MigrateCatchup => "migrate_catchup",
             Stage::CtrlRecover => "ctrl_recover",
+            Stage::SubPush => "sub_push",
         }
     }
 
@@ -119,6 +130,7 @@ impl Stage {
                 | Stage::MigrateCutover
                 | Stage::MigrateCatchup
                 | Stage::CtrlRecover
+                | Stage::SubPush
         )
     }
 }
@@ -379,7 +391,7 @@ impl Trace {
     }
 }
 
-const STAGE_BY_RANK: [Stage; 15] = [
+const STAGE_BY_RANK: [Stage; 16] = [
     Stage::ClientSend,
     Stage::ClientRetransmit,
     Stage::ReplicaStaged,
@@ -395,6 +407,7 @@ const STAGE_BY_RANK: [Stage; 15] = [
     Stage::MigrateCutover,
     Stage::MigrateCatchup,
     Stage::CtrlRecover,
+    Stage::SubPush,
 ];
 
 #[cfg(test)]

@@ -20,7 +20,7 @@
 //!   refcounted [`Payload`]s: retransmits and shard-wide broadcasts never
 //!   copy record bytes.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -60,6 +60,18 @@ pub struct ClientConfig {
     /// [`FlexLogClient::append_pipelined`]; the serial
     /// [`FlexLogClient::append`] ignores it.
     pub pipeline_window: usize,
+    /// Push-subscription liveness: after this long without any batch or
+    /// heartbeat from a stream's server, the client re-resolves a read
+    /// target and re-registers from its acked cursor. Should be a few
+    /// multiples of the servers' heartbeat interval.
+    pub sub_silence: Duration,
+    /// Push-subscription ack cadence: an [`DataMsg::SubAck`] goes out when
+    /// this much time passed since the last one (or the record budget
+    /// below is hit). Lazy acks keep the server-side fill window open for
+    /// late hole fills.
+    pub sub_ack_interval: Duration,
+    /// Records delivered since the last ack that force one immediately.
+    pub sub_ack_every: usize,
     /// Observability surface: append latency histograms plus the
     /// `ClientSend`/`ClientRetransmit`/`ClientAck` trace stages.
     pub obs: ObsHandle,
@@ -75,6 +87,9 @@ impl Default for ClientConfig {
             unreachable_after: 8,
             deadline: Duration::from_secs(30),
             pipeline_window: 32,
+            sub_silence: Duration::from_millis(600),
+            sub_ack_interval: Duration::from_millis(50),
+            sub_ack_every: 64,
             obs: ObsHandle::default(),
         }
     }
@@ -167,6 +182,46 @@ pub(crate) fn merge_span(
     span.1 = span.1.max(tail);
 }
 
+/// Handle of a standing push subscription opened with
+/// [`FlexLogClient::subscribe_push`]: drain it with
+/// [`FlexLogClient::poll_subscription`], close it with
+/// [`FlexLogClient::unsubscribe`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Subscription(u64);
+
+/// One per-shard stream of a push subscription. The wire id (`sub` in the
+/// protocol messages) identifies the stream cluster-wide; the serving
+/// replica may change under it (migration handoff, crash re-attach).
+struct SubStream {
+    shard: ShardId,
+    /// Last known server of this stream. Updated to whoever pushes —
+    /// a migration destination that adopted the cursor takes over silently.
+    target: NodeId,
+    /// Highest SN acknowledged to the server. Everything at or below is
+    /// delivered and will never legitimately arrive again.
+    sent_ack: SeqNum,
+    /// SNs delivered but not yet acked (> `sent_ack`): the dedup window
+    /// for handoff/re-attach re-pushes. Pruned on every ack.
+    delivered: BTreeSet<SeqNum>,
+    /// Records delivered since the last ack (lazy-ack budget).
+    unacked: usize,
+    last_ack: Instant,
+    last_heard: Instant,
+}
+
+/// Client-side state of one push subscription (one color, one stream per
+/// shard of the color).
+struct SubState {
+    color: ColorId,
+    /// Wire id → stream.
+    streams: HashMap<u64, SubStream>,
+    /// Records received and not yet handed to the application, in arrival
+    /// order (per-stream SN order).
+    ready: Vec<CommittedRecord>,
+    /// Terminal error (color dropped): surfaced on the next poll.
+    dead: Option<ClientError>,
+}
+
 /// One append in flight through the pipelined path.
 struct InflightAppend {
     color: ColorId,
@@ -203,6 +258,11 @@ pub struct FlexLogClient {
     /// Terminal failure (e.g. a `Dropped` reject) discovered while pumping
     /// pipelined appends; surfaced on the next pump.
     pending_error: Option<ClientError>,
+    /// Push subscriptions by handle.
+    subscriptions: HashMap<u64, SubState>,
+    /// Stream wire id → owning subscription handle.
+    sub_index: HashMap<u64, u64>,
+    sub_counter: u64,
 }
 
 impl FlexLogClient {
@@ -220,6 +280,9 @@ impl FlexLogClient {
             completed: Vec::new(),
             append_hist,
             pending_error: None,
+            subscriptions: HashMap::new(),
+            sub_index: HashMap::new(),
+            sub_counter: 0,
         }
     }
 
@@ -380,6 +443,12 @@ impl FlexLogClient {
                     Ok((from, ClusterMsg::Data(DataMsg::Rejected { token: t, reason }))) => {
                         self.note_reject(from, t, reason);
                     }
+                    Ok((from, ClusterMsg::Data(DataMsg::SubPushBatch { sub, color, records }))) => {
+                        self.note_push(from, sub, color, records);
+                    }
+                    Ok((from, ClusterMsg::Data(DataMsg::SubRedirect { sub, color, reason }))) => {
+                        self.note_redirect(from, sub, color, reason);
+                    }
                     Ok(_) => {} // stale message from a previous op
                     Err(RecvError::Timeout) => break,
                     Err(RecvError::Disconnected) => return Err(ClientError::Disconnected),
@@ -533,6 +602,12 @@ impl FlexLogClient {
                             ClusterMsg::Data(DataMsg::Rejected { token, reason }) => {
                                 self.note_reject(from, token, reason);
                             }
+                            ClusterMsg::Data(DataMsg::SubPushBatch { sub, color, records }) => {
+                                self.note_push(from, sub, color, records);
+                            }
+                            ClusterMsg::Data(DataMsg::SubRedirect { sub, color, reason }) => {
+                                self.note_redirect(from, sub, color, reason);
+                            }
                             _ => {} // stale response of some earlier blocking op
                         }
                     }
@@ -652,22 +727,35 @@ impl FlexLogClient {
     /// Reads the record with sequence number `sn` from the `color` log
     /// (Table 2 `Read(SN, c)`); `None` means no record holds that SN.
     pub fn read(&mut self, color: ColorId, sn: SeqNum) -> Result<Option<Payload>, ClientError> {
-        let shards = self.topology.shards_of(color);
-        if shards.is_empty() {
+        if !self.topology.knows_color(color) {
             return Err(ClientError::UnknownColor(color));
         }
         let deadline = Instant::now() + self.config.deadline;
         let mut backoff = Backoff::from_config(&self.config);
+        let mut attempt = 0u32;
         loop {
+            // Re-resolved every round: a crashed read replica or a mid-op
+            // cutover changes the target set.
+            let shards = self.topology.shards_of(color);
+            if shards.is_empty() {
+                return Err(ClientError::UnknownColor(color));
+            }
             let req = self.next_req();
-            // One random replica of every shard (§6.1 read protocol).
+            // One node of every shard (§6.1 read protocol). The first
+            // attempt prefers read replicas; a silent round falls back to
+            // the write quorum, which is always correct.
             let targets: Vec<NodeId> = shards
                 .iter()
                 .map(|s| {
-                    use rand::Rng;
-                    s.replicas[self.rng.gen_range(0..s.replicas.len())]
+                    if attempt == 0 {
+                        s.random_read_target(&mut self.rng)
+                    } else {
+                        use rand::Rng;
+                        s.replicas[self.rng.gen_range(0..s.replicas.len())]
+                    }
                 })
                 .collect();
+            attempt += 1;
             for &t in &targets {
                 let _ = self
                     .ep
@@ -689,6 +777,12 @@ impl FlexLogClient {
                             return Ok(None); // all shards answered ⊥
                         }
                     }
+                    Ok((from, ClusterMsg::Data(DataMsg::SubPushBatch { sub, color, records }))) => {
+                        self.note_push(from, sub, color, records);
+                    }
+                    Ok((from, ClusterMsg::Data(DataMsg::SubRedirect { sub, color, reason }))) => {
+                        self.note_redirect(from, sub, color, reason);
+                    }
                     Ok(_) => {}
                     Err(RecvError::Timeout) => break,
                     Err(RecvError::Disconnected) => return Err(ClientError::Disconnected),
@@ -708,21 +802,30 @@ impl FlexLogClient {
         color: ColorId,
         from: SeqNum,
     ) -> Result<Vec<CommittedRecord>, ClientError> {
-        let shards = self.topology.shards_of(color);
-        if shards.is_empty() {
+        if !self.topology.knows_color(color) {
             return Err(ClientError::UnknownColor(color));
         }
         let deadline = Instant::now() + self.config.deadline;
         let mut backoff = Backoff::from_config(&self.config);
+        let mut attempt = 0u32;
         loop {
+            let shards = self.topology.shards_of(color);
+            if shards.is_empty() {
+                return Err(ClientError::UnknownColor(color));
+            }
             let req = self.next_req();
             let targets: Vec<NodeId> = shards
                 .iter()
                 .map(|s| {
-                    use rand::Rng;
-                    s.replicas[self.rng.gen_range(0..s.replicas.len())]
+                    if attempt == 0 {
+                        s.random_read_target(&mut self.rng)
+                    } else {
+                        use rand::Rng;
+                        s.replicas[self.rng.gen_range(0..s.replicas.len())]
+                    }
                 })
                 .collect();
+            attempt += 1;
             for &t in &targets {
                 let _ = self
                     .ep
@@ -746,6 +849,12 @@ impl FlexLogClient {
                             return Ok(all);
                         }
                     }
+                    Ok((from, ClusterMsg::Data(DataMsg::SubPushBatch { sub, color, records }))) => {
+                        self.note_push(from, sub, color, records);
+                    }
+                    Ok((from, ClusterMsg::Data(DataMsg::SubRedirect { sub, color, reason }))) => {
+                        self.note_redirect(from, sub, color, reason);
+                    }
                     Ok(_) => {}
                     Err(RecvError::Timeout) => break,
                     Err(RecvError::Disconnected) => return Err(ClientError::Disconnected),
@@ -760,6 +869,306 @@ impl FlexLogClient {
     /// `Subscribe(c)`: the full current contents of the colored log.
     pub fn subscribe(&mut self, color: ColorId) -> Result<Vec<CommittedRecord>, ClientError> {
         self.subscribe_from(color, SeqNum::ZERO)
+    }
+
+    // ----- push subscriptions ---------------------------------------------
+
+    /// Opens a standing push subscription on `color` starting above `from`:
+    /// one stream per shard of the color, each registered on a read target
+    /// (read replicas when the shard has them). The servers push committed
+    /// spans from then on; drain them with
+    /// [`FlexLogClient::poll_subscription`].
+    ///
+    /// Delivery: per stream in SN order while its serving replica lives
+    /// (exactly the pull [`FlexLogClient::subscribe_from`] sequence); under
+    /// crashes and migrations at-least-once past the acked cursor, with
+    /// duplicates suppressed client-side. A rare commit that lands *below*
+    /// an already-pushed SN (a commit-order hole filling late, §6.3) is
+    /// delivered out of band and therefore out of order.
+    pub fn subscribe_push_from(
+        &mut self,
+        color: ColorId,
+        from: SeqNum,
+    ) -> Result<Subscription, ClientError> {
+        let shards = self.topology.shards_of(color);
+        if shards.is_empty() {
+            return Err(ClientError::UnknownColor(color));
+        }
+        self.sub_counter += 1;
+        let key = self.sub_counter;
+        let mut streams = HashMap::new();
+        let now = Instant::now();
+        for shard in shards {
+            let wire = self.next_req();
+            let target = shard.random_read_target(&mut self.rng);
+            let _ = self.ep.send(
+                target,
+                DataMsg::SubscribeFrom {
+                    color,
+                    from,
+                    sub: wire,
+                    reply_to: self.ep.id(),
+                }
+                .into(),
+            );
+            streams.insert(
+                wire,
+                SubStream {
+                    shard: shard.id,
+                    target,
+                    sent_ack: from,
+                    delivered: BTreeSet::new(),
+                    unacked: 0,
+                    last_ack: now,
+                    last_heard: now,
+                },
+            );
+            self.sub_index.insert(wire, key);
+        }
+        self.subscriptions.insert(
+            key,
+            SubState {
+                color,
+                streams,
+                ready: Vec::new(),
+                dead: None,
+            },
+        );
+        Ok(Subscription(key))
+    }
+
+    /// [`FlexLogClient::subscribe_push_from`] from the beginning of the log.
+    pub fn subscribe_push(&mut self, color: ColorId) -> Result<Subscription, ClientError> {
+        self.subscribe_push_from(color, SeqNum::ZERO)
+    }
+
+    /// Waits up to `wait` for pushed records on `sub` and returns whatever
+    /// arrived (possibly empty). Records are in per-stream SN order; acks
+    /// flow back automatically. Returns [`ClientError::UnknownColor`] once
+    /// the color is dropped — the subscription is then closed.
+    pub fn poll_subscription(
+        &mut self,
+        sub: Subscription,
+        wait: Duration,
+    ) -> Result<Vec<CommittedRecord>, ClientError> {
+        let deadline = Instant::now() + wait;
+        loop {
+            {
+                let Some(state) = self.subscriptions.get_mut(&sub.0) else {
+                    return Err(ClientError::Disconnected); // unknown handle
+                };
+                if let Some(e) = state.dead {
+                    return Err(e); // terminal; unsubscribe() cleans up
+                }
+                if !state.ready.is_empty() {
+                    return Ok(std::mem::take(&mut state.ready));
+                }
+            }
+            self.reattach_silent_streams(sub.0);
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(Vec::new());
+            }
+            let mut burst: Vec<(NodeId, ClusterMsg)> = Vec::new();
+            match self.ep.recv_batch(deadline - now, 256, &mut burst) {
+                Ok(_) => {
+                    for (from, msg) in burst.drain(..) {
+                        match msg {
+                            ClusterMsg::Data(DataMsg::SubPushBatch { sub, color, records }) => {
+                                self.note_push(from, sub, color, records);
+                            }
+                            ClusterMsg::Data(DataMsg::SubRedirect { sub, color, reason }) => {
+                                self.note_redirect(from, sub, color, reason);
+                            }
+                            ClusterMsg::Data(DataMsg::AppendAck { token, last_sn }) => {
+                                self.note_stray_ack(from, token, last_sn);
+                            }
+                            ClusterMsg::Data(DataMsg::Rejected { token, reason }) => {
+                                self.note_reject(from, token, reason);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                Err(RecvError::Timeout) => return Ok(Vec::new()),
+                Err(RecvError::Disconnected) => return Err(ClientError::Disconnected),
+            }
+        }
+    }
+
+    /// Closes a push subscription: cancels every stream server-side.
+    pub fn unsubscribe(&mut self, sub: Subscription) {
+        self.close_subscription(sub.0, true);
+    }
+
+    fn close_subscription(&mut self, key: u64, cancel: bool) {
+        let Some(state) = self.subscriptions.remove(&key) else {
+            return;
+        };
+        for (wire, stream) in state.streams {
+            self.sub_index.remove(&wire);
+            if cancel {
+                let _ = self
+                    .ep
+                    .send(stream.target, DataMsg::SubCancel { sub: wire }.into());
+            }
+        }
+    }
+
+    /// Re-registers every stream of `key` whose server went silent past
+    /// [`ClientConfig::sub_silence`] (crashed, partitioned, or the original
+    /// registration was lost): resolve a fresh read target for the color
+    /// and resume from the acked cursor. Re-pushed records dedup.
+    fn reattach_silent_streams(&mut self, key: u64) {
+        let Some(state) = self.subscriptions.get_mut(&key) else {
+            return;
+        };
+        let color = state.color;
+        let now = Instant::now();
+        let mut attach: Vec<(u64, NodeId, SeqNum)> = Vec::new();
+        for (&wire, stream) in state.streams.iter_mut() {
+            if now.saturating_duration_since(stream.last_heard) < self.config.sub_silence {
+                continue;
+            }
+            let shard_info = self
+                .topology
+                .shard(stream.shard)
+                .filter(|s| {
+                    self.topology
+                        .shards_of(color)
+                        .iter()
+                        .any(|cs| cs.id == s.id)
+                })
+                .or_else(|| self.topology.random_shard_of(color, &mut self.rng));
+            let Some(info) = shard_info else {
+                state.dead = Some(ClientError::UnknownColor(color));
+                return;
+            };
+            stream.shard = info.id;
+            stream.target = info.random_read_target(&mut self.rng);
+            stream.last_heard = now; // back off one silence window
+            attach.push((wire, stream.target, stream.sent_ack));
+        }
+        for (wire, target, from) in attach {
+            let _ = self.ep.send(
+                target,
+                DataMsg::SubscribeFrom {
+                    color,
+                    from,
+                    sub: wire,
+                    reply_to: self.ep.id(),
+                }
+                .into(),
+            );
+        }
+    }
+
+    /// Routes one pushed batch to its stream: dedup against the acked
+    /// floor and the delivered window, queue the fresh records, lazily ack.
+    /// The sender becomes the stream's server of record — that is how a
+    /// migration destination that adopted the cursor takes over.
+    fn note_push(
+        &mut self,
+        from: NodeId,
+        wire: u64,
+        _color: ColorId,
+        records: Vec<CommittedRecord>,
+    ) {
+        let Some(&key) = self.sub_index.get(&wire) else {
+            // Unknown stream (unsubscribed, or state lost): stop the flow.
+            let _ = self.ep.send(from, DataMsg::SubCancel { sub: wire }.into());
+            return;
+        };
+        let Some(state) = self.subscriptions.get_mut(&key) else {
+            return;
+        };
+        let Some(stream) = state.streams.get_mut(&wire) else {
+            return;
+        };
+        stream.last_heard = Instant::now();
+        stream.target = from;
+        for r in records {
+            if r.sn <= stream.sent_ack || !stream.delivered.insert(r.sn) {
+                continue; // duplicate (handoff/re-attach re-push)
+            }
+            stream.unacked += 1;
+            state.ready.push(r);
+        }
+        // Lazy ack: the acked cursor is what survives crash re-attach and
+        // migration handoff; trailing it slightly keeps the server-side
+        // late-fill window open.
+        let due = stream.unacked >= self.config.sub_ack_every
+            || (stream.unacked > 0
+                && stream.last_ack.elapsed() >= self.config.sub_ack_interval);
+        if due {
+            if let Some(&upto) = stream.delivered.iter().next_back() {
+                stream.sent_ack = upto;
+                stream.delivered.clear();
+                stream.unacked = 0;
+                stream.last_ack = Instant::now();
+                let _ = self
+                    .ep
+                    .send(stream.target, DataMsg::SubAck { sub: wire, upto }.into());
+            }
+        }
+    }
+
+    /// Handles a server-initiated redirect: `Dropped` kills the
+    /// subscription terminally; `ColorMoved`/`Frozen` re-resolves the
+    /// topology and re-registers from the acked cursor — unless a new
+    /// server (the migration destination) already took the stream over.
+    fn note_redirect(&mut self, from: NodeId, wire: u64, color: ColorId, reason: RejectReason) {
+        let Some(&key) = self.sub_index.get(&wire) else {
+            return;
+        };
+        let Some(state) = self.subscriptions.get_mut(&key) else {
+            return;
+        };
+        if reason == RejectReason::Dropped {
+            state.dead = Some(ClientError::UnknownColor(color));
+            return;
+        }
+        let Some(stream) = state.streams.get_mut(&wire) else {
+            return;
+        };
+        if stream.target != from {
+            // The cursor handoff already re-homed this stream; the old
+            // server's redirect is stale.
+            return;
+        }
+        let covered: HashSet<ShardId> = state
+            .streams
+            .iter()
+            .filter(|(&w, _)| w != wire)
+            .map(|(_, s)| s.shard)
+            .collect();
+        let shards = self.topology.shards_of(color);
+        let Some(info) = shards
+            .iter()
+            .find(|s| !covered.contains(&s.id))
+            .or(shards.first())
+        else {
+            state.dead = Some(ClientError::UnknownColor(color));
+            return;
+        };
+        let Some(stream) = state.streams.get_mut(&wire) else {
+            return;
+        };
+        stream.shard = info.id;
+        stream.target = info.random_read_target(&mut self.rng);
+        stream.last_heard = Instant::now();
+        let target = stream.target;
+        let sent_ack = stream.sent_ack;
+        let _ = self.ep.send(
+            target,
+            DataMsg::SubscribeFrom {
+                color,
+                from: sent_ack,
+                sub: wire,
+                reply_to: self.ep.id(),
+            }
+            .into(),
+        );
     }
 
     /// Deletes all records of `color` with SN ≤ `up_to`; returns the
@@ -799,6 +1208,12 @@ impl FlexLogClient {
                         if acked.len() == all_replicas.len() {
                             return Ok(span);
                         }
+                    }
+                    Ok((from, ClusterMsg::Data(DataMsg::SubPushBatch { sub, color, records }))) => {
+                        self.note_push(from, sub, color, records);
+                    }
+                    Ok((from, ClusterMsg::Data(DataMsg::SubRedirect { sub, color, reason }))) => {
+                        self.note_redirect(from, sub, color, reason);
                     }
                     Ok(_) => {}
                     Err(RecvError::Timeout) => break,
@@ -856,6 +1271,12 @@ impl FlexLogClient {
                 match self.ep.recv_timeout(retry_at.saturating_duration_since(Instant::now())) {
                     Ok((_, ClusterMsg::Data(DataMsg::MultiAck { req: r }))) if r == req => {
                         return Ok(());
+                    }
+                    Ok((from, ClusterMsg::Data(DataMsg::SubPushBatch { sub, color, records }))) => {
+                        self.note_push(from, sub, color, records);
+                    }
+                    Ok((from, ClusterMsg::Data(DataMsg::SubRedirect { sub, color, reason }))) => {
+                        self.note_redirect(from, sub, color, reason);
                     }
                     Ok(_) => {}
                     Err(RecvError::Timeout) => break,

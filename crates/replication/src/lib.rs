@@ -27,12 +27,15 @@
 
 mod client;
 mod msg;
+mod read_replica;
 mod replica;
 mod service;
+mod subs;
 mod topology;
 
-pub use client::{ClientConfig, ClientError, FlexLogClient};
-pub use msg::{ClusterMsg, DataMsg, RejectReason};
+pub use client::{ClientConfig, ClientError, FlexLogClient, Subscription};
+pub use msg::{ClusterMsg, DataMsg, RejectReason, SubCursor};
+pub use read_replica::{ReadReplicaConfig, ReadReplicaNode};
 pub use replica::{ReplicaConfig, ReplicaNode};
 pub use service::{DataLayerHandle, DataLayerService, DataLayerSpec};
 pub use topology::{ShardInfo, TopologyView};

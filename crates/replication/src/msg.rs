@@ -37,6 +37,40 @@ pub enum DataMsg {
         records: Vec<CommittedRecord>,
     },
 
+    // ----- push subscriptions (subscription groups) -----
+    /// Client → one replica of one shard: register a standing tail cursor
+    /// for `color` at `from`. The replica answers immediately with a
+    /// (possibly empty) [`DataMsg::SubPushBatch`] and from then on pushes
+    /// committed spans as they land. Registration is idempotent per `sub`:
+    /// re-registering moves the cursor to `from`.
+    SubscribeFrom {
+        color: ColorId,
+        from: SeqNum,
+        sub: u64,
+        reply_to: NodeId,
+    },
+    /// Replica → subscriber: committed records of `color` above the
+    /// subscriber's cursor, in SN order. An empty batch is a liveness
+    /// heartbeat (the subscriber re-attaches elsewhere when these stop).
+    SubPushBatch {
+        sub: u64,
+        color: ColorId,
+        records: Vec<CommittedRecord>,
+    },
+    /// Subscriber → replica: delivered everything up to `upto`; the acked
+    /// cursor is what survives crash re-attach and migration handoff.
+    SubAck { sub: u64, upto: SeqNum },
+    /// Subscriber → replica: tear the subscription down.
+    SubCancel { sub: u64 },
+    /// Replica → subscriber: this replica stopped serving the color
+    /// (`ColorMoved` after a cutover — re-resolve the topology and
+    /// re-register; `Dropped` — terminal, the color was destroyed).
+    SubRedirect {
+        sub: u64,
+        color: ColorId,
+        reason: RejectReason,
+    },
+
     /// Client → all replicas of all shards of the color: delete ≤ `up_to`.
     Trim { color: ColorId, up_to: SeqNum, req: u64 },
     /// Replica → replica: I applied this trim (second round of §6.2).
@@ -134,6 +168,10 @@ pub enum DataMsg {
         color: ColorId,
         head: Option<SeqNum>,
         records: Vec<(Token, SeqNum, Payload)>,
+        /// Subscription cursors registered on the exporting replica for
+        /// this color: like freeze marks, they ride the migration so the
+        /// destination resumes pushing where the source stopped.
+        cursors: Vec<SubCursor>,
     },
     /// Control plane → destination replicas: install an exported span
     /// (idempotent per (color, sn); tokens feed the idempotence map so
@@ -150,6 +188,10 @@ pub enum DataMsg {
         /// freeze-window sliver ships hot (`false`) so the records a
         /// client is about to re-read stay warm.
         cold: bool,
+        /// Subscription cursors handed over from the source (final hot
+        /// sliver only). The delegate destination replica adopts them and
+        /// resumes pushing from each subscriber's acked SN.
+        cursors: Vec<SubCursor>,
     },
     /// Reply to [`DataMsg::ImportSpan`]: `imported` new records installed.
     ImportAck { req: u64, imported: u64 },
@@ -201,6 +243,17 @@ pub enum DataMsg {
 
     /// Orderly shutdown (test harness).
     Shutdown,
+}
+
+/// A subscription cursor in flight between replicas (migration handoff):
+/// enough to resume pushing — the subscriber's address and the SN it has
+/// acknowledged. Resuming from `acked` (not the optimistic push cursor)
+/// means a handoff can re-push in-flight records; subscribers dedup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubCursor {
+    pub sub: u64,
+    pub target: NodeId,
+    pub acked: SeqNum,
 }
 
 /// Why a replica nacked an append (epoch-fencing during reconfiguration).

@@ -32,6 +32,7 @@ use flexlog_storage::{StorageConfig, StorageServer};
 use flexlog_types::{ColorId, Epoch, FunctionId, Payload, SeqNum, ShardId, Token};
 
 use crate::msg::{ClusterMsg, DataMsg, RejectReason};
+use crate::subs::{RecentTokens, SubTable};
 use crate::TopologyView;
 
 /// Magic prefix of a multi-color-append set staged in the special color.
@@ -94,6 +95,9 @@ pub struct ReplicaConfig {
     /// Per-color OReq routing overrides (leaf-sequencer splits re-home
     /// colors away from `leaf_role` without moving the shard).
     pub routes: RouteTable,
+    /// Liveness heartbeat interval for idle push subscriptions (an empty
+    /// `SubPushBatch`; subscribers re-attach elsewhere when these stop).
+    pub sub_heartbeat: Duration,
 }
 
 impl Default for ReplicaConfig {
@@ -107,6 +111,7 @@ impl Default for ReplicaConfig {
             oreq_resend: Duration::from_millis(200),
             sync_timeout: Duration::from_millis(500),
             routes: RouteTable::new(),
+            sub_heartbeat: Duration::from_millis(150),
         }
     }
 }
@@ -164,8 +169,10 @@ pub struct ReplicaNode {
     mode: Mode,
     /// Clients (and peer replicas acting as clients) awaiting acks per token.
     reply_tos: HashMap<Token, HashSet<NodeId>>,
-    /// OResps that arrived before the matching Append.
-    pending_oresp: HashMap<Token, SeqNum>,
+    /// OResps that arrived before the matching Append, with arrival time —
+    /// young entries act as a push barrier so subscription pushes never
+    /// skip past a commit-order hole the replica knows will fill.
+    pending_oresp: HashMap<Token, (SeqNum, Instant)>,
     /// Last OReq send time per staged token (resend on silence).
     oreq_sent: HashMap<Token, Instant>,
     /// Last staged-token resend scan (see [`Replica::tick`]): the scan
@@ -201,6 +208,14 @@ pub struct ReplicaNode {
     /// Highest controller generation seen — the zombie fence. Mutating
     /// ctrl messages carrying a lower generation are nacked.
     ctrl_gen: u64,
+    /// Standing push subscriptions served by this replica.
+    subs: SubTable,
+    /// Staged token → color (so a commit knows which color's subscribers
+    /// to push to); rebuilt from the storage staged set on the throttled
+    /// resend scan, kept incrementally in between.
+    staged_colors: HashMap<Token, ColorId>,
+    /// Recently committed (color, sn) → token, for `SubPush` tracing.
+    recent_tokens: RecentTokens,
 }
 
 enum Deferred {
@@ -234,6 +249,7 @@ impl ReplicaNode {
         start_with_sync: bool,
     ) -> Self {
         let commit_hist = config.storage.obs.histogram("replica.commit_batch_ns");
+        let subs = SubTable::new(&config.storage.obs, config.sub_heartbeat);
         ReplicaNode {
             config,
             directory,
@@ -260,6 +276,9 @@ impl ReplicaNode {
             moved: HashSet::new(),
             dropped: HashSet::new(),
             ctrl_gen: 0,
+            subs,
+            staged_colors: HashMap::new(),
+            recent_tokens: RecentTokens::new(),
         }
     }
 
@@ -317,8 +336,14 @@ impl ReplicaNode {
         loop {
             // Adaptive idle tick: with no held reads and no sync in flight
             // nothing in `tick()` is deadline-sensitive below the resend
-            // scan granularity, so sleep longer and cut idle wakeups.
-            let tick = if self.held_reads.is_empty() && matches!(self.mode, Mode::Operational) {
+            // scan granularity, so sleep longer and cut idle wakeups. A
+            // subscriber still catching up (its push frontier trails the
+            // tail) forces the short tick: each pump ships one capped
+            // chunk, and the next chunk must not wait a full idle period.
+            let tick = if self.held_reads.is_empty()
+                && matches!(self.mode, Mode::Operational)
+                && (self.subs.is_empty() || self.subs.all_caught_up(&self.storage))
+            {
                 self.config.oreq_resend / 8
             } else {
                 self.config
@@ -407,6 +432,40 @@ impl ReplicaNode {
                 let records = self.storage.scan(color, from_sn);
                 let _ = ep.send(from, DataMsg::SubscribeResp { req, records }.into());
             }
+            DataMsg::SubscribeFrom { color, from: from_sn, sub, reply_to } => {
+                if matches!(self.mode, Mode::Syncing(_)) {
+                    // The log may be mid-fetch; register once it is whole.
+                    self.deferred.push_back((
+                        from,
+                        Deferred::Data(DataMsg::SubscribeFrom { color, from: from_sn, sub, reply_to }),
+                    ));
+                    return true;
+                }
+                match self.fence_reason(color) {
+                    Some(reason @ (RejectReason::ColorMoved | RejectReason::Dropped)) => {
+                        let _ = ep.send(
+                            reply_to,
+                            DataMsg::SubRedirect { sub, color, reason }.into(),
+                        );
+                    }
+                    // Frozen colors still serve reads and subscriptions.
+                    _ => {
+                        let barrier = self.sub_barrier();
+                        self.subs.register(
+                            ep,
+                            &self.storage,
+                            &self.recent_tokens,
+                            sub,
+                            color,
+                            from_sn,
+                            reply_to,
+                            barrier,
+                        );
+                    }
+                }
+            }
+            DataMsg::SubAck { sub, upto } => self.subs.ack(sub, upto),
+            DataMsg::SubCancel { sub } => self.subs.cancel(sub),
             DataMsg::Trim { color, up_to, req } => {
                 let _ = self.storage.trim(color, up_to);
                 // Second round: tell every peer we applied it; collect
@@ -562,7 +621,11 @@ impl ReplicaNode {
                 let from_sn = head.unwrap_or(SeqNum::ZERO).max(above.unwrap_or(SeqNum::ZERO));
                 let cap = usize::try_from(limit).unwrap_or(usize::MAX);
                 let records = self.storage.scan_with_tokens_capped(color, from_sn, cap);
-                let _ = ep.send(from, DataMsg::SpanRecords { req, color, head, records }.into());
+                let cursors = self.subs.export_cursors(color);
+                let _ = ep.send(
+                    from,
+                    DataMsg::SpanRecords { req, color, head, records, cursors }.into(),
+                );
             }
             DataMsg::SpanDigest { color, req } => {
                 let head = self.storage.head(color);
@@ -572,9 +635,13 @@ impl ReplicaNode {
             DataMsg::FetchRecords { color, req, sns } => {
                 let head = self.storage.head(color);
                 let records = self.storage.fetch_with_tokens(color, &sns);
-                let _ = ep.send(from, DataMsg::SpanRecords { req, color, head, records }.into());
+                let cursors = self.subs.export_cursors(color);
+                let _ = ep.send(
+                    from,
+                    DataMsg::SpanRecords { req, color, head, records, cursors }.into(),
+                );
             }
-            DataMsg::ImportSpan { color, gen, req, head, records, cold } => {
+            DataMsg::ImportSpan { color, gen, req, head, records, cold, cursors } => {
                 if self.ctrl_stale(ep, from, gen, req) {
                     return true;
                 }
@@ -597,6 +664,14 @@ impl ReplicaNode {
                     ep.id().0,
                     color.0 as u64,
                 );
+                // Subscription cursors ride the final hot sliver. Only the
+                // shard's delegate adopts them — every destination replica
+                // receives the import, and N replicas each pushing to the
+                // same subscriber would multiply every record by N.
+                if !cursors.is_empty() && self.is_oreq_delegate(ep) {
+                    self.subs
+                        .adopt_cursors(ep, &self.storage, &self.recent_tokens, color, &cursors);
+                }
                 let _ = ep.send(from, DataMsg::ImportAck { req, imported }.into());
             }
             DataMsg::AdoptColor { color, gen, req } => {
@@ -614,6 +689,10 @@ impl ReplicaNode {
                 }
                 self.frozen.remove(&color);
                 self.moved.insert(color);
+                // Never strand a subscriber on the old shard: its cursor
+                // already rode the final ImportSpan to the destination;
+                // the redirect tells it to re-resolve the topology too.
+                self.subs.redirect_color(ep, color, RejectReason::ColorMoved);
                 self.config.storage.obs.trace_event(
                     CTRL_TOKEN,
                     Stage::MigrateCutover,
@@ -628,6 +707,9 @@ impl ReplicaNode {
                 }
                 self.frozen.remove(&color);
                 self.dropped.insert(color);
+                // Terminal for subscribers: the color will never commit
+                // another record anywhere.
+                self.subs.redirect_color(ep, color, RejectReason::Dropped);
                 let _ = ep.send(from, DataMsg::CtrlAck { req }.into());
             }
             DataMsg::DiscardColor { color, gen, req } => {
@@ -638,6 +720,9 @@ impl ReplicaNode {
                 // records (idempotent — a repeat discard finds nothing).
                 let _ = self.storage.discard_color(color);
                 self.frozen.remove(&color);
+                // Cursors adopted from an aborted migration go back through
+                // topology re-resolution (the source was unfrozen).
+                self.subs.redirect_color(ep, color, RejectReason::ColorMoved);
                 let _ = ep.send(from, DataMsg::CtrlAck { req }.into());
             }
             DataMsg::ControllerHello { gen, req } => {
@@ -650,7 +735,8 @@ impl ReplicaNode {
             | DataMsg::MultiAck { .. } | DataMsg::CtrlAck { .. } | DataMsg::CtrlColorInfo { .. }
             | DataMsg::SpanRecords { .. } | DataMsg::ImportAck { .. }
             | DataMsg::SpanDigestResp { .. } | DataMsg::Rejected { .. }
-            | DataMsg::CtrlNack { .. } => {
+            | DataMsg::CtrlNack { .. } | DataMsg::SubPushBatch { .. }
+            | DataMsg::SubRedirect { .. } => {
                 // Client-side messages; a replica can ignore strays.
             }
             DataMsg::Shutdown => return false,
@@ -736,13 +822,14 @@ impl ReplicaNode {
                 return;
             }
         };
+        self.staged_colors.insert(token, color);
         if newly {
             self.config
                 .storage
                 .obs
                 .trace_event(token, Stage::ReplicaStaged, ep.id().0, 0);
         }
-        if let Some(sn) = self.pending_oresp.remove(&token) {
+        if let Some((sn, _)) = self.pending_oresp.remove(&token) {
             self.apply_oresp(ep, token, sn);
             return;
         }
@@ -819,17 +906,22 @@ impl ReplicaNode {
         let results = self.storage.commit_many(resps);
         let mut committed: Vec<(Token, SeqNum)> = Vec::new();
         let mut spans: Vec<(Token, Stage, u64, u64)> = Vec::new();
+        let mut fills: Vec<(ColorId, SeqNum, Token)> = Vec::new();
         for (&(token, last_sn), result) in resps.iter().zip(results) {
             match result {
                 Ok(_) => {
                     self.oreq_sent.remove(&token);
                     spans.push((token, Stage::ReplicaCommit, ep.id().0, 0));
                     committed.push((token, last_sn));
+                    if let Some(color) = self.staged_colors.remove(&token) {
+                        self.recent_tokens.insert(color, last_sn, token);
+                        fills.push((color, last_sn, token));
+                    }
                 }
                 Err(_) => {
                     // Append not here yet (client broadcast still in
                     // flight): remember the SN.
-                    self.pending_oresp.insert(token, last_sn);
+                    self.pending_oresp.insert(token, (last_sn, Instant::now()));
                 }
             }
         }
@@ -848,6 +940,42 @@ impl ReplicaNode {
             }
         }
         self.release_held_reads(ep);
+        if !self.subs.is_empty() {
+            // A commit below some subscriber's push frontier is a hole that
+            // just filled (its OResp outlived the barrier window): deliver
+            // it out of band, then pump the in-order frontier forward.
+            for (color, sn, token) in fills {
+                self.subs.push_fill(ep, &self.storage, color, sn, token);
+            }
+            self.pump_subs(ep);
+        }
+    }
+
+    /// The lowest SN of a commit this replica knows is still in flight (an
+    /// OResp whose append broadcast has not arrived yet, observed less than
+    /// a hold window ago): subscription pushes stop short of it so the late
+    /// record is not skipped past. Entries older than the window stop
+    /// blocking pushes (the append may never arrive — client crash or
+    /// partition) and are delivered by `push_fill` if they do commit.
+    fn sub_barrier(&self) -> Option<SeqNum> {
+        if self.pending_oresp.is_empty() {
+            return None;
+        }
+        let now = Instant::now();
+        self.pending_oresp
+            .values()
+            .filter(|&&(_, at)| now.saturating_duration_since(at) < self.config.read_hold)
+            .map(|&(sn, _)| sn)
+            .min()
+    }
+
+    fn pump_subs(&mut self, ep: &Endpoint<ClusterMsg>) {
+        if self.subs.is_empty() {
+            return;
+        }
+        let barrier = self.sub_barrier();
+        self.subs
+            .pump(ep, &self.storage, &self.recent_tokens, barrier);
     }
 
     fn handle_read(
@@ -1209,10 +1337,15 @@ impl ReplicaNode {
             }
         }
         self.release_held_reads(ep);
+        // Sync may have installed records (possibly below push frontiers —
+        // those were never pushed from here and re-attachment covers them);
+        // push whatever the frontier can now advance over.
+        self.pump_subs(ep);
     }
 
     fn reissue_staged_oreqs(&mut self, ep: &Endpoint<ClusterMsg>) {
         for (token, color, n) in self.storage.staged_tokens() {
+            self.staged_colors.insert(token, color);
             self.send_oreq(ep, color, token, n as u32);
         }
     }
@@ -1244,9 +1377,12 @@ impl ReplicaNode {
                     >= self.config.oreq_resend / 4
                 {
                     self.last_oreq_scan = now;
-                    let stale: Vec<(Token, ColorId, usize)> = self
-                        .storage
-                        .staged_tokens()
+                    let staged = self.storage.staged_tokens();
+                    // The staged set is authoritative for token → color:
+                    // resync the incremental map to it (drops entries whose
+                    // records were discarded, repopulates after recovery).
+                    self.staged_colors = staged.iter().map(|&(t, c, _)| (t, c)).collect();
+                    let stale: Vec<(Token, ColorId, usize)> = staged
                         .into_iter()
                         .filter(|(t, _, _)| {
                             self.oreq_sent
@@ -1258,6 +1394,10 @@ impl ReplicaNode {
                         self.send_oreq(ep, color, token, n as u32);
                     }
                 }
+                // Keep pushes flowing between commits: catch-up chunks for
+                // subscribers behind the tail, heartbeats for idle ones,
+                // and barrier lifts (a pending OResp aged out).
+                self.pump_subs(ep);
             }
             Mode::Syncing(s) => {
                 if now - s.started > self.config.sync_timeout {

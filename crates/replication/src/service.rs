@@ -14,7 +14,9 @@ use flexlog_storage::{StorageConfig, StorageServer};
 use flexlog_types::{ColorId, ShardId};
 
 use crate::msg::{ClusterMsg, DataMsg};
-use crate::{ReplicaConfig, ReplicaNode, ShardInfo, TopologyView};
+use crate::{
+    ReadReplicaConfig, ReadReplicaNode, ReplicaConfig, ReplicaNode, ShardInfo, TopologyView,
+};
 
 /// One shard to spawn.
 #[derive(Clone, Debug)]
@@ -34,6 +36,9 @@ pub struct DataLayerSpec {
     pub replica: ReplicaConfig,
     /// Initial color → shards mapping.
     pub colors: Vec<(ColorId, Vec<ShardId>)>,
+    /// Read-only replicas to attach to every shard (0 = reads are served
+    /// by the write quorum, the pre-PR9 behavior).
+    pub read_replicas_per_shard: usize,
 }
 
 impl DataLayerSpec {
@@ -52,6 +57,7 @@ impl DataLayerSpec {
             shards,
             replica: ReplicaConfig::default(),
             colors: Vec::new(),
+            read_replicas_per_shard: 0,
         }
     }
 }
@@ -62,11 +68,18 @@ struct ReplicaSlot {
     storage: Arc<StorageServer>,
 }
 
+struct ReadReplicaSlot {
+    config: ReadReplicaConfig,
+    devices: (Arc<PmDevice>, Arc<SsdDevice>),
+    storage: Arc<StorageServer>,
+}
+
 /// Running data layer.
 pub struct DataLayerHandle {
     pub topology: TopologyView,
     threads: Mutex<Vec<JoinHandle<()>>>,
     slots: Mutex<HashMap<NodeId, ReplicaSlot>>,
+    read_slots: Mutex<HashMap<NodeId, ReadReplicaSlot>>,
     control: flexlog_simnet::Endpoint<ClusterMsg>,
     /// Per-replica template for shards added at runtime (scale-out).
     template: ReplicaConfig,
@@ -102,6 +115,7 @@ impl DataLayerService {
                 id: shard.id,
                 replicas: nodes.clone(),
                 leaf: shard.leaf_role,
+                read_replicas: Vec::new(),
             });
             shard_nodes.insert(shard.id, nodes);
         }
@@ -142,13 +156,21 @@ impl DataLayerService {
         }
 
         let control = net.register(NodeId::named(0, (u64::MAX >> 4) - 1));
-        DataLayerHandle {
+        let handle = DataLayerHandle {
             topology,
             threads: Mutex::new(threads),
             slots: Mutex::new(slots),
+            read_slots: Mutex::new(HashMap::new()),
             control,
             template: spec.replica.clone(),
+        };
+        // Third pass: attach read-only replicas.
+        for shard in &spec.shards {
+            for _ in 0..spec.read_replicas_per_shard {
+                handle.add_read_replica(net, shard.id);
+            }
         }
+        handle
     }
 }
 
@@ -260,6 +282,7 @@ impl DataLayerHandle {
             id: shard_id,
             replicas: nodes.clone(),
             leaf: leaf_role,
+            read_replicas: Vec::new(),
         };
         self.topology.add_shard(info.clone());
         let mut threads = self.threads.lock();
@@ -293,6 +316,104 @@ impl DataLayerHandle {
         info
     }
 
+    /// Attaches one new read-only replica to `shard` and spawns it. The
+    /// topology registers it as a read target, so client read traffic
+    /// shifts onto it from the next resolution.
+    pub fn add_read_replica(&self, net: &Network<ClusterMsg>, shard: ShardId) -> NodeId {
+        let quorum = self.shard_replicas(shard);
+        assert!(!quorum.is_empty(), "unknown shard {shard:?}");
+        let mut read_slots = self.read_slots.lock();
+        let next = read_slots
+            .keys()
+            .map(|n| n.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let node = NodeId::named(NodeId::CLASS_READ_REPLICA, next);
+        let config = ReadReplicaConfig {
+            shard,
+            quorum,
+            storage: self.template.storage.clone(),
+            read_hold: self.template.read_hold,
+            sub_heartbeat: self.template.sub_heartbeat,
+            ..ReadReplicaConfig::default()
+        };
+        let rr = ReadReplicaNode::new(config.clone(), self.topology.clone());
+        let storage = rr.storage();
+        let devices = storage.devices();
+        read_slots.insert(
+            node,
+            ReadReplicaSlot {
+                config,
+                devices,
+                storage,
+            },
+        );
+        drop(read_slots);
+        let ep = net.register(node);
+        self.threads.lock().push(
+            std::thread::Builder::new()
+                .name(format!("{node}"))
+                .spawn(move || rr.run(ep))
+                .expect("spawn read replica"),
+        );
+        self.topology.add_read_replica(shard, node);
+        node
+    }
+
+    /// All read-replica node ids, sorted.
+    pub fn read_replicas(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.read_slots.lock().keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// The storage server of a read replica.
+    pub fn read_storage_of(&self, node: NodeId) -> Option<Arc<StorageServer>> {
+        self.read_slots
+            .lock()
+            .get(&node)
+            .map(|s| Arc::clone(&s.storage))
+    }
+
+    /// Crashes a read replica and deregisters it as a read target so
+    /// clients re-route (its durable devices keep their state).
+    pub fn crash_read_replica(&self, net: &Network<ClusterMsg>, node: NodeId) {
+        let shard = self.read_slots.lock().get(&node).map(|s| s.config.shard);
+        net.crash(node);
+        if let Some(shard) = shard {
+            self.topology.remove_read_replica(shard, node);
+        }
+    }
+
+    /// Restarts a crashed read replica. Devices power-fail, storage
+    /// recovers from media, and the steady-state sync pull refills the
+    /// rest — no quorum barrier is needed for a follower.
+    pub fn restart_read_replica(&self, net: &Network<ClusterMsg>, node: NodeId) {
+        let (config, storage) = {
+            let mut slots = self.read_slots.lock();
+            let slot = slots.get_mut(&node).expect("unknown read replica");
+            let (pm, ssd) = slot.devices.clone();
+            pm.crash();
+            ssd.crash();
+            let storage = Arc::new(StorageServer::recover(
+                pm,
+                ssd,
+                slot.config.storage.clone(),
+            ));
+            slot.storage = Arc::clone(&storage);
+            (slot.config.clone(), storage)
+        };
+        let rr = ReadReplicaNode::recovered(config.clone(), self.topology.clone(), storage);
+        let ep = net.register(node);
+        self.threads.lock().push(
+            std::thread::Builder::new()
+                .name(format!("{node}-r"))
+                .spawn(move || rr.run(ep))
+                .expect("respawn read replica"),
+        );
+        self.topology.add_read_replica(config.shard, node);
+    }
+
     /// Sends shutdown to every replica and joins the threads.
     pub fn shutdown(self) {
         let slots = self.slots.lock();
@@ -300,6 +421,11 @@ impl DataLayerHandle {
             let _ = self.control.send(node, DataMsg::Shutdown.into());
         }
         drop(slots);
+        let read_slots = self.read_slots.lock();
+        for &node in read_slots.keys() {
+            let _ = self.control.send(node, DataMsg::Shutdown.into());
+        }
+        drop(read_slots);
         let threads: Vec<JoinHandle<()>> = std::mem::take(&mut *self.threads.lock());
         for t in threads {
             let _ = t.join();

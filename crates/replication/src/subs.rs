@@ -1,0 +1,438 @@
+//! Server-side subscription groups: standing per-color tail cursors.
+//!
+//! A subscriber registers once ([`DataMsg::SubscribeFrom`]) and the serving
+//! replica — quorum or read-only — pushes committed spans to it in batched
+//! [`DataMsg::SubPushBatch`] messages as they land, instead of the
+//! subscriber polling. The table is shared by [`crate::ReplicaNode`] and
+//! [`crate::ReadReplicaNode`]:
+//!
+//! * **One scan, N subscribers.** Each pump scans a color once from the
+//!   *lowest* cursor (bounded by [`SUB_PUSH_MAX`]) and slices the result
+//!   per subscriber — fan-out costs one DRAM-cache-friendly sequential
+//!   scan plus N refcount bumps, not N scans.
+//! * **Ordering.** Within one serving replica, records are pushed in SN
+//!   order. A commit-order hole the replica *knows* about (an OResp that
+//!   outran its append broadcast) acts as a push barrier so the late
+//!   record is not skipped; a hole that fills through recovery paths is
+//!   delivered late as a single-record fill. Subscribers deduplicate.
+//! * **Cursors.** `cursor` is the optimistic push frontier; `acked` is
+//!   what the subscriber confirmed. Only `acked` travels in a migration
+//!   handoff ([`crate::msg::SubCursor`]) — re-pushing the in-flight window
+//!   is safe, losing it is not.
+//! * **Liveness.** An idle subscription gets an empty heartbeat batch;
+//!   subscribers re-attach elsewhere when heartbeats stop (crash) or a
+//!   [`DataMsg::SubRedirect`] arrives (cutover / drop).
+
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+use flexlog_obs::{Counter, Histogram, ObsHandle, Stage, SUB_TOKEN};
+use flexlog_simnet::{Endpoint, NodeId};
+use flexlog_storage::StorageServer;
+use flexlog_types::{ColorId, CommittedRecord, SeqNum, Token};
+
+use crate::msg::{ClusterMsg, DataMsg, RejectReason, SubCursor};
+
+/// Cap on records per push pump per color: bounds the time one pump steals
+/// from the serving replica's event loop. A subscriber further behind
+/// catches up across consecutive pumps.
+pub(crate) const SUB_PUSH_MAX: usize = 512;
+
+/// How many committed (color, sn) → token pairs a server remembers for
+/// per-record `SubPush` tracing. Older pushes fall back to one batch-level
+/// event under [`SUB_TOKEN`].
+const RECENT_TOKEN_WINDOW: usize = 8192;
+
+struct Sub {
+    color: ColorId,
+    target: NodeId,
+    /// Optimistic push frontier: highest SN sent to the subscriber.
+    cursor: SeqNum,
+    /// Highest SN the subscriber acknowledged.
+    acked: SeqNum,
+    last_sent: Instant,
+}
+
+/// Bounded (color, sn) → token memory for trace attribution of pushes.
+pub(crate) struct RecentTokens {
+    map: HashMap<(ColorId, SeqNum), Token>,
+    order: VecDeque<(ColorId, SeqNum)>,
+}
+
+impl RecentTokens {
+    pub(crate) fn new() -> Self {
+        RecentTokens {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    pub(crate) fn insert(&mut self, color: ColorId, sn: SeqNum, token: Token) {
+        if self.map.insert((color, sn), token).is_none() {
+            self.order.push_back((color, sn));
+            while self.order.len() > RECENT_TOKEN_WINDOW {
+                if let Some(k) = self.order.pop_front() {
+                    self.map.remove(&k);
+                }
+            }
+        }
+    }
+
+    fn get(&self, color: ColorId, sn: SeqNum) -> Option<Token> {
+        self.map.get(&(color, sn)).copied()
+    }
+}
+
+/// The subscription table of one serving replica. All methods run inside
+/// the owner's single-threaded event loop.
+pub(crate) struct SubTable {
+    subs: HashMap<u64, Sub>,
+    by_color: HashMap<ColorId, Vec<u64>>,
+    heartbeat: Duration,
+    obs: ObsHandle,
+    push_batches: Counter,
+    push_records: Counter,
+    registered: Counter,
+    redirects: Counter,
+    push_hist: Histogram,
+}
+
+impl SubTable {
+    pub(crate) fn new(obs: &ObsHandle, heartbeat: Duration) -> Self {
+        SubTable {
+            subs: HashMap::new(),
+            by_color: HashMap::new(),
+            heartbeat,
+            push_batches: obs.counter("sub.push_batches"),
+            push_records: obs.counter("sub.push_records"),
+            registered: obs.counter("sub.registered"),
+            redirects: obs.counter("sub.redirects"),
+            push_hist: obs.histogram("sub.push_ns"),
+            obs: obs.clone(),
+        }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+
+    /// Colors with at least one live subscription.
+    pub(crate) fn colors(&self) -> Vec<ColorId> {
+        self.by_color.keys().copied().collect()
+    }
+
+    /// Registers (or re-registers — idempotent per `sub`, the cursor moves
+    /// to `from`) and immediately answers with a first batch so the
+    /// subscriber learns the registration took even on an idle color.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn register(
+        &mut self,
+        ep: &Endpoint<ClusterMsg>,
+        storage: &StorageServer,
+        tokens: &RecentTokens,
+        sub: u64,
+        color: ColorId,
+        from: SeqNum,
+        target: NodeId,
+        barrier: Option<SeqNum>,
+    ) {
+        self.remove(sub);
+        self.subs.insert(
+            sub,
+            Sub {
+                color,
+                target,
+                cursor: from,
+                acked: from,
+                // Force an immediate (possibly empty) first batch below.
+                last_sent: Instant::now() - self.heartbeat,
+            },
+        );
+        self.by_color.entry(color).or_default().push(sub);
+        self.registered.inc();
+        self.pump_color(ep, storage, tokens, color, barrier);
+        // Idle color (or everything below the barrier): confirm with an
+        // empty batch so the client can tell registration from loss.
+        if let Some(s) = self.subs.get_mut(&sub) {
+            if s.last_sent + self.heartbeat <= Instant::now() {
+                s.last_sent = Instant::now();
+                let _ = ep.send(
+                    target,
+                    DataMsg::SubPushBatch {
+                        sub,
+                        color,
+                        records: Vec::new(),
+                    }
+                    .into(),
+                );
+            }
+        }
+    }
+
+    /// Adopts cursors handed over by a migrating source replica. Resumes
+    /// from each subscriber's **acked** SN: anything the source pushed but
+    /// the subscriber never confirmed is re-pushed here and deduplicated
+    /// client-side.
+    pub(crate) fn adopt_cursors(
+        &mut self,
+        ep: &Endpoint<ClusterMsg>,
+        storage: &StorageServer,
+        tokens: &RecentTokens,
+        color: ColorId,
+        cursors: &[SubCursor],
+    ) {
+        for c in cursors {
+            self.register(ep, storage, tokens, c.sub, color, c.acked, c.target, None);
+        }
+    }
+
+    /// The cursors to ship in a migration handoff for `color`.
+    pub(crate) fn export_cursors(&self, color: ColorId) -> Vec<SubCursor> {
+        self.by_color
+            .get(&color)
+            .map(|ids| {
+                ids.iter()
+                    .filter_map(|id| {
+                        self.subs.get(id).map(|s| SubCursor {
+                            sub: *id,
+                            target: s.target,
+                            acked: s.acked,
+                        })
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    pub(crate) fn ack(&mut self, sub: u64, upto: SeqNum) {
+        if let Some(s) = self.subs.get_mut(&sub) {
+            s.acked = s.acked.max(upto);
+            // The push frontier can never trail the acked frontier (a
+            // re-attached subscriber may ack records another replica sent).
+            s.cursor = s.cursor.max(s.acked);
+        }
+    }
+
+    pub(crate) fn cancel(&mut self, sub: u64) {
+        self.remove(sub);
+    }
+
+    fn remove(&mut self, sub: u64) {
+        if let Some(s) = self.subs.remove(&sub) {
+            if let Some(ids) = self.by_color.get_mut(&s.color) {
+                ids.retain(|&id| id != sub);
+                if ids.is_empty() {
+                    self.by_color.remove(&s.color);
+                }
+            }
+        }
+    }
+
+    /// Tears down every subscription of `color` with a redirect: the
+    /// subscriber re-resolves the topology (`ColorMoved`) or terminates
+    /// (`Dropped`).
+    pub(crate) fn redirect_color(
+        &mut self,
+        ep: &Endpoint<ClusterMsg>,
+        color: ColorId,
+        reason: RejectReason,
+    ) {
+        let Some(ids) = self.by_color.remove(&color) else {
+            return;
+        };
+        for id in ids {
+            if let Some(s) = self.subs.remove(&id) {
+                self.redirects.inc();
+                let _ = ep.send(
+                    s.target,
+                    DataMsg::SubRedirect {
+                        sub: id,
+                        color,
+                        reason,
+                    }
+                    .into(),
+                );
+            }
+        }
+    }
+
+    /// Whether every subscriber has been pushed everything committed —
+    /// when false the owner should tick fast to keep catch-up moving.
+    pub(crate) fn all_caught_up(&self, storage: &StorageServer) -> bool {
+        self.by_color.iter().all(|(&color, ids)| {
+            let tail = storage.tail(color).unwrap_or(SeqNum::ZERO);
+            ids.iter()
+                .all(|id| self.subs.get(id).is_none_or(|s| s.cursor >= tail))
+        })
+    }
+
+    /// One push pass over every subscribed color. `barrier` is the lowest
+    /// SN of a commit the owner knows is still in flight (pending OResp):
+    /// nothing at or above it is pushed, so the late record cannot be
+    /// skipped past.
+    pub(crate) fn pump(
+        &mut self,
+        ep: &Endpoint<ClusterMsg>,
+        storage: &StorageServer,
+        tokens: &RecentTokens,
+        barrier: Option<SeqNum>,
+    ) {
+        if self.subs.is_empty() {
+            return;
+        }
+        let colors: Vec<ColorId> = self.by_color.keys().copied().collect();
+        for color in colors {
+            self.pump_color(ep, storage, tokens, color, barrier);
+        }
+        // Liveness heartbeats for idle subscriptions.
+        let now = Instant::now();
+        let mut beats: Vec<(NodeId, u64, ColorId)> = Vec::new();
+        for (&id, s) in self.subs.iter_mut() {
+            if now.saturating_duration_since(s.last_sent) >= self.heartbeat {
+                s.last_sent = now;
+                beats.push((s.target, id, s.color));
+            }
+        }
+        for (target, sub, color) in beats {
+            let _ = ep.send(
+                target,
+                DataMsg::SubPushBatch {
+                    sub,
+                    color,
+                    records: Vec::new(),
+                }
+                .into(),
+            );
+        }
+    }
+
+    fn pump_color(
+        &mut self,
+        ep: &Endpoint<ClusterMsg>,
+        storage: &StorageServer,
+        tokens: &RecentTokens,
+        color: ColorId,
+        barrier: Option<SeqNum>,
+    ) {
+        let Some(ids) = self.by_color.get(&color) else {
+            return;
+        };
+        let Some(tail) = storage.tail(color) else {
+            return;
+        };
+        let min_cursor = ids
+            .iter()
+            .filter_map(|id| self.subs.get(id))
+            .map(|s| s.cursor)
+            .filter(|&c| c < tail)
+            .min();
+        let Some(min_cursor) = min_cursor else {
+            return;
+        };
+        let start = Instant::now();
+        let mut records = storage.scan_capped(color, min_cursor, SUB_PUSH_MAX);
+        if let Some(b) = barrier {
+            records.retain(|r| r.sn < b);
+        }
+        if records.is_empty() {
+            return;
+        }
+        let ids: Vec<u64> = ids.clone();
+        let mut spans: Vec<(Token, Stage, u64, u64)> = Vec::new();
+        for id in ids {
+            let Some(s) = self.subs.get_mut(&id) else {
+                continue;
+            };
+            let slice: Vec<CommittedRecord> = records
+                .iter()
+                .filter(|r| r.sn > s.cursor)
+                .cloned()
+                .collect();
+            let Some(last) = slice.last() else {
+                continue;
+            };
+            s.cursor = last.sn;
+            s.last_sent = Instant::now();
+            let mut traced = 0usize;
+            for r in &slice {
+                if let Some(t) = tokens.get(color, r.sn) {
+                    spans.push((t, Stage::SubPush, ep.id().0, color.0 as u64));
+                    traced += 1;
+                }
+            }
+            if traced < slice.len() {
+                // Backlog records whose tokens aged out: one batch event.
+                spans.push((SUB_TOKEN, Stage::SubPush, ep.id().0, color.0 as u64));
+            }
+            self.push_batches.inc();
+            self.push_records.add(slice.len() as u64);
+            let _ = ep.send(
+                s.target,
+                DataMsg::SubPushBatch {
+                    sub: id,
+                    color,
+                    records: slice,
+                }
+                .into(),
+            );
+        }
+        if !spans.is_empty() {
+            self.obs.tracer().record_many(&spans);
+            self.push_hist.record_ns(start.elapsed());
+        }
+    }
+
+    /// Delivers one late-filling record (a commit below some push
+    /// frontier, e.g. an OResp that outran its append past the barrier
+    /// window, or a recovery import): pushed out of band to every
+    /// subscriber whose frontier already moved past it. Rare; subscribers
+    /// reorder/dedup.
+    pub(crate) fn push_fill(
+        &mut self,
+        ep: &Endpoint<ClusterMsg>,
+        storage: &StorageServer,
+        color: ColorId,
+        sn: SeqNum,
+        token: Token,
+    ) {
+        let Some(ids) = self.by_color.get(&color) else {
+            return;
+        };
+        let targets: Vec<u64> = ids
+            .iter()
+            .filter(|id| {
+                self.subs
+                    .get(id)
+                    .is_some_and(|s| s.acked < sn && s.cursor > sn)
+            })
+            .copied()
+            .collect();
+        if targets.is_empty() {
+            return;
+        }
+        let Some(payload) = storage.get(color, sn) else {
+            return;
+        };
+        let record = CommittedRecord { sn, payload };
+        for id in targets {
+            let Some(s) = self.subs.get_mut(&id) else {
+                continue;
+            };
+            s.last_sent = Instant::now();
+            self.push_batches.inc();
+            self.push_records.inc();
+            self.obs
+                .tracer()
+                .record(token, Stage::SubPush, ep.id().0, color.0 as u64);
+            let _ = ep.send(
+                s.target,
+                DataMsg::SubPushBatch {
+                    sub: id,
+                    color,
+                    records: vec![record.clone()],
+                }
+                .into(),
+            );
+        }
+    }
+}

@@ -24,6 +24,29 @@ pub struct ShardInfo {
     pub replicas: Vec<NodeId>,
     /// The leaf sequencer role this shard is attached to.
     pub leaf: RoleId,
+    /// Read-only replicas attached to this shard: they follow the quorum
+    /// via the §6.3 sync path and serve reads/subscriptions, but never
+    /// join the write-all set. May be empty.
+    pub read_replicas: Vec<NodeId>,
+}
+
+impl ShardInfo {
+    /// The nodes client read traffic (reads, pulls, push subscriptions)
+    /// should land on: read replicas when the shard has them, otherwise
+    /// the quorum replicas.
+    pub fn read_targets(&self) -> &[NodeId] {
+        if self.read_replicas.is_empty() {
+            &self.replicas
+        } else {
+            &self.read_replicas
+        }
+    }
+
+    /// A uniformly random read target (see [`ShardInfo::read_targets`]).
+    pub fn random_read_target<R: Rng>(&self, rng: &mut R) -> NodeId {
+        let t = self.read_targets();
+        t[rng.gen_range(0..t.len())]
+    }
 }
 
 #[derive(Default)]
@@ -47,6 +70,37 @@ impl TopologyView {
     /// Registers a shard.
     pub fn add_shard(&self, info: ShardInfo) {
         self.inner.write().shards.insert(info.id, info);
+    }
+
+    /// Attaches a read-only replica to an existing shard.
+    pub fn add_read_replica(&self, shard: ShardId, node: NodeId) {
+        if let Some(s) = self.inner.write().shards.get_mut(&shard) {
+            if !s.read_replicas.contains(&node) {
+                s.read_replicas.push(node);
+            }
+        }
+    }
+
+    /// Detaches a read-only replica (crash handling: clients stop routing
+    /// reads to it).
+    pub fn remove_read_replica(&self, shard: ShardId, node: NodeId) {
+        if let Some(s) = self.inner.write().shards.get_mut(&shard) {
+            s.read_replicas.retain(|&n| n != node);
+        }
+    }
+
+    /// The colors currently mapped to `shard` (what a read replica of the
+    /// shard must follow).
+    pub fn colors_on(&self, shard: ShardId) -> Vec<ColorId> {
+        let inner = self.inner.read();
+        let mut v: Vec<ColorId> = inner
+            .colors
+            .iter()
+            .filter(|(_, shards)| shards.contains(&shard))
+            .map(|(&c, _)| c)
+            .collect();
+        v.sort();
+        v
     }
 
     /// Maps `color` to the shards that may store it (replacing any previous
@@ -119,7 +173,34 @@ mod tests {
             id: ShardId(i),
             replicas: vec![NodeId(100 + i as u64), NodeId(200 + i as u64)],
             leaf: RoleId(leaf),
+            read_replicas: Vec::new(),
         }
+    }
+
+    #[test]
+    fn read_targets_prefer_read_replicas() {
+        let t = TopologyView::new();
+        t.add_shard(shard(1, 0));
+        let s = t.shard(ShardId(1)).unwrap();
+        assert_eq!(s.read_targets(), &s.replicas[..]);
+        t.add_read_replica(ShardId(1), NodeId(900));
+        t.add_read_replica(ShardId(1), NodeId(900)); // idempotent
+        let s = t.shard(ShardId(1)).unwrap();
+        assert_eq!(s.read_targets(), &[NodeId(900)]);
+        t.remove_read_replica(ShardId(1), NodeId(900));
+        let s = t.shard(ShardId(1)).unwrap();
+        assert_eq!(s.read_targets(), &s.replicas[..]);
+    }
+
+    #[test]
+    fn colors_on_reports_shard_residency() {
+        let t = TopologyView::new();
+        t.add_shard(shard(1, 0));
+        t.add_shard(shard(2, 0));
+        t.set_color_shards(ColorId(1), vec![ShardId(1)]);
+        t.set_color_shards(ColorId(2), vec![ShardId(1), ShardId(2)]);
+        assert_eq!(t.colors_on(ShardId(1)), vec![ColorId(1), ColorId(2)]);
+        assert_eq!(t.colors_on(ShardId(2)), vec![ColorId(2)]);
     }
 
     #[test]

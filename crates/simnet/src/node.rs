@@ -19,6 +19,9 @@ impl NodeId {
     pub const CLASS_BACKUP: u64 = 3;
     /// Class tag for client (serverless function) nodes.
     pub const CLASS_CLIENT: u64 = 4;
+    /// Class tag for read-only replica nodes (serve reads and
+    /// subscriptions, never join the write quorum).
+    pub const CLASS_READ_REPLICA: u64 = 5;
 
     /// Builds a node id from a class tag and an index within the class.
     pub fn named(class: u64, index: u64) -> Self {
@@ -62,6 +65,7 @@ impl fmt::Debug for NodeId {
             Self::CLASS_SEQUENCER => write!(f, "seq#{idx}"),
             Self::CLASS_BACKUP => write!(f, "backup#{idx}"),
             Self::CLASS_CLIENT => write!(f, "client#{idx}"),
+            Self::CLASS_READ_REPLICA => write!(f, "rreplica#{idx}"),
             _ => write!(f, "node#{}", self.0),
         }
     }

@@ -632,6 +632,34 @@ impl StorageServer {
             .collect()
     }
 
+    /// Like [`StorageServer::scan`] but returns at most `cap` records (in
+    /// SN order, so the caller can resume above the last one). Subscription
+    /// push pumps run inside the replica's event loop; the cap bounds the
+    /// work one pump steals from the append path, and the `get` path keeps
+    /// a fan-out of subscribers on the same color hitting the DRAM cache.
+    pub fn scan_capped(&self, color: ColorId, from: SeqNum, cap: usize) -> Vec<CommittedRecord> {
+        let sns: Vec<SeqNum> = {
+            let stripe = self.stripe_of(color).lock();
+            match stripe.committed.get(&color) {
+                Some(m) => m
+                    .range((
+                        std::ops::Bound::Excluded(from),
+                        std::ops::Bound::Unbounded,
+                    ))
+                    .take(cap)
+                    .map(|(&sn, _)| sn)
+                    .collect(),
+                None => return Vec::new(),
+            }
+        };
+        sns.into_iter()
+            .filter_map(|sn| {
+                self.get(color, sn)
+                    .map(|payload| CommittedRecord { sn, payload })
+            })
+            .collect()
+    }
+
     /// Like [`StorageServer::scan`] but including each record's append
     /// token — used by the sync-phase (§6.3) so idempotence survives
     /// recovery, and by the multi-color append protocol to find a

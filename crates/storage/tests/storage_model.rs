@@ -159,10 +159,10 @@ proptest! {
         }
 
         // Final sweep: every committed live record readable, trimmed gone.
-        for c in 0..2 {
+        for (c, &color) in COLORS.iter().enumerate() {
             for (&k, v) in &model.committed[c] {
                 let got = server
-                    .get(COLORS[c], SeqNum::new(Epoch(1), k))
+                    .get(color, SeqNum::new(Epoch(1), k))
                     .map(|p| p.to_vec());
                 if k <= model.heads[c] {
                     prop_assert_eq!(got, None, "trimmed {} visible", k);

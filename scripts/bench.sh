@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Regenerates the tracked benchmark artifacts (BENCH_datapath.json,
-# BENCH_elasticity.json) with full-length runs, then sanity-checks the
-# results. Commit the refreshed JSON together with any data-path or
-# control-plane change so the history of the numbers tracks the history
-# of the code.
+# BENCH_elasticity.json, BENCH_fanout.json) with full-length runs, then
+# sanity-checks the results. Commit the refreshed JSON together with any
+# data-path or control-plane change so the history of the numbers tracks
+# the history of the code.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -49,3 +49,22 @@ if p["after"]["records_per_s"] < p["before"]["records_per_s"] / 2:
     print("WARNING: post-migration throughput did not recover to half the warm-up rate "
           "(noisy host? rerun before committing)")
 EOF
+
+echo "==> cargo build --release -p flexlog-bench --bin fanout"
+cargo build --release -p flexlog-bench --bin fanout
+
+echo "==> fanout (full run, writes BENCH_fanout.json)"
+./target/release/fanout --out BENCH_fanout.json
+
+python3 - <<'EOF2'
+import json
+d = json.load(open("BENCH_fanout.json"))
+print(f"{'mode':>6} {'subs':>5} {'goodput rec·sub/s':>18} {'push p50/p99 us':>16}")
+for r in d["fanout"]:
+    print(f"{r['mode']:>6} {r['subscribers']:>5} {r['goodput_rec_sub_per_s']:>18.0f} "
+          f"{r['push_p50_us']:>7.0f}/{r['push_p99_us']:.0f}")
+ratio = d["goodput_100x_over_poll"]
+print(f"fan-out goodput {ratio:.1f}x over the single-subscriber polling baseline")
+if ratio < 20:
+    print("WARNING: fan-out goodput below the 20x gate (noisy host? rerun before committing)")
+EOF2

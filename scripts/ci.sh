@@ -4,7 +4,7 @@
 # network, once over delayed links with 4 delay-scheduler shards), bench
 # smokes (datapath + elasticity, --quick, JSON shape + scaling-ratio
 # checks), one migration-crash and one controller-crash nemesis scenario,
-# and a zero-warning clippy pass over the chaos crate.
+# and a zero-warning clippy pass over the whole workspace.
 #
 # Replay a failing smoke run with: FLEXLOG_CHAOS_SEED=<seed> scripts/ci.sh
 set -euo pipefail
@@ -83,13 +83,45 @@ assert p["after"]["records_per_s"] > p["before"]["records_per_s"] / 2, p
 print("elasticity smoke JSON OK (bounded stall, catch-up rounds ran, throughput recovered)")
 EOF
 
+echo "==> fanout bench smoke (--quick, JSON shape + goodput gate)"
+cargo run --release -p flexlog-bench --bin fanout -- --quick --out /tmp/flexlog_fanout_smoke.json
+python3 - <<'EOF'
+import json
+d = json.load(open("/tmp/flexlog_fanout_smoke.json"))
+assert d["bench"] == "fanout" and d["quick"] is True
+assert len(d["mixed"]) == 2, d["mixed"]
+for r in d["mixed"]:
+    assert r["appends"] > 0 and r["reads"] > 0 and r["ops_per_s"] > 0, r
+    assert r["ops_per_s_modelled"] > 0 and r["busiest_node"].startswith("node.busy_ns."), r
+# With a read replica per shard the follower must actually absorb read
+# work (its modelled busy time is non-zero); without one it must be idle.
+by_rr = {r["read_replicas_per_shard"]: r for r in d["mixed"]}
+assert by_rr[0]["rreplica_busy_ms"] == 0, by_rr[0]
+assert by_rr[1]["rreplica_busy_ms"] > 0, by_rr[1]
+rows = {(r["mode"], r["subscribers"]): r for r in d["fanout"]}
+assert set(rows) == {("poll", 1), ("push", 1), ("push", 100)}, rows
+for r in d["fanout"]:
+    assert r["goodput_rec_sub_per_s"] > 0, r
+# Push subscriptions must actually push (batches + per-batch latency).
+push100 = rows[("push", 100)]
+assert push100["push_batches"] > 0 and push100["push_records"] > 0, push100
+assert 0 < push100["push_p50_us"] <= push100["push_p99_us"], push100
+# The fan-out gate: 100-subscriber push goodput >= 20x the
+# single-subscriber polling baseline.
+assert d["goodput_100x_over_poll"] >= 20, f"fan-out goodput regressed: {d['goodput_100x_over_poll']}x"
+print(f"fanout smoke JSON OK (goodput {d['goodput_100x_over_poll']:.1f}x over the polling baseline)")
+EOF
+
+echo "==> subscription nemesis (read replica dies mid-push)"
+cargo test --release -q -p flexlog-chaos --test subscription_nemesis subscribers_survive_read_replica_crash_mid_push
+
 echo "==> migration-crash nemesis (source replica dies mid-migration)"
 cargo test --release -q -p flexlog-chaos --test migration_nemesis source_replica_crash_mid_migration
 
 echo "==> controller-crash nemesis (controller dies mid-catch-up round)"
 cargo test --release -q -p flexlog-chaos --test controller_nemesis controller_crash_mid_catchup_round
 
-echo "==> cargo clippy -p flexlog-chaos (deny warnings)"
-cargo clippy -p flexlog-chaos --all-targets -- -D warnings
+echo "==> cargo clippy --workspace (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "CI green."

@@ -15,6 +15,7 @@
 
 pub use flexlog_baselines as baselines;
 pub use flexlog_core as core;
+pub use flexlog_ctrl as ctrl;
 pub use flexlog_faas as faas;
 pub use flexlog_obs as obs;
 pub use flexlog_ordering as ordering;

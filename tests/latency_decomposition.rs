@@ -234,6 +234,125 @@ fn canonical_run_sharded(seed: u64) -> Vec<u8> {
 }
 
 #[test]
+fn pushed_records_carry_subpush_trace_stages() {
+    // A standing push subscription extends every committed append's span
+    // chain with a `SubPush` stage on the serving replica — the per-stage
+    // decomposition of the push path (satellite of the read-path PR).
+    let c = FlexLogCluster::start(ClusterSpec::single_shard());
+    c.add_color(RED).unwrap();
+    let mut h = c.handle();
+    let mut reader = c.handle();
+    let sub = reader.subscribe_push(RED).unwrap();
+    const N: u32 = 25;
+    for i in 0..N {
+        h.append(format!("r{i}").as_bytes(), RED).unwrap();
+    }
+    let t0 = std::time::Instant::now();
+    let mut got = 0usize;
+    while got < N as usize && t0.elapsed() < Duration::from_secs(10) {
+        got += reader
+            .poll_subscription(sub, Duration::from_millis(50))
+            .unwrap()
+            .len();
+    }
+    assert_eq!(got, N as usize, "push must deliver the full log");
+    let fid = h.fid().0;
+    for token in serial_tokens(fid, N) {
+        let trace = c.trace(token);
+        assert!(trace.is_complete_append(), "{}", trace.render());
+        assert!(
+            trace.has_stage(Stage::SubPush),
+            "token {token:?} was never attributed a push:\n{}",
+            trace.render()
+        );
+        // The push is stamped when the committed record leaves the serving
+        // replica, so it can never precede the commit itself.
+        let commit = trace.first_ns(Stage::ReplicaCommit).unwrap();
+        let push = trace.first_ns(Stage::SubPush).unwrap();
+        assert!(
+            push >= commit,
+            "token {token:?}: pushed at {push}ns before commit at {commit}ns\n{}",
+            trace.render()
+        );
+        // And the push-path histogram saw work.
+    }
+    let snap = c.obs().snapshot();
+    assert!(snap.counter("sub.push_records") >= N as u64);
+    c.shutdown();
+}
+
+/// Like [`canonical_run`], but with a standing push subscriber attached on
+/// each color for the whole run.
+fn canonical_run_with_subscribers(seed: u64) -> Vec<u8> {
+    let spec = ClusterSpec {
+        net: NetConfig {
+            link: LinkConfig::instant(),
+            seed: Some(seed),
+            ..NetConfig::default()
+        },
+        ..ClusterSpec::tree(2, 2)
+    };
+    let c = FlexLogCluster::start(spec);
+    c.add_color(RED).unwrap();
+    c.add_color(ColorId(2)).unwrap();
+    let mut h = c.handle();
+    let mut reader = c.handle();
+    let sub_red = reader.subscribe_push(RED).unwrap();
+    let sub_blue = reader.subscribe_push(ColorId(2)).unwrap();
+    for i in 0..10u32 {
+        h.append(format!("s{i}").as_bytes(), RED).unwrap();
+    }
+    let mut tokens = serial_tokens(h.fid().0, 10);
+    for i in 0..10u32 {
+        let t = h
+            .append_pipelined(
+                &[flexlog::types::Payload::from(format!("p{i}").into_bytes())],
+                ColorId(2),
+            )
+            .unwrap();
+        tokens.push(t);
+    }
+    h.flush_appends().unwrap();
+    // Drain both streams so the pushes actually flow before the snapshot.
+    let t0 = std::time::Instant::now();
+    let mut got = 0usize;
+    while got < 20 && t0.elapsed() < Duration::from_secs(10) {
+        got += reader.poll_subscription(sub_red, Duration::from_millis(20)).unwrap().len();
+        got += reader.poll_subscription(sub_blue, Duration::from_millis(20)).unwrap().len();
+    }
+    assert_eq!(got, 20, "subscribers must observe the whole run");
+    tokens.sort_unstable();
+    let mut out = Vec::new();
+    for token in tokens {
+        out.extend_from_slice(&c.trace(token).canonical());
+    }
+    c.shutdown();
+    out
+}
+
+#[test]
+fn subscribers_leave_no_footprint_in_canonical_traces() {
+    // `SubPush` is a non-canonical stage: attaching subscribers must not
+    // perturb the logical trace — same-seed runs stay byte-identical with
+    // and without them, so the determinism harness keeps working when the
+    // push path is live.
+    let with_a = canonical_run_with_subscribers(42);
+    let with_b = canonical_run_with_subscribers(42);
+    assert!(!with_a.is_empty());
+    assert_eq!(
+        String::from_utf8_lossy(&with_a),
+        String::from_utf8_lossy(&with_b),
+        "canonical traces differ across same-seed subscribed runs"
+    );
+    let bare = canonical_run(42);
+    assert_eq!(
+        String::from_utf8_lossy(&with_a),
+        String::from_utf8_lossy(&bare),
+        "subscribers leaked into the canonical trace"
+    );
+}
+
+#[test]
 fn same_seed_runs_produce_byte_identical_traces() {
     let a = canonical_run(42);
     let b = canonical_run(42);

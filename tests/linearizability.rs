@@ -58,7 +58,7 @@ impl Model {
     fn visible(&self, color: usize) -> Vec<(SeqNum, &Vec<u8>)> {
         self.logs[color]
             .iter()
-            .filter(|(&sn, _)| !self.heads[color].is_some_and(|h| sn <= h))
+            .filter(|(&sn, _)| self.heads[color].is_none_or(|h| sn > h))
             .map(|(&sn, v)| (sn, v))
             .collect()
     }
@@ -73,7 +73,6 @@ proptest! {
     #![proptest_config(ProptestConfig {
         cases: 8,
         max_shrink_iters: 64,
-        .. ProptestConfig::default()
     })]
 
     /// Single-client sequential specification: every FlexLog response must

@@ -10,14 +10,9 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
+#[derive(Default)]
 pub struct Criterion {
     _private: (),
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { _private: () }
-    }
 }
 
 impl Criterion {
