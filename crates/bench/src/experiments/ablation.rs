@@ -122,6 +122,7 @@ pub fn cache_size(quick: bool) -> Vec<(usize, f64, f64)> {
                 spill_batch: 64,
                 clock: ClockMode::Virtual,
                 obs: Default::default(),
+                tier: None,
             });
             let payload = Payload::from(vec![0xABu8; 1024]);
             for i in 0..records {

@@ -39,6 +39,7 @@ fn flexlog_server() -> Arc<StorageServer> {
         spill_batch: 64,
         clock: ClockMode::Virtual,
         obs: Default::default(),
+        tier: None,
     }))
 }
 

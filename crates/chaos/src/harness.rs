@@ -55,6 +55,12 @@ pub struct ChaosOptions {
     /// consistency, topology shape). Violations merge into the same
     /// panic-with-plan report.
     pub post: Option<PostCheckFn>,
+    /// The simulated object store backing the cluster's cold tier, when
+    /// the spec configures one. The nemesis flips its availability on
+    /// [`FaultKind::ObjectStoreOutage`] / [`FaultKind::ObjectStoreHeal`]
+    /// directly (the `ObjectStore` trait has no fault surface — only the
+    /// simulation does).
+    pub object_store: Option<std::sync::Arc<flexlog_tier::SimObjectStore>>,
     /// How long the workload runs. Must cover the plan's horizon, or late
     /// faults fire against an idle cluster.
     pub duration: Duration,
@@ -73,6 +79,7 @@ impl ChaosOptions {
             scripted: None,
             reconfig: None,
             post: None,
+            object_store: None,
             duration: Duration::from_millis(1500),
             settle: Duration::from_millis(500),
         }
@@ -173,6 +180,7 @@ pub fn run_chaos(options: ChaosOptions) -> ChaosReport {
         // The nemesis itself.
         let cluster = &cluster;
         let plan_ref = &plan;
+        let object_store = &options.object_store;
         scope.spawn(move || {
             let net = cluster.network();
             for event in &plan_ref.events {
@@ -215,6 +223,16 @@ pub fn run_chaos(options: ChaosOptions) -> ChaosReport {
                     }
                     FaultKind::RestartReadReplica { node } => {
                         cluster.data().restart_read_replica(net, *node);
+                    }
+                    FaultKind::ObjectStoreOutage => {
+                        if let Some(store) = object_store {
+                            store.set_outage(true);
+                        }
+                    }
+                    FaultKind::ObjectStoreHeal => {
+                        if let Some(store) = object_store {
+                            store.set_outage(false);
+                        }
                     }
                     FaultKind::Heal => net.heal(),
                 }

@@ -42,6 +42,13 @@ pub enum FaultKind {
     /// Restart a crashed read replica; it recovers from media and refills
     /// through its steady-state sync pull — no quorum barrier.
     RestartReadReplica { node: NodeId },
+    /// The cold object store stops acking: every put/get/list/delete
+    /// fails until [`FaultKind::ObjectStoreHeal`]. Archive rounds must
+    /// stop releasing PM/SSD bytes (nothing new is durable below) and
+    /// reads must degrade to the live tiers — never lose history.
+    ObjectStoreOutage,
+    /// The object store recovers; archive rounds and read-through resume.
+    ObjectStoreHeal,
     /// Restore full connectivity.
     Heal,
 }
@@ -61,6 +68,8 @@ impl fmt::Display for FaultKind {
             FaultKind::RestartReadReplica { node } => {
                 write!(f, "restart read replica {node}")
             }
+            FaultKind::ObjectStoreOutage => write!(f, "object store outage"),
+            FaultKind::ObjectStoreHeal => write!(f, "object store heals"),
             FaultKind::Heal => write!(f, "heal all partitions"),
         }
     }

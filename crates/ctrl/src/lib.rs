@@ -28,6 +28,10 @@
 //! rates (`seq.color_sns.*`), sequencer batching pressure
 //! (`seq.batch_wait_ns` p99) and per-shard PM residency, and triggers
 //! scale-out/migration/splits through the [`ControlPlane`].
+//! [`TieringEngine`] is its cold-tier sibling: it evaluates a declarative
+//! `flexlog-tier` policy against per-color span size, PM pressure, and
+//! access recency, and actuates archive/demote rounds via
+//! [`ControlPlane::archive_color`].
 //!
 //! Every reconfiguration is **crash-recoverable**: the plane logs its
 //! intent and per-phase progress into a durable [`IntentWal`] (a
@@ -40,10 +44,12 @@
 
 mod autoscaler;
 mod plane;
+mod tiering;
 mod wal;
 
 pub use autoscaler::{Autoscaler, AutoscalerConfig, ScalingAction};
 pub use plane::{ControlPlane, CtrlError, RecoveryReport};
+pub use tiering::{TieringConfig, TieringEngine};
 pub use wal::{CtrlPhase, InFlightOp, IntentRecord, IntentWal, OpKind};
 
 #[cfg(test)]

@@ -626,6 +626,43 @@ impl<'a> ControlPlane<'a> {
         }
     }
 
+    /// Runs one tiering round for `color` on every replica of its owning
+    /// shard(s): archive the cold prefix (all but the newest `keep_tail`
+    /// records, at most `max_records`) to the object store, or demote
+    /// PM-resident records to the SSD when `demote` is set. Each replica
+    /// moves its own bytes; segment chunking is deterministic, so the
+    /// replicas upload byte-identical objects and the round is idempotent
+    /// — no WAL intent is needed, a crashed round simply re-runs. Gen-
+    /// fenced like every other control verb.
+    pub fn archive_color(
+        &mut self,
+        color: ColorId,
+        keep_tail: u64,
+        max_records: u64,
+        demote: bool,
+    ) -> Result<(), CtrlError> {
+        if !self.alive() {
+            return Err(CtrlError::Crashed);
+        }
+        if !self.cluster.colors().exists(color) {
+            return Err(CtrlError::UnknownColor(color));
+        }
+        let nodes: Vec<NodeId> = self
+            .cluster
+            .data()
+            .topology
+            .shards_of(color)
+            .into_iter()
+            .flat_map(|s| s.replicas)
+            .collect();
+        let gen = self.generation;
+        self.ctrl_round(
+            &nodes,
+            |req| DataMsg::ArchiveColor { color, keep_tail, max_records, demote, gen, req },
+            "archive",
+        )
+    }
+
     /// Phase 0 of a migration: pre-freeze catch-up rounds. Returns the
     /// per-source-shard watermark (highest SN shipped) that bounds the
     /// final freeze-window sliver.

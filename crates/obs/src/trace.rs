@@ -84,6 +84,11 @@ pub enum Stage {
     /// records fold into push batches both depend on timing, so the stage
     /// is excluded from the canonical chain.
     SubPush = 15,
+    /// An archive round sealed records of a color into object-store
+    /// segments (detail = color id). When a round runs — and on which
+    /// replica — depends on trim timing and tiering-policy ticks, so the
+    /// stage is excluded from the canonical chain.
+    Archive = 16,
 }
 
 impl Stage {
@@ -109,6 +114,7 @@ impl Stage {
             Stage::MigrateCatchup => "migrate_catchup",
             Stage::CtrlRecover => "ctrl_recover",
             Stage::SubPush => "sub_push",
+            Stage::Archive => "archive",
         }
     }
 
@@ -131,6 +137,7 @@ impl Stage {
                 | Stage::MigrateCatchup
                 | Stage::CtrlRecover
                 | Stage::SubPush
+                | Stage::Archive
         )
     }
 }
@@ -391,7 +398,7 @@ impl Trace {
     }
 }
 
-const STAGE_BY_RANK: [Stage; 16] = [
+const STAGE_BY_RANK: [Stage; 17] = [
     Stage::ClientSend,
     Stage::ClientRetransmit,
     Stage::ReplicaStaged,
@@ -408,6 +415,7 @@ const STAGE_BY_RANK: [Stage; 16] = [
     Stage::MigrateCatchup,
     Stage::CtrlRecover,
     Stage::SubPush,
+    Stage::Archive,
 ];
 
 #[cfg(test)]

@@ -134,6 +134,21 @@ pub enum DataMsg {
     FreezeColor { color: ColorId, gen: u64, req: u64 },
     /// Control plane → source replicas: migration aborted, admit again.
     UnfreezeColor { color: ColorId, gen: u64, req: u64 },
+    /// Control plane → storage replicas: run one tiering round for
+    /// `color` — archive its cold prefix (all but the newest `keep_tail`
+    /// records, at most `max_records`) to the object store, or, when
+    /// `demote` is set, move records from PM down to the SSD instead.
+    /// Each replica archives its own storage (idempotent: segments are
+    /// deterministic, re-uploads are byte-identical). Replies
+    /// [`DataMsg::CtrlAck`]. Gen-fenced like the other control verbs.
+    ArchiveColor {
+        color: ColorId,
+        keep_tail: u64,
+        max_records: u64,
+        demote: bool,
+        gen: u64,
+        req: u64,
+    },
     /// Control plane → one replica: report `color`'s local state (drain
     /// polling and span-export bounds).
     ColorStatus { color: ColorId, req: u64 },

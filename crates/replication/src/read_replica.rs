@@ -388,8 +388,12 @@ impl ReadReplicaNode {
         let mut still = Vec::new();
         for s in self.held_scans.drain(..) {
             if s.color == color && round >= s.min_round {
-                let records = storage.scan(s.color, s.from_sn);
-                let _ = ep.send(s.from, DataMsg::SubscribeResp { req: s.req, records }.into());
+                // An unreachable archive withholds the reply (never a log
+                // with a silent hole); the client retries elsewhere.
+                if let Ok(records) = storage.scan(s.color, s.from_sn) {
+                    let _ =
+                        ep.send(s.from, DataMsg::SubscribeResp { req: s.req, records }.into());
+                }
             } else {
                 still.push(s);
             }
@@ -430,8 +434,12 @@ impl ReadReplicaNode {
         let mut still_scans = Vec::new();
         for s in self.held_scans.drain(..) {
             if now >= s.deadline {
-                let records = self.storage.scan(s.color, s.from_sn);
-                let _ = ep.send(s.from, DataMsg::SubscribeResp { req: s.req, records }.into());
+                // Stale beats unavailable, but a hole beats neither: if the
+                // archive cannot serve the prefix, stay silent instead.
+                if let Ok(records) = self.storage.scan(s.color, s.from_sn) {
+                    let _ =
+                        ep.send(s.from, DataMsg::SubscribeResp { req: s.req, records }.into());
+                }
             } else {
                 still_scans.push(s);
             }

@@ -429,8 +429,13 @@ impl ReplicaNode {
                 self.handle_read(ep, from, color, sn, req);
             }
             DataMsg::Subscribe { color, from: from_sn, req } => {
-                let records = self.storage.scan(color, from_sn);
-                let _ = ep.send(from, DataMsg::SubscribeResp { req, records }.into());
+                // Archive read-through can fail while the object store is
+                // down; withholding the reply makes the client retry (or
+                // time out) instead of replaying a log with a silent hole
+                // where the archived prefix belongs.
+                if let Ok(records) = self.storage.scan(color, from_sn) {
+                    let _ = ep.send(from, DataMsg::SubscribeResp { req, records }.into());
+                }
             }
             DataMsg::SubscribeFrom { color, from: from_sn, sub, reply_to } => {
                 if matches!(self.mode, Mode::Syncing(_)) {
@@ -589,6 +594,32 @@ impl ReplicaNode {
                     return true;
                 }
                 self.frozen.remove(&color);
+                let _ = ep.send(from, DataMsg::CtrlAck { req }.into());
+            }
+            DataMsg::ArchiveColor { color, keep_tail, max_records, demote, gen, req } => {
+                if self.ctrl_stale(ep, from, gen, req) {
+                    return true;
+                }
+                // A color mid-migration is off limits: its span is being
+                // exported or discarded and the tiering tick will retry
+                // after cutover. Ack without acting so the round completes.
+                if !self.frozen.contains(&color) && !self.moved.contains(&color) {
+                    if demote {
+                        let _ = self.storage.demote_color(color, max_records);
+                    } else if self
+                        .storage
+                        .archive_prefix(color, keep_tail, max_records)
+                        .unwrap_or(0)
+                        > 0
+                    {
+                        self.config.storage.obs.trace_event(
+                            CTRL_TOKEN,
+                            Stage::Archive,
+                            ep.id().0,
+                            color.0 as u64,
+                        );
+                    }
+                }
                 let _ = ep.send(from, DataMsg::CtrlAck { req }.into());
             }
             DataMsg::ColorStatus { color, req } => {

@@ -330,7 +330,12 @@ impl SubTable {
             return;
         };
         let start = Instant::now();
-        let mut records = storage.scan_capped(color, min_cursor, SUB_PUSH_MAX);
+        // A failed archive read-through skips this pump round entirely —
+        // pushing the live suffix would skip the stream's cursor past the
+        // archived records it still owes. The next round retries.
+        let Ok(mut records) = storage.scan_capped(color, min_cursor, SUB_PUSH_MAX) else {
+            return;
+        };
         if let Some(b) = barrier {
             records.retain(|r| r.sn < b);
         }
@@ -338,6 +343,7 @@ impl SubTable {
             return;
         }
         let ids: Vec<u64> = ids.clone();
+        let mut pushed = false;
         let mut spans: Vec<(Token, Stage, u64, u64)> = Vec::new();
         for id in ids {
             let Some(s) = self.subs.get_mut(&id) else {
@@ -354,6 +360,7 @@ impl SubTable {
             s.cursor = last.sn;
             s.last_sent = Instant::now();
             let mut traced = 0usize;
+            spans.clear();
             for r in &slice {
                 if let Some(t) = tokens.get(color, r.sn) {
                     spans.push((t, Stage::SubPush, ep.id().0, color.0 as u64));
@@ -366,6 +373,11 @@ impl SubTable {
             }
             self.push_batches.inc();
             self.push_records.add(slice.len() as u64);
+            // Stamp before the batch leaves: once the subscriber holds the
+            // records their traces must already be whole (the same rule the
+            // commit path applies to acks).
+            self.obs.tracer().record_many(&spans);
+            pushed = true;
             let _ = ep.send(
                 s.target,
                 DataMsg::SubPushBatch {
@@ -376,8 +388,7 @@ impl SubTable {
                 .into(),
             );
         }
-        if !spans.is_empty() {
-            self.obs.tracer().record_many(&spans);
+        if pushed {
             self.push_hist.record_ns(start.elapsed());
         }
     }

@@ -14,9 +14,14 @@
 //! (Algorithm 1): a record arrives with a client token, is persisted
 //! immediately, and is only moved to the committed index — discoverable by
 //! sequence number — once the ordering layer assigns its SN.
+//!
+//! An optional fourth tier — the cold **object-store archive** from
+//! `flexlog-tier` — hangs below the SSD (see [`TierConfig`]). With it
+//! configured, `trim` becomes archive-then-drop and reads probe
+//! cache → PM → SSD → archive, so trimmed history stays readable.
 
 mod cache;
 mod server;
 
 pub use cache::{CacheStats, LruCache};
-pub use server::{StorageConfig, StorageServer, StorageStats, TierHit};
+pub use server::{StorageConfig, StorageServer, StorageStats, TierConfig, TierHit};

@@ -10,15 +10,27 @@
 //!   [`StorageServer::commit_many`] coalesces several batches into **one**
 //!   PM transaction (a single redo-log append + persist), mirroring the
 //!   sequencer's aggregation window at the data layer;
-//! * reads probe **DRAM cache → PM → SSD**; appended records are inserted
-//!   into the cache;
+//! * reads probe **DRAM cache → PM → SSD → archive**; appended records are
+//!   inserted into the cache, archive read-throughs deliberately are NOT
+//!   (a replay-from-genesis scan must not evict the hot working set — the
+//!   archive keeps a one-segment read buffer per color instead);
 //! * when live PM bytes exceed the configured watermark, the oldest
 //!   committed prefix is spilled to the SSD tier (fsync before the PM
 //!   delete, so a crash can duplicate a record across tiers but never lose
 //!   it);
-//! * [`StorageServer::trim`] deletes all records of a color up to an SN,
-//!   durably records the new head, and prunes the idempotence map of tokens
-//!   whose batches fell behind the head (so it cannot grow without bound).
+//! * with a [`TierConfig`] attached, [`StorageServer::trim`] becomes
+//!   **archive-then-drop**: the to-be-trimmed span is sealed into immutable
+//!   checksummed segments and uploaded to the shared object store *before*
+//!   any PM/SSD byte is released, so history survives the trim and stays
+//!   readable read-through. Only the durably acknowledged prefix is ever
+//!   dropped — a mid-round store outage trims less, never loses data.
+//!   Without a tier, `trim` deletes as before. Both paths durably record
+//!   the new head and prune the idempotence map of tokens whose batches
+//!   fell behind the head (so it cannot grow without bound);
+//! * [`StorageServer::archive_prefix`] and [`StorageServer::demote_color`]
+//!   are the policy engine's actuators: the control plane's declarative
+//!   tiering policy (see `flexlog-tier`) compiles into per-color
+//!   archive/demote moves executed here.
 //!
 //! # Locking
 //!
@@ -31,7 +43,12 @@
 //!   still spreads over all cache stripes and can use the whole DRAM budget;
 //! * the token maps (staged + committed idempotence) are a separate small
 //!   lock touched only at stage/commit boundaries;
-//! * `pm_live_bytes` is a lock-free atomic.
+//! * `pm_live_bytes` is a lock-free atomic;
+//! * the `archive_gate` serializes archive rounds against trims (an
+//!   upload-then-drop two-step must never interleave with a concurrent
+//!   trim's drop) and is always the outermost lock — nothing is held when
+//!   it is taken, and the archive manifest/buffer mutex below it is a leaf
+//!   like the cache stripes.
 //!
 //! Invariants that keep this deadlock-free: a thread never holds two stripe
 //! locks at once, never takes a stripe lock while holding the token lock
@@ -50,6 +67,7 @@ use parking_lot::Mutex;
 
 use flexlog_obs::{Counter, Histogram, ObsHandle, Stage};
 use flexlog_pm::{ClockMode, DeviceClock, LatencyModel, PmDevice, PmDeviceConfig, PmPool, PoolError, SsdDevice};
+use flexlog_tier::{fetch_segment, Manifest, ObjectStore, Segment};
 use flexlog_types::{ColorId, CommittedRecord, Payload, SeqNum, Token};
 
 use crate::{CacheStats, LruCache};
@@ -88,6 +106,30 @@ pub enum TierHit {
     Cache,
     Pm,
     Ssd,
+    /// Read-through from the cold object-storage tier.
+    Archive,
+}
+
+/// The cold tier attached below the SSD: a shared object store plus the
+/// archiver's knobs. One store instance is shared by a whole cluster (it
+/// models the remote object service, not a per-node device), so archived
+/// history survives any replica crash and is readable from every replica —
+/// including read-only ones and migration destinations.
+#[derive(Clone, Debug)]
+pub struct TierConfig {
+    /// The object store segments are uploaded to.
+    pub store: Arc<dyn ObjectStore>,
+    /// Records per sealed segment (the upload/fetch unit).
+    pub segment_records: usize,
+}
+
+impl TierConfig {
+    pub fn new(store: Arc<dyn ObjectStore>) -> Self {
+        TierConfig {
+            store,
+            segment_records: 256,
+        }
+    }
 }
 
 /// Configuration of a storage server.
@@ -108,6 +150,10 @@ pub struct StorageConfig {
     /// Observability surface: the cluster shares one handle across all
     /// layers; a standalone server gets its own private default.
     pub obs: ObsHandle,
+    /// Cold object-storage tier. `None` (the default) keeps the classic
+    /// PM+SSD stack: `trim` deletes history and reads never probe below
+    /// the SSD.
+    pub tier: Option<TierConfig>,
 }
 
 impl Default for StorageConfig {
@@ -120,6 +166,7 @@ impl Default for StorageConfig {
             spill_batch: 64,
             clock: ClockMode::Off,
             obs: ObsHandle::default(),
+            tier: None,
         }
     }
 }
@@ -155,6 +202,18 @@ pub struct StorageStats {
     pub bytes_appended: Counter,
     /// Payload bytes served by reads, from any tier.
     pub bytes_read: Counter,
+    /// Reads served from the archive tier. Archive probes do **not** count
+    /// as cache hits or misses: historical scans must not skew
+    /// `cache_hit_rate`, which tracks the hot working set only.
+    pub archive_hits: Counter,
+    /// Records sealed into archive segments and durably uploaded.
+    pub archived_records: Counter,
+    /// Segments durably uploaded to the object store.
+    pub archived_segments: Counter,
+    /// Segment downloads from the object store (read-through misses).
+    pub archive_fetches: Counter,
+    /// Object-store operations that failed (outage, injected fault).
+    pub archive_failures: Counter,
 }
 
 impl StorageStats {
@@ -171,6 +230,11 @@ impl StorageStats {
             spilled_records: obs.counter("storage.spilled_records"),
             bytes_appended: obs.counter("storage.bytes_appended"),
             bytes_read: obs.counter("storage.bytes_read"),
+            archive_hits: obs.counter("storage.archive_hits"),
+            archived_records: obs.counter("storage.archived_records"),
+            archived_segments: obs.counter("storage.archived_segments"),
+            archive_fetches: obs.counter("storage.archive_fetches"),
+            archive_failures: obs.counter("storage.archive_failures"),
         }
     }
 
@@ -194,6 +258,11 @@ pub enum StorageError {
     Pool(PoolError),
     /// Commit for a token that was never staged (and not yet committed).
     UnknownToken(Token),
+    /// A scan needed archived history but the object store could not
+    /// serve it. Callers must fail the operation loudly — returning the
+    /// live suffix alone would hand a subscriber a log with a silent
+    /// hole where the archived prefix belongs.
+    ArchiveUnavailable,
 }
 
 impl fmt::Display for StorageError {
@@ -201,6 +270,7 @@ impl fmt::Display for StorageError {
         match self {
             StorageError::Pool(e) => write!(f, "pool: {e}"),
             StorageError::UnknownToken(t) => write!(f, "unknown token {t:?}"),
+            StorageError::ArchiveUnavailable => write!(f, "archived history unavailable"),
         }
     }
 }
@@ -225,6 +295,10 @@ struct Stripe {
     committed: HashMap<ColorId, BTreeMap<SeqNum, bool>>,
     /// Highest trimmed SN per color (inclusive).
     heads: HashMap<ColorId, SeqNum>,
+    /// Per-color read counters (`storage.color_reads.<id>` in the registry):
+    /// the access-recency signal the tiering policy's `idle_ms` condition
+    /// observes.
+    reads: HashMap<ColorId, Counter>,
 }
 
 /// Token maps: small, hot at stage/commit boundaries only.
@@ -244,6 +318,31 @@ struct TokenIndex {
 /// One DRAM-cache stripe: an LRU over `(color, SN)` keys.
 type CacheStripe = Mutex<LruCache<(ColorId, SeqNum)>>;
 
+/// Archive-tier state: manifest cache plus the one-segment read buffer.
+///
+/// The buffer is deliberately tiny (one segment per color) and entirely
+/// separate from the DRAM cache stripes: a cold historical scan streams
+/// through it segment by segment without admitting a single record into
+/// the LRU, so the hot working set stays resident (low-priority admission
+/// taken to its limit — no admission at all).
+#[derive(Default)]
+struct ArchiveState {
+    manifests: HashMap<ColorId, Manifest>,
+    buffer: HashMap<ColorId, Segment>,
+}
+
+/// Result of one archive round (see `StorageServer::archive_records`).
+enum ArchiveOutcome {
+    /// Every candidate record is covered by a durably acked segment;
+    /// carries the count newly uploaded this round.
+    Complete(u64),
+    /// The round stopped early on a store failure. `durable` is the
+    /// highest SN covered by durably acked segments — the only prefix a
+    /// trim may drop — or `None` when even the manifest was unreadable
+    /// (boundary unknown, drop nothing).
+    Partial { archived: u64, durable: Option<SeqNum> },
+}
+
 /// See module docs.
 pub struct StorageServer {
     pool: PmPool,
@@ -256,6 +355,15 @@ pub struct StorageServer {
     /// Serializes spill rounds (the SSD-copy/PM-delete two-step must not
     /// interleave with itself); stripe/cache locks are taken inside.
     spill_gate: Mutex<()>,
+    /// Serializes archive rounds against trims: a trim must never drop
+    /// records an in-flight segment upload has not durably acked. Always
+    /// the outermost lock — nothing else is held when it is taken.
+    archive_gate: Mutex<()>,
+    /// Cached per-color manifests and the single-segment read buffer the
+    /// archive read-through path uses instead of the DRAM cache stripes
+    /// (so replay-from-genesis cannot evict the hot working set). Leaf
+    /// lock: no other lock is acquired while it is held.
+    archive: Mutex<ArchiveState>,
     clock: DeviceClock,
     config: StorageConfig,
     pub stats: StorageStats,
@@ -318,6 +426,8 @@ impl StorageServer {
             tokens: Mutex::new(TokenIndex::default()),
             pm_live_bytes: AtomicUsize::new(0),
             spill_gate: Mutex::new(()),
+            archive_gate: Mutex::new(()),
+            archive: Mutex::new(ArchiveState::default()),
             clock,
             config,
             stats,
@@ -385,6 +495,10 @@ impl StorageServer {
             tokens: Mutex::new(tokens),
             pm_live_bytes: AtomicUsize::new(pm_live_bytes),
             spill_gate: Mutex::new(()),
+            archive_gate: Mutex::new(()),
+            // Manifests reload lazily from the store on first archive probe;
+            // recovery needs no extra work here.
+            archive: Mutex::new(ArchiveState::default()),
             clock,
             config,
             stats,
@@ -568,14 +682,33 @@ impl StorageServer {
     /// Like [`StorageServer::get`] but also reports which tier hit.
     pub fn get_traced(&self, color: ColorId, sn: SeqNum) -> Option<(Payload, TierHit)> {
         self.stats.reads.fetch_add(1, Ordering::Relaxed);
-        {
-            let stripe = self.stripe_of(color).lock();
+        let archived_candidate = {
+            let mut stripe = self.stripe_of(color).lock();
+            let obs = &self.config.obs;
+            stripe
+                .reads
+                .entry(color)
+                .or_insert_with(|| obs.counter(&format!("storage.color_reads.{}", color.0)))
+                .fetch_add(1, Ordering::Relaxed);
             if stripe.heads.get(&color).is_some_and(|&h| sn <= h) {
-                return None; // trimmed
-            }
-            if !stripe.committed.get(&color).is_some_and(|m| m.contains_key(&sn)) {
+                // At or below the trim head: only the archive may serve it
+                // (the head filters live reads even when the bytes still
+                // sit in PM — the `install_head` migration contract).
+                self.config.tier.as_ref()?;
+                true
+            } else if stripe.committed.get(&color).is_some_and(|m| m.contains_key(&sn)) {
+                false // live in PM or SSD
+            } else {
                 return None;
             }
+        };
+        if archived_candidate {
+            let payload = self.archive_get(color, sn)?;
+            self.stats.archive_hits.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .bytes_read
+                .fetch_add(payload.len() as u64, Ordering::Relaxed);
+            return Some((payload, TierHit::Archive));
         }
         // Tier 1: DRAM cache (a hit returns the shared buffer, no copy).
         if let Some(v) = self.cache_of(color, sn).lock().get(&(color, sn)) {
@@ -608,28 +741,137 @@ impl StorageServer {
         None
     }
 
-    /// All committed records of `color` with `sn > from`, in SN order
-    /// (serves Subscribe and recovery syncs).
-    pub fn scan(&self, color: ColorId, from: SeqNum) -> Vec<CommittedRecord> {
-        let sns: Vec<SeqNum> = {
-            let stripe = self.stripe_of(color).lock();
-            match stripe.committed.get(&color) {
-                Some(m) => m
-                    .range((
-                        std::ops::Bound::Excluded(from),
-                        std::ops::Bound::Unbounded,
-                    ))
-                    .map(|(&sn, _)| sn)
-                    .collect(),
-                None => return Vec::new(),
+    /// Tier 4: the archive read-through. Serves `(color, sn)` from the
+    /// buffered segment if it covers the SN, else fetches the covering
+    /// segment from the object store into the buffer. Never touches the
+    /// DRAM cache stripes. Returns `None` on a genuine hole (the SN was
+    /// never archived) and on store failure (counted).
+    fn archive_get(&self, color: ColorId, sn: SeqNum) -> Option<Payload> {
+        let tier = self.config.tier.as_ref()?;
+        {
+            let archive = self.archive.lock();
+            if let Some(seg) = archive.buffer.get(&color) {
+                if seg.base <= sn && sn <= seg.last {
+                    // Covered by the buffered segment: either it has the
+                    // record or the SN is a hole — no point refetching.
+                    return match seg.records.binary_search_by_key(&sn, |r| r.sn) {
+                        Ok(i) => Some(seg.records[i].payload.clone()),
+                        Err(_) => None,
+                    };
+                }
             }
+        }
+        let manifest = self.archive_manifest(tier, color)?;
+        let meta = manifest.segment_for(sn)?;
+        match fetch_segment(tier.store.as_ref(), color, meta) {
+            Ok(Some(seg)) => {
+                self.stats.archive_fetches.fetch_add(1, Ordering::Relaxed);
+                let hit = match seg.records.binary_search_by_key(&sn, |r| r.sn) {
+                    Ok(i) => Some(seg.records[i].payload.clone()),
+                    Err(_) => None,
+                };
+                self.archive.lock().buffer.insert(color, seg);
+                hit
+            }
+            Ok(None) => None,
+            Err(_) => {
+                self.stats.archive_failures.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Returns this color's manifest, loading it from the store on first
+    /// use. Each replica archives and trims its own storage under the
+    /// `archive_gate`, so its cached manifest always covers its own trim
+    /// head — no staleness re-check is needed on a miss.
+    fn archive_manifest(&self, tier: &TierConfig, color: ColorId) -> Option<Manifest> {
+        if let Some(m) = self.archive.lock().manifests.get(&color) {
+            return Some(m.clone());
+        }
+        match Manifest::load(tier.store.as_ref(), color) {
+            Ok(m) => {
+                self.archive.lock().manifests.insert(color, m.clone());
+                Some(m)
+            }
+            Err(_) => {
+                self.stats.archive_failures.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Archived records of `color` with `sn > from`, oldest first, at most
+    /// `cap`. Streams through the archive buffer (never the DRAM cache).
+    /// Errors when the store cannot serve a needed segment or manifest —
+    /// the caller must fail the whole scan rather than serve a log with a
+    /// hole where the archived prefix belongs.
+    fn archived_scan(
+        &self,
+        color: ColorId,
+        from: SeqNum,
+        cap: usize,
+    ) -> Result<Vec<CommittedRecord>, StorageError> {
+        let Some(tier) = self.config.tier.as_ref() else {
+            return Ok(Vec::new());
         };
-        sns.into_iter()
-            .filter_map(|sn| {
-                self.get(color, sn)
-                    .map(|payload| CommittedRecord { sn, payload })
-            })
-            .collect()
+        let Some(manifest) = self.archive_manifest(tier, color) else {
+            return Err(StorageError::ArchiveUnavailable);
+        };
+        let mut out = Vec::new();
+        for meta in manifest.segments.iter().filter(|m| m.last > from) {
+            if out.len() >= cap {
+                break;
+            }
+            let buffered = {
+                let archive = self.archive.lock();
+                archive
+                    .buffer
+                    .get(&color)
+                    .filter(|seg| seg.base == meta.base && seg.last == meta.last)
+                    .cloned()
+            };
+            let seg = match buffered {
+                Some(seg) => seg,
+                None => match fetch_segment(tier.store.as_ref(), color, meta) {
+                    Ok(Some(seg)) => {
+                        self.stats.archive_fetches.fetch_add(1, Ordering::Relaxed);
+                        self.archive.lock().buffer.insert(color, seg.clone());
+                        seg
+                    }
+                    Ok(None) | Err(_) => {
+                        self.stats.archive_failures.fetch_add(1, Ordering::Relaxed);
+                        return Err(StorageError::ArchiveUnavailable);
+                    }
+                },
+            };
+            for rec in seg.records.iter().filter(|r| r.sn > from) {
+                if out.len() >= cap {
+                    break;
+                }
+                self.stats.archive_hits.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .bytes_read
+                    .fetch_add(rec.payload.len() as u64, Ordering::Relaxed);
+                out.push(rec.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// All committed records of `color` with `sn > from`, in SN order
+    /// (serves Subscribe and recovery syncs). With a cold tier configured
+    /// this includes archived history below the trim head, merged in front
+    /// of the live span — replay-from-genesis sees every record. Errors
+    /// with [`StorageError::ArchiveUnavailable`] when the scan needs the
+    /// archive and the object store cannot serve it: a partial log would
+    /// silently drop acked records from a subscriber's replay.
+    pub fn scan(
+        &self,
+        color: ColorId,
+        from: SeqNum,
+    ) -> Result<Vec<CommittedRecord>, StorageError> {
+        self.scan_capped(color, from, usize::MAX)
     }
 
     /// Like [`StorageServer::scan`] but returns at most `cap` records (in
@@ -637,10 +879,16 @@ impl StorageServer {
     /// push pumps run inside the replica's event loop; the cap bounds the
     /// work one pump steals from the append path, and the `get` path keeps
     /// a fan-out of subscribers on the same color hitting the DRAM cache.
-    pub fn scan_capped(&self, color: ColorId, from: SeqNum, cap: usize) -> Vec<CommittedRecord> {
-        let sns: Vec<SeqNum> = {
+    pub fn scan_capped(
+        &self,
+        color: ColorId,
+        from: SeqNum,
+        cap: usize,
+    ) -> Result<Vec<CommittedRecord>, StorageError> {
+        let (sns, head): (Vec<SeqNum>, Option<SeqNum>) = {
             let stripe = self.stripe_of(color).lock();
-            match stripe.committed.get(&color) {
+            let head = stripe.heads.get(&color).copied();
+            let sns = match stripe.committed.get(&color) {
                 Some(m) => m
                     .range((
                         std::ops::Bound::Excluded(from),
@@ -649,15 +897,46 @@ impl StorageServer {
                     .take(cap)
                     .map(|(&sn, _)| sn)
                     .collect(),
-                None => return Vec::new(),
-            }
+                None => Vec::new(),
+            };
+            (sns, head)
         };
-        sns.into_iter()
+        let live: Vec<CommittedRecord> = sns
+            .into_iter()
             .filter_map(|sn| {
                 self.get(color, sn)
                     .map(|payload| CommittedRecord { sn, payload })
             })
-            .collect()
+            .collect();
+        // The archive only holds records at or below the trim head, so a
+        // scan starting at or above it is served entirely by the live span.
+        if self.config.tier.is_none() || head.is_none_or(|h| from >= h) {
+            return Ok(live);
+        }
+        let archived = self.archived_scan(color, from, cap)?;
+        if archived.is_empty() {
+            return Ok(live);
+        }
+        // Merge the two SN-sorted runs. An SN present in both (archived
+        // before the trim dropped it) yields one record; the bytes are
+        // identical by construction, live wins arbitrarily.
+        let mut out = Vec::new();
+        let mut a = archived.into_iter().peekable();
+        let mut l = live.into_iter().peekable();
+        while out.len() < cap {
+            match (a.peek(), l.peek()) {
+                (Some(x), Some(y)) if x.sn < y.sn => out.push(a.next().unwrap()),
+                (Some(x), Some(y)) if x.sn > y.sn => out.push(l.next().unwrap()),
+                (Some(_), Some(_)) => {
+                    a.next();
+                    out.push(l.next().unwrap());
+                }
+                (Some(_), None) => out.push(a.next().unwrap()),
+                (None, Some(_)) => out.push(l.next().unwrap()),
+                (None, None) => break,
+            }
+        }
+        Ok(out)
     }
 
     /// Like [`StorageServer::scan`] but including each record's append
@@ -847,11 +1126,18 @@ impl StorageServer {
             .collect()
     }
 
-    /// Deletes every record of `color` with `sn <= up_to` and durably
-    /// advances the head. Returns the new `[head, tail]` pair (the Trim
-    /// protocol's reply, §6.2). Also prunes the token-idempotence map of
-    /// entries whose whole batch is now behind the head, so the map's size
-    /// tracks the live log rather than its entire history.
+    /// Trims every record of `color` with `sn <= up_to` and durably
+    /// advances the head; returns the new `[head, tail]` pair (the Trim
+    /// protocol's reply, §6.2).
+    ///
+    /// Without a cold tier this deletes the records outright. With one,
+    /// trim is **archive-then-drop**: the prefix is first sealed into
+    /// segments and uploaded, and only records covered by a durably acked
+    /// segment are released from PM/SSD. If an upload fails mid-round the
+    /// un-acked suffix stays live (and readable) until a later trim
+    /// retries — history is never lost to a store outage. The round runs
+    /// under the `archive_gate` so concurrent trims and policy-driven
+    /// archive rounds cannot interleave their upload/drop two-steps.
     pub fn trim(
         &self,
         color: ColorId,
@@ -868,6 +1154,41 @@ impl StorageServer {
                 return Ok((None, None));
             }
         }
+        let Some(tier) = self.config.tier.clone() else {
+            return self.drop_prefix(color, up_to);
+        };
+        let _gate = self.archive_gate.lock();
+        match self.archive_records(&tier, color, Some(up_to), 0, u64::MAX) {
+            ArchiveOutcome::Complete(_) => self.drop_prefix(color, up_to),
+            ArchiveOutcome::Partial { durable: Some(boundary), .. } => {
+                // The store stopped acking mid-round: drop only the prefix
+                // it durably holds. The head therefore lands below `up_to`;
+                // the protocol reply reflects that and a later trim retries
+                // the rest.
+                if boundary == SeqNum::ZERO {
+                    Ok((self.head(color), self.tail(color)))
+                } else {
+                    self.drop_prefix(color, boundary.min(up_to))
+                }
+            }
+            ArchiveOutcome::Partial { durable: None, .. } => {
+                // Even the manifest was unreadable — the durable boundary
+                // is unknown, so nothing may be dropped.
+                Ok((self.head(color), self.tail(color)))
+            }
+        }
+    }
+
+    /// Deletes every record of `color` with `sn <= up_to` and durably
+    /// advances the head — the tier-less trim, and the drop half of
+    /// archive-then-drop. Also prunes the token-idempotence map of
+    /// entries whose whole batch is now behind the head, so the map's size
+    /// tracks the live log rather than its entire history.
+    fn drop_prefix(
+        &self,
+        color: ColorId,
+        up_to: SeqNum,
+    ) -> Result<(Option<SeqNum>, Option<SeqNum>), StorageError> {
         let victims: Vec<(SeqNum, bool)> = {
             let stripe = self.stripe_of(color).lock();
             match stripe.committed.get(&color) {
@@ -923,6 +1244,151 @@ impl StorageServer {
         self.pm_live_bytes
             .fetch_sub(freed.min(self.pm_live_bytes.load(Ordering::Relaxed)), Ordering::Relaxed);
         Ok((head, tail))
+    }
+
+    /// One archive round: seals committed records of `color` above the
+    /// manifest's durable boundary (and `<= limit`, when given) into
+    /// segments and uploads them. For policy rounds (`limit == None`) the
+    /// newest `keep_tail` candidates stay hot and at most `max_records`
+    /// move. The caller holds the `archive_gate`.
+    ///
+    /// Idempotent across replicas and crashes: every replica derives the
+    /// same chunk boundaries from the same shared manifest state, so
+    /// re-uploads write byte-identical objects under the same keys.
+    fn archive_records(
+        &self,
+        tier: &TierConfig,
+        color: ColorId,
+        limit: Option<SeqNum>,
+        keep_tail: u64,
+        max_records: u64,
+    ) -> ArchiveOutcome {
+        let cached = self.archive.lock().manifests.get(&color).cloned();
+        let mut manifest = match cached {
+            Some(m) => m,
+            None => match Manifest::load(tier.store.as_ref(), color) {
+                Ok(m) => m,
+                Err(_) => {
+                    self.stats.archive_failures.fetch_add(1, Ordering::Relaxed);
+                    return ArchiveOutcome::Partial { archived: 0, durable: None };
+                }
+            },
+        };
+        let boundary = manifest.archived_up_to().unwrap_or(SeqNum::ZERO);
+        // A policy round may already have archived past this trim's cut:
+        // everything at or below `limit` is durable in the store, so the
+        // round has nothing to seal (and the range below would invert).
+        if limit.is_some_and(|l| l <= boundary) {
+            self.archive.lock().manifests.insert(color, manifest);
+            return ArchiveOutcome::Complete(0);
+        }
+        let mut candidates: Vec<(SeqNum, bool)> = {
+            let stripe = self.stripe_of(color).lock();
+            match stripe.committed.get(&color) {
+                Some(m) => {
+                    let upper = match limit {
+                        Some(l) => std::ops::Bound::Included(l),
+                        None => std::ops::Bound::Unbounded,
+                    };
+                    m.range((std::ops::Bound::Excluded(boundary), upper))
+                        .map(|(&sn, &on_ssd)| (sn, on_ssd))
+                        .collect()
+                }
+                None => Vec::new(),
+            }
+        };
+        if limit.is_none() {
+            let keep = keep_tail.min(candidates.len() as u64) as usize;
+            candidates.truncate(candidates.len() - keep);
+            if candidates.len() as u64 > max_records {
+                candidates.truncate(max_records as usize);
+            }
+        }
+        let mut archived = 0u64;
+        for group in candidates.chunks(tier.segment_records.max(1)) {
+            let mut records = Vec::with_capacity(group.len());
+            for &(sn, on_ssd) in group {
+                // Probe the expected tier first but fall back to the other:
+                // a concurrent spill may move the record mid-round.
+                let raw = if on_ssd {
+                    self.ssd
+                        .read_block(ssd_block_id(color, sn))
+                        .ok()
+                        .or_else(|| self.pool.get(committed_key(color, sn)))
+                } else {
+                    self.pool
+                        .get(committed_key(color, sn))
+                        .or_else(|| self.ssd.read_block(ssd_block_id(color, sn)).ok())
+                };
+                let Some(raw) = raw else { continue };
+                records.push(CommittedRecord {
+                    sn,
+                    payload: Payload::from(raw[8..].to_vec()),
+                });
+            }
+            if records.is_empty() {
+                continue;
+            }
+            let seg = Segment::seal(color, records);
+            if tier.store.put(&seg.key(), &seg.encode()).is_err() {
+                self.stats.archive_failures.fetch_add(1, Ordering::Relaxed);
+                let durable = manifest.archived_up_to();
+                self.archive.lock().manifests.insert(color, manifest);
+                return ArchiveOutcome::Partial { archived, durable };
+            }
+            let n = seg.records.len() as u64;
+            self.stats.archived_segments.fetch_add(1, Ordering::Relaxed);
+            self.stats.archived_records.fetch_add(n, Ordering::Relaxed);
+            archived += n;
+            manifest.push(seg.meta());
+        }
+        if archived > 0 {
+            // The manifest object is a fast path only — on failure the next
+            // load rebuilds it from the listing, which the segment puts
+            // above already made authoritative.
+            if manifest.store(tier.store.as_ref(), color).is_err() {
+                self.stats.archive_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.archive.lock().manifests.insert(color, manifest);
+        ArchiveOutcome::Complete(archived)
+    }
+
+    /// Policy actuator: archives the cold prefix of `color` (all but the
+    /// newest `keep_tail` records, at most `max_records` this round), then
+    /// releases the durably covered prefix from PM/SSD. Returns how many
+    /// records this round newly archived. A no-op without a cold tier.
+    pub fn archive_prefix(
+        &self,
+        color: ColorId,
+        keep_tail: u64,
+        max_records: u64,
+    ) -> Result<u64, StorageError> {
+        let Some(tier) = self.config.tier.clone() else {
+            return Ok(0);
+        };
+        let _gate = self.archive_gate.lock();
+        let (archived, durable) =
+            match self.archive_records(&tier, color, None, keep_tail, max_records) {
+                ArchiveOutcome::Complete(n) => {
+                    let durable = self
+                        .archive
+                        .lock()
+                        .manifests
+                        .get(&color)
+                        .and_then(|m| m.archived_up_to());
+                    (n, durable)
+                }
+                ArchiveOutcome::Partial { archived, durable } => (archived, durable),
+            };
+        if let Some(boundary) = durable {
+            // Skip the PM transaction when the head already covers the
+            // boundary (steady-state policy ticks with nothing new).
+            if self.head(color).is_none_or(|h| h < boundary) {
+                self.drop_prefix(color, boundary)?;
+            }
+        }
+        Ok(archived)
     }
 
     /// Deletes every committed record of `color` across all tiers — the
@@ -1150,38 +1616,71 @@ impl StorageServer {
             if victims.is_empty() {
                 return Ok(());
             }
-            // 1. Copy to SSD and fsync...
-            for &(color, sn) in &victims {
-                if let Some(v) = self.pool.get(committed_key(color, sn)) {
-                    self.ssd.write_block(ssd_block_id(color, sn), &v);
-                }
-            }
-            self.ssd.fsync();
-            // 2. ...only then remove from PM (crash between the two steps
-            // duplicates records across tiers; never loses them).
-            let mut freed = 0usize;
-            let mut tx = self.pool.begin();
-            for &(color, sn) in &victims {
-                if let Some(v) = self.pool.get(committed_key(color, sn)) {
-                    freed += v.len();
-                }
-                tx.delete(committed_key(color, sn));
-            }
-            tx.commit()?;
-            for &(color, sn) in &victims {
-                let mut stripe = self.stripe_of(color).lock();
-                if let Some(m) = stripe.committed.get_mut(&color) {
-                    if let Some(slot) = m.get_mut(&sn) {
-                        *slot = true;
-                    }
-                }
-            }
-            self.pm_live_bytes
-                .fetch_sub(freed.min(self.pm_live_bytes.load(Ordering::Relaxed)), Ordering::Relaxed);
-            self.stats
-                .spilled_records
-                .fetch_add(victims.len() as u64, Ordering::Relaxed);
+            self.spill_victims(&victims)?;
         }
+    }
+
+    /// The SSD-copy → fsync → PM-delete two-step moving the given
+    /// PM-resident records down a tier. Callers hold the spill gate.
+    fn spill_victims(&self, victims: &[(ColorId, SeqNum)]) -> Result<(), StorageError> {
+        // 1. Copy to SSD and fsync...
+        for &(color, sn) in victims {
+            if let Some(v) = self.pool.get(committed_key(color, sn)) {
+                self.ssd.write_block(ssd_block_id(color, sn), &v);
+            }
+        }
+        self.ssd.fsync();
+        // 2. ...only then remove from PM (crash between the two steps
+        // duplicates records across tiers; never loses them).
+        let mut freed = 0usize;
+        let mut tx = self.pool.begin();
+        for &(color, sn) in victims {
+            if let Some(v) = self.pool.get(committed_key(color, sn)) {
+                freed += v.len();
+            }
+            tx.delete(committed_key(color, sn));
+        }
+        tx.commit()?;
+        for &(color, sn) in victims {
+            let mut stripe = self.stripe_of(color).lock();
+            if let Some(m) = stripe.committed.get_mut(&color) {
+                if let Some(slot) = m.get_mut(&sn) {
+                    *slot = true;
+                }
+            }
+        }
+        self.pm_live_bytes
+            .fetch_sub(freed.min(self.pm_live_bytes.load(Ordering::Relaxed)), Ordering::Relaxed);
+        self.stats
+            .spilled_records
+            .fetch_add(victims.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Policy actuator: demotes up to `max_records` of `color`'s oldest
+    /// PM-resident records to the SSD, regardless of the global
+    /// `pm_watermark` — the declarative `demote` action's landing point,
+    /// replacing per-workload tuning of the spill heuristics. Returns how
+    /// many records moved.
+    pub fn demote_color(&self, color: ColorId, max_records: u64) -> Result<u64, StorageError> {
+        let _gate = self.spill_gate.lock();
+        let victims: Vec<(ColorId, SeqNum)> = {
+            let stripe = self.stripe_of(color).lock();
+            match stripe.committed.get(&color) {
+                Some(m) => m
+                    .iter()
+                    .filter(|&(_, &on_ssd)| !on_ssd)
+                    .take(max_records.min(usize::MAX as u64) as usize)
+                    .map(|(&sn, _)| (color, sn))
+                    .collect(),
+                None => Vec::new(),
+            }
+        };
+        if victims.is_empty() {
+            return Ok(0);
+        }
+        self.spill_victims(&victims)?;
+        Ok(victims.len() as u64)
     }
 }
 

@@ -317,10 +317,10 @@ fn scan_returns_ordered_records() {
         s.stage(tok(*i), RED, &[pl(vec![*i as u8])]).unwrap();
         s.commit(tok(*i), sn(*i)).unwrap();
     }
-    let all = s.scan(RED, SeqNum::ZERO);
+    let all = s.scan(RED, SeqNum::ZERO).unwrap();
     let sns: Vec<u32> = all.iter().map(|r| r.sn.counter()).collect();
     assert_eq!(sns, vec![1, 3, 5, 9]);
-    let from = s.scan(RED, sn(3));
+    let from = s.scan(RED, sn(3)).unwrap();
     assert_eq!(from.len(), 2);
     assert_eq!(from[0].sn, sn(5));
 }
@@ -626,6 +626,141 @@ fn concurrent_commit_many_batches_from_many_threads() {
     }
     for t in 0..THREADS {
         assert_eq!(s.record_count(ColorId(t + 1)), BATCHES as usize);
+    }
+}
+
+mod cold_tier {
+    use super::*;
+    use flexlog_tier::SimObjectStore;
+
+    fn tiered(segment_records: usize) -> (StorageServer, Arc<SimObjectStore>) {
+        let store = Arc::new(SimObjectStore::new(DeviceClock::new(ClockMode::Off)));
+        let mut tier = TierConfig::new(store.clone());
+        tier.segment_records = segment_records;
+        let s = StorageServer::new(StorageConfig {
+            tier: Some(tier),
+            ..Default::default()
+        });
+        (s, store)
+    }
+
+    /// Commits `n` records into `color` as sn 1..=n with payload `[i; 16]`.
+    /// `base` keeps tokens unique across colors within one test.
+    fn fill(s: &StorageServer, color: ColorId, n: u32, base: u32) {
+        for i in 1..=n {
+            s.stage(tok(base + i), color, &[pl(vec![i as u8; 16])]).unwrap();
+            s.commit(tok(base + i), sn(i)).unwrap();
+        }
+    }
+
+    #[test]
+    fn trim_archives_then_serves_reads_through() {
+        let (s, _store) = tiered(4);
+        fill(&s, RED, 10, 0);
+        s.trim(RED, sn(8)).unwrap();
+
+        // The prefix left the live tiers but not the log.
+        assert_eq!(s.record_count(RED), 2);
+        assert_eq!(s.head(RED), Some(sn(8)));
+        assert_eq!(s.get(RED, sn(3)).unwrap(), vec![3u8; 16]);
+        assert!(s.stats.archive_hits.load(Ordering::Relaxed) > 0);
+        assert!(s.stats.archived_records.load(Ordering::Relaxed) >= 8);
+
+        // Replay from genesis: all ten, in order, byte-identical.
+        let all = s.scan(RED, SeqNum::ZERO).unwrap();
+        assert_eq!(all.len(), 10);
+        for (i, rec) in all.iter().enumerate() {
+            assert_eq!(rec.sn, sn(i as u32 + 1));
+            assert_eq!(rec.payload.as_slice(), &vec![i as u8 + 1; 16][..]);
+        }
+    }
+
+    #[test]
+    fn trim_holds_records_until_upload_is_durable() {
+        let (s, store) = tiered(4);
+        fill(&s, RED, 10, 0);
+
+        // Store dark: the trim round cannot make anything durable, so the
+        // trim must drop nothing — the live tiers are the only copy.
+        store.set_outage(true);
+        s.trim(RED, sn(8)).unwrap();
+        assert_eq!(s.record_count(RED), 10, "outage trim must not drop records");
+        assert_eq!(s.head(RED), None);
+        assert_eq!(s.get(RED, sn(1)).unwrap(), vec![1u8; 16]);
+
+        // Healed: the retried trim archives, then drops.
+        store.set_outage(false);
+        s.trim(RED, sn(8)).unwrap();
+        assert_eq!(s.record_count(RED), 2);
+        assert_eq!(s.get(RED, sn(1)).unwrap(), vec![1u8; 16], "read-through");
+    }
+
+    #[test]
+    fn partial_round_drops_only_the_durable_prefix() {
+        let (s, store) = tiered(4);
+        fill(&s, RED, 12, 0);
+
+        // Policy round: archive all but the newest 8 → sn 1..=4 durable.
+        assert_eq!(s.archive_prefix(RED, 8, u64::MAX).unwrap(), 4);
+        assert_eq!(s.record_count(RED), 8);
+        assert_eq!(s.head(RED), Some(sn(4)));
+
+        // A full trim during an outage may only drop what the earlier
+        // round already made durable — nothing, since sn 4 is the head.
+        store.set_outage(true);
+        s.trim(RED, sn(12)).unwrap();
+        assert_eq!(s.record_count(RED), 8, "unarchived records must survive");
+        assert_eq!(s.head(RED), Some(sn(4)));
+        assert_eq!(s.get(RED, sn(6)).unwrap(), vec![6u8; 16], "still live");
+
+        store.set_outage(false);
+        s.trim(RED, sn(12)).unwrap();
+        assert_eq!(s.record_count(RED), 0);
+        let all = s.scan(RED, SeqNum::ZERO).unwrap();
+        assert_eq!(all.len(), 12, "fully archived log replays from genesis");
+    }
+
+    #[test]
+    fn trim_below_archive_boundary_is_a_noop_round() {
+        let (s, _store) = tiered(4);
+        fill(&s, RED, 12, 0);
+        assert_eq!(s.archive_prefix(RED, 4, u64::MAX).unwrap(), 8);
+        assert_eq!(s.head(RED), Some(sn(8)));
+
+        // A client trim below (or at) the archived boundary must not panic
+        // or regress the head — everything it names is already durable.
+        let (head, _) = s.trim(RED, sn(5)).unwrap();
+        assert_eq!(head, Some(sn(8)));
+        assert_eq!(s.record_count(RED), 4);
+    }
+
+    #[test]
+    fn archive_reads_bypass_the_dram_cache() {
+        let (s, _store) = tiered(4);
+        fill(&s, RED, 12, 0);
+        fill(&s, GREEN, 4, 100);
+        s.trim(RED, sn(12)).unwrap();
+
+        // Warm the hot color, then baseline the cache counters.
+        for i in 1..=4u32 {
+            assert_eq!(s.get(GREEN, sn(i)).unwrap(), vec![i as u8; 16]);
+        }
+        let h0 = s.stats.cache_hits.load(Ordering::Relaxed);
+        let m0 = s.stats.cache_misses.load(Ordering::Relaxed);
+
+        // Interleave cold replays with hot reads: the replay streams
+        // through the archive buffer, never the cache stripes.
+        for _ in 0..10 {
+            assert_eq!(s.scan(RED, SeqNum::ZERO).unwrap().len(), 12);
+            for i in 1..=4u32 {
+                assert_eq!(s.get(GREEN, sn(i)).unwrap(), vec![i as u8; 16]);
+            }
+        }
+        let dh = s.stats.cache_hits.load(Ordering::Relaxed) - h0;
+        let dm = s.stats.cache_misses.load(Ordering::Relaxed) - m0;
+        assert!(dh >= 40, "hot reads must keep hitting DRAM: {dh}");
+        assert_eq!(dm, 0, "archive replay must not evict or miss the cache");
+        assert!(s.stats.archive_hits.load(Ordering::Relaxed) >= 120);
     }
 }
 

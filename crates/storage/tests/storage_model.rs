@@ -112,7 +112,7 @@ proptest! {
                 }
                 Op::Scan { color } => {
                     let c = color as usize;
-                    let got = server.scan(COLORS[c], SeqNum::ZERO);
+                    let got = server.scan(COLORS[c], SeqNum::ZERO).unwrap();
                     let want: Vec<(u32, &Vec<u8>)> = model.committed[c]
                         .iter()
                         .filter(|(&k, _)| k > model.heads[c])

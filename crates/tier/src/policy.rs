@@ -1,0 +1,428 @@
+//! The declarative tiering policy.
+//!
+//! Replaces the storage server's ad-hoc "spill when PM crosses a watermark"
+//! heuristic with something an operator can read, diff, and reason about: a
+//! list of rules, each a conjunction of [`TierCondition`]s guarding one
+//! [`TierAction`]. The control plane evaluates the policy against per-color
+//! [`ColorObservation`]s (sampled from the shared metrics registry and the
+//! replicas' color-status probes) and turns matches into [`TierMove`] plans
+//! the archiver executes.
+//!
+//! Grammar (one rule per line, `#` comments, first matching rule per color
+//! wins):
+//!
+//! ```text
+//! rule   := "when" cond ( "&&" cond )* "then" action
+//! cond   := "pm_pressure" ">" FLOAT        # pm_live_bytes / pm_capacity
+//!         | "span" ">=" INT                # live (PM+SSD) records of the color
+//!         | "ssd_resident" ">=" INT        # records already demoted to SSD
+//!         | "idle_ms" ">=" INT             # since the color was last read *or* appended
+//!         | "age_ms" ">=" INT              # since the color was last appended
+//! action := "archive" [ "keep=" INT ] [ "max=" INT ]   # seal+upload, then drop
+//!         | "demote"  [ "max=" INT ]                   # PM -> SSD, stay live
+//! ```
+//!
+//! Example — the shipped default ([`TieringPolicy::recommended`]):
+//!
+//! ```text
+//! # Under PM pressure, push any sizable cold span down to the archive.
+//! when pm_pressure > 0.5 && age_ms >= 50 && span >= 256 then archive keep=64 max=4096
+//! # Long-idle colors drain to the archive even without pressure.
+//! when idle_ms >= 1000 && span >= 128 then archive keep=32 max=4096
+//! # Appended-but-unread colors get demoted out of PM early.
+//! when age_ms >= 200 && span >= 64 then demote max=1024
+//! ```
+
+use std::fmt;
+use std::time::Duration;
+
+use flexlog_types::ColorId;
+
+/// One measurable predicate over a color's observed state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TierCondition {
+    /// `pm_live_bytes / pm_capacity` on the hosting shard exceeds this.
+    PmPressureAbove(f64),
+    /// The color holds at least this many live (PM+SSD) records.
+    SpanAtLeast(u64),
+    /// At least this many of the color's records already sit on SSD.
+    SsdResidentAtLeast(u64),
+    /// No read or append for at least this long.
+    IdleFor(Duration),
+    /// No append for at least this long (reads don't reset it).
+    AgeAtLeast(Duration),
+}
+
+impl TierCondition {
+    pub fn matches(&self, obs: &ColorObservation) -> bool {
+        match *self {
+            TierCondition::PmPressureAbove(r) => obs.pm_pressure > r,
+            TierCondition::SpanAtLeast(n) => obs.live_records >= n,
+            TierCondition::SsdResidentAtLeast(n) => obs.ssd_resident >= n,
+            TierCondition::IdleFor(d) => obs.idle >= d,
+            TierCondition::AgeAtLeast(d) => obs.age >= d,
+        }
+    }
+}
+
+impl fmt::Display for TierCondition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TierCondition::PmPressureAbove(r) => write!(f, "pm_pressure > {r}"),
+            TierCondition::SpanAtLeast(n) => write!(f, "span >= {n}"),
+            TierCondition::SsdResidentAtLeast(n) => write!(f, "ssd_resident >= {n}"),
+            TierCondition::IdleFor(d) => write!(f, "idle_ms >= {}", d.as_millis()),
+            TierCondition::AgeAtLeast(d) => write!(f, "age_ms >= {}", d.as_millis()),
+        }
+    }
+}
+
+/// What to do with a color whose conditions all match.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TierAction {
+    /// Seal the cold prefix into segments, upload, then release PM/SSD
+    /// bytes — keeping the newest `keep_tail` records hot and moving at
+    /// most `max_records` per round.
+    Archive { keep_tail: u64, max_records: u64 },
+    /// Copy at most `max_records` of the color's oldest PM-resident
+    /// records down to SSD (they stay live and readable).
+    Demote { max_records: u64 },
+}
+
+impl fmt::Display for TierAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TierAction::Archive {
+                keep_tail,
+                max_records,
+            } => write!(f, "archive keep={keep_tail} max={max_records}"),
+            TierAction::Demote { max_records } => write!(f, "demote max={max_records}"),
+        }
+    }
+}
+
+/// `when <conds…> then <action>`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TierRule {
+    pub when: Vec<TierCondition>,
+    pub action: TierAction,
+}
+
+impl fmt::Display for TierRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "when ")?;
+        for (i, c) in self.when.iter().enumerate() {
+            if i > 0 {
+                write!(f, " && ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, " then {}", self.action)
+    }
+}
+
+/// What the control plane knows about one color when it evaluates the
+/// policy. Rates and clocks come from the shared metrics registry
+/// (`seq.color_sns.*` diffs, `storage.color_reads.*`), residency from the
+/// replicas' color-status probes.
+#[derive(Clone, Copy, Debug)]
+pub struct ColorObservation {
+    pub color: ColorId,
+    /// Live (PM + SSD) records the color holds on its shard.
+    pub live_records: u64,
+    /// How many of those are already SSD-resident.
+    pub ssd_resident: u64,
+    /// `pm_live_bytes / pm_capacity` of the hosting shard.
+    pub pm_pressure: f64,
+    /// Time since the color was last read or appended.
+    pub idle: Duration,
+    /// Time since the color was last appended.
+    pub age: Duration,
+}
+
+/// One planned move, ready for the archiver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TierMove {
+    pub color: ColorId,
+    pub action: TierAction,
+}
+
+/// Parse failure: line number (1-based) and what went wrong.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PolicyParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for PolicyParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "policy line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PolicyParseError {}
+
+/// An ordered rule list; the first matching rule per color wins.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TieringPolicy {
+    pub rules: Vec<TierRule>,
+}
+
+impl TieringPolicy {
+    /// The shipped default (see the module docs for the source text).
+    pub fn recommended() -> Self {
+        TieringPolicy {
+            rules: vec![
+                TierRule {
+                    when: vec![
+                        TierCondition::PmPressureAbove(0.5),
+                        TierCondition::AgeAtLeast(Duration::from_millis(50)),
+                        TierCondition::SpanAtLeast(256),
+                    ],
+                    action: TierAction::Archive {
+                        keep_tail: 64,
+                        max_records: 4096,
+                    },
+                },
+                TierRule {
+                    when: vec![
+                        TierCondition::IdleFor(Duration::from_millis(1000)),
+                        TierCondition::SpanAtLeast(128),
+                    ],
+                    action: TierAction::Archive {
+                        keep_tail: 32,
+                        max_records: 4096,
+                    },
+                },
+                TierRule {
+                    when: vec![
+                        TierCondition::AgeAtLeast(Duration::from_millis(200)),
+                        TierCondition::SpanAtLeast(64),
+                    ],
+                    action: TierAction::Demote { max_records: 1024 },
+                },
+            ],
+        }
+    }
+
+    /// Parses the policy grammar (module docs). Empty input is a valid
+    /// policy that never moves anything.
+    pub fn parse(text: &str) -> Result<Self, PolicyParseError> {
+        let mut rules = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            rules.push(parse_rule(line).map_err(|message| PolicyParseError {
+                line: idx + 1,
+                message,
+            })?);
+        }
+        Ok(TieringPolicy { rules })
+    }
+
+    /// Evaluates every observation; at most one move per color (first
+    /// matching rule wins).
+    pub fn evaluate(&self, observations: &[ColorObservation]) -> Vec<TierMove> {
+        let mut moves = Vec::new();
+        for obs in observations {
+            for rule in &self.rules {
+                if rule.when.iter().all(|c| c.matches(obs)) {
+                    moves.push(TierMove {
+                        color: obs.color,
+                        action: rule.action,
+                    });
+                    break;
+                }
+            }
+        }
+        moves
+    }
+}
+
+impl fmt::Display for TieringPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rule in &self.rules {
+            writeln!(f, "{rule}")?;
+        }
+        Ok(())
+    }
+}
+
+fn parse_rule(line: &str) -> Result<TierRule, String> {
+    let rest = line
+        .strip_prefix("when")
+        .ok_or_else(|| "rule must start with 'when'".to_string())?;
+    let (conds, action) = rest
+        .split_once("then")
+        .ok_or_else(|| "missing 'then'".to_string())?;
+    let when: Vec<TierCondition> = conds
+        .split("&&")
+        .map(|c| parse_condition(c.trim()))
+        .collect::<Result<_, _>>()?;
+    if when.is_empty() {
+        return Err("at least one condition required".to_string());
+    }
+    Ok(TierRule {
+        when,
+        action: parse_action(action.trim())?,
+    })
+}
+
+fn parse_condition(cond: &str) -> Result<TierCondition, String> {
+    let mut parts = cond.split_whitespace();
+    let (field, op, value) = (
+        parts.next().ok_or("empty condition")?,
+        parts.next().ok_or_else(|| format!("condition '{cond}': missing operator"))?,
+        parts.next().ok_or_else(|| format!("condition '{cond}': missing value"))?,
+    );
+    if parts.next().is_some() {
+        return Err(format!("condition '{cond}': trailing tokens"));
+    }
+    let int = |v: &str| {
+        v.parse::<u64>()
+            .map_err(|_| format!("condition '{cond}': '{v}' is not an integer"))
+    };
+    match (field, op) {
+        ("pm_pressure", ">") => value
+            .parse::<f64>()
+            .map(TierCondition::PmPressureAbove)
+            .map_err(|_| format!("condition '{cond}': '{value}' is not a number")),
+        ("span", ">=") => int(value).map(TierCondition::SpanAtLeast),
+        ("ssd_resident", ">=") => int(value).map(TierCondition::SsdResidentAtLeast),
+        ("idle_ms", ">=") => int(value)
+            .map(|ms| TierCondition::IdleFor(Duration::from_millis(ms))),
+        ("age_ms", ">=") => int(value)
+            .map(|ms| TierCondition::AgeAtLeast(Duration::from_millis(ms))),
+        _ => Err(format!(
+            "condition '{cond}': unknown field/operator '{field} {op}'"
+        )),
+    }
+}
+
+fn parse_action(action: &str) -> Result<TierAction, String> {
+    let mut parts = action.split_whitespace();
+    let verb = parts.next().ok_or("missing action")?;
+    let mut keep_tail = 0u64;
+    let mut max_records = u64::MAX;
+    for p in parts {
+        if let Some(v) = p.strip_prefix("keep=") {
+            keep_tail = v
+                .parse()
+                .map_err(|_| format!("action '{action}': bad keep= value"))?;
+        } else if let Some(v) = p.strip_prefix("max=") {
+            max_records = v
+                .parse()
+                .map_err(|_| format!("action '{action}': bad max= value"))?;
+        } else {
+            return Err(format!("action '{action}': unknown token '{p}'"));
+        }
+    }
+    match verb {
+        "archive" => Ok(TierAction::Archive {
+            keep_tail,
+            max_records,
+        }),
+        "demote" => Ok(TierAction::Demote { max_records }),
+        _ => Err(format!("unknown action '{verb}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(color: u32) -> ColorObservation {
+        ColorObservation {
+            color: ColorId(color),
+            live_records: 0,
+            ssd_resident: 0,
+            pm_pressure: 0.0,
+            idle: Duration::ZERO,
+            age: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn parse_roundtrips_through_display() {
+        let text = "\
+# push cold spans down
+when pm_pressure > 0.5 && age_ms >= 50 && span >= 256 then archive keep=64 max=4096
+when idle_ms >= 1000 && span >= 128 then archive keep=32 max=4096
+when age_ms >= 200 && span >= 64 then demote max=1024
+";
+        let policy = TieringPolicy::parse(text).unwrap();
+        assert_eq!(policy, TieringPolicy::recommended());
+        let reparsed = TieringPolicy::parse(&policy.to_string()).unwrap();
+        assert_eq!(reparsed, policy);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = TieringPolicy::parse("when span >= 10 then archive\nwhat now").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = TieringPolicy::parse("when span > 10 then archive").unwrap_err();
+        assert!(err.message.contains("unknown field/operator"), "{err}");
+        let err = TieringPolicy::parse("when span >= 10 then shred").unwrap_err();
+        assert!(err.message.contains("unknown action"), "{err}");
+        let err = TieringPolicy::parse("when then archive").unwrap_err();
+        assert!(err.message.contains("empty condition"), "{err}");
+    }
+
+    #[test]
+    fn first_matching_rule_wins_and_conditions_are_anded() {
+        let policy = TieringPolicy::parse(
+            "when span >= 100 && idle_ms >= 50 then archive keep=8\n\
+             when span >= 100 then demote max=16\n",
+        )
+        .unwrap();
+
+        let mut hot = obs(1);
+        hot.live_records = 200;
+        hot.idle = Duration::from_millis(10); // fails rule 1, matches rule 2
+        let mut cold = obs(2);
+        cold.live_records = 200;
+        cold.idle = Duration::from_millis(80); // matches rule 1
+        let small = obs(3); // matches nothing
+
+        let moves = policy.evaluate(&[hot, cold, small]);
+        assert_eq!(
+            moves,
+            vec![
+                TierMove {
+                    color: ColorId(1),
+                    action: TierAction::Demote { max_records: 16 },
+                },
+                TierMove {
+                    color: ColorId(2),
+                    action: TierAction::Archive {
+                        keep_tail: 8,
+                        max_records: u64::MAX,
+                    },
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn pm_pressure_is_strict_greater() {
+        let policy = TieringPolicy::parse("when pm_pressure > 0.5 then demote").unwrap();
+        let mut at = obs(1);
+        at.pm_pressure = 0.5;
+        assert!(policy.evaluate(&[at]).is_empty());
+        at.pm_pressure = 0.51;
+        assert_eq!(policy.evaluate(&[at]).len(), 1);
+    }
+
+    #[test]
+    fn empty_policy_moves_nothing() {
+        let policy = TieringPolicy::parse("# only comments\n\n").unwrap();
+        let mut o = obs(1);
+        o.live_records = u64::MAX;
+        o.pm_pressure = 1.0;
+        o.idle = Duration::from_secs(3600);
+        o.age = Duration::from_secs(3600);
+        assert!(policy.evaluate(&[o]).is_empty());
+    }
+}

@@ -1,0 +1,402 @@
+//! Archive segments: the immutable unit of cold storage.
+//!
+//! A segment holds one color's records over a closed SN range
+//! `[base, last]`, in SN order, framed and checksummed:
+//!
+//! ```text
+//! "FSG1"  color:u32  count:u32  base:u64  last:u64
+//! count × ( sn:u64  len:u32  payload )
+//! crc32 over everything above
+//! ```
+//!
+//! (All integers little-endian.) The range is *closed over what exists* —
+//! holes are legal in a FlexLog log after sequencer fail-over, so `count`
+//! can be smaller than `last - base + 1`; each record carries its own SN.
+//!
+//! The key scheme makes objects self-describing:
+//! `seg/<color>/<base:016x>-<last:016x>` — hex-padded so that a prefix
+//! `list()` returns segments in SN order, which is how the [`Manifest`] can
+//! always be rebuilt from the store alone. The persisted manifest object
+//! (`manifest/<color>`) is only a fast path; it is rewritten after every
+//! archive round and both writers produce identical bytes for identical
+//! boundaries, so concurrent replicas racing the same round are harmless.
+
+use flexlog_pm::crc32;
+use flexlog_types::{ColorId, CommittedRecord, Payload, SeqNum};
+
+use crate::store::{ObjectStore, StoreError};
+
+const SEG_MAGIC: &[u8; 4] = b"FSG1";
+const MANIFEST_MAGIC: &[u8; 4] = b"FMN1";
+
+/// Object key for the segment of `color` covering `[base, last]`.
+pub fn segment_key(color: ColorId, base: SeqNum, last: SeqNum) -> String {
+    format!("seg/{}/{:016x}-{:016x}", color.0, base.0, last.0)
+}
+
+/// Key prefix under which all of `color`'s segments live.
+pub fn color_prefix(color: ColorId) -> String {
+    format!("seg/{}/", color.0)
+}
+
+/// Key of `color`'s persisted manifest object.
+pub fn manifest_key(color: ColorId) -> String {
+    format!("manifest/{}", color.0)
+}
+
+/// Parses a segment key back into `(color, base, last)`.
+pub fn parse_segment_key(key: &str) -> Option<(ColorId, SeqNum, SeqNum)> {
+    let rest = key.strip_prefix("seg/")?;
+    let (color, range) = rest.split_once('/')?;
+    let (base, last) = range.split_once('-')?;
+    Some((
+        ColorId(color.parse().ok()?),
+        SeqNum(u64::from_str_radix(base, 16).ok()?),
+        SeqNum(u64::from_str_radix(last, 16).ok()?),
+    ))
+}
+
+/// One sealed archive segment (decoded form).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Segment {
+    pub color: ColorId,
+    pub base: SeqNum,
+    pub last: SeqNum,
+    /// SN-ascending; SNs may have gaps (holes are legal).
+    pub records: Vec<CommittedRecord>,
+}
+
+impl Segment {
+    /// Seals `records` (non-empty, SN-ascending) into a segment.
+    pub fn seal(color: ColorId, records: Vec<CommittedRecord>) -> Segment {
+        assert!(!records.is_empty(), "cannot seal an empty segment");
+        debug_assert!(records.windows(2).all(|w| w[0].sn < w[1].sn));
+        Segment {
+            color,
+            base: records[0].sn,
+            last: records[records.len() - 1].sn,
+            records,
+        }
+    }
+
+    pub fn key(&self) -> String {
+        segment_key(self.color, self.base, self.last)
+    }
+
+    pub fn meta(&self) -> SegmentMeta {
+        SegmentMeta {
+            base: self.base,
+            last: self.last,
+            records: self.records.len() as u32,
+        }
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let payload_bytes: usize = self.records.iter().map(|r| r.payload.len()).sum();
+        let mut buf = Vec::with_capacity(28 + self.records.len() * 12 + payload_bytes);
+        buf.extend_from_slice(SEG_MAGIC);
+        buf.extend_from_slice(&self.color.0.to_le_bytes());
+        buf.extend_from_slice(&(self.records.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&self.base.0.to_le_bytes());
+        buf.extend_from_slice(&self.last.0.to_le_bytes());
+        for r in &self.records {
+            buf.extend_from_slice(&r.sn.0.to_le_bytes());
+            buf.extend_from_slice(&(r.payload.len() as u32).to_le_bytes());
+            buf.extend_from_slice(r.payload.as_slice());
+        }
+        buf.extend_from_slice(&crc32(&buf).to_le_bytes());
+        buf
+    }
+
+    pub fn decode(data: &[u8]) -> Result<Segment, StoreError> {
+        let corrupt = |what: &str| StoreError::Corrupt(format!("segment: {what}"));
+        if data.len() < 32 || &data[0..4] != SEG_MAGIC {
+            return Err(corrupt("bad magic or truncated header"));
+        }
+        let body = &data[..data.len() - 4];
+        let stored = u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap());
+        if crc32(body) != stored {
+            return Err(corrupt("crc mismatch"));
+        }
+        let color = ColorId(u32::from_le_bytes(data[4..8].try_into().unwrap()));
+        let count = u32::from_le_bytes(data[8..12].try_into().unwrap()) as usize;
+        let base = SeqNum(u64::from_le_bytes(data[12..20].try_into().unwrap()));
+        let last = SeqNum(u64::from_le_bytes(data[20..28].try_into().unwrap()));
+        let mut records = Vec::with_capacity(count);
+        let mut at = 28usize;
+        for _ in 0..count {
+            if body.len() < at + 12 {
+                return Err(corrupt("truncated record header"));
+            }
+            let sn = SeqNum(u64::from_le_bytes(body[at..at + 8].try_into().unwrap()));
+            let len =
+                u32::from_le_bytes(body[at + 8..at + 12].try_into().unwrap()) as usize;
+            at += 12;
+            if body.len() < at + len {
+                return Err(corrupt("truncated record payload"));
+            }
+            records.push(CommittedRecord {
+                sn,
+                payload: Payload::copy_from_slice(&body[at..at + len]),
+            });
+            at += len;
+        }
+        if at != body.len() {
+            return Err(corrupt("trailing garbage"));
+        }
+        if records.is_empty()
+            || records[0].sn != base
+            || records[records.len() - 1].sn != last
+        {
+            return Err(corrupt("range header disagrees with records"));
+        }
+        Ok(Segment {
+            color,
+            base,
+            last,
+            records,
+        })
+    }
+}
+
+/// A segment's entry in the manifest: where it is and what it covers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentMeta {
+    pub base: SeqNum,
+    pub last: SeqNum,
+    /// Record count (0 = unknown, e.g. rebuilt from keys alone).
+    pub records: u32,
+}
+
+impl SegmentMeta {
+    pub fn key(&self, color: ColorId) -> String {
+        segment_key(color, self.base, self.last)
+    }
+}
+
+/// The per-color index of archived segments, SN-ascending and
+/// non-overlapping. Source of truth is the store itself (keys are
+/// self-describing); the persisted form is a cache.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Manifest {
+    pub segments: Vec<SegmentMeta>,
+}
+
+impl Manifest {
+    /// Loads `color`'s manifest: the persisted object when present and
+    /// intact, otherwise rebuilt from a prefix listing (after a crash
+    /// between segment upload and manifest rewrite, the listing is ahead of
+    /// the persisted copy — the listing wins).
+    pub fn load(store: &dyn ObjectStore, color: ColorId) -> Result<Manifest, StoreError> {
+        let listed = Manifest::from_listing(store, color)?;
+        if let Some(data) = store.get(&manifest_key(color))? {
+            if let Ok(m) = Manifest::decode(&data) {
+                if m.segments.len() >= listed.segments.len() {
+                    return Ok(m);
+                }
+            }
+        }
+        Ok(listed)
+    }
+
+    /// Rebuilds the manifest purely from stored keys.
+    pub fn from_listing(
+        store: &dyn ObjectStore,
+        color: ColorId,
+    ) -> Result<Manifest, StoreError> {
+        let mut segments: Vec<SegmentMeta> = store
+            .list(&color_prefix(color))?
+            .iter()
+            .filter_map(|k| parse_segment_key(k))
+            .map(|(_, base, last)| SegmentMeta {
+                base,
+                last,
+                records: 0,
+            })
+            .collect();
+        segments.sort_by_key(|s| s.base);
+        Ok(Manifest { segments })
+    }
+
+    /// Persists this manifest as `color`'s fast-path object.
+    pub fn store(&self, store: &dyn ObjectStore, color: ColorId) -> Result<(), StoreError> {
+        store.put(&manifest_key(color), &self.encode(color))
+    }
+
+    /// Appends a newly sealed segment (must extend the covered range).
+    pub fn push(&mut self, meta: SegmentMeta) {
+        debug_assert!(self
+            .segments
+            .last()
+            .is_none_or(|prev| prev.last < meta.base));
+        self.segments.push(meta);
+    }
+
+    /// The segment whose range contains `sn`, if any.
+    pub fn segment_for(&self, sn: SeqNum) -> Option<&SegmentMeta> {
+        let idx = self.segments.partition_point(|s| s.last < sn);
+        self.segments.get(idx).filter(|s| s.base <= sn)
+    }
+
+    /// Highest archived SN (None when nothing is archived).
+    pub fn archived_up_to(&self) -> Option<SeqNum> {
+        self.segments.last().map(|s| s.last)
+    }
+
+    fn encode(&self, color: ColorId) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(12 + self.segments.len() * 20 + 4);
+        buf.extend_from_slice(MANIFEST_MAGIC);
+        buf.extend_from_slice(&color.0.to_le_bytes());
+        buf.extend_from_slice(&(self.segments.len() as u32).to_le_bytes());
+        for s in &self.segments {
+            buf.extend_from_slice(&s.base.0.to_le_bytes());
+            buf.extend_from_slice(&s.last.0.to_le_bytes());
+            buf.extend_from_slice(&s.records.to_le_bytes());
+        }
+        buf.extend_from_slice(&crc32(&buf).to_le_bytes());
+        buf
+    }
+
+    fn decode(data: &[u8]) -> Result<Manifest, StoreError> {
+        let corrupt = |what: &str| StoreError::Corrupt(format!("manifest: {what}"));
+        if data.len() < 16 || &data[0..4] != MANIFEST_MAGIC {
+            return Err(corrupt("bad magic or truncated"));
+        }
+        let body = &data[..data.len() - 4];
+        let stored = u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap());
+        if crc32(body) != stored {
+            return Err(corrupt("crc mismatch"));
+        }
+        let count = u32::from_le_bytes(data[8..12].try_into().unwrap()) as usize;
+        if body.len() != 12 + count * 20 {
+            return Err(corrupt("length disagrees with count"));
+        }
+        let mut segments = Vec::with_capacity(count);
+        for i in 0..count {
+            let at = 12 + i * 20;
+            segments.push(SegmentMeta {
+                base: SeqNum(u64::from_le_bytes(body[at..at + 8].try_into().unwrap())),
+                last: SeqNum(u64::from_le_bytes(
+                    body[at + 8..at + 16].try_into().unwrap(),
+                )),
+                records: u32::from_le_bytes(body[at + 16..at + 20].try_into().unwrap()),
+            });
+        }
+        Ok(Manifest { segments })
+    }
+}
+
+/// Fetches and decodes the segment at `meta` for `color`.
+pub fn fetch_segment(
+    store: &dyn ObjectStore,
+    color: ColorId,
+    meta: &SegmentMeta,
+) -> Result<Option<Segment>, StoreError> {
+    let Some(data) = store.get(&meta.key(color))? else {
+        return Ok(None);
+    };
+    Segment::decode(&data).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{SimObjectStore, StoreLatencyModel};
+    use flexlog_pm::DeviceClock;
+    use flexlog_types::Epoch;
+
+    fn rec(sn: u64, byte: u8) -> CommittedRecord {
+        CommittedRecord {
+            sn: SeqNum(sn),
+            payload: Payload::from(vec![byte; 3]),
+        }
+    }
+
+    fn store() -> SimObjectStore {
+        SimObjectStore::with_latency(DeviceClock::default(), StoreLatencyModel::zero())
+    }
+
+    #[test]
+    fn segment_roundtrip_with_holes() {
+        let seg = Segment::seal(ColorId(7), vec![rec(3, 1), rec(4, 2), rec(9, 3)]);
+        assert_eq!(seg.base, SeqNum(3));
+        assert_eq!(seg.last, SeqNum(9));
+        let back = Segment::decode(&seg.encode()).unwrap();
+        assert_eq!(back, seg);
+    }
+
+    #[test]
+    fn segment_detects_corruption() {
+        let seg = Segment::seal(ColorId(1), vec![rec(1, 0xAA)]);
+        let mut bytes = seg.encode();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert!(matches!(
+            Segment::decode(&bytes),
+            Err(StoreError::Corrupt(_))
+        ));
+        assert!(matches!(
+            Segment::decode(&bytes[..bytes.len() - 1]),
+            Err(StoreError::Corrupt(_))
+        ));
+        assert!(matches!(Segment::decode(b"nope"), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn key_scheme_roundtrips_and_sorts_by_sn() {
+        let sn = |e: u32, c: u32| SeqNum::new(Epoch(e), c);
+        let color = ColorId(12);
+        let k1 = segment_key(color, sn(0, 1), sn(0, 255));
+        let k2 = segment_key(color, sn(0, 256), sn(1, 2));
+        assert!(k1 < k2, "hex padding must sort by SN: {k1} vs {k2}");
+        assert_eq!(
+            parse_segment_key(&k1),
+            Some((color, sn(0, 1), sn(0, 255)))
+        );
+        assert_eq!(parse_segment_key("seg/x/zz"), None);
+        assert_eq!(parse_segment_key("other/12/0-1"), None);
+    }
+
+    #[test]
+    fn manifest_roundtrip_lookup_and_listing_fallback() {
+        let s = store();
+        let color = ColorId(3);
+        let mut m = Manifest::default();
+        m.push(SegmentMeta {
+            base: SeqNum(1),
+            last: SeqNum(10),
+            records: 10,
+        });
+        m.push(SegmentMeta {
+            base: SeqNum(11),
+            last: SeqNum(25),
+            records: 15,
+        });
+        // Upload the matching segments so the listing agrees.
+        for meta in &m.segments {
+            s.put(&meta.key(color), b"placeholder").unwrap();
+        }
+        m.store(&s, color).unwrap();
+        let loaded = Manifest::load(&s, color).unwrap();
+        assert_eq!(loaded, m);
+        assert_eq!(loaded.segment_for(SeqNum(10)).unwrap().base, SeqNum(1));
+        assert_eq!(loaded.segment_for(SeqNum(11)).unwrap().base, SeqNum(11));
+        assert_eq!(loaded.segment_for(SeqNum(26)), None);
+        assert_eq!(loaded.archived_up_to(), Some(SeqNum(25)));
+
+        // A third segment uploaded without a manifest rewrite (crash window):
+        // load() must pick up the listing, not the stale manifest.
+        s.put(&segment_key(color, SeqNum(26), SeqNum(30)), b"x").unwrap();
+        let reloaded = Manifest::load(&s, color).unwrap();
+        assert_eq!(reloaded.segments.len(), 3);
+        assert_eq!(reloaded.archived_up_to(), Some(SeqNum(30)));
+    }
+
+    #[test]
+    fn manifest_for_unknown_color_is_empty() {
+        let s = store();
+        let m = Manifest::load(&s, ColorId(99)).unwrap();
+        assert!(m.segments.is_empty());
+        assert_eq!(m.archived_up_to(), None);
+    }
+}

@@ -1,0 +1,330 @@
+//! The simulated object store.
+//!
+//! Models the semantics the archiver depends on and nothing more:
+//!
+//! * `put` is **atomic and durable on return** — there are no partial
+//!   objects and no fsync step. A put that returns an error left no trace.
+//! * Objects are **immutable** — the archiver never overwrites a segment
+//!   with different bytes (re-uploading identical bytes after a crash is
+//!   fine and idempotent).
+//! * `list` is prefix-ordered, which combined with the hex-padded key
+//!   scheme gives SN-ordered segment enumeration for free.
+//!
+//! Fault injection mirrors real object-store failure modes: a full outage
+//! (every op fails until healed — the regional-endpoint-down case) and
+//! fail-next-N-puts (transient write errors that must not be mistaken for
+//! durability). Both are driven by the chaos harness.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use flexlog_pm::DeviceClock;
+use parking_lot::Mutex;
+
+/// Errors an object store can return. All of them are transient from the
+/// caller's perspective: retrying after the fault clears is always legal
+/// because puts are atomic and idempotent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// The store (or the path to it) is down; nothing was written.
+    Unavailable,
+    /// The object exists but failed its integrity check on decode.
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Unavailable => write!(f, "object store unavailable"),
+            StoreError::Corrupt(what) => write!(f, "corrupt object: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Immutable-blob storage. Implementations must be cheap to share
+/// (`Arc<dyn ObjectStore>` rides inside every replica's storage config) and
+/// safe under concurrent access from all replicas of a shard.
+pub trait ObjectStore: Send + Sync + fmt::Debug {
+    /// Stores `data` under `key`, atomically. Durable on return.
+    fn put(&self, key: &str, data: &[u8]) -> Result<(), StoreError>;
+    /// Fetches the object at `key` (`None` if absent).
+    fn get(&self, key: &str) -> Result<Option<Arc<[u8]>>, StoreError>;
+    /// All keys starting with `prefix`, in lexicographic order.
+    fn list(&self, prefix: &str) -> Result<Vec<String>, StoreError>;
+    /// Removes the object at `key` (absent keys are a no-op).
+    fn delete(&self, key: &str) -> Result<(), StoreError>;
+}
+
+/// Per-op latency in nanoseconds, charged on the caller's [`DeviceClock`].
+/// The defaults model a same-region object store: ~ms-scale ops, far above
+/// the µs-scale SSD — which is exactly the gap the tiering benchmark
+/// measures.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreLatencyModel {
+    pub put_ns: u64,
+    pub get_ns: u64,
+    pub list_ns: u64,
+    pub delete_ns: u64,
+    /// Streaming cost per KiB transferred, on top of the per-op base.
+    pub per_kib_ns: u64,
+}
+
+impl StoreLatencyModel {
+    /// Same-region object storage: ~2 ms put, ~1 ms get first-byte.
+    pub fn object_storage() -> Self {
+        StoreLatencyModel {
+            put_ns: 2_000_000,
+            get_ns: 1_000_000,
+            list_ns: 800_000,
+            delete_ns: 600_000,
+            per_kib_ns: 10_000,
+        }
+    }
+
+    /// Free ops (unit tests that only care about semantics).
+    pub fn zero() -> Self {
+        StoreLatencyModel {
+            put_ns: 0,
+            get_ns: 0,
+            list_ns: 0,
+            delete_ns: 0,
+            per_kib_ns: 0,
+        }
+    }
+}
+
+impl Default for StoreLatencyModel {
+    fn default() -> Self {
+        StoreLatencyModel::object_storage()
+    }
+}
+
+/// Operation counters, mirrored into the metrics registry by the storage
+/// layer. Plain atomics so the store stays dependency-free.
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    pub puts: AtomicU64,
+    pub gets: AtomicU64,
+    pub lists: AtomicU64,
+    pub deletes: AtomicU64,
+    pub bytes_put: AtomicU64,
+    pub bytes_get: AtomicU64,
+    /// Ops rejected by an outage or injected put failure.
+    pub faulted_ops: AtomicU64,
+}
+
+/// The in-memory simulated object store. One instance is shared by every
+/// replica of a cluster (it models the remote service, not a device), so it
+/// is never crash()ed when a node power-fails — archived history survives
+/// anything short of deleting the objects.
+pub struct SimObjectStore {
+    objects: Mutex<BTreeMap<String, Arc<[u8]>>>,
+    clock: DeviceClock,
+    latency: StoreLatencyModel,
+    /// Full outage: every op fails until healed.
+    outage: AtomicBool,
+    /// The next N puts fail (after charging latency), leaving no trace.
+    fail_puts: AtomicU64,
+    stats: StoreStats,
+}
+
+impl fmt::Debug for SimObjectStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimObjectStore")
+            .field("objects", &self.objects.lock().len())
+            .field("outage", &self.outage.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl SimObjectStore {
+    pub fn new(clock: DeviceClock) -> Self {
+        SimObjectStore {
+            objects: Mutex::new(BTreeMap::new()),
+            clock,
+            latency: StoreLatencyModel::default(),
+            outage: AtomicBool::new(false),
+            fail_puts: AtomicU64::new(0),
+            stats: StoreStats::default(),
+        }
+    }
+
+    pub fn with_latency(clock: DeviceClock, latency: StoreLatencyModel) -> Self {
+        SimObjectStore {
+            latency,
+            ..SimObjectStore::new(clock)
+        }
+    }
+
+    /// Starts or ends a full outage (nemesis: `ObjectStoreOutage` / `Heal`).
+    pub fn set_outage(&self, down: bool) {
+        self.outage.store(down, Ordering::SeqCst);
+    }
+
+    pub fn outage(&self) -> bool {
+        self.outage.load(Ordering::SeqCst)
+    }
+
+    /// Arms the next `n` puts to fail with [`StoreError::Unavailable`]
+    /// *without* persisting anything — the transient-write-error case the
+    /// archive boundary must not run ahead of.
+    pub fn fail_next_puts(&self, n: u64) {
+        self.fail_puts.store(n, Ordering::SeqCst);
+    }
+
+    pub fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
+    /// Number of stored objects (tests / benchmarks).
+    pub fn object_count(&self) -> usize {
+        self.objects.lock().len()
+    }
+
+    /// Total stored bytes (tests / benchmarks).
+    pub fn stored_bytes(&self) -> u64 {
+        self.objects.lock().values().map(|v| v.len() as u64).sum()
+    }
+
+    fn charge(&self, base_ns: u64, bytes: usize) {
+        let streaming = (bytes as u64).div_ceil(1024) * self.latency.per_kib_ns;
+        self.clock.consume(base_ns + streaming);
+    }
+
+    fn check_up(&self) -> Result<(), StoreError> {
+        if self.outage.load(Ordering::SeqCst) {
+            self.stats.faulted_ops.fetch_add(1, Ordering::Relaxed);
+            return Err(StoreError::Unavailable);
+        }
+        Ok(())
+    }
+}
+
+impl ObjectStore for SimObjectStore {
+    fn put(&self, key: &str, data: &[u8]) -> Result<(), StoreError> {
+        self.charge(self.latency.put_ns, data.len());
+        self.check_up()?;
+        // Injected transient failure: latency was paid, nothing was stored.
+        let mut armed = self.fail_puts.load(Ordering::SeqCst);
+        while armed > 0 {
+            match self.fail_puts.compare_exchange(
+                armed,
+                armed - 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    self.stats.faulted_ops.fetch_add(1, Ordering::Relaxed);
+                    return Err(StoreError::Unavailable);
+                }
+                Err(now) => armed = now,
+            }
+        }
+        self.stats.puts.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_put
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.objects.lock().insert(key.to_string(), Arc::from(data));
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Arc<[u8]>>, StoreError> {
+        let found = self.objects.lock().get(key).cloned();
+        self.charge(
+            self.latency.get_ns,
+            found.as_ref().map_or(0, |d| d.len()),
+        );
+        self.check_up()?;
+        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        if let Some(d) = &found {
+            self.stats
+                .bytes_get
+                .fetch_add(d.len() as u64, Ordering::Relaxed);
+        }
+        Ok(found)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>, StoreError> {
+        self.charge(self.latency.list_ns, 0);
+        self.check_up()?;
+        self.stats.lists.fetch_add(1, Ordering::Relaxed);
+        let objects = self.objects.lock();
+        Ok(objects
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect())
+    }
+
+    fn delete(&self, key: &str) -> Result<(), StoreError> {
+        self.charge(self.latency.delete_ns, 0);
+        self.check_up()?;
+        self.stats.deletes.fetch_add(1, Ordering::Relaxed);
+        self.objects.lock().remove(key);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> SimObjectStore {
+        SimObjectStore::with_latency(DeviceClock::default(), StoreLatencyModel::zero())
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_list_order() {
+        let s = store();
+        s.put("seg/1/b", b"bb").unwrap();
+        s.put("seg/1/a", b"aa").unwrap();
+        s.put("seg/2/a", b"zz").unwrap();
+        assert_eq!(s.get("seg/1/a").unwrap().unwrap().as_ref(), b"aa");
+        assert_eq!(s.get("seg/1/missing").unwrap(), None);
+        assert_eq!(s.list("seg/1/").unwrap(), vec!["seg/1/a", "seg/1/b"]);
+        assert_eq!(s.list("seg/").unwrap().len(), 3);
+        s.delete("seg/1/a").unwrap();
+        assert_eq!(s.get("seg/1/a").unwrap(), None);
+        s.delete("seg/1/a").unwrap(); // absent delete is a no-op
+    }
+
+    #[test]
+    fn outage_fails_every_op_until_healed() {
+        let s = store();
+        s.put("k", b"v").unwrap();
+        s.set_outage(true);
+        assert_eq!(s.put("k2", b"v"), Err(StoreError::Unavailable));
+        assert_eq!(s.get("k"), Err(StoreError::Unavailable));
+        assert_eq!(s.list(""), Err(StoreError::Unavailable));
+        assert_eq!(s.delete("k"), Err(StoreError::Unavailable));
+        s.set_outage(false);
+        assert_eq!(s.get("k").unwrap().unwrap().as_ref(), b"v");
+        assert_eq!(s.get("k2").unwrap(), None, "failed put left no trace");
+        assert!(s.stats().faulted_ops.load(Ordering::Relaxed) >= 4);
+    }
+
+    #[test]
+    fn fail_next_puts_leaves_no_trace_then_recovers() {
+        let s = store();
+        s.fail_next_puts(2);
+        assert_eq!(s.put("a", b"1"), Err(StoreError::Unavailable));
+        assert_eq!(s.put("b", b"2"), Err(StoreError::Unavailable));
+        s.put("c", b"3").unwrap();
+        assert_eq!(s.get("a").unwrap(), None);
+        assert_eq!(s.get("b").unwrap(), None);
+        assert_eq!(s.get("c").unwrap().unwrap().as_ref(), b"3");
+    }
+
+    #[test]
+    fn puts_are_idempotent_overwrites() {
+        let s = store();
+        s.put("k", b"same").unwrap();
+        s.put("k", b"same").unwrap();
+        assert_eq!(s.object_count(), 1);
+        assert_eq!(s.stored_bytes(), 4);
+    }
+}

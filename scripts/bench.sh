@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Regenerates the tracked benchmark artifacts (BENCH_datapath.json,
-# BENCH_elasticity.json, BENCH_fanout.json) with full-length runs, then
+# BENCH_elasticity.json, BENCH_fanout.json, BENCH_tiering.json) with
+# full-length runs, then
 # sanity-checks the results. Commit the refreshed JSON together with any
 # data-path or control-plane change so the history of the numbers tracks
 # the history of the code.
@@ -68,3 +69,26 @@ print(f"fan-out goodput {ratio:.1f}x over the single-subscriber polling baseline
 if ratio < 20:
     print("WARNING: fan-out goodput below the 20x gate (noisy host? rerun before committing)")
 EOF2
+
+echo "==> cargo build --release -p flexlog-bench --bin tiering"
+cargo build --release -p flexlog-bench --bin tiering
+
+echo "==> tiering (full run, writes BENCH_tiering.json)"
+./target/release/tiering --out BENCH_tiering.json
+
+python3 - <<'EOF'
+import json
+d = json.load(open("BENCH_tiering.json"))
+a, r, h = d["archive"], d["reads"], d["hot_append"]
+print(f"archive: {a['records']} records at {a['records_per_s']:.0f} rec/s "
+      f"({a['mib_per_s']:.1f} MiB/s modelled), {a['store_objects']} objects")
+print(f"reads:   cold p50/p99 {r['cold_p50_us']:.0f}/{r['cold_p99_us']:.0f} us, "
+      f"SSD {r['ssd_p50_us']:.1f}/{r['ssd_p99_us']:.1f} us "
+      f"({r['cold_over_ssd_p50']:.0f}x)")
+print(f"hot appends: {h['without_archiver_ops_per_s']:.0f}/s archiver-off, "
+      f"{h['with_archiver_ops_per_s']:.0f}/s archiver-on "
+      f"(ratio {h['hot_append_ratio']:.2f}, {h['archived_during_hot_phase']} archived)")
+if h["hot_append_ratio"] < 0.9:
+    print("WARNING: hot-append ratio below the 0.9 gate "
+          "(noisy host? rerun before committing)")
+EOF

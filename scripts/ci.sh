@@ -112,6 +112,35 @@ assert d["goodput_100x_over_poll"] >= 20, f"fan-out goodput regressed: {d['goodp
 print(f"fanout smoke JSON OK (goodput {d['goodput_100x_over_poll']:.1f}x over the polling baseline)")
 EOF
 
+echo "==> tiering bench smoke (--quick, JSON shape + hot-append gate)"
+cargo run --release -p flexlog-bench --bin tiering -- --quick --out /tmp/flexlog_tiering_smoke.json
+python3 - <<'EOF'
+import json
+d = json.load(open("/tmp/flexlog_tiering_smoke.json"))
+assert d["bench"] == "tiering" and d["quick"] is True
+a = d["archive"]
+assert a["records"] > 0 and a["records_per_s"] > 0 and a["mib_per_s"] > 0, a
+assert a["store_puts"] > 0 and a["store_objects"] > 0, a
+r = d["reads"]
+assert r["cold_p50_us"] > 0 and r["cold_p99_us"] >= r["cold_p50_us"], r
+assert r["ssd_p50_us"] > 0 and r["ssd_p99_us"] >= r["ssd_p50_us"], r
+# The modelled device gap: archive segment fetches are ms-scale, SSD
+# block reads are tens of us. If cold reads come out cheaper than SSD
+# the read-through is sneaking through the wrong tier.
+assert r["cold_p50_us"] > r["ssd_p50_us"], r
+h = d["hot_append"]
+# The archiver must have genuinely run during the hot phase...
+assert h["archived_during_hot_phase"] > 0, h
+assert h["without_archiver_ops_per_s"] > 0 and h["with_archiver_ops_per_s"] > 0, h
+# ...and cost the hot append path at most 10% of its throughput.
+assert h["hot_append_ratio"] >= 0.9, f"hot appends degraded by the archiver: {h['hot_append_ratio']}"
+print(f"tiering smoke JSON OK (hot-append ratio {h['hot_append_ratio']:.2f}, "
+      f"cold read p50 {r['cold_p50_us']:.0f} us vs SSD {r['ssd_p50_us']:.1f} us)")
+EOF
+
+echo "==> tiering nemesis (storage crash + store outage during archive rounds)"
+cargo test --release -q -p flexlog-chaos --test tiering_nemesis
+
 echo "==> subscription nemesis (read replica dies mid-push)"
 cargo test --release -q -p flexlog-chaos --test subscription_nemesis subscribers_survive_read_replica_crash_mid_push
 

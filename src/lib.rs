@@ -6,7 +6,8 @@
 //! * [`obs`] — cross-layer metrics registry and event tracer;
 //! * [`simnet`] — simulated network substrate;
 //! * [`pm`] — simulated persistent memory + SSD devices;
-//! * [`storage`] — tiered storage server (DRAM cache / PM / SSD);
+//! * [`storage`] — tiered storage server (DRAM cache / PM / SSD / archive);
+//! * [`tier`] — cold object-storage tier: segments, manifests, policy;
 //! * [`ordering`] — tree-structured sequencer ordering layer;
 //! * [`replication`] — shards, replicas and the append/read protocols;
 //! * [`core`] — colors, topology, cluster assembly and the client API;
@@ -23,4 +24,5 @@ pub use flexlog_pm as pm;
 pub use flexlog_replication as replication;
 pub use flexlog_simnet as simnet;
 pub use flexlog_storage as storage;
+pub use flexlog_tier as tier;
 pub use flexlog_types as types;
